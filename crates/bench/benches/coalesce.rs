@@ -1,0 +1,45 @@
+//! Wall-clock micro-benchmark of load-update coalescing (paper §4.2):
+//! applying the affine update `L(x)=αx+β` once per vCPU versus the
+//! precomputed closed form, under a real lock as in the kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse_core::LoadUpdate;
+use horse_sched::{LoadTracker, RqLoad};
+
+fn bench_update_math(c: &mut Criterion) {
+    // The bare arithmetic, no lock: iterated vs closed form.
+    let update = LoadUpdate::new(0.9785, 1024.0).expect("valid");
+    let mut group = c.benchmark_group("load_update_math");
+    for &n in &[1u32, 8, 36, 256] {
+        group.bench_with_input(BenchmarkId::new("iterated", n), &n, |b, &n| {
+            b.iter(|| update.apply_iterated(black_box(1000.0), n));
+        });
+        let coalesced = update.coalesce(n);
+        group.bench_with_input(BenchmarkId::new("coalesced", n), &n, |b, _| {
+            b.iter(|| coalesced.apply(black_box(1000.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_locked_update(c: &mut Criterion) {
+    // The full step-⑤ behaviour: lock acquisition per update (vanilla)
+    // versus one acquisition (HORSE).
+    let tracker = LoadTracker::pelt_default();
+    let mut group = c.benchmark_group("load_update_locked");
+    for &n in &[1u32, 8, 36] {
+        group.bench_with_input(BenchmarkId::new("per_vcpu_locked", n), &n, |b, &n| {
+            let load = RqLoad::new();
+            b.iter(|| load.apply_per_vcpu(tracker.update(), n));
+        });
+        let coalesced = tracker.coalesce(n);
+        group.bench_with_input(BenchmarkId::new("coalesced_locked", n), &n, |b, _| {
+            let load = RqLoad::new();
+            b.iter(|| load.apply_coalesced(coalesced));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_math, bench_locked_update);
+criterion_main!(benches);

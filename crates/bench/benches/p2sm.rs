@@ -1,0 +1,193 @@
+//! Wall-clock micro-benchmarks of 𝒫²𝒮ℳ versus the vanilla sorted merge.
+//!
+//! These complement the deterministic cost model: they measure the *real*
+//! execution time of the same data-structure code on the build machine.
+//! The expected shape mirrors the paper's Figure 3: the vanilla
+//! per-element merge grows with the number of merged elements, the
+//! 𝒫²𝒮ℳ splice does not. The ablation also compares the sequential and
+//! parallel splice, isolating the thread-kickoff cost (DESIGN.md §5.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use horse_core::{Arena, MergePlan, SortedList, SpliceMode};
+
+/// Builds the merge inputs: a run queue B of `b_len` entries and a
+/// sandbox vCPU list A of `a_len` entries with interleaved keys.
+fn setup(b_len: usize, a_len: usize) -> (Arena<u64>, SortedList, SortedList) {
+    let mut arena = Arena::with_capacity(b_len + a_len);
+    let mut b = SortedList::new();
+    for i in 0..b_len {
+        b.insert_sorted(&mut arena, (i as i64) * 10, i as u64);
+    }
+    let mut a = SortedList::new();
+    for i in 0..a_len {
+        a.insert_sorted(&mut arena, (i as i64) * 10 + 5, i as u64);
+    }
+    (arena, b, a)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorted_merge_36_vcpus");
+    const B_LEN: usize = 64;
+    for &a_len in &[1usize, 4, 16, 36] {
+        group.bench_with_input(
+            BenchmarkId::new("vanilla_per_element", a_len),
+            &a_len,
+            |bench, &a_len| {
+                bench.iter_batched(
+                    || setup(B_LEN, 0),
+                    |(mut arena, mut b, _)| {
+                        for i in 0..a_len {
+                            b.insert_sorted(&mut arena, (i as i64) * 10 + 5, i as u64);
+                        }
+                        (arena, b)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge_walk_on_plus_m", a_len),
+            &a_len,
+            |bench, &a_len| {
+                bench.iter_batched(
+                    || setup(B_LEN, a_len),
+                    |(arena, mut b, a)| {
+                        b.merge_walk(&arena, a);
+                        (arena, b)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("p2sm_sequential", a_len),
+            &a_len,
+            |bench, &a_len| {
+                bench.iter_batched(
+                    || {
+                        let (arena, b, a) = setup(B_LEN, a_len);
+                        let plan = MergePlan::precompute(&arena, &b, a);
+                        (arena, b, plan)
+                    },
+                    |(arena, mut b, plan)| {
+                        plan.merge(&arena, &mut b, SpliceMode::Sequential).unwrap();
+                        (arena, b)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("p2sm_chunked_4", a_len),
+            &a_len,
+            |bench, &a_len| {
+                bench.iter_batched(
+                    || {
+                        let (arena, b, a) = setup(B_LEN, a_len);
+                        let plan = MergePlan::precompute(&arena, &b, a);
+                        (arena, b, plan)
+                    },
+                    |(arena, mut b, plan)| {
+                        plan.merge(&arena, &mut b, SpliceMode::ParallelChunked { threads: 4 })
+                            .unwrap();
+                        (arena, b)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("p2sm_parallel", a_len),
+            &a_len,
+            |bench, &a_len| {
+                bench.iter_batched(
+                    || {
+                        let (arena, b, a) = setup(B_LEN, a_len);
+                        let plan = MergePlan::precompute(&arena, &b, a);
+                        (arena, b, plan)
+                    },
+                    |(arena, mut b, plan)| {
+                        plan.merge(&arena, &mut b, SpliceMode::Parallel).unwrap();
+                        (arena, b)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    // The pause-time cost 𝒫²𝒮ℳ pays to make the resume O(1).
+    let mut group = c.benchmark_group("p2sm_precompute");
+    for &size in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, &size| {
+            bench.iter_batched(
+                || setup(size, size),
+                |(arena, b, a)| MergePlan::precompute(&arena, &b, a),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_precompute,
+    bench_plan_maintenance
+);
+criterion_main!(benches);
+
+/// Ablation (DESIGN.md §5.2): maintaining the plan incrementally when the
+/// ull_runqueue changes versus rebuilding it from scratch. The paper's
+/// §4.1.1 claims cheap incremental updates; this measures both against a
+/// pop-front churn pattern.
+fn bench_plan_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_maintenance");
+    for &b_len in &[16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("incremental_pop", b_len),
+            &b_len,
+            |bench, &b_len| {
+                bench.iter_batched(
+                    || {
+                        let (mut arena, mut b, a) = setup(b_len, 16);
+                        let plan = MergePlan::precompute(&arena, &b, a);
+                        // One pop to maintain.
+                        b.pop_front(&mut arena);
+                        (arena, b, plan)
+                    },
+                    |(arena, b, mut plan)| {
+                        plan.on_b_pop_front(&arena, &b);
+                        (arena, b, plan)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_rebuild", b_len),
+            &b_len,
+            |bench, &b_len| {
+                bench.iter_batched(
+                    || {
+                        let (mut arena, mut b, a) = setup(b_len, 16);
+                        let plan = MergePlan::precompute(&arena, &b, a);
+                        b.pop_front(&mut arena);
+                        (arena, b, plan)
+                    },
+                    |(arena, b, plan)| {
+                        let list = plan.into_list(&arena);
+                        let rebuilt = MergePlan::precompute(&arena, &b, list);
+                        (arena, b, rebuilt)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}

@@ -1,0 +1,84 @@
+//! Wall-clock benchmark of the full resume pipeline in the paper's four
+//! setups (Figure 3's real-execution counterpart): the entire
+//! pause-precompute-resume cycle runs on the scheduler substrate and the
+//! resume call itself is timed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use horse_bench::{paper_sched_config, policy_for};
+use horse_sched::SandboxId;
+use horse_vmm::{CostModel, ResumeMode, SandboxConfig, Vmm};
+
+fn prepared_vmm(vcpus: u32, mode: ResumeMode) -> (Vmm, SandboxId) {
+    let mut vmm = Vmm::new(paper_sched_config(), CostModel::calibrated());
+    let cfg = SandboxConfig::builder()
+        .vcpus(vcpus)
+        .memory_mb(512)
+        .ull(true)
+        .build()
+        .expect("valid");
+    let id = vmm.create(cfg);
+    vmm.start(id).expect("starts");
+    vmm.pause(id, policy_for(mode)).expect("pauses");
+    (vmm, id)
+}
+
+fn bench_resume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resume_pipeline");
+    for &vcpus in &[1u32, 8, 36] {
+        for mode in ResumeMode::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), vcpus),
+                &vcpus,
+                |b, &vcpus| {
+                    b.iter_batched(
+                        || prepared_vmm(vcpus, mode),
+                        |(mut vmm, id)| {
+                            vmm.resume(id, mode).expect("resumes");
+                            vmm
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pause(c: &mut Criterion) {
+    // The off-critical-path cost HORSE moves to pause time (ablation for
+    // DESIGN.md §5.2: precompute-on-pause).
+    let mut group = c.benchmark_group("pause_pipeline");
+    for &vcpus in &[1u32, 36] {
+        for mode in [ResumeMode::Vanilla, ResumeMode::Horse] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), vcpus),
+                &vcpus,
+                |b, &vcpus| {
+                    b.iter_batched(
+                        || {
+                            let mut vmm = Vmm::new(paper_sched_config(), CostModel::calibrated());
+                            let cfg = SandboxConfig::builder()
+                                .vcpus(vcpus)
+                                .ull(true)
+                                .build()
+                                .expect("valid");
+                            let id = vmm.create(cfg);
+                            vmm.start(id).expect("starts");
+                            (vmm, id)
+                        },
+                        |(mut vmm, id)| {
+                            vmm.pause(id, policy_for(mode)).expect("pauses");
+                            vmm
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resume, bench_pause);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates the **§5.4 colocation experiment**: thumbnail-function
+//! latency (mean / p95 / p99) while 10 uLL sandboxes per second are
+//! resumed on the same host, driven by a 30 s Azure-like trace chunk,
+//! sweeping the uLL sandbox size and comparing vanilla against HORSE.
+//!
+//! Expected shape (paper): mean and p95 identical; p99 degraded by at
+//! most ≈0.00107 % (≈30 µs) at 36 uLL vCPUs.
+//!
+//! Run: `cargo run --release -p horse-bench --bin colocation`
+
+use horse_faas::colocation::compare_colocation;
+use horse_metrics::report::{fmt_ns, Table};
+
+fn main() {
+    let opts = horse_bench::CliOptions::from_env();
+    let mut table = Table::new(
+        "§5.4 — thumbnail latency with colocated uLL resumes",
+        &[
+            "ull vcpus",
+            "mode",
+            "invocations",
+            "mean",
+            "p95",
+            "p99",
+            "preempts",
+        ],
+    );
+    let mut worst_p99_pct: f64 = 0.0;
+    let mut worst_mean_pct: f64 = 0.0;
+    // Several seeds stand in for the paper's repeated runs; the reported
+    // overhead is the worst observed ("up to").
+    let seeds = [
+        opts.seed,
+        opts.seed + 4,
+        opts.seed + 16,
+        opts.seed + 35,
+        opts.seed + 92,
+    ];
+    for vcpus in opts.sweep_or(&[1, 8, 16, 24, 36]) {
+        let mut shown = false;
+        for &seed in &seeds {
+            let cmp = compare_colocation(vcpus, seed);
+            worst_p99_pct = worst_p99_pct.max(cmp.p99_overhead_pct());
+            worst_mean_pct = worst_mean_pct.max(cmp.mean_overhead_pct().abs());
+            if !shown {
+                for (label, r) in [("vanilla", &cmp.vanilla), ("horse", &cmp.horse)] {
+                    table.row_owned(vec![
+                        vcpus.to_string(),
+                        label.to_string(),
+                        r.invocations.to_string(),
+                        fmt_ns(r.mean_ns as u64),
+                        fmt_ns(r.p95_ns),
+                        fmt_ns(r.p99_ns),
+                        r.preemptions.to_string(),
+                    ]);
+                }
+                shown = true;
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!("worst p99 overhead across sweep: {worst_p99_pct:.5}%  (paper: up to 0.00107%)");
+    println!(
+        "worst |mean| delta: {worst_mean_pct:.5}%  (paper: no difference in mean/p95 — \
+         uLL sandboxes are isolated on reserved run queues)"
+    );
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 1**: sandbox initialization time as a percentage
+//! of the end-to-end pipeline, for cold/restore/warm starts across the
+//! three uLL categories.
+//!
+//! Run: `cargo run -p horse-bench --bin fig1`
+
+use horse_faas::{FaasPlatform, PlatformConfig, StartStrategy};
+use horse_metrics::report::Table;
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+
+fn main() {
+    let paper = [
+        // cold, restore, warm per category
+        [99.99, 98.7, 6.07],
+        [99.99, 99.98, 42.3],
+        [99.99, 99.94, 61.1],
+    ];
+
+    let mut table = Table::new(
+        "Figure 1 — init % of the trigger-to-completion pipeline",
+        &["category", "mode", "init % (measured)", "init % (paper)"],
+    );
+    let mut series: Vec<String> = Vec::new();
+
+    for (ci, category) in Category::ULL.iter().enumerate() {
+        for (si, strategy) in [
+            StartStrategy::Cold,
+            StartStrategy::Restore,
+            StartStrategy::Warm,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut platform = FaasPlatform::new(PlatformConfig::default());
+            let cfg = SandboxConfig::builder()
+                .vcpus(1)
+                .ull(true)
+                .build()
+                .expect("valid");
+            let f = platform.register(category.short_label(), *category, cfg);
+            if strategy.needs_warm_pool() {
+                platform.provision(f, 1, *strategy).expect("provision");
+            }
+            let mut share = 0.0;
+            for _ in 0..horse_bench::REPETITIONS {
+                share += 100.0 * platform.invoke(f, *strategy).expect("invoke").init_share();
+            }
+            share /= f64::from(horse_bench::REPETITIONS);
+            table.row_owned(vec![
+                category.short_label().to_string(),
+                strategy.label().to_string(),
+                format!("{share:.2}"),
+                format!("{:.2}", paper[ci][si]),
+            ]);
+            series.push(format!(
+                "{}/{} {:.2}",
+                category.short_label(),
+                strategy.label(),
+                share
+            ));
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "bar series (category/mode measured%): {}",
+        series.join("  ")
+    );
+}

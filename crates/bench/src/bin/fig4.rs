@@ -1,0 +1,92 @@
+//! Regenerates **Figure 4**: sandbox initialization percentage for the
+//! three uLL workloads under all four start strategies, including HORSE.
+//!
+//! Expected shape (paper §5.3): HORSE achieves the lowest share for every
+//! category, between 0.77 % and 17.64 %, outclassing warm by up to
+//! 8.95×, restore by up to 142.7× and cold by up to 142.84×.
+//!
+//! Run: `cargo run -p horse-bench --bin fig4`
+
+use horse_faas::{FaasPlatform, PlatformConfig, StartStrategy};
+use horse_metrics::chart::BarChart;
+use horse_metrics::report::Table;
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 4 — init % per category and start strategy",
+        &["category", "cold %", "restore %", "warm %", "horse %"],
+    );
+    let mut horse_shares: Vec<f64> = Vec::new();
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    let mut chart_rows: Vec<(String, Vec<(&str, f64)>)> = Vec::new();
+
+    for category in Category::ULL {
+        let mut shares = Vec::new();
+        for strategy in StartStrategy::ALL {
+            let mut platform = FaasPlatform::new(PlatformConfig::default());
+            let cfg = SandboxConfig::builder()
+                .vcpus(1)
+                .ull(true)
+                .build()
+                .expect("valid");
+            let f = platform.register(category.short_label(), category, cfg);
+            if strategy.needs_warm_pool() {
+                platform.provision(f, 1, strategy).expect("provision");
+            }
+            let mut share = 0.0;
+            for _ in 0..horse_bench::REPETITIONS {
+                share += 100.0 * platform.invoke(f, strategy).expect("invoke").init_share();
+            }
+            shares.push(share / f64::from(horse_bench::REPETITIONS));
+        }
+        let horse = shares[3];
+        horse_shares.push(horse);
+        ratios.push((
+            format!("{} cold/horse", category.short_label()),
+            shares[0] / horse,
+        ));
+        ratios.push((
+            format!("{} restore/horse", category.short_label()),
+            shares[1] / horse,
+        ));
+        ratios.push((
+            format!("{} warm/horse", category.short_label()),
+            shares[2] / horse,
+        ));
+        table.row_owned(vec![
+            category.short_label().to_string(),
+            format!("{:.2}", shares[0]),
+            format!("{:.2}", shares[1]),
+            format!("{:.2}", shares[2]),
+            format!("{:.2}", shares[3]),
+        ]);
+        chart_rows.push((
+            category.short_label().to_string(),
+            vec![
+                ("cold", shares[0]),
+                ("restore", shares[1]),
+                ("warm", shares[2]),
+                ("horse", shares[3]),
+            ],
+        ));
+    }
+    println!("{}", table.render());
+
+    let mut chart = BarChart::new("Figure 4 — init % (lower is better)", 50);
+    for (category, shares) in &chart_rows {
+        for (strategy, share) in shares {
+            chart.bar(format!("{category}/{strategy}"), *share);
+        }
+    }
+    println!("{}", chart.render());
+
+    let lo = horse_shares.iter().copied().fold(f64::MAX, f64::min);
+    let hi = horse_shares.iter().copied().fold(0.0f64, f64::max);
+    println!("HORSE init share range: {lo:.2}%–{hi:.2}%  (paper: 0.77%–17.64%)");
+    for (label, ratio) in ratios {
+        println!("  {label}: {ratio:.2}x better");
+    }
+    println!("paper: HORSE outclasses warm by up to 8.95x, restore by up to 142.7x, cold by up to 142.84x");
+}

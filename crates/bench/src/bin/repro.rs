@@ -1,0 +1,67 @@
+//! Runs the entire experiment suite — every table and figure — in one
+//! command, writing each report to `results/`.
+//!
+//! Run: `cargo run --release -p horse-bench --bin repro [-- --skip-colocation]`
+//!
+//! The per-artifact binaries (`table1`, `fig1`…`fig4`, `overhead`,
+//! `colocation`) remain available for focused runs; this driver simply
+//! re-executes their logic and collects the outputs.
+
+use std::fs;
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let skip_colocation = args.iter().any(|a| a == "--skip-colocation");
+
+    fs::create_dir_all("results").expect("create results dir");
+    let mut bins = vec![
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "overhead",
+        "ablation_queues",
+        "keepalive_curve",
+        "verify_claims",
+    ];
+    if !skip_colocation {
+        bins.push("colocation");
+    }
+
+    let mut failures = 0;
+    for bin in bins {
+        eprintln!("==> running {bin}");
+        let out = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        )
+        .output();
+        match out {
+            Ok(out) if out.status.success() => {
+                let path = format!("results/{bin}.txt");
+                fs::write(&path, &out.stdout).expect("write result");
+                println!("{bin}: ok -> {path}");
+            }
+            Ok(out) => {
+                eprintln!(
+                    "{bin}: FAILED ({})\n{}",
+                    out.status,
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("{bin}: could not launch: {e}");
+                eprintln!("hint: build all binaries first: cargo build --release -p horse-bench");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("all experiments reproduced; see results/ and EXPERIMENTS.md");
+}

@@ -1,0 +1,83 @@
+//! Regenerates **Table 1**: sandbox initialization time and function
+//! execution time for the three uLL workload categories under cold,
+//! restore and warm starts (1 vCPU, 512 MB sandbox).
+//!
+//! Run: `cargo run -p horse-bench --bin table1`
+
+use horse_faas::{FaasPlatform, PlatformConfig, StartStrategy};
+use horse_metrics::report::Table;
+use horse_metrics::RunningStats;
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+
+fn main() {
+    // Paper reference values (µs): init per scenario, exec per category.
+    let paper_init_us = [("cold", 1.5e6), ("restore", 1300.0), ("warm", 1.1)];
+    let paper_exec_us = [17.0, 1.5, 0.7];
+    let paper_share_pct = [
+        [99.99, 98.7, 6.07],
+        [99.99, 99.98, 42.3],
+        [99.99, 99.94, 61.1],
+    ];
+
+    let mut table = Table::new(
+        "Table 1 — initialization vs execution per start mode (1 vCPU, 512 MB)",
+        &[
+            "category",
+            "mode",
+            "init (us)",
+            "paper init (us)",
+            "exec (us)",
+            "paper exec (us)",
+            "init %",
+            "paper init %",
+        ],
+    );
+
+    for (ci, category) in Category::ULL.iter().enumerate() {
+        for (si, strategy) in [
+            StartStrategy::Cold,
+            StartStrategy::Restore,
+            StartStrategy::Warm,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut init = RunningStats::new();
+            let mut exec = RunningStats::new();
+            let mut share = RunningStats::new();
+            for rep in 0..horse_bench::REPETITIONS {
+                let mut platform = FaasPlatform::new(PlatformConfig {
+                    seed: 42 + u64::from(rep),
+                    ..PlatformConfig::default()
+                });
+                let cfg = SandboxConfig::builder()
+                    .vcpus(1)
+                    .memory_mb(512)
+                    .ull(true)
+                    .build()
+                    .expect("valid");
+                let f = platform.register(category.short_label(), *category, cfg);
+                if strategy.needs_warm_pool() {
+                    platform.provision(f, 1, *strategy).expect("provisioning");
+                }
+                let r = platform.invoke(f, *strategy).expect("invocation");
+                init.push(r.init_ns as f64 / 1e3);
+                exec.push(r.exec_ns as f64 / 1e3);
+                share.push(100.0 * r.init_share());
+            }
+            table.row_owned(vec![
+                category.short_label().to_string(),
+                strategy.label().to_string(),
+                format!("{:.2}", init.mean()),
+                format!("{:.1}", paper_init_us[si].1),
+                format!("{:.2}", exec.mean()),
+                format!("{:.1}", paper_exec_us[ci]),
+                format!("{:.2}", share.mean()),
+                format!("{:.2}", paper_share_pct[ci][si]),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,135 @@
+//! The reproduction certificate: checks every headline claim of the
+//! paper against this repository's measured behaviour and prints
+//! PASS/FAIL per claim. Exits non-zero if any claim fails.
+//!
+//! Run: `cargo run -p horse-bench --bin verify_claims`
+
+use horse_bench::{measure_resume, one_resume};
+use horse_faas::colocation::compare_colocation;
+use horse_faas::overhead::compare_overhead;
+use horse_faas::{FaasPlatform, PlatformConfig, StartStrategy};
+use horse_vmm::{ResumeMode, SandboxConfig};
+use horse_workloads::Category;
+
+struct Claims {
+    failures: u32,
+}
+
+impl Claims {
+    fn check(&mut self, name: &str, paper: &str, measured: String, pass: bool) {
+        let tag = if pass { "PASS" } else { "FAIL" };
+        println!("[{tag}] {name}\n       paper: {paper}\n       measured: {measured}");
+        if !pass {
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut c = Claims { failures: 0 };
+
+    // §3.2: steps ④+⑤ dominate the vanilla resume.
+    let shares: Vec<f64> = [1u32, 36]
+        .iter()
+        .map(|&v| measure_resume(v, ResumeMode::Vanilla).dominant_share())
+        .collect();
+    c.check(
+        "steps 4+5 dominate the resume and grow with vCPUs",
+        "87.5%–93.1% of the resume",
+        format!("{:.1}%–{:.1}%", 100.0 * shares[0], 100.0 * shares[1]),
+        shares[0] > 0.85 && shares[1] > shares[0] && shares[1] < 0.95,
+    );
+
+    // §5.1: resume-time improvements per mechanism and combined.
+    let vanil = measure_resume(36, ResumeMode::Vanilla).mean_total_ns();
+    let ppsm = measure_resume(36, ResumeMode::Ppsm).mean_total_ns();
+    let coal = measure_resume(36, ResumeMode::Coal).mean_total_ns();
+    let horse = measure_resume(36, ResumeMode::Horse).mean_total_ns();
+    c.check(
+        "coal improves the resume",
+        "16%–20%",
+        format!("{:.1}%", 100.0 * (1.0 - coal / vanil)),
+        (0.10..0.30).contains(&(1.0 - coal / vanil)),
+    );
+    c.check(
+        "ppsm improves the resume",
+        "55%–69%",
+        format!("{:.1}%", 100.0 * (1.0 - ppsm / vanil)),
+        (0.45..0.78).contains(&(1.0 - ppsm / vanil)),
+    );
+    c.check(
+        "HORSE speeds the resume up",
+        "up to 7.16x (85%)",
+        format!("{:.2}x", vanil / horse),
+        (5.0..9.0).contains(&(vanil / horse)),
+    );
+    let h1 = one_resume(1, ResumeMode::Horse).total_ns();
+    let h36 = one_resume(36, ResumeMode::Horse).total_ns();
+    c.check(
+        "HORSE resume is O(1) in vCPUs at ~150ns",
+        "constant, ~150 ns",
+        format!("{h1} ns at 1 vCPU, {h36} ns at 36"),
+        h36 as f64 / h1 as f64 <= 1.2 && h36 < 300,
+    );
+
+    // §5.3: init share per strategy (Figure 4).
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let cfg = SandboxConfig::builder()
+        .vcpus(1)
+        .ull(true)
+        .build()
+        .expect("valid");
+    let f = platform.register("cat3", Category::Cat3, cfg);
+    platform
+        .provision(f, 1, StartStrategy::Warm)
+        .expect("provision");
+    platform
+        .provision(f, 1, StartStrategy::Horse)
+        .expect("provision");
+    let warm = platform.invoke(f, StartStrategy::Warm).expect("invoke");
+    let horse_rec = platform.invoke(f, StartStrategy::Horse).expect("invoke");
+    c.check(
+        "warm start init ~1.1us; HORSE lowest init share",
+        "warm 1.1 µs; HORSE share 0.77%–17.64%",
+        format!(
+            "warm {} ns; HORSE share {:.2}%",
+            warm.init_ns,
+            100.0 * horse_rec.init_share()
+        ),
+        (1_000..1_300).contains(&warm.init_ns) && horse_rec.init_share() < 0.25,
+    );
+
+    // §5.2: overhead.
+    let cmp = compare_overhead(36);
+    c.check(
+        "CPU and memory overhead below 1%",
+        "memory ~0.1%, CPU ≤2.7% in bursts",
+        format!(
+            "memory {:.4}%, resume-phase CPU {:.4}%",
+            cmp.memory_overhead_pct(),
+            cmp.cpu_resume_phase_pct(72)
+        ),
+        cmp.memory_overhead_pct() < 1.0 && cmp.cpu_resume_phase_pct(72) < 1.0,
+    );
+
+    // §5.4: colocation.
+    let col = compare_colocation(36, 7);
+    c.check(
+        "colocated long-running functions unaffected except tiny p99",
+        "mean/p95 unchanged; p99 ≤ 0.00107%",
+        format!(
+            "mean delta {:.5}%, p99 delta {:.5}%",
+            col.mean_overhead_pct(),
+            col.p99_overhead_pct()
+        ),
+        col.mean_overhead_pct().abs() < 0.01 && col.p99_overhead_pct() < 0.01,
+    );
+
+    println!();
+    if c.failures == 0 {
+        println!("all claims reproduced.");
+    } else {
+        println!("{} claim(s) FAILED", c.failures);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Load-update coalescing (paper §4.2).
+//!
+//! Placing a vCPU on a run queue updates the queue's load — a
+//! lock-protected variable used by the DVFS governor — with an affine
+//! function `L(x) = αx + β` (PELT-style tracking always has this shape).
+//! The vanilla resume path applies `L` once per vCPU; with all vCPUs of a
+//! resuming sandbox landing on one `ull_runqueue`, HORSE *coalesces* the
+//! *n* applications into the closed form
+//!
+//! ```text
+//! Lⁿ(x) = αⁿ·x + β·(1 − αⁿ)/(1 − α)        (α ≠ 1)
+//! Lⁿ(x) = x + n·β                           (α = 1)
+//! ```
+//!
+//! with `αⁿ` and the geometric factor **precomputed at pause time** from
+//! the sandbox's vCPU count, so the resume-time update is a single
+//! multiply-add under the lock.
+//!
+//! > The paper prints the geometric factor with exponent `n−1`; iterating
+//! > `f(x)=αx+β` *n* times gives `Σ_{i=0}^{n-1} αⁱ = (1−αⁿ)/(1−α)`. We
+//! > implement the correct `1−αⁿ` form and *prove* equivalence with the
+//! > iterated application in unit and property tests (see
+//! > `tests/coalesce_equivalence.rs`).
+
+use std::error::Error;
+use std::fmt;
+
+/// An affine load update `L(x) = αx + β` (one vCPU placed on a queue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadUpdate {
+    alpha: f64,
+    beta: f64,
+}
+
+/// Error for invalid load-update coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidCoefficientsError {
+    what: &'static str,
+}
+
+impl fmt::Display for InvalidCoefficientsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid load-update coefficients: {}", self.what)
+    }
+}
+
+impl Error for InvalidCoefficientsError {}
+
+impl LoadUpdate {
+    /// Creates the update `L(x) = αx + β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `α` and `β` are finite and `α ≥ 0` (decay
+    /// factors are non-negative in every load-tracking scheme).
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, InvalidCoefficientsError> {
+        if !alpha.is_finite() || !beta.is_finite() {
+            return Err(InvalidCoefficientsError {
+                what: "coefficients must be finite",
+            });
+        }
+        if alpha < 0.0 {
+            return Err(InvalidCoefficientsError {
+                what: "alpha must be non-negative",
+            });
+        }
+        Ok(Self { alpha, beta })
+    }
+
+    /// The decay factor α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The additive contribution β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Applies the update once: `αx + β`.
+    pub fn apply(&self, x: f64) -> f64 {
+        self.alpha * x + self.beta
+    }
+
+    /// Applies the update `n` times by iteration — the vanilla resume
+    /// path's behaviour (one update per vCPU). O(n).
+    pub fn apply_iterated(&self, x: f64, n: u32) -> f64 {
+        let mut v = x;
+        for _ in 0..n {
+            v = self.apply(v);
+        }
+        v
+    }
+
+    /// Precomputes the coalesced form of `n` applications (done at
+    /// sandbox *pause* time in HORSE). O(log n) via `powi`.
+    pub fn coalesce(&self, n: u32) -> CoalescedUpdate {
+        let alpha_n = self.alpha.powi(n as i32);
+        let geometric = if (self.alpha - 1.0).abs() < f64::EPSILON {
+            // α = 1: Σ_{i=0}^{n-1} αⁱ = n.
+            n as f64
+        } else {
+            (1.0 - alpha_n) / (1.0 - self.alpha)
+        };
+        CoalescedUpdate {
+            alpha_n,
+            beta_sum: self.beta * geometric,
+            n,
+        }
+    }
+}
+
+/// The precomputed coalesced update: applies `n` affine updates in one
+/// multiply-add (paper §4.2.2 — stored as a sandbox attribute at pause
+/// time, applied under the run-queue lock at resume time).
+///
+/// # Example
+///
+/// ```
+/// use horse_core::LoadUpdate;
+///
+/// let u = LoadUpdate::new(0.9785, 16.0)?; // PELT-ish decay, one vCPU's load
+/// let coalesced = u.coalesce(36);         // 36-vCPU sandbox
+/// let x = 1234.5;
+/// let fast = coalesced.apply(x);
+/// let slow = u.apply_iterated(x, 36);
+/// assert!((fast - slow).abs() < 1e-9 * slow.abs());
+/// # Ok::<(), horse_core::InvalidCoefficientsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalescedUpdate {
+    alpha_n: f64,
+    beta_sum: f64,
+    n: u32,
+}
+
+impl CoalescedUpdate {
+    /// Applies the coalesced update: `αⁿx + β(1−αⁿ)/(1−α)`.
+    pub fn apply(&self, x: f64) -> f64 {
+        self.alpha_n * x + self.beta_sum
+    }
+
+    /// Number of elementary updates this coalesces.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The precomputed `αⁿ` factor.
+    pub fn alpha_n(&self) -> f64 {
+        self.alpha_n
+    }
+
+    /// The precomputed `β·Σαⁱ` term.
+    pub fn beta_sum(&self) -> f64 {
+        self.beta_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_application() {
+        let u = LoadUpdate::new(0.5, 10.0).unwrap();
+        assert_eq!(u.apply(100.0), 60.0);
+        assert_eq!(u.alpha(), 0.5);
+        assert_eq!(u.beta(), 10.0);
+    }
+
+    #[test]
+    fn coalesce_matches_iteration_small_n() {
+        let u = LoadUpdate::new(0.9785, 16.0).unwrap();
+        for n in 0..=64 {
+            let fast = u.coalesce(n).apply(1000.0);
+            let slow = u.apply_iterated(1000.0, n);
+            assert!(
+                (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                "n={n}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn coalesce_zero_is_identity() {
+        let u = LoadUpdate::new(0.7, 3.0).unwrap();
+        let c = u.coalesce(0);
+        assert_eq!(c.apply(42.0), 42.0);
+        assert_eq!(c.n(), 0);
+    }
+
+    #[test]
+    fn alpha_one_degenerates_to_linear() {
+        let u = LoadUpdate::new(1.0, 2.5).unwrap();
+        let c = u.coalesce(10);
+        assert!((c.apply(1.0) - 26.0).abs() < 1e-12);
+        assert_eq!(c.apply(1.0), u.apply_iterated(1.0, 10));
+    }
+
+    #[test]
+    fn paper_exponent_would_be_wrong() {
+        // Demonstrates the paper's printed `1−α^{n−1}` diverges from the
+        // iterated semantics, justifying our correction (DESIGN.md §1).
+        let (alpha, beta, x, n) = (0.9, 5.0, 100.0, 4u32);
+        let u = LoadUpdate::new(alpha, beta).unwrap();
+        let correct = u.apply_iterated(x, n);
+        let paper_form =
+            alpha.powi(n as i32) * x + beta * (1.0 - alpha.powi(n as i32 - 1)) / (1.0 - alpha);
+        assert!((u.coalesce(n).apply(x) - correct).abs() < 1e-9);
+        assert!(
+            (paper_form - correct).abs() > 1.0,
+            "paper form should differ"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_coefficients() {
+        assert!(LoadUpdate::new(f64::NAN, 0.0).is_err());
+        assert!(LoadUpdate::new(0.5, f64::INFINITY).is_err());
+        assert!(LoadUpdate::new(-0.1, 0.0).is_err());
+        let e = LoadUpdate::new(-1.0, 0.0).unwrap_err();
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn accessors_expose_precomputed_terms() {
+        let u = LoadUpdate::new(0.5, 8.0).unwrap();
+        let c = u.coalesce(3);
+        assert!((c.alpha_n() - 0.125).abs() < 1e-12);
+        // β·(1+α+α²) = 8·1.75 = 14
+        assert!((c.beta_sum() - 14.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests proving load-update coalescing is semantically
+//! equivalent to the vanilla per-vCPU iterated update — the paper's
+//! "no impact on functions" claim depends on this equivalence.
+
+use horse_core::LoadUpdate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Coalesced == iterated for arbitrary PELT-like coefficients.
+    /// α ∈ [0, 1.05] covers decaying (α<1), neutral (α=1) and mildly
+    /// amplifying trackers; n up to 64 covers and exceeds the paper's
+    /// 36-vCPU maximum.
+    #[test]
+    fn coalesced_equals_iterated(
+        alpha in 0.0f64..1.05,
+        beta in -1e4f64..1e4,
+        x in -1e6f64..1e6,
+        n in 0u32..64,
+    ) {
+        let u = LoadUpdate::new(alpha, beta).unwrap();
+        let fast = u.coalesce(n).apply(x);
+        let slow = u.apply_iterated(x, n);
+        let tolerance = 1e-9 * slow.abs().max(1.0) * (n as f64 + 1.0);
+        prop_assert!(
+            (fast - slow).abs() <= tolerance,
+            "alpha={alpha} beta={beta} x={x} n={n}: fast={fast} slow={slow}"
+        );
+    }
+
+    /// Coalescing composes: applying coalesce(n) then coalesce(m) equals
+    /// coalesce(n + m).
+    #[test]
+    fn coalesce_composes(
+        alpha in 0.0f64..1.0,
+        beta in -100.0f64..100.0,
+        x in -1e4f64..1e4,
+        n in 0u32..32,
+        m in 0u32..32,
+    ) {
+        let u = LoadUpdate::new(alpha, beta).unwrap();
+        let two_step = u.coalesce(m).apply(u.coalesce(n).apply(x));
+        let one_step = u.coalesce(n + m).apply(x);
+        let tol = 1e-8 * one_step.abs().max(1.0);
+        prop_assert!((two_step - one_step).abs() <= tol);
+    }
+
+    /// With a decaying tracker (α<1) the coalesced load stays bounded:
+    /// |Lⁿ(x)| ≤ αⁿ|x| + |β|/(1−α). Guards against overflow surprises.
+    #[test]
+    fn decaying_load_is_bounded(
+        alpha in 0.01f64..0.999,
+        beta in 0.0f64..1e3,
+        x in 0.0f64..1e6,
+        n in 1u32..64,
+    ) {
+        let u = LoadUpdate::new(alpha, beta).unwrap();
+        let v = u.coalesce(n).apply(x);
+        let bound = x + beta / (1.0 - alpha) + 1e-6;
+        prop_assert!(v <= bound, "v={v} bound={bound}");
+        prop_assert!(v >= 0.0);
+    }
+}

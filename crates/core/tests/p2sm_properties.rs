@@ -1,0 +1,177 @@
+//! Property-based tests for 𝒫²𝒮ℳ: for *any* pair of sorted lists, the
+//! precomputed merge must be indistinguishable from a reference sorted
+//! merge, in both splice modes, and the plan must survive arbitrary
+//! sequences of incremental updates.
+
+use horse_core::{Arena, MergePlan, SortedList, SpliceMode};
+use proptest::prelude::*;
+
+fn build(arena: &mut Arena<u64>, keys: &[i64]) -> SortedList {
+    let mut l = SortedList::new();
+    for (i, &k) in keys.iter().enumerate() {
+        l.insert_sorted(arena, k, i as u64);
+    }
+    l
+}
+
+fn reference_merge(b: &[i64], a: &[i64]) -> Vec<i64> {
+    let mut v: Vec<i64> = b.iter().chain(a.iter()).copied().collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merge result equals a reference sorted merge for arbitrary inputs.
+    #[test]
+    fn merge_equals_reference(
+        b_keys in proptest::collection::vec(-1000i64..1000, 0..64),
+        a_keys in proptest::collection::vec(-1000i64..1000, 0..64),
+        parallel in any::<bool>(),
+    ) {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &b_keys);
+        let a = build(&mut arena, &a_keys);
+        let plan = MergePlan::precompute(&arena, &b, a);
+        plan.check_consistent(&arena, &b).unwrap();
+        let mode = if parallel { SpliceMode::Parallel } else { SpliceMode::Sequential };
+        let report = plan.merge(&arena, &mut b, mode).unwrap();
+        prop_assert_eq!(report.merged, a_keys.len());
+        b.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(b.keys(&arena), reference_merge(&b_keys, &a_keys));
+        prop_assert_eq!(b.len(), b_keys.len() + a_keys.len());
+    }
+
+    /// Pointer writes are bounded by 2·splices + O(1), never by |A|·|B|.
+    #[test]
+    fn merge_cost_is_bounded_by_splices(
+        b_keys in proptest::collection::vec(0i64..100, 1..64),
+        a_keys in proptest::collection::vec(0i64..100, 1..64),
+    ) {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &b_keys);
+        let a = build(&mut arena, &a_keys);
+        let plan = MergePlan::precompute(&arena, &b, a);
+        let splices = plan.splice_count();
+        let report = plan.merge(&arena, &mut b, SpliceMode::Sequential).unwrap();
+        prop_assert!(report.pointer_writes <= 2 * splices + 3);
+        prop_assert!(splices <= a_keys.len());
+    }
+
+    /// The plan stays consistent and mergeable through arbitrary
+    /// interleavings of incremental updates (B pop/push, A insert/remove).
+    #[test]
+    fn incremental_updates_preserve_consistency(
+        b_init in proptest::collection::vec(0i64..500, 1..24),
+        a_init in proptest::collection::vec(0i64..500, 1..24),
+        ops in proptest::collection::vec((0u8..4, 0i64..500), 0..24),
+    ) {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &b_init);
+        let a = build(&mut arena, &a_init);
+        let mut plan = MergePlan::precompute(&arena, &b, a);
+
+        // Track expected multisets.
+        let mut b_expect = b_init.clone();
+        b_expect.sort();
+        let mut a_expect = a_init.clone();
+        a_expect.sort();
+
+        for (op, key) in ops {
+            match op {
+                // B pops its front (vCPU dispatched off the queue).
+                0 if b_expect.len() > 1 => {
+                    b.pop_front(&mut arena);
+                    plan.on_b_pop_front(&arena, &b);
+                    b_expect.remove(0);
+                }
+                // B pushes at its back (only valid for keys >= current max).
+                1 => {
+                    let back = *b_expect.last().unwrap();
+                    let k = back + (key % 50).abs();
+                    let node = b.insert_sorted(&mut arena, k, 0);
+                    plan.on_b_push_back(&arena, &b, node);
+                    b_expect.push(k);
+                }
+                // A gains an element.
+                2 => {
+                    plan.insert_a(&mut arena, key, 0);
+                    let pos = a_expect.partition_point(|&x| x <= key);
+                    a_expect.insert(pos, key);
+                }
+                // A loses an element (if present).
+                3 => {
+                    if plan.remove_a(&mut arena, key).is_some() {
+                        let pos = a_expect.iter().position(|&x| x == key).unwrap();
+                        a_expect.remove(pos);
+                    }
+                }
+                _ => {}
+            }
+            plan.check_consistent(&arena, &b).map_err(TestCaseError::fail)?;
+        }
+
+        prop_assert_eq!(plan.a_len(), a_expect.len());
+        plan.merge(&arena, &mut b, SpliceMode::Parallel).unwrap();
+        b.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        let mut expect = b_expect;
+        expect.extend(&a_expect);
+        expect.sort();
+        prop_assert_eq!(b.keys(&arena), expect);
+    }
+
+    /// Tearing a plan down reconstructs exactly the original A.
+    #[test]
+    fn into_list_roundtrip(
+        b_keys in proptest::collection::vec(0i64..100, 0..32),
+        a_keys in proptest::collection::vec(0i64..100, 0..32),
+    ) {
+        let mut arena = Arena::new();
+        let b = build(&mut arena, &b_keys);
+        let a = build(&mut arena, &a_keys);
+        let mut sorted_a = a_keys.clone();
+        sorted_a.sort();
+        let plan = MergePlan::precompute(&arena, &b, a);
+        let rebuilt = plan.into_list(&arena);
+        rebuilt.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(rebuilt.keys(&arena), sorted_a);
+    }
+}
+
+proptest! {
+    /// The O(n+m) merge walk is semantically identical to the reference
+    /// merge (and therefore to the P2SM merge).
+    #[test]
+    fn merge_walk_equals_reference(
+        a_keys in proptest::collection::vec(-500i64..500, 0..64),
+        b_keys in proptest::collection::vec(-500i64..500, 0..64),
+    ) {
+        let mut arena = Arena::new();
+        let mut a = build(&mut arena, &a_keys);
+        let b = build(&mut arena, &b_keys);
+        a.merge_walk(&arena, b);
+        a.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(a.keys(&arena), reference_merge(&a_keys, &b_keys));
+    }
+}
+
+proptest! {
+    /// The chunked-parallel splice is semantically identical to the
+    /// other modes for any inputs and any worker count.
+    #[test]
+    fn chunked_parallel_equals_reference(
+        b_keys in proptest::collection::vec(-500i64..500, 0..48),
+        a_keys in proptest::collection::vec(-500i64..500, 0..48),
+        threads in 0usize..9,
+    ) {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &b_keys);
+        let a = build(&mut arena, &a_keys);
+        let plan = MergePlan::precompute(&arena, &b, a);
+        plan.merge(&arena, &mut b, SpliceMode::ParallelChunked { threads })
+            .unwrap();
+        b.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(b.keys(&arena), reference_merge(&b_keys, &a_keys));
+    }
+}

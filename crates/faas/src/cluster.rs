@@ -1,0 +1,288 @@
+//! Multi-host dispatch.
+//!
+//! The paper evaluates a single server ("we trigger the uLL workload on
+//! the same server node where it will run"), but a production platform
+//! fronts a fleet. This module provides the fleet layer a downstream
+//! user needs: several [`FaasPlatform`] hosts behind a dispatcher, with
+//! warm-pool-aware routing (an invocation prefers a host holding a warm
+//! sandbox — the locality property provisioned concurrency exists for)
+//! and failover to another host when a pool runs dry.
+
+use crate::invocation::{InvocationRecord, StartStrategy};
+use crate::platform::{FaasError, FaasPlatform, PlatformConfig};
+use crate::pool::PoolStats;
+use crate::registry::FunctionId;
+use horse_sim::SimTime;
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+use serde::{Deserialize, Serialize};
+
+/// How invocations are routed across hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Cycle through hosts (uniform load spreading).
+    #[default]
+    RoundRobin,
+    /// Prefer the host with the largest warm pool for the function
+    /// (maximizes warm hits under skewed provisioning).
+    WarmestPool,
+}
+
+/// Identifier of a host within a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub usize);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// A fleet of FaaS hosts behind one dispatcher.
+///
+/// # Example
+///
+/// ```
+/// use horse_faas::{Cluster, DispatchPolicy, StartStrategy};
+/// use horse_vmm::SandboxConfig;
+/// use horse_workloads::Category;
+///
+/// let mut cluster = Cluster::new(3, DispatchPolicy::RoundRobin, 42);
+/// let cfg = SandboxConfig::builder().ull(true).build()?;
+/// let f = cluster.register("nat", Category::Cat2, cfg);
+/// cluster.provision_all(f, 1, StartStrategy::Horse)?;
+/// let (host, record) = cluster.invoke(f, StartStrategy::Horse)?;
+/// assert!(host.0 < 3);
+/// assert!(record.init_ns < 1_000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    hosts: Vec<FaasPlatform>,
+    policy: DispatchPolicy,
+    next_host: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster of `hosts` identical hosts with per-host derived
+    /// seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn new(hosts: usize, policy: DispatchPolicy, seed: u64) -> Self {
+        assert!(hosts > 0, "a cluster needs at least one host");
+        let hosts = (0..hosts)
+            .map(|i| {
+                FaasPlatform::new(PlatformConfig {
+                    seed: seed.wrapping_add(i as u64),
+                    ..PlatformConfig::default()
+                })
+            })
+            .collect();
+        Self {
+            hosts,
+            policy,
+            next_host: 0,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the cluster has no hosts (never true — construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Read access to one host.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range id.
+    pub fn host(&self, id: HostId) -> &FaasPlatform {
+        &self.hosts[id.0]
+    }
+
+    /// Registers a function on every host, returning the (shared) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if hosts' registries have diverged (functions must be
+    /// registered through the cluster only).
+    pub fn register(
+        &mut self,
+        name: &str,
+        category: Category,
+        config: SandboxConfig,
+    ) -> FunctionId {
+        let mut ids = self
+            .hosts
+            .iter_mut()
+            .map(|h| h.register(name, category, config));
+        let first = ids.next().expect("at least one host");
+        assert!(
+            ids.all(|id| id == first),
+            "host registries diverged; register via the cluster only"
+        );
+        first
+    }
+
+    /// Provisions `per_host` warm sandboxes for the function on every
+    /// host.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first host error.
+    pub fn provision_all(
+        &mut self,
+        function: FunctionId,
+        per_host: usize,
+        strategy: StartStrategy,
+    ) -> Result<(), FaasError> {
+        for h in &mut self.hosts {
+            h.provision(function, per_host, strategy)?;
+        }
+        Ok(())
+    }
+
+    /// Routes one invocation per the dispatch policy, failing over to the
+    /// next host if the chosen host's pool is empty. Returns the serving
+    /// host and the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last host's error if every host fails.
+    pub fn invoke(
+        &mut self,
+        function: FunctionId,
+        strategy: StartStrategy,
+    ) -> Result<(HostId, InvocationRecord), FaasError> {
+        let start = match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let h = self.next_host;
+                self.next_host = (self.next_host + 1) % self.hosts.len();
+                h
+            }
+            DispatchPolicy::WarmestPool => {
+                let best = (0..self.hosts.len())
+                    .max_by_key(|&i| self.hosts[i].pool_size(function, strategy))
+                    .expect("at least one host");
+                best
+            }
+        };
+        let n = self.hosts.len();
+        let mut last_err = None;
+        for off in 0..n {
+            let idx = (start + off) % n;
+            match self.hosts[idx].invoke(function, strategy) {
+                Ok(record) => return Ok((HostId(idx), record)),
+                Err(e @ FaasError::NoWarmSandbox { .. }) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    /// Advances every host's clock (keep-alive eviction fleet-wide).
+    pub fn advance_to(&mut self, to: SimTime) {
+        for h in &mut self.hosts {
+            h.advance_to(to);
+        }
+    }
+
+    /// Fleet-aggregate pool statistics for a function/strategy.
+    pub fn aggregate_pool_stats(&self, function: FunctionId, strategy: StartStrategy) -> PoolStats {
+        let mut agg = PoolStats::default();
+        for h in &self.hosts {
+            let s = h.pool_stats(function, strategy);
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.evictions += s.evictions;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, policy: DispatchPolicy) -> (Cluster, FunctionId) {
+        let mut c = Cluster::new(n, policy, 7);
+        let cfg = SandboxConfig::builder().ull(true).build().unwrap();
+        let f = c.register("nat", Category::Cat2, cfg);
+        (c, f)
+    }
+
+    #[test]
+    fn round_robin_spreads_load() {
+        let (mut c, f) = cluster(3, DispatchPolicy::RoundRobin);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        let mut counts = [0u32; 3];
+        for _ in 0..9 {
+            let (host, _) = c.invoke(f, StartStrategy::Horse).unwrap();
+            counts[host.0] += 1;
+        }
+        assert_eq!(counts, [3, 3, 3]);
+        let agg = c.aggregate_pool_stats(f, StartStrategy::Horse);
+        assert_eq!(agg.hits, 9);
+        assert_eq!(agg.misses, 0);
+    }
+
+    #[test]
+    fn failover_when_a_pool_is_dry() {
+        let (mut c, f) = cluster(2, DispatchPolicy::RoundRobin);
+        // Only host 1 is provisioned (provision directly against it by
+        // provisioning cluster-wide then draining host 0... simpler: use
+        // warmest-pool knowledge): provision via per-host asymmetry.
+        c.hosts[1].provision(f, 1, StartStrategy::Horse).unwrap();
+        // Round-robin starts at host 0, which has no pool -> fails over.
+        let (host, _) = c.invoke(f, StartStrategy::Horse).unwrap();
+        assert_eq!(host, HostId(1));
+        // Host 0 has no pool at all (never provisioned); host 1 took the
+        // hit.
+        assert_eq!(c.host(HostId(0)).pool_size(f, StartStrategy::Horse), 0);
+        assert_eq!(
+            c.host(HostId(1)).pool_stats(f, StartStrategy::Horse).hits,
+            1
+        );
+    }
+
+    #[test]
+    fn every_pool_dry_returns_error() {
+        let (mut c, f) = cluster(2, DispatchPolicy::RoundRobin);
+        let err = c.invoke(f, StartStrategy::Warm).unwrap_err();
+        assert!(matches!(err, FaasError::NoWarmSandbox { .. }));
+    }
+
+    #[test]
+    fn warmest_pool_prefers_provisioned_host() {
+        let (mut c, f) = cluster(3, DispatchPolicy::WarmestPool);
+        c.hosts[2].provision(f, 3, StartStrategy::Horse).unwrap();
+        for _ in 0..3 {
+            let (host, _) = c.invoke(f, StartStrategy::Horse).unwrap();
+            assert_eq!(host, HostId(2));
+        }
+    }
+
+    #[test]
+    fn cold_starts_work_anywhere() {
+        let (mut c, f) = cluster(2, DispatchPolicy::RoundRobin);
+        let (h1, r1) = c.invoke(f, StartStrategy::Cold).unwrap();
+        let (h2, _) = c.invoke(f, StartStrategy::Cold).unwrap();
+        assert_ne!(h1, h2, "round robin alternates");
+        assert!(r1.init_ns > 1_000_000_000);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_panics() {
+        Cluster::new(0, DispatchPolicy::RoundRobin, 1);
+    }
+}

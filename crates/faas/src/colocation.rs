@@ -1,0 +1,382 @@
+//! §5.4 experiment harness: colocating uLL workloads with longer-running
+//! functions.
+//!
+//! The paper triggers the SeBS thumbnail function with arrival times from
+//! a 30 s chunk of the Azure traces, while resuming 10 uLL sandboxes per
+//! second, and measures the thumbnail latency distribution (mean / p95 /
+//! p99) under vanilla and HORSE. The expected result: mean and p95
+//! identical (uLL sandboxes are isolated on reserved run queues), p99
+//! degraded by at most ≈30 µs (a 𝒫²𝒮ℳ merge thread occasionally
+//! preempting a thumbnail instance — merge threads run at the highest
+//! priority, §4.1.3).
+//!
+//! This harness is a discrete-event simulation over `horse-sim`: the
+//! thumbnail service times and the preemption penalties are modeled; the
+//! uLL resumes execute for real on the VMM substrate to obtain their
+//! durations and splice-thread counts.
+
+use horse_metrics::Histogram;
+use horse_sched::{CpuTopology, GovernorPolicy, SchedConfig};
+use horse_sim::rng::SeedFactory;
+use horse_sim::{Engine, SimDuration, SimTime};
+use horse_traces::{ArrivalSampler, SynthConfig, Trace};
+use horse_vmm::{CostModel, PausePolicy, ResumeMode, SandboxConfig, Vmm};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of one colocation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColocationConfig {
+    /// vCPUs of the uLL sandboxes being resumed (paper sweeps 1–36).
+    pub ull_vcpus: u32,
+    /// uLL resume triggers per second (paper: 10 per 1 s).
+    pub ull_triggers_per_sec: u32,
+    /// Length of the trace chunk (paper: 30 s).
+    pub duration_secs: u64,
+    /// Whether uLL resumes use HORSE.
+    pub horse: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ColocationConfig {
+    /// The paper's setup.
+    pub fn paper(ull_vcpus: u32, horse: bool, seed: u64) -> Self {
+        Self {
+            ull_vcpus,
+            ull_triggers_per_sec: 10,
+            duration_secs: 30,
+            horse,
+            seed,
+        }
+    }
+}
+
+/// Latency distribution of the thumbnail function over one run.
+#[derive(Debug, Clone)]
+pub struct ColocationResult {
+    /// Completed thumbnail invocations.
+    pub invocations: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// 95th percentile latency (ns).
+    pub p95_ns: u64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: u64,
+    /// Full latency histogram.
+    pub histogram: Histogram,
+    /// Number of thumbnail instances preempted by merge threads.
+    pub preemptions: u64,
+}
+
+/// Vanilla-vs-HORSE comparison at one uLL vCPU count.
+#[derive(Debug, Clone)]
+pub struct ColocationComparison {
+    /// uLL sandbox vCPU count of this comparison.
+    pub ull_vcpus: u32,
+    /// The vanilla run.
+    pub vanilla: ColocationResult,
+    /// The HORSE run.
+    pub horse: ColocationResult,
+}
+
+impl ColocationComparison {
+    /// Relative p99 degradation of HORSE over vanilla (the paper's
+    /// ≤0.00107 %).
+    pub fn p99_overhead_pct(&self) -> f64 {
+        if self.vanilla.p99_ns == 0 {
+            return 0.0;
+        }
+        100.0 * (self.horse.p99_ns as f64 - self.vanilla.p99_ns as f64) / self.vanilla.p99_ns as f64
+    }
+
+    /// Relative mean difference (expected ≈0).
+    pub fn mean_overhead_pct(&self) -> f64 {
+        if self.vanilla.mean_ns == 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.horse.mean_ns - self.vanilla.mean_ns) / self.vanilla.mean_ns
+    }
+}
+
+/// Discrete events of the colocation simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A thumbnail invocation arrives (trace-driven).
+    ThumbArrival { id: u64, exec_ns: u64 },
+    /// A thumbnail invocation finishes.
+    ThumbComplete { id: u64, arrived: SimTime },
+    /// Ten-per-second uLL resume trigger.
+    UllTrigger,
+}
+
+/// Runs one colocation simulation.
+pub fn run_colocation(config: ColocationConfig) -> ColocationResult {
+    let seeds = SeedFactory::new(config.seed);
+    let mut svc_rng = seeds.stream("thumb-service");
+    let mut preempt_rng = seeds.stream("preempt");
+
+    // Trace-driven arrivals: aggregate a synthetic Azure-like trace and
+    // cut the requested chunk from a mid-day window.
+    let trace: Trace = SynthConfig {
+        apps: 30,
+        median_rpm: 8.0,
+        ..SynthConfig::default()
+    }
+    .generate(&seeds);
+    let sampler = ArrivalSampler::new(&trace, seeds);
+    let mut arrivals = sampler.chunk(
+        SimDuration::from_secs(600),
+        SimDuration::from_secs(config.duration_secs),
+    );
+    // The paper sizes the experiment so that "both the uLL workloads and
+    // the thumbnail function instances theoretically have enough
+    // available cores": thin bursty chunks down to what the host can
+    // absorb without queueing (≈30 arrivals/s at 1.2 s service over 70
+    // slots), keeping the trace's burst *pattern*.
+    let max_arrivals = (config.duration_secs * 30) as usize;
+    if arrivals.len() > max_arrivals {
+        let step = arrivals.len() as f64 / max_arrivals as f64;
+        arrivals = (0..max_arrivals)
+            .map(|i| arrivals[(i as f64 * step) as usize])
+            .collect();
+    }
+
+    // The VMM hosting the uLL sandboxes that get paused/resumed. The
+    // resume durations come from real executions on the substrate.
+    let mut vmm = Vmm::new(
+        SchedConfig {
+            topology: CpuTopology::r650(true),
+            ull_queues: 1,
+            governor_policy: GovernorPolicy::Performance,
+            flavor: horse_sched::SchedFlavor::default(),
+        },
+        CostModel::calibrated(),
+    );
+    let ull_cfg = SandboxConfig::builder()
+        .vcpus(config.ull_vcpus)
+        .memory_mb(512)
+        .ull(true)
+        .build()
+        .expect("valid config");
+    let policy = if config.horse {
+        PausePolicy::horse()
+    } else {
+        PausePolicy::vanilla()
+    };
+    let mode = if config.horse {
+        ResumeMode::Horse
+    } else {
+        ResumeMode::Vanilla
+    };
+    let pool: Vec<_> = (0..config.ull_triggers_per_sec)
+        .map(|_| {
+            let id = vmm.create(ull_cfg);
+            vmm.start(id).expect("starts");
+            vmm.pause(id, policy).expect("pauses");
+            id
+        })
+        .collect();
+
+    // Thumbnail capacity: the r650 has 144 hyperthreads; 2-vCPU
+    // instances, minus the reserved uLL queue, leave ample room — the
+    // paper designed the experiment "to prevent measurement noise from
+    // CPU contention".
+    let capacity: u32 = 70;
+
+    let mut engine: Engine<Ev> = Engine::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        // Thumbnail service time: ≈1.2 s with sub-percent jitter — the
+        // SeBS thumbnail does fixed-size work, so its latency is tightly
+        // clustered (which is precisely why the paper can observe a
+        // ~30 µs p99 shift at all).
+        let jitter: f64 = svc_rng.gen_range(0.995..1.012);
+        let exec_ns = (1_200_000_000.0 * jitter) as u64;
+        engine.schedule(
+            a.at,
+            Ev::ThumbArrival {
+                id: i as u64,
+                exec_ns,
+            },
+        );
+    }
+    let trigger_period =
+        SimDuration::from_nanos(1_000_000_000 / u64::from(config.ull_triggers_per_sec));
+    engine.schedule(SimTime::ZERO + trigger_period, Ev::UllTrigger);
+
+    let end = SimTime::ZERO + SimDuration::from_secs(config.duration_secs);
+    let mut running: u32 = 0;
+    let mut queue: VecDeque<(u64, SimTime, u64)> = VecDeque::new();
+    let mut histogram = Histogram::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut preemptions = 0u64;
+    let mut next_ull = 0usize;
+    // In-flight invocations and their accumulated preemption penalties:
+    // each merge thread that lands on a hyperthread running a thumbnail
+    // delays that specific invocation (context switches + cache
+    // pollution), and an unlucky long-running instance accumulates
+    // several such hits over its lifetime — the paper's "extreme case"
+    // adds up to ≈30 µs at its p99.
+    let mut inflight: Vec<u64> = Vec::new();
+    let mut penalty_ns: HashMap<u64, u64> = HashMap::new();
+
+    while let Some((now, ev)) = engine.pop() {
+        match ev {
+            Ev::ThumbArrival { id, exec_ns } => {
+                if now > end {
+                    continue;
+                }
+                if running < capacity {
+                    running += 1;
+                    inflight.push(id);
+                    engine.schedule(
+                        now + SimDuration::from_nanos(exec_ns),
+                        Ev::ThumbComplete { id, arrived: now },
+                    );
+                } else {
+                    queue.push_back((id, now, exec_ns));
+                }
+            }
+            Ev::ThumbComplete { id, arrived } => {
+                let latency = (now - arrived).as_nanos() + penalty_ns.remove(&id).unwrap_or(0);
+                inflight.retain(|&x| x != id);
+                histogram.record(latency);
+                latencies.push(latency);
+                running = running.saturating_sub(1);
+                if let Some((id, arrived, exec_ns)) = queue.pop_front() {
+                    running += 1;
+                    inflight.push(id);
+                    engine.schedule(
+                        now + SimDuration::from_nanos(exec_ns),
+                        Ev::ThumbComplete { id, arrived },
+                    );
+                }
+            }
+            Ev::UllTrigger => {
+                if now > end {
+                    continue;
+                }
+                // Resume one pooled uLL sandbox for real, then re-pause it
+                // (it runs its sub-microsecond workload and goes back to
+                // the pool).
+                let id = pool[next_ull % pool.len()];
+                next_ull += 1;
+                let outcome = vmm.resume(id, mode).expect("resumes");
+                if config.horse && !inflight.is_empty() {
+                    // Merge threads run at the highest priority and
+                    // preempt whatever occupies their hyperthread. With
+                    // up to one thread per resuming vCPU scattered over
+                    // 144 hyperthreads, each thread hits a thumbnail
+                    // vCPU with probability (2·running/144); most hits
+                    // are absorbed by SMT slack, so only a fraction
+                    // surfaces as latency.
+                    let threads = outcome
+                        .merge
+                        .map_or(0, |m| m.splices)
+                        .max(config.ull_vcpus as usize);
+                    let busy = (2.0 * inflight.len() as f64 / 144.0).min(1.0);
+                    for _ in 0..threads {
+                        if preempt_rng.gen_range(0.0..1.0) < busy * 0.08 {
+                            preemptions += 1;
+                            let victim = inflight[preempt_rng.gen_range(0..inflight.len())];
+                            // Two context switches plus cache pollution.
+                            let hit = preempt_rng.gen_range(1_000..=3_000);
+                            *penalty_ns.entry(victim).or_default() += hit;
+                        }
+                    }
+                }
+                vmm.pause(id, policy).expect("pauses");
+                if now + trigger_period <= end {
+                    engine.schedule(now + trigger_period, Ev::UllTrigger);
+                }
+            }
+        }
+    }
+
+    // Percentiles are computed exactly from the sorted sample: the
+    // paper's p99 effect (~30 µs on seconds-scale latencies, 0.00107 %)
+    // sits below the log-bucketed histogram's quantization.
+    latencies.sort_unstable();
+    let exact_pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil().max(1.0) as usize;
+        latencies[rank.min(latencies.len()) - 1]
+    };
+
+    ColocationResult {
+        invocations: histogram.len(),
+        mean_ns: histogram.mean(),
+        p95_ns: exact_pct(95.0),
+        p99_ns: exact_pct(99.0),
+        histogram,
+        preemptions,
+    }
+}
+
+/// Runs both modes and returns the comparison.
+pub fn compare_colocation(ull_vcpus: u32, seed: u64) -> ColocationComparison {
+    ColocationComparison {
+        ull_vcpus,
+        vanilla: run_colocation(ColocationConfig::paper(ull_vcpus, false, seed)),
+        horse: run_colocation(ColocationConfig::paper(ull_vcpus, true, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_latency_distribution() {
+        let r = run_colocation(ColocationConfig::paper(4, false, 7));
+        assert!(
+            r.invocations > 50,
+            "trace chunk should trigger many thumbnails"
+        );
+        assert!(
+            r.mean_ns > 1e9 * 0.8 && r.mean_ns < 1e9 * 2.5,
+            "{}",
+            r.mean_ns
+        );
+        assert!(r.p99_ns >= r.p95_ns);
+        assert_eq!(r.preemptions, 0, "vanilla never preempts");
+    }
+
+    #[test]
+    fn mean_and_p95_are_unaffected_by_horse() {
+        let cmp = compare_colocation(36, 11);
+        assert!(
+            cmp.mean_overhead_pct().abs() < 0.01,
+            "mean must be within 0.01%: {}",
+            cmp.mean_overhead_pct()
+        );
+        let p95_delta =
+            (cmp.horse.p95_ns as f64 - cmp.vanilla.p95_ns as f64).abs() / cmp.vanilla.p95_ns as f64;
+        assert!(p95_delta < 0.01, "p95 must match: {p95_delta}");
+    }
+
+    #[test]
+    fn p99_overhead_is_bounded_like_paper() {
+        let cmp = compare_colocation(36, 11);
+        let pct = cmp.p99_overhead_pct();
+        // Paper: up to 0.00107% (~30µs on seconds-scale latencies). Allow
+        // the same order of magnitude.
+        assert!(
+            pct >= 0.0 || pct.abs() < 0.01,
+            "p99 should not improve much: {pct}"
+        );
+        assert!(pct < 0.05, "p99 overhead must stay tiny: {pct}%");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = run_colocation(ColocationConfig::paper(8, true, 3));
+        let b = run_colocation(ColocationConfig::paper(8, true, 3));
+        assert_eq!(a.invocations, b.invocations);
+        assert_eq!(a.p99_ns, b.p99_ns);
+        assert_eq!(a.preemptions, b.preemptions);
+    }
+}

@@ -1,0 +1,121 @@
+//! Start strategies and invocation records.
+
+use crate::registry::FunctionId;
+use serde::{Deserialize, Serialize};
+
+/// How the platform obtains a ready sandbox for an invocation — the
+/// paper's four FaaS scenarios (§2 and §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartStrategy {
+    /// Boot a new sandbox from scratch (≈1.5 s).
+    Cold,
+    /// Restore a FaaSnap-style snapshot (≈1.3 ms).
+    Restore,
+    /// Resume a paused warm sandbox through the vanilla path (≈1.1 µs at
+    /// 1 vCPU).
+    Warm,
+    /// Resume through HORSE's fast path (≈150 ns, O(1) in vCPUs).
+    Horse,
+}
+
+impl StartStrategy {
+    /// All strategies, in the paper's Figure 4 order.
+    pub const ALL: [StartStrategy; 4] = [
+        StartStrategy::Cold,
+        StartStrategy::Restore,
+        StartStrategy::Warm,
+        StartStrategy::Horse,
+    ];
+
+    /// Label used in tables ("cold", "restore", "warm", "horse").
+    pub fn label(self) -> &'static str {
+        match self {
+            StartStrategy::Cold => "cold",
+            StartStrategy::Restore => "restore",
+            StartStrategy::Warm => "warm",
+            StartStrategy::Horse => "horse",
+        }
+    }
+
+    /// Whether this strategy consumes a pre-provisioned warm sandbox.
+    pub fn needs_warm_pool(self) -> bool {
+        matches!(self, StartStrategy::Warm | StartStrategy::Horse)
+    }
+}
+
+impl std::fmt::Display for StartStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of one function invocation: the two quantities every
+/// figure in the paper is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Which function ran.
+    pub function: FunctionId,
+    /// How the sandbox was obtained.
+    pub strategy: StartStrategy,
+    /// Time to make the sandbox ready to run the function (ns).
+    pub init_ns: u64,
+    /// Function execution time (ns).
+    pub exec_ns: u64,
+}
+
+impl InvocationRecord {
+    /// End-to-end pipeline duration.
+    pub fn total_ns(&self) -> u64 {
+        self.init_ns + self.exec_ns
+    }
+
+    /// Fraction of the pipeline spent initializing the sandbox — the
+    /// y-axis of the paper's Figures 1 and 4.
+    pub fn init_share(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.init_ns as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_enumerate() {
+        assert_eq!(StartStrategy::ALL.len(), 4);
+        assert_eq!(StartStrategy::Cold.label(), "cold");
+        assert_eq!(StartStrategy::Horse.to_string(), "horse");
+        assert!(StartStrategy::Warm.needs_warm_pool());
+        assert!(StartStrategy::Horse.needs_warm_pool());
+        assert!(!StartStrategy::Cold.needs_warm_pool());
+        assert!(!StartStrategy::Restore.needs_warm_pool());
+    }
+
+    #[test]
+    fn init_share_math() {
+        let r = InvocationRecord {
+            function: crate::registry::FunctionId::default_for_test(),
+            strategy: StartStrategy::Warm,
+            init_ns: 1_100,
+            exec_ns: 700,
+        };
+        assert_eq!(r.total_ns(), 1_800);
+        assert!((r.init_share() - 1_100.0 / 1_800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_share_is_zero() {
+        let r = InvocationRecord {
+            function: crate::registry::FunctionId::default_for_test(),
+            strategy: StartStrategy::Cold,
+            init_ns: 0,
+            exec_ns: 0,
+        };
+        assert_eq!(r.init_share(), 0.0);
+    }
+}

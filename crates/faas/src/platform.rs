@@ -1,0 +1,521 @@
+//! The FaaS platform: start strategies over the VMM substrate.
+
+use crate::invocation::{InvocationRecord, StartStrategy};
+use crate::pool::{KeepAlive, PoolStats, WarmPool};
+use crate::registry::{FunctionId, FunctionRegistry};
+use horse_sched::{SandboxId, SchedConfig};
+use horse_sim::rng::SeedFactory;
+use horse_sim::SimTime;
+use horse_vmm::{
+    BootModel, CostModel, PausePolicy, RestoreModel, ResumeMode, SandboxConfig, Vmm, VmmError,
+};
+use horse_workloads::Category;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Userspace trigger overhead of the conventional warm path (request
+/// routing, API handling, sandbox wake IPC). Calibrated so that
+/// `trigger + vanilla resume(1 vCPU) ≈ 1.1 µs`, Table 1's warm
+/// initialization. HORSE bypasses it — it is "a fast path for FaaS
+/// platforms" (paper §1) wired directly to the resume call.
+pub const WARM_TRIGGER_NS: u64 = 490;
+
+/// Configuration of a [`FaasPlatform`].
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Host scheduler configuration.
+    pub sched: SchedConfig,
+    /// Resume-path cost model.
+    pub cost: CostModel,
+    /// Cold-boot model.
+    pub boot: BootModel,
+    /// Snapshot-restore model.
+    pub restore: RestoreModel,
+    /// Master seed for service-time sampling.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            sched: SchedConfig::default(),
+            cost: CostModel::calibrated(),
+            boot: BootModel::default(),
+            restore: RestoreModel::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Errors surfaced by platform operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaasError {
+    /// The function id is not registered.
+    UnknownFunction(FunctionId),
+    /// A warm-pool strategy found no provisioned sandbox ("provisioned
+    /// concurrency" must be configured ahead of time, §1).
+    NoWarmSandbox {
+        /// The function whose pool was empty.
+        function: FunctionId,
+        /// The strategy that needed a sandbox.
+        strategy: StartStrategy,
+    },
+    /// An underlying VMM operation failed.
+    Vmm(VmmError),
+}
+
+impl fmt::Display for FaasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaasError::UnknownFunction(id) => write!(f, "unknown function {id}"),
+            FaasError::NoWarmSandbox { function, strategy } => {
+                write!(
+                    f,
+                    "no provisioned sandbox for {function} ({strategy} start)"
+                )
+            }
+            FaasError::Vmm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for FaasError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaasError::Vmm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmmError> for FaasError {
+    fn from(e: VmmError) -> Self {
+        FaasError::Vmm(e)
+    }
+}
+
+/// The FaaS platform.
+///
+/// # Example
+///
+/// ```
+/// use horse_faas::{FaasPlatform, PlatformConfig, StartStrategy};
+/// use horse_vmm::SandboxConfig;
+/// use horse_workloads::Category;
+///
+/// let mut platform = FaasPlatform::new(PlatformConfig::default());
+/// let ull_cfg = SandboxConfig::builder().ull(true).build()?;
+/// let nat = platform.register("nat", Category::Cat2, ull_cfg);
+/// platform.provision(nat, 1, StartStrategy::Horse)?;
+/// let record = platform.invoke(nat, StartStrategy::Horse)?;
+/// assert!(record.init_ns < 1_000, "HORSE init is sub-microsecond");
+/// assert!(record.init_share() < 0.20);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FaasPlatform {
+    vmm: Vmm,
+    registry: FunctionRegistry,
+    boot: BootModel,
+    restore: RestoreModel,
+    /// Paused warm sandboxes per function and strategy kind (key includes
+    /// whether the pause was HORSE-style).
+    warm_pool: HashMap<(FunctionId, bool), WarmPool>,
+    exec_rng: StdRng,
+    /// Platform clock for keep-alive accounting.
+    now: SimTime,
+}
+
+impl FaasPlatform {
+    /// Builds the platform.
+    pub fn new(config: PlatformConfig) -> Self {
+        let seeds = SeedFactory::new(config.seed);
+        Self {
+            vmm: Vmm::new(config.sched, config.cost),
+            registry: FunctionRegistry::new(),
+            boot: config.boot,
+            restore: config.restore,
+            warm_pool: HashMap::new(),
+            exec_rng: seeds.stream("faas-exec"),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current platform clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the platform clock, running keep-alive eviction: pooled
+    /// sandboxes idle beyond their TTL are destroyed (the paper's §1
+    /// "keep-alive tax" — the very reason hot sandboxes are paused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is earlier than the current clock.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(to >= self.now, "platform clock cannot go backwards");
+        self.now = to;
+        let mut doomed = Vec::new();
+        for pool in self.warm_pool.values_mut() {
+            doomed.extend(pool.evict_expired(to));
+        }
+        for id in doomed {
+            self.vmm
+                .destroy(id)
+                .expect("pooled sandboxes are destroyable");
+        }
+    }
+
+    /// Overrides the keep-alive policy of one function's pool (e.g.
+    /// applying a TTL recommended by `horse_traces::stats`). Creates the
+    /// pool if absent.
+    pub fn set_keep_alive(
+        &mut self,
+        function: FunctionId,
+        strategy: StartStrategy,
+        policy: KeepAlive,
+    ) {
+        let horse = strategy == StartStrategy::Horse;
+        self.warm_pool
+            .entry((function, horse))
+            .or_insert_with(|| WarmPool::new(policy))
+            .set_keep_alive(policy);
+    }
+
+    /// Keep-alive statistics of one function's pool.
+    pub fn pool_stats(&self, function: FunctionId, strategy: StartStrategy) -> PoolStats {
+        let horse = strategy == StartStrategy::Horse;
+        self.warm_pool
+            .get(&(function, horse))
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Registers a function.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        category: Category,
+        config: SandboxConfig,
+    ) -> FunctionId {
+        self.registry.register(name, category, config)
+    }
+
+    /// The registry (read access).
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The underlying VMM (read access, for overhead accounting).
+    pub fn vmm(&self) -> &Vmm {
+        &self.vmm
+    }
+
+    /// Provisioned-concurrency setup: creates, starts and pauses `count`
+    /// sandboxes for the function, ready for `Warm` (vanilla pause) or
+    /// `Horse` (precomputing pause) starts.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaasError::UnknownFunction`] for unregistered ids;
+    /// * propagated [`FaasError::Vmm`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a non-pool strategy (`Cold`/`Restore`).
+    pub fn provision(
+        &mut self,
+        function: FunctionId,
+        count: usize,
+        strategy: StartStrategy,
+    ) -> Result<(), FaasError> {
+        assert!(
+            strategy.needs_warm_pool(),
+            "provisioning only applies to warm-pool strategies"
+        );
+        let meta = self
+            .registry
+            .get(function)
+            .ok_or(FaasError::UnknownFunction(function))?;
+        let cfg = meta.config();
+        let horse = strategy == StartStrategy::Horse;
+        let policy = if horse {
+            PausePolicy::horse()
+        } else {
+            PausePolicy::vanilla()
+        };
+        for _ in 0..count {
+            let id = self.vmm.create(cfg);
+            self.vmm.start(id)?;
+            self.vmm.pause(id, policy)?;
+            let now = self.now;
+            self.pool_entry(function, horse, KeepAlive::Provisioned)
+                .put(id, now);
+        }
+        Ok(())
+    }
+
+    /// Number of provisioned sandboxes available for a strategy.
+    pub fn pool_size(&self, function: FunctionId, strategy: StartStrategy) -> usize {
+        let horse = strategy == StartStrategy::Horse;
+        self.warm_pool
+            .get(&(function, horse))
+            .map_or(0, |p| p.len())
+    }
+
+    /// Pool accessor, creating the pool with the given default policy.
+    /// A provisioned request upgrades an existing TTL pool (the premium
+    /// option supersedes plain keep-alive).
+    fn pool_entry(
+        &mut self,
+        function: FunctionId,
+        horse: bool,
+        policy: KeepAlive,
+    ) -> &mut WarmPool {
+        let pool = self
+            .warm_pool
+            .entry((function, horse))
+            .or_insert_with(|| WarmPool::new(policy));
+        if policy == KeepAlive::Provisioned && pool.keep_alive() != KeepAlive::Provisioned {
+            pool.set_keep_alive(KeepAlive::Provisioned);
+        }
+        pool
+    }
+
+    /// Invokes a function with the given start strategy, returning the
+    /// initialization/execution record. Warm-pool sandboxes are paused
+    /// back into the pool after execution (keep-alive).
+    ///
+    /// # Errors
+    ///
+    /// * [`FaasError::UnknownFunction`] for unregistered ids;
+    /// * [`FaasError::NoWarmSandbox`] when a pool strategy finds no
+    ///   provisioned sandbox;
+    /// * propagated [`FaasError::Vmm`] errors.
+    pub fn invoke(
+        &mut self,
+        function: FunctionId,
+        strategy: StartStrategy,
+    ) -> Result<InvocationRecord, FaasError> {
+        let meta = self
+            .registry
+            .get(function)
+            .ok_or(FaasError::UnknownFunction(function))?;
+        let cfg = meta.config();
+        let category = meta.category();
+        let exec_ns = self.sample_exec_ns(category);
+
+        let init_ns = match strategy {
+            StartStrategy::Cold => {
+                // Boot a brand-new sandbox; it joins the vanilla pool
+                // afterwards (keep-alive).
+                let id = self.vmm.create(cfg);
+                self.vmm.start(id)?;
+                let init = self.boot.boot_ns(cfg);
+                self.vmm.pause(id, PausePolicy::vanilla())?;
+                let now = self.now;
+                self.pool_entry(function, false, KeepAlive::default_ttl())
+                    .put(id, now);
+                init
+            }
+            StartStrategy::Restore => {
+                let id = self.vmm.create(cfg);
+                self.vmm.start(id)?;
+                let init = self.restore.restore_ns(cfg);
+                self.vmm.pause(id, PausePolicy::vanilla())?;
+                let now = self.now;
+                self.pool_entry(function, false, KeepAlive::default_ttl())
+                    .put(id, now);
+                init
+            }
+            StartStrategy::Warm => {
+                let id = self.pop_pool(function, false, strategy)?;
+                let outcome = self.vmm.resume(id, ResumeMode::Vanilla)?;
+                let init = WARM_TRIGGER_NS + outcome.breakdown.total_ns();
+                self.vmm.pause(id, PausePolicy::vanilla())?;
+                let now = self.now;
+                self.pool_entry(function, false, KeepAlive::default_ttl())
+                    .put(id, now);
+                init
+            }
+            StartStrategy::Horse => {
+                let id = self.pop_pool(function, true, strategy)?;
+                let outcome = self.vmm.resume(id, ResumeMode::Horse)?;
+                let init = outcome.breakdown.total_ns();
+                self.vmm.pause(id, PausePolicy::horse())?;
+                let now = self.now;
+                self.pool_entry(function, true, KeepAlive::Provisioned)
+                    .put(id, now);
+                init
+            }
+        };
+
+        Ok(InvocationRecord {
+            function,
+            strategy,
+            init_ns,
+            exec_ns,
+        })
+    }
+
+    fn pop_pool(
+        &mut self,
+        function: FunctionId,
+        horse: bool,
+        strategy: StartStrategy,
+    ) -> Result<SandboxId, FaasError> {
+        let now = self.now;
+        self.warm_pool
+            .get_mut(&(function, horse))
+            .and_then(|p| p.take(now))
+            .ok_or(FaasError::NoWarmSandbox { function, strategy })
+    }
+
+    /// Samples a service time: the category's Table 1 mean with ±10 %
+    /// uniform jitter (seeded, deterministic).
+    fn sample_exec_ns(&mut self, category: Category) -> u64 {
+        let mean = category.mean_exec_ns() as f64;
+        let jitter = self.exec_rng.gen_range(0.9..1.1);
+        (mean * jitter).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> FaasPlatform {
+        FaasPlatform::new(PlatformConfig {
+            sched: SchedConfig {
+                topology: horse_sched::CpuTopology::new(1, 8, false),
+                ull_queues: 1,
+                governor_policy: horse_sched::GovernorPolicy::Performance,
+                flavor: Default::default(),
+            },
+            ..PlatformConfig::default()
+        })
+    }
+
+    fn ull_cfg(vcpus: u32) -> SandboxConfig {
+        SandboxConfig::builder()
+            .vcpus(vcpus)
+            .ull(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cold_start_matches_table1_scale() {
+        let mut p = platform();
+        let f = p.register("filter", Category::Cat3, ull_cfg(1));
+        let r = p.invoke(f, StartStrategy::Cold).unwrap();
+        assert!((1.4e9..1.6e9).contains(&(r.init_ns as f64)));
+        assert!(r.init_share() > 0.999, "cold init dominates (99.99%)");
+        // The cold sandbox joined the warm pool (keep-alive).
+        assert_eq!(p.pool_size(f, StartStrategy::Warm), 1);
+    }
+
+    #[test]
+    fn restore_start_matches_table1_scale() {
+        let mut p = platform();
+        let f = p.register("nat", Category::Cat2, ull_cfg(1));
+        let r = p.invoke(f, StartStrategy::Restore).unwrap();
+        assert!((1.2e6..1.4e6).contains(&(r.init_ns as f64)));
+        assert!(r.init_share() > 0.99);
+    }
+
+    #[test]
+    fn warm_start_is_about_1_1_us() {
+        let mut p = platform();
+        let f = p.register("filter", Category::Cat3, ull_cfg(1));
+        p.provision(f, 1, StartStrategy::Warm).unwrap();
+        let r = p.invoke(f, StartStrategy::Warm).unwrap();
+        assert!(
+            (1_000..1_250).contains(&r.init_ns),
+            "warm init {} should be ≈1.1 µs",
+            r.init_ns
+        );
+        // Cat3 warm init share ≈ 61 % (Figure 1).
+        assert!((0.55..0.68).contains(&r.init_share()), "{}", r.init_share());
+    }
+
+    #[test]
+    fn horse_start_is_fast_and_low_share() {
+        let mut p = platform();
+        let f = p.register("filter", Category::Cat3, ull_cfg(1));
+        p.provision(f, 1, StartStrategy::Horse).unwrap();
+        let r = p.invoke(f, StartStrategy::Horse).unwrap();
+        assert!(r.init_ns < 250, "horse init {}", r.init_ns);
+        // Cat3 HORSE init share ≈ 17.6 % (Figure 4: 0.77 %–17.64 %).
+        assert!((0.10..0.30).contains(&r.init_share()), "{}", r.init_share());
+    }
+
+    #[test]
+    fn pool_exhaustion_is_an_error() {
+        let mut p = platform();
+        let f = p.register("fw", Category::Cat1, ull_cfg(1));
+        let e = p.invoke(f, StartStrategy::Warm).unwrap_err();
+        assert!(matches!(e, FaasError::NoWarmSandbox { .. }), "{e}");
+    }
+
+    #[test]
+    fn pools_are_per_strategy() {
+        let mut p = platform();
+        let f = p.register("fw", Category::Cat1, ull_cfg(1));
+        p.provision(f, 2, StartStrategy::Warm).unwrap();
+        assert_eq!(p.pool_size(f, StartStrategy::Warm), 2);
+        assert_eq!(p.pool_size(f, StartStrategy::Horse), 0);
+        assert!(p.invoke(f, StartStrategy::Horse).is_err());
+    }
+
+    #[test]
+    fn keep_alive_returns_sandbox_to_pool() {
+        let mut p = platform();
+        let f = p.register("nat", Category::Cat2, ull_cfg(2));
+        p.provision(f, 1, StartStrategy::Horse).unwrap();
+        for _ in 0..5 {
+            p.invoke(f, StartStrategy::Horse).unwrap();
+            assert_eq!(p.pool_size(f, StartStrategy::Horse), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let mut p = platform();
+        let f = p.register("fw", Category::Cat1, ull_cfg(1));
+        p.invoke(f, StartStrategy::Cold).unwrap();
+        let bogus = {
+            // construct an unknown id by registering on another platform
+            let mut other = platform();
+            other.register("a", Category::Cat1, ull_cfg(1));
+            other.register("b", Category::Cat1, ull_cfg(1))
+        };
+        assert!(matches!(
+            platform().invoke(bogus, StartStrategy::Cold),
+            Err(FaasError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn exec_times_are_seeded_and_jittered() {
+        let mut a = platform();
+        let mut b = platform();
+        let fa = a.register("filter", Category::Cat3, ull_cfg(1));
+        let fb = b.register("filter", Category::Cat3, ull_cfg(1));
+        let ra: Vec<u64> = (0..5)
+            .map(|_| a.invoke(fa, StartStrategy::Cold).unwrap().exec_ns)
+            .collect();
+        let rb: Vec<u64> = (0..5)
+            .map(|_| b.invoke(fb, StartStrategy::Cold).unwrap().exec_ns)
+            .collect();
+        assert_eq!(ra, rb, "same seed, same service times");
+        assert!(ra.iter().any(|&x| x != ra[0]), "jitter varies across calls");
+        for &x in &ra {
+            assert!((630..=770).contains(&x), "±10% around 700ns: {x}");
+        }
+    }
+}

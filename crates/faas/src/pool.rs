@@ -1,0 +1,202 @@
+//! Warm-sandbox pools with keep-alive eviction.
+//!
+//! "FaaS platforms implement a keep-alive strategy, which consists of
+//! keeping a sandbox active for a fixed time after the function that was
+//! running ends its execution" (paper §1). This module implements that
+//! policy: paused sandboxes wait in a per-function pool and are evicted
+//! (destroyed) once idle longer than the keep-alive TTL — unless they
+//! are *provisioned* (Azure Premium / Lambda Provisioned Concurrency /
+//! Alibaba Provisioned Mode), in which case they never expire.
+
+use horse_sched::SandboxId;
+use horse_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Keep-alive policy of a warm pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeepAlive {
+    /// Evict sandboxes idle longer than this duration (the common
+    /// platform default is ~10 minutes).
+    Ttl(SimDuration),
+    /// Never evict: provisioned concurrency (the paper's premium-option
+    /// warm starts).
+    Provisioned,
+}
+
+impl KeepAlive {
+    /// The typical public-cloud default: 10 minutes.
+    pub fn default_ttl() -> Self {
+        KeepAlive::Ttl(SimDuration::from_secs(600))
+    }
+}
+
+/// Usage statistics of a pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Requests served from the pool (warm hits).
+    pub hits: u64,
+    /// Requests that found the pool empty (cold fallbacks).
+    pub misses: u64,
+    /// Sandboxes evicted by keep-alive expiry.
+    pub evictions: u64,
+}
+
+/// A FIFO pool of paused warm sandboxes for one function.
+///
+/// # Example
+///
+/// ```
+/// use horse_faas::{KeepAlive, WarmPool};
+/// use horse_sched::SandboxId;
+/// use horse_sim::{SimDuration, SimTime};
+///
+/// let mut pool = WarmPool::new(KeepAlive::Ttl(SimDuration::from_secs(60)));
+/// pool.put(SandboxId::new(1), SimTime::ZERO);
+/// // Still warm after 30 s:
+/// let t30 = SimTime::ZERO + SimDuration::from_secs(30);
+/// assert_eq!(pool.take(t30), Some(SandboxId::new(1)));
+/// pool.put(SandboxId::new(1), t30);
+/// // Expired after 2 more minutes:
+/// let t150 = SimTime::ZERO + SimDuration::from_secs(150);
+/// let expired = pool.evict_expired(t150);
+/// assert_eq!(expired, vec![SandboxId::new(1)]);
+/// assert_eq!(pool.take(t150), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarmPool {
+    /// (sandbox, last-used time), oldest first.
+    entries: VecDeque<(SandboxId, SimTime)>,
+    keep_alive: KeepAlive,
+    stats: PoolStats,
+}
+
+impl WarmPool {
+    /// Creates an empty pool with the given keep-alive policy.
+    pub fn new(keep_alive: KeepAlive) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            keep_alive,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Number of pooled sandboxes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The active keep-alive policy.
+    pub fn keep_alive(&self) -> KeepAlive {
+        self.keep_alive
+    }
+
+    /// Changes the keep-alive policy (e.g. upgrading a plain keep-alive
+    /// pool to provisioned concurrency). Pooled entries are kept.
+    pub fn set_keep_alive(&mut self, keep_alive: KeepAlive) {
+        self.keep_alive = keep_alive;
+    }
+
+    /// Usage statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Returns a warm sandbox (most recently used first, maximizing cache
+    /// warmth), or `None` on a miss.
+    pub fn take(&mut self, _now: SimTime) -> Option<SandboxId> {
+        match self.entries.pop_back() {
+            Some((id, _)) => {
+                self.stats.hits += 1;
+                Some(id)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns a sandbox to the pool after an invocation (keep-alive
+    /// clock restarts).
+    pub fn put(&mut self, id: SandboxId, now: SimTime) {
+        self.entries.push_back((id, now));
+    }
+
+    /// Removes every sandbox idle past the TTL, returning them for the
+    /// caller to destroy. Provisioned pools never evict.
+    pub fn evict_expired(&mut self, now: SimTime) -> Vec<SandboxId> {
+        let KeepAlive::Ttl(ttl) = self.keep_alive else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while let Some(&(id, since)) = self.entries.front() {
+            if now.since(since.min(now)) > ttl {
+                self.entries.pop_front();
+                evicted.push(id);
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn take_is_lifo_for_cache_warmth() {
+        let mut p = WarmPool::new(KeepAlive::default_ttl());
+        p.put(SandboxId::new(1), t(0));
+        p.put(SandboxId::new(2), t(1));
+        assert_eq!(p.take(t(2)), Some(SandboxId::new(2)));
+        assert_eq!(p.take(t(2)), Some(SandboxId::new(1)));
+        assert_eq!(p.take(t(2)), None);
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+    }
+
+    #[test]
+    fn ttl_evicts_oldest_first() {
+        let mut p = WarmPool::new(KeepAlive::Ttl(SimDuration::from_secs(100)));
+        p.put(SandboxId::new(1), t(0));
+        p.put(SandboxId::new(2), t(50));
+        assert!(p.evict_expired(t(99)).is_empty());
+        assert_eq!(p.evict_expired(t(101)), vec![SandboxId::new(1)]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.evict_expired(t(151)), vec![SandboxId::new(2)]);
+        assert!(p.is_empty());
+        assert_eq!(p.stats().evictions, 2);
+    }
+
+    #[test]
+    fn provisioned_pools_never_expire() {
+        let mut p = WarmPool::new(KeepAlive::Provisioned);
+        p.put(SandboxId::new(7), t(0));
+        assert!(p.evict_expired(t(1_000_000)).is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.keep_alive(), KeepAlive::Provisioned);
+    }
+
+    #[test]
+    fn put_restarts_the_clock() {
+        let mut p = WarmPool::new(KeepAlive::Ttl(SimDuration::from_secs(100)));
+        p.put(SandboxId::new(1), t(0));
+        let id = p.take(t(90)).unwrap();
+        p.put(id, t(90)); // used at t=90: fresh again
+        assert!(p.evict_expired(t(150)).is_empty());
+        assert_eq!(p.evict_expired(t(191)), vec![SandboxId::new(1)]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Trace replay: the keep-alive tax, measured.
+//!
+//! The paper's §1 motivation rests on the keep-alive economics of FaaS
+//! platforms: warm starts require keeping sandboxes around, and how long
+//! they are kept (the TTL) decides the warm-hit rate. This harness
+//! replays a trace chunk through the platform under a configurable TTL
+//! and reports the hit rate and initialization costs — reproducing the
+//! trade-off curve from the Azure characterization the paper builds on.
+
+use crate::invocation::StartStrategy;
+use crate::platform::{FaasError, FaasPlatform, PlatformConfig};
+use crate::pool::KeepAlive;
+use crate::registry::FunctionId;
+use horse_sim::rng::SeedFactory;
+use horse_sim::{SimDuration, SimTime};
+use horse_traces::{ArrivalSampler, Trace};
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+
+/// Configuration of one replay run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Keep-alive policy applied to every function's warm pool.
+    pub keep_alive: KeepAlive,
+    /// Offset into the trace day.
+    pub offset: SimDuration,
+    /// Length of the replayed window.
+    pub window: SimDuration,
+    /// Cap on how many (most invoked) trace functions are replayed, to
+    /// bound runtime on large traces.
+    pub max_functions: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            keep_alive: KeepAlive::default_ttl(),
+            offset: SimDuration::from_secs(600),
+            window: SimDuration::from_secs(1_800),
+            max_functions: 12,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a replay run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayOutcome {
+    /// Total invocations replayed.
+    pub invocations: u64,
+    /// Invocations served by a warm sandbox.
+    pub warm_hits: u64,
+    /// Invocations that fell back to a cold start.
+    pub cold_starts: u64,
+    /// Mean initialization time across all invocations, ns.
+    pub mean_init_ns: f64,
+    /// Sandboxes evicted by keep-alive during the window.
+    pub evictions: u64,
+}
+
+impl ReplayOutcome {
+    /// Warm-hit rate in `[0, 1]` (0 for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// Replays a trace chunk through a fresh platform under the given
+/// keep-alive policy. Every arrival tries a warm start first and falls
+/// back to a cold start on a miss (the standard platform behaviour the
+/// paper describes in §1).
+pub fn replay_trace(trace: &Trace, config: ReplayConfig) -> ReplayOutcome {
+    // Pick the busiest functions up to the cap.
+    let mut by_traffic: Vec<(usize, u64)> = trace
+        .functions()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (i, f.total_invocations()))
+        .collect();
+    by_traffic.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    let selected: Vec<usize> = by_traffic
+        .into_iter()
+        .take(config.max_functions)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut platform = FaasPlatform::new(PlatformConfig {
+        seed: config.seed,
+        ..PlatformConfig::default()
+    });
+    let cfg = SandboxConfig::builder()
+        .vcpus(1)
+        .ull(true)
+        .build()
+        .expect("valid");
+    // Map trace index -> platform function.
+    let mut fn_of = std::collections::HashMap::<usize, FunctionId>::new();
+    for &ti in &selected {
+        let f = platform.register(&trace.functions()[ti].func, Category::Cat2, cfg);
+        platform.set_keep_alive(f, StartStrategy::Warm, config.keep_alive);
+        fn_of.insert(ti, f);
+    }
+
+    let sampler = ArrivalSampler::new(trace, SeedFactory::new(config.seed));
+    let arrivals = sampler.chunk(config.offset, config.window);
+
+    let mut out = ReplayOutcome::default();
+    let mut init_sum = 0f64;
+    for a in arrivals {
+        let Some(&f) = fn_of.get(&a.function) else {
+            continue;
+        };
+        platform.advance_to(SimTime::ZERO + SimDuration::from_nanos(a.at.as_nanos()));
+        let record = match platform.invoke(f, StartStrategy::Warm) {
+            Ok(r) => {
+                out.warm_hits += 1;
+                r
+            }
+            Err(FaasError::NoWarmSandbox { .. }) => {
+                out.cold_starts += 1;
+                platform
+                    .invoke(f, StartStrategy::Cold)
+                    .expect("cold starts always succeed")
+            }
+            Err(e) => panic!("unexpected platform error: {e}"),
+        };
+        out.invocations += 1;
+        init_sum += record.init_ns as f64;
+    }
+    out.mean_init_ns = if out.invocations == 0 {
+        0.0
+    } else {
+        init_sum / out.invocations as f64
+    };
+    out.evictions = fn_of
+        .values()
+        .map(|&f| platform.pool_stats(f, StartStrategy::Warm).evictions)
+        .sum();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_traces::SynthConfig;
+
+    fn test_trace() -> Trace {
+        SynthConfig {
+            apps: 10,
+            max_functions_per_app: 2,
+            median_rpm: 2.0,
+            rate_sigma: 1.0,
+            minutes: 60,
+            diurnal_amplitude: 0.0,
+        }
+        .generate(&SeedFactory::new(5))
+    }
+
+    fn run(ttl_secs: u64) -> ReplayOutcome {
+        replay_trace(
+            &test_trace(),
+            ReplayConfig {
+                keep_alive: KeepAlive::Ttl(SimDuration::from_secs(ttl_secs)),
+                offset: SimDuration::from_secs(0),
+                window: SimDuration::from_secs(1_200),
+                max_functions: 8,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let o = run(600);
+        assert!(o.invocations > 0);
+        assert_eq!(o.invocations, o.warm_hits + o.cold_starts);
+        assert!(o.hit_rate() <= 1.0);
+        assert!(o.mean_init_ns > 0.0);
+    }
+
+    #[test]
+    fn longer_ttl_never_hurts_hit_rate() {
+        let short = run(30);
+        let long = run(1_200);
+        assert!(
+            long.hit_rate() >= short.hit_rate(),
+            "ttl 1200s: {:.3} vs ttl 30s: {:.3}",
+            long.hit_rate(),
+            short.hit_rate()
+        );
+        // And a better hit rate means cheaper mean init.
+        if long.hit_rate() > short.hit_rate() {
+            assert!(long.mean_init_ns < short.mean_init_ns);
+        }
+        assert!(short.evictions >= long.evictions);
+    }
+
+    #[test]
+    fn provisioned_mode_reaches_full_hit_rate_after_warmup() {
+        let o = replay_trace(
+            &test_trace(),
+            ReplayConfig {
+                keep_alive: KeepAlive::Provisioned,
+                offset: SimDuration::from_secs(0),
+                window: SimDuration::from_secs(1_200),
+                max_functions: 8,
+                seed: 5,
+            },
+        );
+        // Only the very first invocation of each function is cold.
+        assert!(o.cold_starts <= 8, "cold starts: {}", o.cold_starts);
+        assert_eq!(o.evictions, 0);
+        assert!(o.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        assert_eq!(run(300), run(300));
+    }
+}

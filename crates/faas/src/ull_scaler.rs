@@ -1,0 +1,196 @@
+//! uLL run-queue scaling controller.
+//!
+//! Paper §4.1.3: "In the case of a high frequency of uLL workload
+//! triggers, we can increase the number of ull_runqueue. In this case,
+//! the target run queue for an uLL sandbox is chosen when pausing the
+//! sandbox [balanced by] the number of paused sandboxes already
+//! associated with each ull_runqueue."
+//!
+//! This controller decides *how many* reserved queues a host should run:
+//! it watches the uLL trigger rate over a sliding window and sizes the
+//! reservation so each queue stays below a target trigger rate, bounded
+//! by a configured maximum (reserved queues are cores taken away from
+//! general workloads — the trade-off the paper's design implies).
+
+use horse_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UllScalerConfig {
+    /// Sliding observation window.
+    pub window: SimDuration,
+    /// Target triggers per second per reserved queue. A 1 µs-sliced
+    /// queue can absorb far more, but headroom keeps merge-plan
+    /// maintenance cheap.
+    pub triggers_per_sec_per_queue: f64,
+    /// Lower bound on reserved queues (≥ 1: the fast path always needs a
+    /// target).
+    pub min_queues: usize,
+    /// Upper bound (cores sacrificed from general workloads).
+    pub max_queues: usize,
+}
+
+impl Default for UllScalerConfig {
+    fn default() -> Self {
+        Self {
+            window: SimDuration::from_secs(10),
+            triggers_per_sec_per_queue: 100.0,
+            min_queues: 1,
+            max_queues: 8,
+        }
+    }
+}
+
+/// The sliding-window trigger-rate controller.
+///
+/// # Example
+///
+/// ```
+/// use horse_faas::{UllScaler, UllScalerConfig};
+/// use horse_sim::{SimDuration, SimTime};
+///
+/// let mut scaler = UllScaler::new(UllScalerConfig::default());
+/// let t0 = SimTime::ZERO;
+/// assert_eq!(scaler.recommended_queues(t0), 1);
+/// // A burst of 2500 triggers over one second: 250/s/queue at 1 queue —
+/// // the controller asks for more.
+/// for i in 0..2_500u64 {
+///     scaler.observe_trigger(t0 + SimDuration::from_micros(i * 400));
+/// }
+/// let after = t0 + SimDuration::from_secs(1);
+/// assert!(scaler.recommended_queues(after) >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UllScaler {
+    config: UllScalerConfig,
+    triggers: VecDeque<SimTime>,
+}
+
+impl UllScaler {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (`min > max`, zero rate or
+    /// empty window).
+    pub fn new(config: UllScalerConfig) -> Self {
+        assert!(config.min_queues >= 1, "at least one uLL queue");
+        assert!(config.min_queues <= config.max_queues, "min > max");
+        assert!(config.triggers_per_sec_per_queue > 0.0, "zero target rate");
+        assert!(config.window > SimDuration::ZERO, "empty window");
+        Self {
+            config,
+            triggers: VecDeque::new(),
+        }
+    }
+
+    /// Records one uLL trigger (a resume request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps go backwards.
+    pub fn observe_trigger(&mut self, at: SimTime) {
+        if let Some(&last) = self.triggers.back() {
+            assert!(at >= last, "triggers must be observed in time order");
+        }
+        self.triggers.push_back(at);
+    }
+
+    /// Trigger rate over the window ending at `now`, per second.
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        self.expire(now);
+        self.triggers.len() as f64 / self.config.window.as_secs_f64()
+    }
+
+    /// Recommended number of reserved uLL queues at `now`.
+    pub fn recommended_queues(&mut self, now: SimTime) -> usize {
+        let rate = self.rate(now);
+        let wanted = (rate / self.config.triggers_per_sec_per_queue).ceil() as usize;
+        wanted.clamp(self.config.min_queues, self.config.max_queues)
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let horizon = self.config.window;
+        while let Some(&front) = self.triggers.front() {
+            if now.since(front.min(now)) > horizon {
+                self.triggers.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn scaler(per_queue: f64, max: usize) -> UllScaler {
+        UllScaler::new(UllScalerConfig {
+            window: SimDuration::from_secs(1),
+            triggers_per_sec_per_queue: per_queue,
+            min_queues: 1,
+            max_queues: max,
+        })
+    }
+
+    #[test]
+    fn idle_host_needs_one_queue() {
+        let mut s = scaler(10.0, 8);
+        assert_eq!(s.recommended_queues(t(0)), 1);
+        assert_eq!(s.rate(t(500)), 0.0);
+    }
+
+    #[test]
+    fn scaling_tracks_rate() {
+        let mut s = scaler(10.0, 8);
+        for i in 0..25 {
+            s.observe_trigger(t(i * 40)); // 25 triggers in 1 s
+        }
+        assert_eq!(s.recommended_queues(t(1000)), 3, "ceil(25/10)");
+    }
+
+    #[test]
+    fn recommendation_is_bounded() {
+        let mut s = scaler(1.0, 4);
+        for i in 0..100 {
+            s.observe_trigger(t(i * 10));
+        }
+        assert_eq!(s.recommended_queues(t(1000)), 4, "clamped at max");
+    }
+
+    #[test]
+    fn old_triggers_expire() {
+        let mut s = scaler(10.0, 8);
+        for i in 0..50 {
+            s.observe_trigger(t(i));
+        }
+        assert!(s.recommended_queues(t(100)) >= 5);
+        // Two windows later the burst has aged out.
+        assert_eq!(s.recommended_queues(t(3_000)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order_triggers() {
+        let mut s = scaler(10.0, 8);
+        s.observe_trigger(t(100));
+        s.observe_trigger(t(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "min > max")]
+    fn rejects_degenerate_bounds() {
+        UllScaler::new(UllScalerConfig {
+            min_queues: 5,
+            max_queues: 2,
+            ..UllScalerConfig::default()
+        });
+    }
+}

@@ -1,0 +1,226 @@
+//! Terminal chart rendering for experiment binaries.
+//!
+//! The paper's figures are bar charts and line plots; the `horse-bench`
+//! binaries render terminal equivalents so the shape of each result is
+//! visible without leaving the console.
+
+/// A horizontal bar chart (Figures 1 and 4 are bar charts of init
+/// percentages).
+///
+/// # Example
+///
+/// ```
+/// use horse_metrics::chart::BarChart;
+///
+/// let mut c = BarChart::new("init %", 20);
+/// c.bar("warm", 61.1);
+/// c.bar("horse", 17.6);
+/// let text = c.render();
+/// assert!(text.contains("warm"));
+/// assert!(text.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart with the given title and maximum bar width in
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        assert!(width > 0, "chart width must be positive");
+        Self {
+            title: title.into(),
+            width,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends one labeled bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Renders the chart; bars are scaled to the maximum value.
+    pub fn render(&self) -> String {
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = format!("-- {} --\n", self.title);
+        for (label, value) in &self.bars {
+            let filled = if max > 0.0 {
+                ((value / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "{label:>label_w$} |{}{} {value:.2}\n",
+                "#".repeat(filled),
+                " ".repeat(self.width - filled.min(self.width)),
+            ));
+        }
+        out
+    }
+}
+
+/// A simple multi-series line plot over a shared x-axis (Figures 2–3 are
+/// line plots over the vCPU sweep).
+///
+/// # Example
+///
+/// ```
+/// use horse_metrics::chart::LinePlot;
+///
+/// let mut p = LinePlot::new("resume ns vs vcpus", 30, 8);
+/// p.series("vanil", &[(1.0, 610.0), (36.0, 1211.0)]);
+/// p.series("horse", &[(1.0, 170.0), (36.0, 170.0)]);
+/// let text = p.render();
+/// assert!(text.contains("vanil: a"));
+/// assert!(text.contains("horse: b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LinePlot {
+    /// Creates an empty plot with the given character-grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "plot dimensions must be positive");
+        Self {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    pub fn series(&mut self, name: impl Into<String>, points: &[(f64, f64)]) -> &mut Self {
+        self.series.push((name.into(), points.to_vec()));
+        self
+    }
+
+    /// Renders the plot. Each series is drawn with a letter (`a`, `b`,
+    /// …); overlapping points show the later series' letter.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.clone()).collect();
+        if all.is_empty() {
+            return format!("-- {} -- (no data)\n", self.title);
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < f64::EPSILON {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::EPSILON {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![b' '; self.width]; self.height];
+        for (si, (_, points)) in self.series.iter().enumerate() {
+            let glyph = b'a' + (si % 26) as u8;
+            for &(x, y) in points {
+                let cx = (((x - x0) / (x1 - x0)) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y - y0) / (y1 - y0)) * (self.height - 1) as f64).round() as usize;
+                grid[self.height - 1 - cy][cx] = glyph;
+            }
+        }
+        let mut out = format!(
+            "-- {} --  [x: {x0:.0}..{x1:.0}, y: {y0:.0}..{y1:.0}]\n",
+            self.title
+        );
+        for row in grid {
+            out.push('|');
+            out.push_str(std::str::from_utf8(&row).expect("ascii grid"));
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let glyph = (b'a' + (si % 26) as u8) as char;
+            out.push_str(&format!("{name}: {glyph}  "));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("full", 100.0).bar("half", 50.0).bar("zero", 0.0);
+        let text = c.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains(&"#".repeat(10)));
+        assert!(lines[2].contains(&"#".repeat(5)));
+        assert!(!lines[3].contains('#'));
+    }
+
+    #[test]
+    fn negative_values_clamp_to_zero() {
+        let mut c = BarChart::new("t", 5);
+        c.bar("neg", -10.0).bar("pos", 10.0);
+        assert!(c.render().contains("0.00"));
+    }
+
+    #[test]
+    fn empty_bar_chart_renders_title_only() {
+        let c = BarChart::new("empty", 5);
+        assert_eq!(c.render(), "-- empty --\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        BarChart::new("t", 0);
+    }
+
+    #[test]
+    fn line_plot_places_extremes() {
+        let mut p = LinePlot::new("t", 10, 4);
+        p.series("s", &[(0.0, 0.0), (10.0, 100.0)]);
+        let text = p.render();
+        let rows: Vec<&str> = text.lines().collect();
+        // Max y on the top row, min y on the bottom row.
+        assert!(rows[1].contains('a'), "top row has the max point");
+        assert!(rows[4].contains('a'), "bottom row has the min point");
+        assert!(text.contains("s: a"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let mut p = LinePlot::new("flat", 8, 3);
+        p.series("h", &[(1.0, 170.0), (36.0, 170.0)]);
+        let text = p.render();
+        assert!(text.contains('a'));
+    }
+
+    #[test]
+    fn empty_plot_says_no_data() {
+        let p = LinePlot::new("none", 8, 3);
+        assert!(p.render().contains("no data"));
+    }
+}

@@ -1,0 +1,127 @@
+//! File export of measurement artifacts.
+//!
+//! Experiment binaries persist their outputs under `results/` so that
+//! EXPERIMENTS.md can reference committed artifacts. This module writes
+//! the three artifact kinds — tables, time series and histograms — as
+//! CSV, plus a tiny manifest describing a run.
+
+use crate::report::Table;
+use crate::{Histogram, TimeSeries};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a [`Table`] as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_table_csv(path: impl AsRef<Path>, table: &Table) -> std::io::Result<()> {
+    std::fs::write(path, table.to_csv())
+}
+
+/// Writes a [`TimeSeries`] as `at_ns,value` CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_series_csv(path: impl AsRef<Path>, series: &TimeSeries) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    writeln!(out, "at_ns,{}", series.name())?;
+    for s in series.samples() {
+        writeln!(out, "{},{}", s.at_ns, s.value)?;
+    }
+    std::fs::write(path, out)
+}
+
+/// Writes a [`Histogram`]'s non-empty buckets as
+/// `bucket_upper_ns,count` CSV with a trailing summary comment.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_histogram_csv(path: impl AsRef<Path>, hist: &Histogram) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    writeln!(out, "bucket_upper_ns,count")?;
+    for (upper, count) in hist.iter_buckets() {
+        writeln!(out, "{upper},{count}")?;
+    }
+    writeln!(
+        out,
+        "# n={} mean={:.1} p95={} p99={}",
+        hist.len(),
+        hist.mean(),
+        hist.percentile(95.0),
+        hist.percentile(99.0)
+    )?;
+    std::fs::write(path, out)
+}
+
+/// Writes a small run manifest (key/value lines) describing an
+/// experiment invocation — seed, parameters, and the artifacts produced.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_manifest(path: impl AsRef<Path>, entries: &[(&str, String)]) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        writeln!(out, "{k}={v}")?;
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("horse-export-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn table_roundtrip_through_csv() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["1", "x"]);
+        let path = tmp("table.csv");
+        write_table_csv(&path, &t).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,x\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn series_csv_has_header_and_rows() {
+        let mut s = TimeSeries::new("cpu");
+        s.push(0, 1.5);
+        s.push(500, 2.5);
+        let path = tmp("series.csv");
+        write_series_csv(&path, &s).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("at_ns,cpu\n"));
+        assert!(content.contains("500,2.5"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn histogram_csv_has_summary() {
+        let mut h = Histogram::new();
+        h.record_n(100, 10);
+        let path = tmp("hist.csv");
+        write_histogram_csv(&path, &h).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("bucket_upper_ns,count\n"));
+        assert!(content.contains("# n=10"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn manifest_is_key_value_lines() {
+        let path = tmp("manifest.txt");
+        write_manifest(&path, &[("seed", "42".into()), ("vcpus", "36".into())]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "seed=42\nvcpus=36\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,329 @@
+//! Log-bucketed latency histogram.
+//!
+//! The histogram follows the HDR-histogram bucketing scheme: values are
+//! grouped into buckets whose width doubles every `SUB_BUCKET_COUNT`
+//! buckets, which bounds the relative quantization error to
+//! `1 / SUB_BUCKET_COUNT` (≈ 0.78 % here) while keeping memory constant
+//! regardless of the value range.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of linear sub-buckets per power-of-two range. Must be a power of
+/// two. 128 sub-buckets bound the relative error of any recorded value to
+/// `1/128 < 1 %`, which is far below the effects the paper reports.
+const SUB_BUCKET_COUNT: u64 = 128;
+const SUB_BUCKET_HALF: u64 = SUB_BUCKET_COUNT / 2;
+const SUB_BUCKET_MASK: u64 = SUB_BUCKET_COUNT - 1;
+/// log2(SUB_BUCKET_COUNT)
+const SUB_BUCKET_BITS: u32 = SUB_BUCKET_COUNT.trailing_zeros();
+
+/// Number of power-of-two ranges needed to cover `u64` values.
+const BUCKET_COUNT: usize = (64 - SUB_BUCKET_BITS as usize) + 1;
+/// Total number of counters.
+const COUNTER_COUNT: usize =
+    SUB_BUCKET_COUNT as usize + (BUCKET_COUNT - 1) * SUB_BUCKET_HALF as usize;
+
+/// A log-bucketed histogram of `u64` values (typically nanoseconds).
+///
+/// Recording is O(1); percentile queries are O(buckets). The relative error
+/// of any reported percentile is below 1 %.
+///
+/// # Example
+///
+/// ```
+/// use horse_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record_n(1_000, 99);
+/// h.record(100_000);
+/// let p99 = h.percentile(99.0);
+/// assert!((990..=1_010).contains(&p99), "p99 was {p99}");
+/// assert!(h.percentile(100.0) >= 99_000);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("len", &self.total)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; COUNTER_COUNT],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records a single value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `count` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = Self::index_for(value);
+        self.counts[idx] += count;
+        self.total += count;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128 * count as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no value has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (exact, not quantized).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Value at the given percentile in `[0, 100]`.
+    ///
+    /// Returns the *upper bound* of the bucket containing the requested
+    /// rank, clamped to the recorded min/max, so the result is never below
+    /// the true percentile by more than one bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not within `0.0..=100.0`.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "percentile {pct} out of range"
+        );
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((pct / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let v = Self::highest_value_for(idx);
+                return v.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Iterator over `(bucket_upper_bound, count)` pairs with non-zero
+    /// counts, useful for exporting distribution shapes.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::highest_value_for(i), c))
+    }
+
+    fn index_for(value: u64) -> usize {
+        // Index of the power-of-two bucket holding `value`. Values below
+        // SUB_BUCKET_COUNT land in bucket 0 which has full resolution.
+        let bucket = (64 - SUB_BUCKET_BITS)
+            .saturating_sub((value | SUB_BUCKET_MASK).leading_zeros())
+            as usize;
+        let sub = (value >> bucket) as u64 & SUB_BUCKET_MASK;
+        if bucket == 0 {
+            sub as usize
+        } else {
+            // Upper half of the sub-buckets only: the lower half aliases
+            // the previous bucket's range.
+            SUB_BUCKET_COUNT as usize
+                + (bucket - 1) * SUB_BUCKET_HALF as usize
+                + (sub - SUB_BUCKET_HALF) as usize
+        }
+    }
+
+    fn highest_value_for(index: usize) -> u64 {
+        if index < SUB_BUCKET_COUNT as usize {
+            return index as u64;
+        }
+        let rest = index - SUB_BUCKET_COUNT as usize;
+        let bucket = rest / SUB_BUCKET_HALF as usize + 1;
+        let sub = rest % SUB_BUCKET_HALF as usize;
+        let base = ((SUB_BUCKET_HALF + sub as u64) as u128) << bucket;
+        // Highest value mapping to this counter: next representable - 1.
+        // Saturate near the top of the u64 range.
+        let hi = base + (1u128 << bucket) - 1;
+        u64::try_from(hi).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKET_COUNT {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKET_COUNT - 1);
+        // Values below SUB_BUCKET_COUNT are stored with full resolution.
+        assert_eq!(h.percentile(100.0), SUB_BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for exp in 0..50u32 {
+            let v = 3u64.saturating_pow(exp).max(1);
+            let mut single = Histogram::new();
+            single.record(v);
+            let q = single.percentile(100.0);
+            let err = (q as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKET_COUNT as f64 + 1e-9, "v={v} q={q}");
+            h.record(v);
+        }
+        assert_eq!(h.len(), 50);
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in [5u64, 50, 500, 5_000, 50_000, 500_000] {
+            h.record_n(v, 10);
+        }
+        let mut last = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            assert!(q >= last, "p{p} regressed: {q} < {last}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record_n(10, 3);
+        h.record_n(20, 1);
+        assert!((h.mean() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(100, 5);
+        b.record_n(1_000_000, 5);
+        a.merge(&b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.min(), 100);
+        assert!(a.max() >= 1_000_000);
+        let p50 = a.percentile(50.0);
+        assert!(p50 <= 101, "p50={p50}");
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_minmax() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.min(), 42);
+        assert_eq!(a.max(), 42);
+    }
+
+    #[test]
+    fn bucket_iteration_covers_all_counts() {
+        let mut h = Histogram::new();
+        h.record_n(3, 2);
+        h.record_n(70_000, 4);
+        let total: u64 = h.iter_buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_out_of_range() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn index_roundtrip_bounds() {
+        // highest_value_for(index_for(v)) must always be >= v and within
+        // the error bound.
+        for v in [0u64, 1, 127, 128, 129, 255, 256, 1 << 20, u64::MAX / 2] {
+            let idx = Histogram::index_for(v);
+            let hi = Histogram::highest_value_for(idx);
+            assert!(hi >= v, "v={v} idx={idx} hi={hi}");
+        }
+    }
+}

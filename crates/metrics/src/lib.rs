@@ -1,0 +1,42 @@
+//! Measurement utilities for the HORSE reproduction.
+//!
+//! This crate provides the statistics substrate used by every experiment in
+//! the repository:
+//!
+//! * [`Histogram`] — a log-bucketed latency histogram (HDR-style) with
+//!   bounded relative error, used to compute the mean/p95/p99 latencies
+//!   reported in the paper's §5.4 colocation experiment.
+//! * [`RunningStats`] — Welford-style streaming mean/variance with the 95 %
+//!   confidence intervals the paper reports ("95 % confidence interval
+//!   ≤ 3 % for each experiment").
+//! * [`TimeSeries`] — periodically sampled series (the paper samples CPU and
+//!   memory usage every 500 ms in §5.2).
+//! * [`report`] — fixed-width table and CSV writers so each benchmark binary
+//!   can print the same rows/series as the paper's tables and figures.
+//!
+//! # Example
+//!
+//! ```
+//! use horse_metrics::Histogram;
+//!
+//! let mut h = Histogram::new();
+//! for v in [100u64, 200, 300, 400, 1_000] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.len(), 5);
+//! assert!(h.percentile(99.0) >= 400);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod export;
+mod histogram;
+pub mod report;
+mod stats;
+mod timeseries;
+
+pub use histogram::Histogram;
+pub use stats::{ConfidenceInterval, RunningStats};
+pub use timeseries::{Sample, TimeSeries};

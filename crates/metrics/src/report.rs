@@ -1,0 +1,202 @@
+//! Fixed-width table and CSV rendering for experiment binaries.
+//!
+//! Every `horse-bench` binary prints the same rows the paper reports. This
+//! module provides a small, dependency-free table builder so the output is
+//! consistent across experiments and machine-parseable as CSV.
+//!
+//! # Example
+//!
+//! ```
+//! use horse_metrics::report::Table;
+//!
+//! let mut t = Table::new("Table 1", &["mode", "init_us", "exec_us"]);
+//! t.row(&["cold", "1500000", "17"]);
+//! t.row(&["warm", "1.1", "17"]);
+//! let text = t.render();
+//! assert!(text.contains("cold"));
+//! let csv = t.to_csv();
+//! assert!(csv.starts_with("mode,init_us,exec_us"));
+//! ```
+
+/// A simple fixed-width table with a title, used by experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first, RFC-4180-style quoting for
+    /// cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds into a human-friendly string with the natural unit
+/// (ns, µs, ms or s), as used in console reports.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Formats a ratio as a speedup string, e.g. `7.16x`.
+pub fn fmt_speedup(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+/// Formats a fraction `[0,1]` as a percentage with two decimals.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.2}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["a", "long_header"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long_header"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("q", &["x"]);
+        t.row(&["a,b"]);
+        t.row(&["he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("r", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn row_owned_appends() {
+        let mut t = Table::new("o", &["a"]);
+        t.row_owned(vec!["v".to_string()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+        assert_eq!(fmt_speedup(7.157), "7.16x");
+        assert_eq!(fmt_pct(0.611), "61.10%");
+    }
+}

@@ -1,0 +1,262 @@
+//! Streaming statistics with confidence intervals.
+//!
+//! The paper runs every experiment 10× and reports a 95 % confidence
+//! interval ≤ 3 %. [`RunningStats`] reproduces that methodology: it keeps a
+//! Welford accumulator and exposes the half-width of the 95 % CI both in
+//! absolute units and relative to the mean.
+
+use serde::{Deserialize, Serialize};
+
+/// A 95 % confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (`mean ± half_width`).
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width relative to the mean (0.03 == "CI ≤ 3 %"), or 0 for a
+    /// zero mean.
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+
+    /// Whether `value` falls inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width
+    }
+}
+
+/// Welford-style streaming mean / variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use horse_metrics::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [10.0, 11.0, 9.0, 10.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 10.0).abs() < 1e-12);
+/// assert!(s.ci95().relative() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Two-sided 97.5 % quantiles of the Student t distribution for small
+/// sample sizes (index = degrees of freedom), falling back to the normal
+/// quantile 1.96 for large n. The paper's 10-repetition experiments use
+/// t(9) = 2.262.
+const T_975: [f64; 31] = [
+    f64::INFINITY,
+    12.706,
+    4.303,
+    3.182,
+    2.776,
+    2.571,
+    2.447,
+    2.365,
+    2.306,
+    2.262,
+    2.228,
+    2.201,
+    2.179,
+    2.160,
+    2.145,
+    2.131,
+    2.120,
+    2.110,
+    2.101,
+    2.093,
+    2.086,
+    2.080,
+    2.074,
+    2.069,
+    2.064,
+    2.060,
+    2.056,
+    2.052,
+    2.048,
+    2.045,
+    2.042,
+];
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no observation was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// 95 % confidence interval of the mean using the Student t
+    /// distribution (matching the paper's 10-run methodology).
+    pub fn ci95(&self) -> ConfidenceInterval {
+        if self.n < 2 {
+            return ConfidenceInterval {
+                mean: self.mean(),
+                half_width: 0.0,
+            };
+        }
+        let df = (self.n - 1) as usize;
+        let t = if df < T_975.len() { T_975[df] } else { 1.96 };
+        let sem = self.stddev() / (self.n as f64).sqrt();
+        ConfidenceInterval {
+            mean: self.mean,
+            half_width: t * sem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = RunningStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.ci95().half_width, 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of the classic example set is 32/7.
+        assert!(
+            (s.variance() - 32.0 / 7.0).abs() < 1e-12,
+            "{}",
+            s.variance()
+        );
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_ci() {
+        let mut s = RunningStats::new();
+        s.push(42.0);
+        let ci = s.ci95();
+        assert_eq!(ci.mean, 42.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn ten_runs_use_t9() {
+        // 10 identical-ish runs: CI should use t(9)=2.262.
+        let mut s = RunningStats::new();
+        for i in 0..10 {
+            s.push(100.0 + (i % 2) as f64);
+        }
+        let ci = s.ci95();
+        let sem = s.stddev() / (10f64).sqrt();
+        assert!((ci.half_width - 2.262 * sem).abs() < 1e-9);
+        assert!(ci.relative() < 0.03, "paper-style CI must be under 3 %");
+    }
+
+    #[test]
+    fn contains_checks_interval() {
+        let mut s = RunningStats::new();
+        for x in [9.0, 10.0, 11.0, 10.0] {
+            s.push(x);
+        }
+        let ci = s.ci95();
+        assert!(ci.contains(s.mean()));
+        assert!(!ci.contains(1000.0));
+    }
+
+    #[test]
+    fn relative_with_zero_mean() {
+        let mut s = RunningStats::new();
+        s.push(-1.0);
+        s.push(1.0);
+        assert_eq!(s.ci95().relative(), 0.0);
+    }
+}

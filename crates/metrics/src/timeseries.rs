@@ -1,0 +1,154 @@
+//! Periodically sampled time series.
+//!
+//! §5.2 of the paper samples CPU and memory usage every 500 ms while uLL
+//! sandboxes are paused and resumed. [`TimeSeries`] stores such samples and
+//! answers the aggregate questions the paper reports (peak, mean, overhead
+//! versus a baseline series).
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of a time series: a timestamp (nanoseconds) and a value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Timestamp in nanoseconds since the start of the experiment.
+    pub at_ns: u64,
+    /// Sampled value (unit defined by the series, e.g. % CPU or bytes).
+    pub value: f64,
+}
+
+/// An append-only series of timestamped samples.
+///
+/// # Example
+///
+/// ```
+/// use horse_metrics::TimeSeries;
+///
+/// let mut cpu = TimeSeries::new("cpu_pct");
+/// cpu.push(0, 10.0);
+/// cpu.push(500_000_000, 12.0);
+/// assert_eq!(cpu.peak(), 12.0);
+/// assert!((cpu.mean() - 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ns` is earlier than the previous sample (series are
+    /// recorded in time order).
+    pub fn push(&mut self, at_ns: u64, value: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                at_ns >= last.at_ns,
+                "time series {} went backwards: {} < {}",
+                self.name,
+                at_ns,
+                last.at_ns
+            );
+        }
+        self.samples.push(Sample { at_ns, value });
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest sampled value (0 when empty).
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean of the sampled values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak pointwise difference `self - baseline`, the paper's "usage
+    /// increases by up to X" metric. Series are compared sample-by-sample;
+    /// the shorter length wins.
+    pub fn peak_overhead(&self, baseline: &TimeSeries) -> f64 {
+        self.samples
+            .iter()
+            .zip(baseline.samples.iter())
+            .map(|(a, b)| a.value - b.value)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_aggregate() {
+        let mut ts = TimeSeries::new("mem");
+        ts.push(0, 100.0);
+        ts.push(500, 110.0);
+        ts.push(1000, 105.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.peak(), 110.0);
+        assert!((ts.mean() - 105.0).abs() < 1e-12);
+        assert_eq!(ts.name(), "mem");
+    }
+
+    #[test]
+    fn empty_series_aggregates_to_zero() {
+        let ts = TimeSeries::new("x");
+        assert!(ts.is_empty());
+        assert_eq!(ts.peak(), 0.0);
+        assert_eq!(ts.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn rejects_time_travel() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(100, 1.0);
+        ts.push(50, 2.0);
+    }
+
+    #[test]
+    fn peak_overhead_vs_baseline() {
+        let mut a = TimeSeries::new("horse");
+        let mut b = TimeSeries::new("vanilla");
+        for i in 0..5u64 {
+            a.push(i * 500, 10.0 + i as f64);
+            b.push(i * 500, 10.0);
+        }
+        assert_eq!(a.peak_overhead(&b), 4.0);
+        assert_eq!(b.peak_overhead(&a), 0.0);
+    }
+}

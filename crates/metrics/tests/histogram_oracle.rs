@@ -1,0 +1,96 @@
+//! Property tests: the log-bucketed histogram against an exact oracle.
+
+use horse_metrics::Histogram;
+use proptest::prelude::*;
+
+fn exact_percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any reported percentile is within the histogram's relative error
+    /// bound of the exact order statistic.
+    #[test]
+    fn percentiles_track_exact_oracle(
+        mut values in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+        pct in 0.0f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_percentile(&values, pct);
+        let approx = h.percentile(pct);
+        // Bound: one bucket of relative error (1/128) plus the clamp to
+        // recorded min/max.
+        let tolerance = (exact as f64 / 64.0).max(2.0);
+        prop_assert!(
+            (approx as f64 - exact as f64).abs() <= tolerance,
+            "pct={pct}: approx {approx} vs exact {exact}"
+        );
+    }
+
+    /// The mean is exact regardless of bucketing.
+    #[test]
+    fn mean_is_exact(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - exact).abs() < 1e-6);
+        prop_assert_eq!(h.len(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.len(), hc.len());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for pct in [50.0, 95.0, 99.0] {
+            prop_assert_eq!(ha.percentile(pct), hc.percentile(pct));
+        }
+    }
+
+    /// Percentiles are monotone in the percentile argument.
+    #[test]
+    fn percentiles_are_monotone(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..100),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let q = h.percentile(i as f64 * 5.0);
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! DVFS energy accounting.
+//!
+//! The run-queue load variable exists to drive frequency scaling (paper
+//! §3.1 step ⑤); the energy ledger closes that loop: it tracks each
+//! CPU's P-state residency over virtual time and integrates a power model
+//! into joules. Its role in the reproduction is the *equivalence*
+//! argument — coalesced load updates must produce the exact same
+//! frequency decisions, hence the same energy, as per-vCPU updates.
+
+use crate::governor::PState;
+use serde::{Deserialize, Serialize};
+
+/// A CPU power model: quadratic-in-frequency active power plus idle
+/// floor, the standard CMOS approximation `P ≈ P_idle + c·f²`
+/// (capacitance-voltage effects folded into the coefficient).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle power per CPU, in watts.
+    pub idle_watts: f64,
+    /// Active power coefficient: watts per GHz².
+    pub watts_per_ghz2: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Xeon 8360Y ballpark: ~250 W TDP over 36 cores at 2.4 GHz
+        // ≈ 6.9 W/core active; idle floor ~1 W/core.
+        Self {
+            idle_watts: 1.0,
+            watts_per_ghz2: 1.2,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Power draw of one busy CPU at a P-state, in watts.
+    pub fn busy_watts(&self, pstate: PState) -> f64 {
+        let ghz = pstate.mhz() / 1e3;
+        self.idle_watts + self.watts_per_ghz2 * ghz * ghz
+    }
+}
+
+/// Frequency-residency ledger of one CPU: how long it spent at each
+/// P-state, and the energy that implies.
+///
+/// # Example
+///
+/// ```
+/// use horse_sched::{EnergyLedger, PowerModel, PState};
+///
+/// let mut ledger = EnergyLedger::new(PowerModel::default());
+/// ledger.run_at(PState::from_khz(2_400_000), 1_000_000_000); // 1 s at 2.4 GHz
+/// ledger.idle(1_000_000_000);                                 // 1 s idle
+/// assert!(ledger.total_joules() > 1.0);
+/// assert_eq!(ledger.busy_ns(), 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    model: PowerModel,
+    /// (pstate, accumulated busy ns) pairs.
+    residency: Vec<(PState, u64)>,
+    idle_ns: u64,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new(model: PowerModel) -> Self {
+        Self {
+            model,
+            residency: Vec::new(),
+            idle_ns: 0,
+        }
+    }
+
+    /// Accounts `ns` of busy time at the given P-state.
+    pub fn run_at(&mut self, pstate: PState, ns: u64) {
+        match self.residency.iter_mut().find(|(p, _)| *p == pstate) {
+            Some((_, acc)) => *acc += ns,
+            None => self.residency.push((pstate, ns)),
+        }
+    }
+
+    /// Accounts `ns` of idle time.
+    pub fn idle(&mut self, ns: u64) {
+        self.idle_ns += ns;
+    }
+
+    /// Total busy nanoseconds across all P-states.
+    pub fn busy_ns(&self) -> u64 {
+        self.residency.iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Nanoseconds spent at one P-state.
+    pub fn residency_ns(&self, pstate: PState) -> u64 {
+        self.residency
+            .iter()
+            .find(|(p, _)| *p == pstate)
+            .map_or(0, |(_, ns)| *ns)
+    }
+
+    /// Total energy in joules (busy at each P-state's power + idle
+    /// floor).
+    pub fn total_joules(&self) -> f64 {
+        let busy: f64 = self
+            .residency
+            .iter()
+            .map(|(p, ns)| self.model.busy_watts(*p) * (*ns as f64 / 1e9))
+            .sum();
+        busy + self.model.idle_watts * (self.idle_ns as f64 / 1e9)
+    }
+
+    /// Average power over the accounted span, in watts (0 for an empty
+    /// ledger).
+    pub fn average_watts(&self) -> f64 {
+        let span = (self.busy_ns() + self.idle_ns) as f64 / 1e9;
+        if span == 0.0 {
+            0.0
+        } else {
+            self.total_joules() / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(khz: u32) -> PState {
+        PState::from_khz(khz)
+    }
+
+    #[test]
+    fn power_grows_quadratically() {
+        let m = PowerModel::default();
+        let low = m.busy_watts(p(800_000));
+        let high = m.busy_watts(p(2_400_000));
+        // Active parts scale by 9 (3x frequency squared).
+        let active_low = low - m.idle_watts;
+        let active_high = high - m.idle_watts;
+        assert!((active_high / active_low - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residency_accumulates_per_pstate() {
+        let mut l = EnergyLedger::new(PowerModel::default());
+        l.run_at(p(800_000), 100);
+        l.run_at(p(800_000), 50);
+        l.run_at(p(2_400_000), 25);
+        assert_eq!(l.residency_ns(p(800_000)), 150);
+        assert_eq!(l.residency_ns(p(2_400_000)), 25);
+        assert_eq!(l.residency_ns(p(1_000_000)), 0);
+        assert_eq!(l.busy_ns(), 175);
+    }
+
+    #[test]
+    fn energy_integrates_power_over_time() {
+        let m = PowerModel {
+            idle_watts: 1.0,
+            watts_per_ghz2: 1.0,
+        };
+        let mut l = EnergyLedger::new(m);
+        // 1 s at 1 GHz (2 W) + 1 s idle (1 W) = 3 J.
+        l.run_at(p(1_000_000), 1_000_000_000);
+        l.idle(1_000_000_000);
+        assert!((l.total_joules() - 3.0).abs() < 1e-9);
+        assert!((l.average_watts() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = EnergyLedger::new(PowerModel::default());
+        assert_eq!(l.total_joules(), 0.0);
+        assert_eq!(l.average_watts(), 0.0);
+        assert_eq!(l.busy_ns(), 0);
+    }
+
+    #[test]
+    fn identical_frequency_decisions_mean_identical_energy() {
+        // The HORSE equivalence argument: if coalesced and per-vCPU load
+        // updates yield the same loads (tested in load.rs), the governor
+        // picks the same P-states, and the ledgers agree exactly.
+        use crate::governor::{Governor, GovernorPolicy};
+        use crate::load::{LoadTracker, RqLoad};
+
+        let g = Governor::xeon_8360y(GovernorPolicy::Schedutil);
+        let t = LoadTracker::pelt_default();
+
+        let vanilla_load = RqLoad::new();
+        vanilla_load.apply_per_vcpu(t.update(), 36);
+        let horse_load = RqLoad::new();
+        horse_load.apply_coalesced(t.coalesce(36));
+
+        let mut vanilla = EnergyLedger::new(PowerModel::default());
+        let mut horse = EnergyLedger::new(PowerModel::default());
+        vanilla.run_at(g.target_pstate(vanilla_load.get()), 1_000_000);
+        horse.run_at(g.target_pstate(horse_load.get()), 1_000_000);
+        assert!((vanilla.total_joules() - horse.total_joules()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! DVFS frequency governor.
+//!
+//! The run-queue load tracked by [`crate::RqLoad`] exists for one consumer:
+//! the frequency governor, which scales each CPU's P-state with the load of
+//! its run queue (the paper's step ⑤ rationale). This module implements a
+//! schedutil-like governor over a discrete P-state table modeled after the
+//! paper's testbed CPU (Intel Xeon Platinum 8360Y, 2.4 GHz nominal).
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete performance state: a frequency in kHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PState {
+    khz: u32,
+}
+
+impl PState {
+    /// Creates a P-state from a frequency in kHz.
+    pub const fn from_khz(khz: u32) -> Self {
+        Self { khz }
+    }
+
+    /// Frequency in kHz.
+    pub const fn khz(self) -> u32 {
+        self.khz
+    }
+
+    /// Frequency in MHz (fractional).
+    pub fn mhz(self) -> f64 {
+        self.khz as f64 / 1e3
+    }
+}
+
+/// Governor operating mode, mirroring `cpufreq` policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GovernorPolicy {
+    /// Scale frequency with run-queue load (schedutil-like).
+    #[default]
+    Schedutil,
+    /// Pin every core at the highest P-state (the paper's §5.2
+    /// experiments set the host governor to performance mode).
+    Performance,
+    /// Pin every core at the lowest P-state.
+    Powersave,
+}
+
+/// A schedutil-like DVFS governor over a discrete P-state table.
+///
+/// # Example
+///
+/// ```
+/// use horse_sched::{Governor, GovernorPolicy};
+///
+/// let g = Governor::xeon_8360y(GovernorPolicy::Schedutil);
+/// let idle = g.target_pstate(0.0);
+/// let busy = g.target_pstate(4096.0);
+/// assert!(busy.khz() > idle.khz());
+/// assert_eq!(busy.khz(), g.max_pstate().khz());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Governor {
+    pstates: Vec<PState>,
+    policy: GovernorPolicy,
+    /// Load at (or above) which the max P-state is requested.
+    saturation_load: f64,
+}
+
+impl Governor {
+    /// A P-state table modeled after the paper's Xeon 8360Y testbed:
+    /// 800 MHz idle floor up to the 2.4 GHz nominal frequency in
+    /// 200 MHz steps.
+    pub fn xeon_8360y(policy: GovernorPolicy) -> Self {
+        let pstates = (4..=12).map(|i| PState::from_khz(i * 200_000)).collect();
+        Self::new(pstates, policy, 2.0 * crate::VCPU_LOAD_CONTRIB).expect("static table is valid")
+    }
+
+    /// Creates a governor from an explicit P-state table (ascending).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the table is empty, unsorted, or the saturation
+    /// load is not positive.
+    pub fn new(
+        pstates: Vec<PState>,
+        policy: GovernorPolicy,
+        saturation_load: f64,
+    ) -> Result<Self, String> {
+        if pstates.is_empty() {
+            return Err("empty P-state table".into());
+        }
+        if pstates.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("P-state table must be strictly ascending".into());
+        }
+        if !(saturation_load > 0.0) {
+            return Err("saturation load must be positive".into());
+        }
+        Ok(Self {
+            pstates,
+            policy,
+            saturation_load,
+        })
+    }
+
+    /// Lowest available P-state.
+    pub fn min_pstate(&self) -> PState {
+        self.pstates[0]
+    }
+
+    /// Highest available P-state.
+    pub fn max_pstate(&self) -> PState {
+        *self.pstates.last().expect("non-empty table")
+    }
+
+    /// Active policy.
+    pub fn policy(&self) -> GovernorPolicy {
+        self.policy
+    }
+
+    /// The P-state requested for a given run-queue load.
+    pub fn target_pstate(&self, load: f64) -> PState {
+        match self.policy {
+            GovernorPolicy::Performance => self.max_pstate(),
+            GovernorPolicy::Powersave => self.min_pstate(),
+            GovernorPolicy::Schedutil => {
+                let ratio = (load / self.saturation_load).clamp(0.0, 1.0);
+                let idx = (ratio * (self.pstates.len() - 1) as f64).round() as usize;
+                self.pstates[idx]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedutil_scales_with_load() {
+        let g = Governor::xeon_8360y(GovernorPolicy::Schedutil);
+        let mut last = 0;
+        for load in [0.0, 512.0, 1024.0, 2048.0, 4096.0] {
+            let p = g.target_pstate(load);
+            assert!(p.khz() >= last);
+            last = p.khz();
+        }
+        assert_eq!(g.target_pstate(1e9), g.max_pstate());
+        assert_eq!(g.target_pstate(0.0), g.min_pstate());
+    }
+
+    #[test]
+    fn performance_pins_max() {
+        let g = Governor::xeon_8360y(GovernorPolicy::Performance);
+        assert_eq!(g.target_pstate(0.0), g.max_pstate());
+        assert_eq!(g.max_pstate().khz(), 2_400_000);
+        assert!((g.max_pstate().mhz() - 2_400.0).abs() < 1e-9);
+        assert_eq!(g.policy(), GovernorPolicy::Performance);
+    }
+
+    #[test]
+    fn powersave_pins_min() {
+        let g = Governor::xeon_8360y(GovernorPolicy::Powersave);
+        assert_eq!(g.target_pstate(1e9), g.min_pstate());
+        assert_eq!(g.min_pstate().khz(), 800_000);
+    }
+
+    #[test]
+    fn rejects_invalid_tables() {
+        assert!(Governor::new(vec![], GovernorPolicy::Schedutil, 1.0).is_err());
+        let unsorted = vec![PState::from_khz(2), PState::from_khz(1)];
+        assert!(Governor::new(unsorted, GovernorPolicy::Schedutil, 1.0).is_err());
+        let ok = vec![PState::from_khz(1), PState::from_khz(2)];
+        assert!(Governor::new(ok.clone(), GovernorPolicy::Schedutil, 0.0).is_err());
+        assert!(Governor::new(ok, GovernorPolicy::Schedutil, 1.0).is_ok());
+    }
+}

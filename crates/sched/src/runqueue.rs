@@ -1,0 +1,163 @@
+//! Per-CPU run queues.
+//!
+//! Each physical CPU owns a run queue: a credit-sorted list of runnable
+//! vCPUs (least remaining credit first, credit2 semantics) plus the
+//! lock-protected load variable consumed by the DVFS governor. HORSE adds
+//! a second *kind* of queue — the reserved `ull_runqueue` (paper §4.1.3) —
+//! distinguished by a 1 µs maximum time slice and by being the splice
+//! target of 𝒫²𝒮ℳ merges.
+
+use crate::load::RqLoad;
+use crate::topology::CpuId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default time slice of general-purpose queues (10 ms, credit2's default
+/// rate-limit granularity).
+pub const GENERAL_TIMESLICE_NS: u64 = 10_000_000;
+
+/// Time slice of reserved uLL queues: 1 µs — "each task on the
+/// ull_runqueue has a maximum timeslice of 1µs" (paper §4.1.3).
+pub const ULL_TIMESLICE_NS: u64 = 1_000;
+
+/// Identifier of a run queue within a [`crate::HostScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RqId(pub(crate) usize);
+
+impl RqId {
+    /// Raw index.
+    pub const fn as_usize(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rq{}", self.0)
+    }
+}
+
+/// The role of a run queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RqKind {
+    /// Ordinary per-CPU queue for general workloads.
+    General,
+    /// Reserved queue for ultra-low-latency sandboxes (paper §4.1.3):
+    /// 1 µs time slice, 𝒫²𝒮ℳ splice target, isolated from long-running
+    /// functions.
+    Ull,
+}
+
+/// One run queue: the credit-sorted vCPU list plus scheduling metadata.
+///
+/// The vCPU list itself lives in the scheduler's shared arena; this struct
+/// holds the list *handle*, the load variable, and the uLL bookkeeping
+/// (how many paused sandboxes are assigned here, used for the paper's
+/// pause-time load balancing across multiple ull_runqueues).
+#[derive(Debug)]
+pub struct RunQueue {
+    id: RqId,
+    kind: RqKind,
+    cpu: CpuId,
+    pub(crate) list: horse_core::SortedList,
+    load: RqLoad,
+    timeslice_ns: u64,
+    paused_assigned: usize,
+}
+
+impl RunQueue {
+    pub(crate) fn new(id: RqId, kind: RqKind, cpu: CpuId) -> Self {
+        let timeslice_ns = match kind {
+            RqKind::General => GENERAL_TIMESLICE_NS,
+            RqKind::Ull => ULL_TIMESLICE_NS,
+        };
+        Self {
+            id,
+            kind,
+            cpu,
+            list: horse_core::SortedList::new(),
+            load: RqLoad::new(),
+            timeslice_ns,
+            paused_assigned: 0,
+        }
+    }
+
+    /// Queue identifier.
+    pub fn id(&self) -> RqId {
+        self.id
+    }
+
+    /// Queue kind.
+    pub fn kind(&self) -> RqKind {
+        self.kind
+    }
+
+    /// Physical CPU this queue schedules.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Number of runnable vCPUs queued.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// The lock-protected load variable.
+    pub fn load(&self) -> &RqLoad {
+        &self.load
+    }
+
+    /// Maximum time slice for tasks on this queue, in nanoseconds.
+    pub fn timeslice_ns(&self) -> u64 {
+        self.timeslice_ns
+    }
+
+    /// Number of paused uLL sandboxes currently assigned to this queue
+    /// (only meaningful for [`RqKind::Ull`]).
+    pub fn paused_assigned(&self) -> usize {
+        self.paused_assigned
+    }
+
+    pub(crate) fn inc_paused(&mut self) {
+        self.paused_assigned += 1;
+    }
+
+    pub(crate) fn dec_paused(&mut self) {
+        debug_assert!(self.paused_assigned > 0, "paused count underflow");
+        self.paused_assigned = self.paused_assigned.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_set_timeslices() {
+        let g = RunQueue::new(RqId(0), RqKind::General, CpuId::new(0));
+        let u = RunQueue::new(RqId(1), RqKind::Ull, CpuId::new(1));
+        assert_eq!(g.timeslice_ns(), 10_000_000);
+        assert_eq!(u.timeslice_ns(), 1_000, "paper: 1µs uLL timeslice");
+        assert_eq!(g.kind(), RqKind::General);
+        assert_eq!(u.kind(), RqKind::Ull);
+        assert!(g.is_empty());
+        assert_eq!(u.cpu().as_u32(), 1);
+        assert_eq!(u.id().to_string(), "rq1");
+        assert_eq!(u.id().as_usize(), 1);
+    }
+
+    #[test]
+    fn paused_accounting() {
+        let mut q = RunQueue::new(RqId(0), RqKind::Ull, CpuId::new(0));
+        assert_eq!(q.paused_assigned(), 0);
+        q.inc_paused();
+        q.inc_paused();
+        q.dec_paused();
+        assert_eq!(q.paused_assigned(), 1);
+    }
+}

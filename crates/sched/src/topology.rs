@@ -1,0 +1,112 @@
+//! Physical CPU topology of the simulated host.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a physical CPU (hardware thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CpuId(u32);
+
+impl CpuId {
+    /// Creates a CPU id.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// Host CPU topology: sockets × cores (hyperthreading optionally doubling
+/// the logical count, as in the paper's §5 testbed which enables HT for
+/// the macro experiments but disables it for §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuTopology {
+    sockets: u32,
+    cores_per_socket: u32,
+    smt: bool,
+}
+
+impl CpuTopology {
+    /// The paper's CloudLab r650 testbed: 2 × Intel Xeon Platinum 8360Y,
+    /// 36 cores per socket.
+    pub fn r650(smt: bool) -> Self {
+        Self {
+            sockets: 2,
+            cores_per_socket: 36,
+            smt,
+        }
+    }
+
+    /// An arbitrary topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sockets: u32, cores_per_socket: u32, smt: bool) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0, "degenerate topology");
+        Self {
+            sockets,
+            cores_per_socket,
+            smt,
+        }
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// Physical cores per socket.
+    pub fn cores_per_socket(&self) -> u32 {
+        self.cores_per_socket
+    }
+
+    /// Whether SMT (hyperthreading) is enabled.
+    pub fn smt(&self) -> bool {
+        self.smt
+    }
+
+    /// Total logical CPUs (run-queue count).
+    pub fn logical_cpus(&self) -> u32 {
+        self.sockets * self.cores_per_socket * if self.smt { 2 } else { 1 }
+    }
+
+    /// Socket of a given logical CPU.
+    pub fn socket_of(&self, cpu: CpuId) -> u32 {
+        (cpu.0 / self.cores_per_socket) % self.sockets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r650_dimensions() {
+        let t = CpuTopology::r650(false);
+        assert_eq!(t.logical_cpus(), 72);
+        assert_eq!(t.sockets(), 2);
+        assert_eq!(t.cores_per_socket(), 36);
+        assert!(!t.smt());
+        let t2 = CpuTopology::r650(true);
+        assert_eq!(t2.logical_cpus(), 144);
+        assert!(t2.smt());
+    }
+
+    #[test]
+    fn socket_mapping() {
+        let t = CpuTopology::r650(false);
+        assert_eq!(t.socket_of(CpuId::new(0)), 0);
+        assert_eq!(t.socket_of(CpuId::new(35)), 0);
+        assert_eq!(t.socket_of(CpuId::new(36)), 1);
+        assert_eq!(CpuId::new(5).as_u32(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_topology_panics() {
+        CpuTopology::new(0, 4, false);
+    }
+}

@@ -1,0 +1,112 @@
+//! Virtual CPU and sandbox identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a virtual CPU, unique within a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VcpuId(u64);
+
+impl VcpuId {
+    /// Creates a vCPU id from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw numeric value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcpu{}", self.0)
+    }
+}
+
+/// Identifier of a sandbox (microVM), unique within a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SandboxId(u64);
+
+impl SandboxId {
+    /// Creates a sandbox id from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw numeric value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SandboxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sbx{}", self.0)
+    }
+}
+
+/// A vCPU as scheduled on a run queue: the arena payload of run-queue
+/// nodes. The sort key of the node is the vCPU's *credit* (credit2
+/// semantics: queues are sorted so the entity with the least remaining
+/// credit runs first, paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Vcpu {
+    /// This vCPU's id.
+    pub id: VcpuId,
+    /// Owning sandbox.
+    pub sandbox: SandboxId,
+    /// Scheduling weight (credit refill proportionality; 256 = default,
+    /// matching Xen credit2's default weight).
+    pub weight: u32,
+}
+
+impl Vcpu {
+    /// Creates a vCPU with the default weight.
+    pub fn new(id: VcpuId, sandbox: SandboxId) -> Self {
+        Self {
+            id,
+            sandbox,
+            weight: 256,
+        }
+    }
+
+    /// Creates a vCPU with an explicit weight.
+    pub fn with_weight(id: VcpuId, sandbox: SandboxId, weight: u32) -> Self {
+        Self {
+            id,
+            sandbox,
+            weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_roundtrip() {
+        let v = VcpuId::new(3);
+        let s = SandboxId::new(7);
+        assert_eq!(v.to_string(), "vcpu3");
+        assert_eq!(s.to_string(), "sbx7");
+        assert_eq!(v.as_u64(), 3);
+        assert_eq!(s.as_u64(), 7);
+    }
+
+    #[test]
+    fn vcpu_defaults() {
+        let v = Vcpu::new(VcpuId::new(1), SandboxId::new(2));
+        assert_eq!(v.weight, 256);
+        let w = Vcpu::with_weight(VcpuId::new(1), SandboxId::new(2), 512);
+        assert_eq!(w.weight, 512);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(VcpuId::new(1) < VcpuId::new(2));
+        assert!(SandboxId::new(9) > SandboxId::new(3));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests of the scheduler substrate: arbitrary operation
+//! sequences must preserve every structural invariant.
+
+use horse_sched::{
+    GovernorPolicy, HostScheduler, SandboxId, SchedConfig, SchedFlavor, Vcpu, VcpuId,
+};
+use proptest::prelude::*;
+
+fn sched(flavor: SchedFlavor) -> HostScheduler {
+    HostScheduler::new(SchedConfig {
+        topology: horse_sched::CpuTopology::new(1, 6, false),
+        ull_queues: 2,
+        governor_policy: GovernorPolicy::Schedutil,
+        flavor,
+    })
+}
+
+/// One randomized scheduler operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { queue: usize, key: i64 },
+    PickNext { queue: usize },
+    LoadUpdate { queue: usize, n: u32 },
+    Decay,
+    AssignUll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..6, -1000i64..1000).prop_map(|(queue, key)| Op::Enqueue { queue, key }),
+        (0usize..6).prop_map(|queue| Op::PickNext { queue }),
+        (0usize..6, 1u32..8).prop_map(|(queue, n)| Op::LoadUpdate { queue, n }),
+        Just(Op::Decay),
+        Just(Op::AssignUll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Queues stay sorted, counters stay consistent, nothing leaks —
+    /// under any interleaving of operations and under both flavors.
+    #[test]
+    fn random_ops_preserve_invariants(
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+        cfs in any::<bool>(),
+    ) {
+        let flavor = if cfs { SchedFlavor::Cfs } else { SchedFlavor::Credit2 };
+        let mut s = sched(flavor);
+        let all_queues: Vec<_> = s
+            .general_queues()
+            .iter()
+            .chain(s.ull_queues())
+            .copied()
+            .collect();
+        let mut next_vcpu = 0u64;
+        let mut expected_queued = 0usize;
+        let mut assigned_ull = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Enqueue { queue, key } => {
+                    let rq = all_queues[queue % all_queues.len()];
+                    let v = Vcpu::new(VcpuId::new(next_vcpu), SandboxId::new(0));
+                    next_vcpu += 1;
+                    s.enqueue_vcpu(rq, key, v);
+                    expected_queued += 1;
+                }
+                Op::PickNext { queue } => {
+                    let rq = all_queues[queue % all_queues.len()];
+                    if s.pick_next(rq).is_some() {
+                        expected_queued -= 1;
+                    }
+                }
+                Op::LoadUpdate { queue, n } => {
+                    let rq = all_queues[queue % all_queues.len()];
+                    let load = s.load_update_per_vcpu(rq, n);
+                    prop_assert!(load.is_finite() && load >= 0.0);
+                }
+                Op::Decay => s.tick_decay(),
+                Op::AssignUll => assigned_ull.push(s.assign_ull_queue()),
+            }
+            // Invariants after every step.
+            for &rq in &all_queues {
+                s.queue_list(rq)
+                    .check_invariants(s.arena())
+                    .map_err(TestCaseError::fail)?;
+            }
+        }
+        prop_assert_eq!(s.total_queued(), expected_queued);
+        prop_assert_eq!(s.arena().live(), expected_queued);
+        // uLL assignments balance within 1 of each other.
+        let counts: Vec<usize> = s
+            .ull_queues()
+            .iter()
+            .map(|q| s.queue(*q).paused_assigned())
+            .collect();
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "unbalanced uLL assignment: {counts:?}");
+        for rq in assigned_ull {
+            s.release_ull_queue(rq);
+        }
+    }
+
+    /// pick_next always yields keys in non-decreasing order between
+    /// enqueues (the sorted-queue contract the resume paths depend on).
+    #[test]
+    fn drain_is_sorted(keys in proptest::collection::vec(-10_000i64..10_000, 0..100)) {
+        let mut s = sched(SchedFlavor::Credit2);
+        let rq = s.ull_queues()[0];
+        for (i, &k) in keys.iter().enumerate() {
+            s.enqueue_vcpu(rq, k, Vcpu::new(VcpuId::new(i as u64), SandboxId::new(0)));
+        }
+        let mut last = i64::MIN;
+        while let Some((k, _)) = s.pick_next(rq) {
+            prop_assert!(k >= last);
+            last = k;
+        }
+        prop_assert!(s.arena().is_empty());
+    }
+
+    /// Load updates commute with the governor: identical loads yield
+    /// identical frequency targets regardless of how they were applied.
+    #[test]
+    fn governor_sees_identical_loads(n in 1u32..64) {
+        let s1 = sched(SchedFlavor::Credit2);
+        let s2 = sched(SchedFlavor::Credit2);
+        let rq1 = s1.ull_queues()[0];
+        let rq2 = s2.ull_queues()[0];
+        s1.load_update_per_vcpu(rq1, n);
+        s2.load_update_coalesced(rq2, s2.tracker().coalesce(n));
+        prop_assert_eq!(s1.target_pstate(rq1), s2.target_pstate(rq2));
+    }
+}
+
+proptest! {
+    /// The dispatch loop conserves work: completed + remaining always
+    /// equals submitted, under both flavors and any time budget.
+    #[test]
+    fn dispatch_conserves_work(
+        works in proptest::collection::vec(1u64..50_000, 1..20),
+        budget in 1u64..2_000_000,
+        cfs in any::<bool>(),
+    ) {
+        use horse_sched::dispatch::run_queue;
+        use std::collections::HashMap;
+
+        let flavor = if cfs { SchedFlavor::Cfs } else { SchedFlavor::Credit2 };
+        let mut s = sched(flavor);
+        let rq = s.ull_queues()[0];
+        let mut work: HashMap<VcpuId, u64> = HashMap::new();
+        let total: u64 = works.iter().sum();
+        for (i, &w) in works.iter().enumerate() {
+            let id = VcpuId::new(i as u64);
+            s.enqueue_vcpu(rq, flavor.initial_key(), Vcpu::new(id, SandboxId::new(0)));
+            work.insert(id, w);
+        }
+        let out = run_queue(&mut s, rq, &mut work, budget);
+        let completed: u64 = out
+            .completions
+            .iter()
+            .map(|c| works[c.vcpu.as_u64() as usize])
+            .sum();
+        let remaining: u64 = work.values().sum();
+        // Conservation: CPU time spent equals work consumed (completed
+        // entities in full, the preempted one partially).
+        prop_assert_eq!(out.elapsed_ns, total - remaining, "time equals work consumed");
+        prop_assert!(out.elapsed_ns <= budget);
+        prop_assert!(completed <= out.elapsed_ns, "completed work fits in elapsed time");
+        // Completion times are monotone.
+        prop_assert!(out.completions.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        // The queue holds exactly the unfinished entities.
+        prop_assert_eq!(s.queue(rq).len(), work.len());
+    }
+}

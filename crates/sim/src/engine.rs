@@ -1,0 +1,233 @@
+//! Event-heap discrete-event loop.
+
+use crate::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: ordered by time, then by insertion sequence so that
+/// same-time events are delivered FIFO (deterministic replay).
+struct Pending<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A minimal deterministic discrete-event engine.
+///
+/// The engine owns a priority queue of `(time, event)` pairs. Simulations
+/// drive it with a `while let Some((t, ev)) = engine.pop()` loop, scheduling
+/// follow-up events as they process each one. Events scheduled for the same
+/// instant are delivered in scheduling order.
+///
+/// # Example
+///
+/// ```
+/// use horse_sim::{Engine, SimDuration, SimTime};
+///
+/// let mut e = Engine::new();
+/// e.schedule_after(SimDuration::from_nanos(10), "b");
+/// e.schedule_after(SimDuration::from_nanos(10), "c");
+/// e.schedule(SimTime::ZERO, "a");
+/// let seen: Vec<_> = std::iter::from_fn(|| e.pop().map(|(_, ev)| ev)).collect();
+/// assert_eq!(seen, vec!["a", "b", "c"]);
+/// ```
+#[derive(Default)]
+pub struct Engine<E> {
+    heap: BinaryHeap<Reverse<Pending<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    delivered: u64,
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the engine's current time):
+    /// discrete-event causality would otherwise be violated.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Pending { at, seq, event }));
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    /// Returns `None` when the simulation has drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(p) = self.heap.pop()?;
+        debug_assert!(p.at >= self.now);
+        self.now = p.at;
+        self.delivered += 1;
+        Some((p.at, p.event))
+    }
+
+    /// Pops the next event only if it occurs at or before `limit`.
+    /// The clock never advances past `limit` via this method.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse(p)) if p.at <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(p)| p.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(30), 3);
+        e.schedule(SimTime::from_nanos(10), 1);
+        e.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<_> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.delivered(), 3);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut e = Engine::new();
+        for i in 0..100 {
+            e.schedule(SimTime::from_nanos(42), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(5), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_nanos(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(10), ());
+        e.pop();
+        e.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn schedule_after_uses_now() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(100), "first");
+        e.pop();
+        e.schedule_after(SimDuration::from_nanos(50), "second");
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_nanos(10), 1);
+        e.schedule(SimTime::from_nanos(100), 2);
+        assert_eq!(
+            e.pop_until(SimTime::from_nanos(50)).map(|(_, v)| v),
+            Some(1)
+        );
+        assert_eq!(e.pop_until(SimTime::from_nanos(50)), None);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.peek_time(), Some(SimTime::from_nanos(100)));
+    }
+
+    #[test]
+    fn interleaved_scheduling_stays_deterministic() {
+        // Two identically-seeded runs must produce identical delivery.
+        let run = || {
+            let mut e = Engine::new();
+            e.schedule(SimTime::from_nanos(1), 0u32);
+            let mut log = Vec::new();
+            while let Some((t, v)) = e.pop() {
+                log.push((t.as_nanos(), v));
+                if v < 5 {
+                    e.schedule_after(SimDuration::from_nanos(3), v + 1);
+                    e.schedule_after(SimDuration::from_nanos(3), v + 100);
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

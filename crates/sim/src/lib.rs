@@ -1,0 +1,46 @@
+//! Discrete-event simulation engine for the HORSE reproduction.
+//!
+//! The paper's macro-scale experiments (cold boots taking 1.5 s, traces
+//! spanning 30 s, 500 ms usage sampling) cannot be executed in real time in
+//! a reproduction, so they run on a **virtual clock**. This crate provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time;
+//! * [`Engine`] — a classic event-heap discrete-event loop with
+//!   deterministic FIFO tie-breaking;
+//! * [`rng`] — seeded, stream-split random number generation so every
+//!   experiment is reproducible from a single `--seed`.
+//!
+//! The *micro*-scale resume-path costs (the paper's Figures 2–3) are not
+//! simulated: they are executed for real by `horse-vmm` on the
+//! `horse-sched` substrate and only *accounted* in virtual time here.
+//!
+//! # Example
+//!
+//! ```
+//! use horse_sim::{Engine, SimDuration, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule(SimTime::ZERO + SimDuration::from_micros(5), Ev::Ping(1));
+//! engine.schedule(SimTime::ZERO + SimDuration::from_micros(1), Ev::Ping(2));
+//! let mut order = Vec::new();
+//! while let Some((t, ev)) = engine.pop() {
+//!     let Ev::Ping(id) = ev;
+//!     order.push((t.as_nanos(), id));
+//! }
+//! assert_eq!(order, vec![(1_000, 2), (5_000, 1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod rng;
+mod sampler;
+mod time;
+
+pub use engine::Engine;
+pub use sampler::Sampler;
+pub use time::{SimDuration, SimTime};

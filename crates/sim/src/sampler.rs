@@ -1,0 +1,107 @@
+//! Periodic sampling on the virtual clock.
+//!
+//! The paper's §5.2 experiment samples CPU and memory every 500 ms.
+//! [`Sampler`] produces those tick instants on the virtual clock and
+//! tells a simulation loop which sample indices are due — decoupling the
+//! sampling cadence from the event cadence.
+
+use crate::{SimDuration, SimTime};
+
+/// A fixed-period tick generator over virtual time.
+///
+/// # Example
+///
+/// ```
+/// use horse_sim::{Sampler, SimDuration, SimTime};
+///
+/// let mut s = Sampler::new(SimDuration::from_millis(500));
+/// // Nothing due at t=0 except the initial tick.
+/// assert_eq!(s.due(SimTime::ZERO), vec![0]);
+/// // Advancing 1.2 s emits ticks 1 and 2.
+/// let t = SimTime::ZERO + SimDuration::from_millis(1_200);
+/// assert_eq!(s.due(t), vec![1, 2]);
+/// assert_eq!(s.emitted(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sampler {
+    period: SimDuration,
+    next_index: u64,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(
+            period > SimDuration::ZERO,
+            "sampler needs a positive period"
+        );
+        Self {
+            period,
+            next_index: 0,
+        }
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Number of ticks emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Virtual time of a given tick index.
+    pub fn tick_time(&self, index: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(index * self.period.as_nanos())
+    }
+
+    /// Returns every not-yet-emitted tick index with `tick_time <= now`,
+    /// in order. Call on each simulation step; empty when nothing is due.
+    pub fn due(&mut self, now: SimTime) -> Vec<u64> {
+        let mut out = Vec::new();
+        while self.tick_time(self.next_index) <= now {
+            out.push(self.next_index);
+            self.next_index += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_regular() {
+        let mut s = Sampler::new(SimDuration::from_millis(500));
+        assert_eq!(s.tick_time(3), SimTime::from_nanos(1_500_000_000));
+        let due = s.due(SimTime::from_nanos(2_000_000_000));
+        assert_eq!(due, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.emitted(), 5);
+    }
+
+    #[test]
+    fn no_double_emission() {
+        let mut s = Sampler::new(SimDuration::from_secs(1));
+        assert_eq!(s.due(SimTime::from_nanos(1_500_000_000)), vec![0, 1]);
+        assert!(s.due(SimTime::from_nanos(1_900_000_000)).is_empty());
+        assert_eq!(s.due(SimTime::from_nanos(2_000_000_000)), vec![2]);
+    }
+
+    #[test]
+    fn period_accessor() {
+        let s = Sampler::new(SimDuration::from_micros(250));
+        assert_eq!(s.period(), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn zero_period_panics() {
+        Sampler::new(SimDuration::ZERO);
+    }
+}

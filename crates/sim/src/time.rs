@@ -1,0 +1,258 @@
+//! Virtual time types.
+//!
+//! All simulation time in this repository is expressed in nanoseconds,
+//! matching the paper's measurement resolution (HORSE resumes take ≈150 ns).
+//! [`SimTime`] is an absolute instant on the virtual clock; [`SimDuration`]
+//! is a span between instants. Both are thin `u64` newtypes so arithmetic is
+//! explicit and unit bugs are caught at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An absolute instant on the virtual clock, in nanoseconds since the
+/// start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the virtual clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from nanoseconds since the origin.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the origin (fractional).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds since the origin (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "time went backwards: {} < {}",
+            self.0,
+            earlier.0
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (fractional).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        assert!(rhs.0 <= self.0, "duration underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}µs", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.2}s", self.0 as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_micros(10);
+        let t2 = t + SimDuration::from_micros(5);
+        assert_eq!((t2 - t).as_nanos(), 5_000);
+        assert_eq!((SimDuration::from_nanos(10) * 3).as_nanos(), 30);
+        let mut d = SimDuration::from_nanos(1);
+        d += SimDuration::from_nanos(2);
+        assert_eq!(d.as_nanos(), 3);
+        assert_eq!(
+            (SimDuration::from_nanos(5) - SimDuration::from_nanos(2)).as_nanos(),
+            3
+        );
+        assert_eq!(
+            SimDuration::from_nanos(2)
+                .saturating_sub(SimDuration::from_nanos(5))
+                .as_nanos(),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_rejects_backwards() {
+        SimTime::from_nanos(5).since(SimTime::from_nanos(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration underflow")]
+    fn duration_sub_underflow_panics() {
+        let _ = SimDuration::from_nanos(1) - SimDuration::from_nanos(2);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let d = SimDuration::from_micros(1_500);
+        assert!((d.as_micros_f64() - 1_500.0).abs() < 1e-9);
+        assert!((d.as_secs_f64() - 0.0015).abs() < 1e-12);
+        let t = SimTime::from_nanos(2_500);
+        assert!((t.as_micros_f64() - 2.5).abs() < 1e-12);
+        assert!((t.as_secs_f64() - 2.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration::from_nanos(999).to_string(), "999ns");
+        assert_eq!(SimDuration::from_nanos(1_500).to_string(), "1.50µs");
+        assert_eq!(SimDuration::from_millis(2).to_string(), "2.00ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.00s");
+        assert_eq!(SimTime::from_nanos(7).to_string(), "t+7ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_secs_f64_rejects_negative() {
+        SimDuration::from_secs_f64(-1.0);
+    }
+}

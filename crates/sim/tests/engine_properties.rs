@@ -1,0 +1,91 @@
+//! Property tests of the discrete-event engine: total ordering,
+//! FIFO tie-breaking, and replay determinism under arbitrary schedules.
+
+use horse_sim::{Engine, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always come out in (time, insertion) order regardless of
+    /// the insertion order.
+    #[test]
+    fn delivery_is_totally_ordered(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut e = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut seen = 0;
+        while let Some((t, idx)) = e.pop() {
+            prop_assert_eq!(t.as_nanos(), times[idx]);
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t > lt || (t == lt && idx > lidx), "order violated");
+            }
+            last = Some((t, idx));
+            seen += 1;
+        }
+        prop_assert_eq!(seen, times.len());
+        prop_assert_eq!(e.delivered(), times.len() as u64);
+        prop_assert!(e.is_idle());
+    }
+
+    /// The clock never goes backwards, even with follow-up scheduling.
+    #[test]
+    fn clock_is_monotone(
+        seeds in proptest::collection::vec((0u64..1000, 0u64..100), 1..50),
+    ) {
+        let mut e = Engine::new();
+        for &(t, _) in &seeds {
+            e.schedule(SimTime::from_nanos(t), t);
+        }
+        let mut now = SimTime::ZERO;
+        let mut budget = 500; // bound follow-ups
+        while let Some((t, v)) = e.pop() {
+            prop_assert!(t >= now);
+            now = t;
+            if budget > 0 && v % 3 == 0 {
+                budget -= 1;
+                e.schedule_after(SimDuration::from_nanos(v % 7 + 1), v + 1);
+            }
+        }
+    }
+
+    /// pop_until never crosses the limit and preserves the remainder.
+    #[test]
+    fn pop_until_respects_limit(
+        times in proptest::collection::vec(0u64..1_000, 0..100),
+        limit in 0u64..1_000,
+    ) {
+        let mut e = Engine::new();
+        for &t in &times {
+            e.schedule(SimTime::from_nanos(t), t);
+        }
+        let mut below = 0;
+        while let Some((t, _)) = e.pop_until(SimTime::from_nanos(limit)) {
+            prop_assert!(t.as_nanos() <= limit);
+            below += 1;
+        }
+        let expected_below = times.iter().filter(|&&t| t <= limit).count();
+        prop_assert_eq!(below, expected_below);
+        prop_assert_eq!(e.pending(), times.len() - expected_below);
+    }
+
+    /// Identical schedules replay identically (the determinism the whole
+    /// experiment suite depends on).
+    #[test]
+    fn replay_is_deterministic(times in proptest::collection::vec(0u64..10_000, 0..100)) {
+        let run = || {
+            let mut e = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                e.schedule(SimTime::from_nanos(t), i);
+            }
+            let mut log = Vec::new();
+            while let Some((t, v)) = e.pop() {
+                log.push((t.as_nanos(), v));
+            }
+            log
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,168 @@
+//! Expansion of minute counts into arrival timestamps.
+//!
+//! §5.4 triggers functions "with arrival times derived from a 30 s chunk"
+//! of the trace. [`ArrivalSampler`] turns a [`Trace`]'s minute-resolution
+//! counts into nanosecond arrival instants: each invocation in a minute is
+//! placed uniformly at random within that minute (a Poisson process
+//! conditioned on its count), then the requested window is cut out.
+
+use crate::trace::Trace;
+use horse_sim::rng::SeedFactory;
+use horse_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+/// One sampled arrival: which trace function fires, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival instant on the simulation clock (relative to the chunk
+    /// start).
+    pub at: SimTime,
+    /// Index into [`Trace::functions`].
+    pub function: usize,
+}
+
+/// Samples arrival timestamps from a trace.
+///
+/// # Example
+///
+/// ```
+/// use horse_sim::rng::SeedFactory;
+/// use horse_sim::SimDuration;
+/// use horse_traces::{ArrivalSampler, SynthConfig};
+///
+/// let trace = SynthConfig::default().generate(&SeedFactory::new(1));
+/// let sampler = ArrivalSampler::new(&trace, SeedFactory::new(1));
+/// let chunk = sampler.chunk(SimDuration::from_secs(60), SimDuration::from_secs(30));
+/// // Arrivals are sorted and within the 30 s window.
+/// assert!(chunk.windows(2).all(|w| w[0].at <= w[1].at));
+/// assert!(chunk.iter().all(|a| a.at.as_nanos() < 30_000_000_000));
+/// ```
+#[derive(Debug)]
+pub struct ArrivalSampler<'a> {
+    trace: &'a Trace,
+    seeds: SeedFactory,
+}
+
+impl<'a> ArrivalSampler<'a> {
+    /// Creates a sampler over a trace.
+    pub fn new(trace: &'a Trace, seeds: SeedFactory) -> Self {
+        Self { trace, seeds }
+    }
+
+    /// Samples all arrivals in `[offset, offset + len)` of the trace day,
+    /// sorted by time and re-based so the window starts at
+    /// [`SimTime::ZERO`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends beyond the trace.
+    pub fn chunk(&self, offset: SimDuration, len: SimDuration) -> Vec<Arrival> {
+        let start_ns = offset.as_nanos();
+        let end_ns = start_ns + len.as_nanos();
+        let trace_ns = self.trace.minutes() as u64 * 60_000_000_000;
+        assert!(
+            end_ns <= trace_ns,
+            "window [{start_ns}, {end_ns}) ns beyond trace ({trace_ns} ns)"
+        );
+        let first_minute = (start_ns / 60_000_000_000) as usize;
+        let last_minute = (end_ns.saturating_sub(1) / 60_000_000_000) as usize;
+
+        let mut out = Vec::new();
+        for (fi, f) in self.trace.functions().iter().enumerate() {
+            let mut rng = self.seeds.stream_indexed("arrivals", fi as u64);
+            for minute in first_minute..=last_minute {
+                let count = f.per_minute[minute];
+                // Consume the RNG identically regardless of the window so
+                // overlapping chunks agree on shared arrivals? Not needed:
+                // each chunk call is an independent experiment; determinism
+                // per (seed, window) is what matters.
+                for _ in 0..count {
+                    let at_ns =
+                        minute as u64 * 60_000_000_000 + rng.gen_range(0..60_000_000_000u64);
+                    if at_ns >= start_ns && at_ns < end_ns {
+                        out.push(Arrival {
+                            at: SimTime::from_nanos(at_ns - start_ns),
+                            function: fi,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.at, a.function));
+        out
+    }
+
+    /// Mean arrival rate (invocations/second) over a window, a quick
+    /// sanity statistic for experiment setup.
+    pub fn mean_rate(&self, offset: SimDuration, len: SimDuration) -> f64 {
+        let n = self.chunk(offset, len).len();
+        n as f64 / len.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceFunction;
+
+    fn trace_with_counts(counts: Vec<Vec<u32>>) -> Trace {
+        Trace::new(
+            counts
+                .into_iter()
+                .enumerate()
+                .map(|(i, per_minute)| TraceFunction {
+                    owner: "o".into(),
+                    app: "a".into(),
+                    func: format!("f{i}"),
+                    per_minute,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn full_minute_window_contains_all_arrivals() {
+        let t = trace_with_counts(vec![vec![5, 7], vec![3, 0]]);
+        let s = ArrivalSampler::new(&t, SeedFactory::new(9));
+        let all = s.chunk(SimDuration::ZERO, SimDuration::from_secs(120));
+        assert_eq!(all.len(), 15);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rebased() {
+        let t = trace_with_counts(vec![vec![0, 50]]);
+        let s = ArrivalSampler::new(&t, SeedFactory::new(9));
+        let win = s.chunk(SimDuration::from_secs(60), SimDuration::from_secs(60));
+        assert_eq!(win.len(), 50);
+        assert!(win.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(win.iter().all(|a| a.at.as_nanos() < 60_000_000_000));
+    }
+
+    #[test]
+    fn chunking_is_deterministic() {
+        let t = trace_with_counts(vec![vec![20, 20], vec![20, 20]]);
+        let s = ArrivalSampler::new(&t, SeedFactory::new(4));
+        let a = s.chunk(SimDuration::from_secs(30), SimDuration::from_secs(30));
+        let b = s.chunk(SimDuration::from_secs(30), SimDuration::from_secs(30));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_windows_select_subsets() {
+        let t = trace_with_counts(vec![vec![1000]]);
+        let s = ArrivalSampler::new(&t, SeedFactory::new(2));
+        let half = s.chunk(SimDuration::ZERO, SimDuration::from_secs(30)).len();
+        // Uniform placement: roughly half the minute's arrivals.
+        assert!((300..700).contains(&half), "got {half}");
+        let rate = s.mean_rate(SimDuration::ZERO, SimDuration::from_secs(30));
+        assert!((rate - half as f64 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace")]
+    fn window_beyond_trace_panics() {
+        let t = trace_with_counts(vec![vec![1]]);
+        let s = ArrivalSampler::new(&t, SeedFactory::new(2));
+        s.chunk(SimDuration::from_secs(30), SimDuration::from_secs(60));
+    }
+}

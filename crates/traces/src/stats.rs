@@ -1,0 +1,248 @@
+//! Trace analytics: inter-arrival statistics and keep-alive windows.
+//!
+//! The paper's trace source ("Serverless in the Wild", ATC '20 — the
+//! Azure dataset characterization) shows that per-function idle times
+//! span orders of magnitude and proposes histogram-based keep-alive
+//! windows. This module computes those statistics from a [`Trace`]:
+//! per-function inter-arrival times (IAT), burstiness, and the keep-alive
+//! TTL required to reach a target warm-hit rate — the quantity a platform
+//! operator trades against the paper's "keep-alive tax" (§1).
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Inter-arrival statistics of one function, computed at minute
+/// resolution from its invocation counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionStats {
+    /// Index into [`Trace::functions`].
+    pub function: usize,
+    /// Total invocations over the trace.
+    pub invocations: u64,
+    /// Mean inter-arrival time in seconds (minute-resolution estimate);
+    /// `None` for functions with fewer than two invocations.
+    pub mean_iat_secs: Option<f64>,
+    /// Longest idle gap in seconds (consecutive zero-count minutes).
+    pub max_idle_secs: u64,
+    /// Fraction of trace minutes with at least one invocation.
+    pub active_minute_fraction: f64,
+    /// Coefficient of variation of the per-minute counts (burstiness:
+    /// ≈1 for Poisson, ≫1 for bursty functions).
+    pub count_cv: f64,
+}
+
+/// Computes per-function statistics for every row of a trace.
+pub fn function_stats(trace: &Trace) -> Vec<FunctionStats> {
+    trace
+        .functions()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let counts = &f.per_minute;
+            let minutes = counts.len().max(1);
+            let total: u64 = f.total_invocations();
+            let active = counts.iter().filter(|&&c| c > 0).count();
+
+            // Longest run of zero minutes.
+            let mut max_idle_min = 0usize;
+            let mut run = 0usize;
+            for &c in counts {
+                if c == 0 {
+                    run += 1;
+                    max_idle_min = max_idle_min.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+
+            // Mean IAT over the active span.
+            let mean_iat_secs = (total >= 2).then(|| {
+                let span_secs = minutes as f64 * 60.0;
+                span_secs / total as f64
+            });
+
+            // CV of per-minute counts.
+            let mean = total as f64 / minutes as f64;
+            let var = counts
+                .iter()
+                .map(|&c| {
+                    let d = f64::from(c) - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / minutes as f64;
+            let count_cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+
+            FunctionStats {
+                function: i,
+                invocations: total,
+                mean_iat_secs,
+                max_idle_secs: (max_idle_min as u64) * 60,
+                active_minute_fraction: active as f64 / minutes as f64,
+                count_cv,
+            }
+        })
+        .collect()
+}
+
+/// The keep-alive TTL (seconds) needed for a function to reach the given
+/// warm-hit rate, estimated from its idle-gap distribution at minute
+/// resolution ("Serverless in the Wild"'s histogram policy). Returns
+/// `None` for functions with fewer than two invocations (no gaps to
+/// learn from).
+///
+/// # Panics
+///
+/// Panics unless `target_hit_rate` is within `(0, 1]`.
+pub fn keep_alive_for_hit_rate(
+    trace: &Trace,
+    function: usize,
+    target_hit_rate: f64,
+) -> Option<u64> {
+    assert!(
+        target_hit_rate > 0.0 && target_hit_rate <= 1.0,
+        "hit rate must be in (0, 1]"
+    );
+    let counts = &trace.functions().get(function)?.per_minute;
+    // Idle gaps between consecutive active minutes, in minutes.
+    let active: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, _)| i)
+        .collect();
+    if active.len() < 2 {
+        return None;
+    }
+    let mut gaps: Vec<u64> = active.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+    gaps.sort_unstable();
+    let rank = ((target_hit_rate * gaps.len() as f64).ceil().max(1.0) as usize).min(gaps.len());
+    Some(gaps[rank - 1] * 60)
+}
+
+/// Aggregate report over a whole trace: the operator-facing summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Number of functions.
+    pub functions: usize,
+    /// Total invocations.
+    pub invocations: u64,
+    /// Share of total invocations received by the top-10 % most popular
+    /// functions (heavy tail: Azure-like traces exceed 0.5).
+    pub top_decile_share: f64,
+    /// Median of the per-function mean IATs (seconds), over functions
+    /// with at least two invocations.
+    pub median_mean_iat_secs: f64,
+}
+
+/// Computes the aggregate report.
+pub fn trace_report(trace: &Trace) -> TraceReport {
+    let stats = function_stats(trace);
+    let mut totals: Vec<u64> = stats.iter().map(|s| s.invocations).collect();
+    totals.sort_unstable_by(|a, b| b.cmp(a));
+    let sum: u64 = totals.iter().sum();
+    let decile = (totals.len() / 10).max(1);
+    let top: u64 = totals.iter().take(decile).sum();
+    let mut iats: Vec<f64> = stats.iter().filter_map(|s| s.mean_iat_secs).collect();
+    iats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    TraceReport {
+        functions: stats.len(),
+        invocations: sum,
+        top_decile_share: if sum > 0 {
+            top as f64 / sum as f64
+        } else {
+            0.0
+        },
+        median_mean_iat_secs: if iats.is_empty() {
+            0.0
+        } else {
+            iats[iats.len() / 2]
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceFunction;
+
+    fn trace(counts: Vec<Vec<u32>>) -> Trace {
+        Trace::new(
+            counts
+                .into_iter()
+                .enumerate()
+                .map(|(i, per_minute)| TraceFunction {
+                    owner: "o".into(),
+                    app: "a".into(),
+                    func: format!("f{i}"),
+                    per_minute,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn stats_basic_quantities() {
+        let t = trace(vec![vec![2, 0, 0, 1, 0, 3]]);
+        let s = &function_stats(&t)[0];
+        assert_eq!(s.invocations, 6);
+        assert_eq!(s.max_idle_secs, 120, "two consecutive idle minutes");
+        assert!((s.active_minute_fraction - 0.5).abs() < 1e-12);
+        // 6 invocations over 6 minutes -> mean IAT = 60 s.
+        assert!((s.mean_iat_secs.unwrap() - 60.0).abs() < 1e-9);
+        assert!(s.count_cv > 0.0);
+    }
+
+    #[test]
+    fn idle_function_has_no_iat() {
+        let t = trace(vec![vec![0, 0, 1, 0]]);
+        let s = &function_stats(&t)[0];
+        assert_eq!(s.mean_iat_secs, None);
+        assert_eq!(s.invocations, 1);
+    }
+
+    #[test]
+    fn keep_alive_covers_requested_fraction_of_gaps() {
+        // Active minutes 0, 1, 5, 6: gaps 1, 4, 1 minutes.
+        let t = trace(vec![vec![1, 1, 0, 0, 0, 1, 1]]);
+        // 2/3 of gaps are 1 minute: a 60 s TTL hits ~66 %.
+        assert_eq!(keep_alive_for_hit_rate(&t, 0, 0.66), Some(60));
+        // Covering all gaps needs 4 minutes.
+        assert_eq!(keep_alive_for_hit_rate(&t, 0, 1.0), Some(240));
+    }
+
+    #[test]
+    fn keep_alive_requires_history() {
+        let t = trace(vec![vec![1, 0, 0]]);
+        assert_eq!(keep_alive_for_hit_rate(&t, 0, 0.9), None);
+        assert_eq!(keep_alive_for_hit_rate(&t, 7, 0.9), None, "unknown fn");
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate must be in")]
+    fn invalid_hit_rate_panics() {
+        let t = trace(vec![vec![1, 1]]);
+        keep_alive_for_hit_rate(&t, 0, 0.0);
+    }
+
+    #[test]
+    fn report_captures_heavy_tail() {
+        let mut rows = vec![vec![100, 100, 100]; 2]; // hot functions
+        rows.extend(vec![vec![1, 0, 0]; 18]); // long tail
+        let t = trace(rows);
+        let r = trace_report(&t);
+        assert_eq!(r.functions, 20);
+        assert_eq!(r.invocations, 618);
+        assert!(r.top_decile_share > 0.9, "{}", r.top_decile_share);
+        assert!(r.median_mean_iat_secs > 0.0);
+    }
+
+    #[test]
+    fn burstiness_orders_functions() {
+        let steady = trace(vec![vec![5; 10]]);
+        let bursty = trace(vec![vec![50, 0, 0, 0, 0, 0, 0, 0, 0, 0]]);
+        let cv_steady = function_stats(&steady)[0].count_cv;
+        let cv_bursty = function_stats(&bursty)[0].count_cv;
+        assert!(cv_bursty > 2.0 * cv_steady.max(0.1));
+    }
+}

@@ -1,0 +1,245 @@
+//! Synthetic trace generation with Azure-2019-like statistics.
+//!
+//! The published characterization of the Azure Functions workload
+//! ("Serverless in the Wild", ATC '20 — the paper's own trace source)
+//! reports: a heavy-tailed popularity distribution where a small fraction
+//! of functions receives the vast majority of invocations; per-function
+//! average rates spanning many orders of magnitude (well fit by a
+//! log-normal); and a diurnal cycle. This generator reproduces those
+//! properties with seeded randomness.
+
+use crate::trace::{Trace, TraceFunction};
+use horse_sim::rng::SeedFactory;
+use rand_distr_shim::{LogNormal, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Minimal distributions over `rand` (log-normal via Box–Muller, Poisson
+/// via Knuth/normal approximation) so no extra crate dependency is
+/// needed.
+mod rand_distr_shim {
+    use rand::Rng;
+
+    /// Log-normal distribution parameterized by the underlying normal's
+    /// mean and standard deviation.
+    #[derive(Debug, Clone, Copy)]
+    pub struct LogNormal {
+        pub mu: f64,
+        pub sigma: f64,
+    }
+
+    impl LogNormal {
+        pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+            // Box–Muller transform.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.mu + self.sigma * z).exp()
+        }
+    }
+
+    /// Poisson distribution.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Poisson {
+        pub lambda: f64,
+    }
+
+    impl Poisson {
+        pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+            if self.lambda <= 0.0 {
+                return 0;
+            }
+            if self.lambda < 30.0 {
+                // Knuth's algorithm.
+                let l = (-self.lambda).exp();
+                let mut k = 0u64;
+                let mut p = 1.0;
+                loop {
+                    p *= rng.gen_range(0.0f64..1.0);
+                    if p <= l {
+                        return k;
+                    }
+                    k += 1;
+                }
+            }
+            // Normal approximation for large lambda.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.lambda + z * self.lambda.sqrt()).max(0.0).round() as u64
+        }
+    }
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of applications.
+    pub apps: usize,
+    /// Maximum functions per application (Zipf-distributed, ≥ 1).
+    pub max_functions_per_app: usize,
+    /// Median of the per-function mean invocations-per-minute
+    /// (log-normal median = exp(µ)).
+    pub median_rpm: f64,
+    /// Log-normal σ of per-function rates (Azure spans many decades;
+    /// σ ≈ 2 gives ~5 decades between p1 and p99).
+    pub rate_sigma: f64,
+    /// Minutes of trace to generate (1440 = one day, like Azure).
+    pub minutes: usize,
+    /// Amplitude of the diurnal modulation in `[0, 1)` (0 = flat).
+    pub diurnal_amplitude: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            apps: 40,
+            max_functions_per_app: 8,
+            median_rpm: 1.0,
+            rate_sigma: 2.0,
+            minutes: 1440,
+            diurnal_amplitude: 0.4,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Generates a trace, deterministically from the seed factory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps`, `max_functions_per_app` or `minutes` is zero, or
+    /// the diurnal amplitude is outside `[0, 1)`.
+    pub fn generate(&self, seeds: &SeedFactory) -> Trace {
+        assert!(self.apps > 0 && self.max_functions_per_app > 0 && self.minutes > 0);
+        assert!((0.0..1.0).contains(&self.diurnal_amplitude));
+        let mut meta_rng = seeds.stream("trace-meta");
+        let rate_dist = LogNormal {
+            mu: self.median_rpm.max(1e-9).ln(),
+            sigma: self.rate_sigma,
+        };
+
+        let mut functions = Vec::new();
+        let mut fn_index = 0u64;
+        for app in 0..self.apps {
+            // Zipf-ish function count: app k gets max/(k+1) functions.
+            let count = (self.max_functions_per_app / (app / 4 + 1)).max(1);
+            for f in 0..count {
+                let mean_rpm = rate_dist.sample(&mut meta_rng).min(10_000.0);
+                let mut rng = seeds.stream_indexed("trace-fn", fn_index);
+                fn_index += 1;
+                let per_minute = (0..self.minutes)
+                    .map(|m| {
+                        let phase = 2.0 * std::f64::consts::PI * (m as f64) / (self.minutes as f64);
+                        let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
+                        let lambda = mean_rpm * diurnal;
+                        Poisson { lambda }.sample(&mut rng).min(u64::from(u32::MAX)) as u32
+                    })
+                    .collect();
+                functions.push(TraceFunction {
+                    owner: format!("owner{:03}", app % 7),
+                    app: format!("app{app:03}"),
+                    func: format!("fn{app:03}_{f:02}"),
+                    per_minute,
+                });
+            }
+        }
+        Trace::new(functions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SynthConfig {
+        SynthConfig {
+            apps: 10,
+            max_functions_per_app: 4,
+            median_rpm: 2.0,
+            rate_sigma: 1.5,
+            minutes: 60,
+            diurnal_amplitude: 0.3,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let seeds = SeedFactory::new(11);
+        let a = small().generate(&seeds);
+        let b = small().generate(&seeds);
+        assert_eq!(a, b);
+        let c = small().generate(&SeedFactory::new(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let t = small().generate(&SeedFactory::new(1));
+        assert!(t.functions().len() >= 10);
+        assert_eq!(t.minutes(), 60);
+        assert!(t.total_invocations() > 0);
+    }
+
+    #[test]
+    fn rates_are_heavy_tailed() {
+        let cfg = SynthConfig {
+            apps: 60,
+            minutes: 30,
+            ..SynthConfig::default()
+        };
+        let t = cfg.generate(&SeedFactory::new(5));
+        let mut totals: Vec<u64> = t
+            .functions()
+            .iter()
+            .map(|f| f.total_invocations())
+            .collect();
+        totals.sort_unstable_by(|a, b| b.cmp(a));
+        let sum: u64 = totals.iter().sum();
+        let top10: u64 = totals.iter().take(totals.len() / 10).sum();
+        assert!(
+            top10 as f64 > 0.5 * sum as f64,
+            "top 10% of functions should dominate invocations (Azure-like): {top10}/{sum}"
+        );
+    }
+
+    #[test]
+    fn diurnal_modulation_changes_minute_profile() {
+        let flat = SynthConfig {
+            diurnal_amplitude: 0.0,
+            minutes: 120,
+            apps: 20,
+            median_rpm: 50.0,
+            rate_sigma: 0.1,
+            ..SynthConfig::default()
+        };
+        let wavy = SynthConfig {
+            diurnal_amplitude: 0.9,
+            ..flat
+        };
+        let seeds = SeedFactory::new(3);
+        let sum_minute = |t: &Trace, m: usize| -> u64 {
+            t.functions()
+                .iter()
+                .map(|f| u64::from(f.per_minute[m]))
+                .sum()
+        };
+        let tw = wavy.generate(&seeds);
+        // Peak (quarter period, minute 30) vs trough (minute 90).
+        let peak = sum_minute(&tw, 30) as f64;
+        let trough = sum_minute(&tw, 90) as f64;
+        assert!(
+            peak > 1.5 * trough,
+            "diurnal peak {peak} should dominate trough {trough}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_minutes_panics() {
+        let cfg = SynthConfig {
+            minutes: 0,
+            ..SynthConfig::default()
+        };
+        cfg.generate(&SeedFactory::new(1));
+    }
+}

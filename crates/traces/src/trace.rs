@@ -1,0 +1,317 @@
+//! Trace data model and the Azure CSV schema.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// One function's row in the invocation-count trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceFunction {
+    /// Hashed owner id (Azure schema `HashOwner`).
+    pub owner: String,
+    /// Hashed application id (`HashApp`).
+    pub app: String,
+    /// Hashed function id (`HashFunction`).
+    pub func: String,
+    /// Invocation count per minute of the trace day.
+    pub per_minute: Vec<u32>,
+}
+
+impl TraceFunction {
+    /// Total invocations across the whole trace.
+    pub fn total_invocations(&self) -> u64 {
+        self.per_minute.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Peak per-minute invocation count.
+    pub fn peak_rpm(&self) -> u32 {
+        self.per_minute.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Error from parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    line: usize,
+    what: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.what)
+    }
+}
+
+impl Error for TraceParseError {}
+
+/// A minute-resolution invocation trace (the Azure Public Dataset shape).
+///
+/// # Example
+///
+/// ```
+/// use horse_traces::Trace;
+///
+/// let csv = "HashOwner,HashApp,HashFunction,1,2,3\n\
+///            o1,a1,f1,0,5,2\n\
+///            o1,a1,f2,1,0,0\n";
+/// let trace = Trace::from_csv(csv.as_bytes())?;
+/// assert_eq!(trace.functions().len(), 2);
+/// assert_eq!(trace.minutes(), 3);
+/// assert_eq!(trace.total_invocations(), 8);
+/// # Ok::<(), horse_traces::TraceParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    functions: Vec<TraceFunction>,
+    minutes: usize,
+}
+
+impl Trace {
+    /// Builds a trace from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows disagree on the number of minutes.
+    pub fn new(functions: Vec<TraceFunction>) -> Self {
+        let minutes = functions.first().map_or(0, |f| f.per_minute.len());
+        assert!(
+            functions.iter().all(|f| f.per_minute.len() == minutes),
+            "all trace rows must cover the same minutes"
+        );
+        Self { functions, minutes }
+    }
+
+    /// Parses the Azure CSV schema: a header line
+    /// `HashOwner,HashApp,HashFunction,1,2,…` followed by one row per
+    /// function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] on malformed headers, ragged rows or
+    /// non-numeric counts.
+    pub fn from_csv<R: BufRead>(reader: R) -> Result<Self, TraceParseError> {
+        let mut lines = reader.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| TraceParseError {
+            line: 1,
+            what: "empty input".into(),
+        })?;
+        let header = header.map_err(|e| TraceParseError {
+            line: 1,
+            what: e.to_string(),
+        })?;
+        let cols: Vec<&str> = header.split(',').collect();
+        if cols.len() < 4
+            || cols[0] != "HashOwner"
+            || cols[1] != "HashApp"
+            || cols[2] != "HashFunction"
+        {
+            return Err(TraceParseError {
+                line: 1,
+                what: format!("unexpected header: {header}"),
+            });
+        }
+        let minutes = cols.len() - 3;
+        let mut functions = Vec::new();
+        for (idx, line) in lines {
+            let line = line.map_err(|e| TraceParseError {
+                line: idx + 1,
+                what: e.to_string(),
+            })?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != minutes + 3 {
+                return Err(TraceParseError {
+                    line: idx + 1,
+                    what: format!("expected {} fields, got {}", minutes + 3, fields.len()),
+                });
+            }
+            let per_minute = fields[3..]
+                .iter()
+                .map(|s| s.trim().parse::<u32>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| TraceParseError {
+                    line: idx + 1,
+                    what: format!("bad count: {e}"),
+                })?;
+            functions.push(TraceFunction {
+                owner: fields[0].to_string(),
+                app: fields[1].to_string(),
+                func: fields[2].to_string(),
+                per_minute,
+            });
+        }
+        Ok(Self { functions, minutes })
+    }
+
+    /// Reads a trace from a CSV file on disk (the Azure Public Dataset
+    /// invocation files drop in directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] for I/O or format errors.
+    pub fn from_csv_file(path: impl AsRef<std::path::Path>) -> Result<Self, TraceParseError> {
+        let file = std::fs::File::open(path.as_ref()).map_err(|e| TraceParseError {
+            line: 0,
+            what: format!("cannot open {}: {e}", path.as_ref().display()),
+        })?;
+        Self::from_csv(std::io::BufReader::new(file))
+    }
+
+    /// Writes the trace to a CSV file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn to_csv_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.to_csv(&mut file)
+    }
+
+    /// Writes the trace back out in the Azure CSV schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn to_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        write!(w, "HashOwner,HashApp,HashFunction")?;
+        for m in 1..=self.minutes {
+            write!(w, ",{m}")?;
+        }
+        writeln!(w)?;
+        for f in &self.functions {
+            write!(w, "{},{},{}", f.owner, f.app, f.func)?;
+            for c in &f.per_minute {
+                write!(w, ",{c}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// The function rows.
+    pub fn functions(&self) -> &[TraceFunction] {
+        &self.functions
+    }
+
+    /// Number of minutes each row covers.
+    pub fn minutes(&self) -> usize {
+        self.minutes
+    }
+
+    /// Total invocations across all functions.
+    pub fn total_invocations(&self) -> u64 {
+        self.functions.iter().map(|f| f.total_invocations()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(vec![
+            TraceFunction {
+                owner: "o".into(),
+                app: "a".into(),
+                func: "f1".into(),
+                per_minute: vec![1, 0, 3],
+            },
+            TraceFunction {
+                owner: "o".into(),
+                app: "a".into(),
+                func: "f2".into(),
+                per_minute: vec![0, 10, 0],
+            },
+        ])
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = sample();
+        assert_eq!(t.minutes(), 3);
+        assert_eq!(t.total_invocations(), 14);
+        assert_eq!(t.functions()[0].total_invocations(), 4);
+        assert_eq!(t.functions()[1].peak_rpm(), 10);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        let parsed = Trace::from_csv(buf.as_slice()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = Trace::from_csv("Nope,No,No,1\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("unexpected header"));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let csv = "HashOwner,HashApp,HashFunction,1,2\no,a,f,1\n";
+        let e = Trace::from_csv(csv.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("expected 5 fields"));
+    }
+
+    #[test]
+    fn rejects_non_numeric_counts() {
+        let csv = "HashOwner,HashApp,HashFunction,1\no,a,f,xyz\n";
+        let e = Trace::from_csv(csv.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("bad count"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "HashOwner,HashApp,HashFunction,1\n\no,a,f,7\n\n";
+        let t = Trace::from_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.functions().len(), 1);
+        assert_eq!(t.total_invocations(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "same minutes")]
+    fn new_rejects_ragged() {
+        Trace::new(vec![
+            TraceFunction {
+                owner: "o".into(),
+                app: "a".into(),
+                func: "f".into(),
+                per_minute: vec![1],
+            },
+            TraceFunction {
+                owner: "o".into(),
+                app: "a".into(),
+                func: "g".into(),
+                per_minute: vec![1, 2],
+            },
+        ]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let mut path = std::env::temp_dir();
+        path.push(format!("horse-trace-test-{}.csv", std::process::id()));
+        t.to_csv_file(&path).unwrap();
+        let parsed = Trace::from_csv_file(&path).unwrap();
+        assert_eq!(parsed, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let e = Trace::from_csv_file("/nonexistent/trace.csv").unwrap_err();
+        assert!(e.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(Trace::from_csv("".as_bytes()).is_err());
+    }
+}

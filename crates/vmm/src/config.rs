@@ -1,0 +1,182 @@
+//! Sandbox configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of sandbox the virtualization system manages (paper §1: microVMs
+/// under Firecracker/AWS Lambda, containers-in-VMs under Alibaba Function
+/// Compute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SandboxKind {
+    /// A Firecracker-style microVM.
+    #[default]
+    MicroVm,
+    /// A container hosted inside a VM.
+    Container,
+}
+
+/// Configuration of one sandbox.
+///
+/// Built with a non-consuming builder:
+///
+/// ```
+/// use horse_vmm::SandboxConfig;
+///
+/// let cfg = SandboxConfig::builder()
+///     .vcpus(2)
+///     .memory_mb(1024)
+///     .ull(true)
+///     .build()?;
+/// assert_eq!(cfg.vcpus(), 2);
+/// assert!(cfg.is_ull());
+/// # Ok::<(), horse_vmm::InvalidConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SandboxConfig {
+    vcpus: u32,
+    memory_mb: u32,
+    kind: SandboxKind,
+    ull: bool,
+}
+
+impl Default for SandboxConfig {
+    /// The paper's default sandbox: 1 vCPU, 512 MB microVM (§2).
+    fn default() -> Self {
+        Self {
+            vcpus: 1,
+            memory_mb: 512,
+            kind: SandboxKind::MicroVm,
+            ull: false,
+        }
+    }
+}
+
+/// Error returned for degenerate sandbox configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid sandbox configuration: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidConfigError {}
+
+impl SandboxConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> SandboxConfigBuilder {
+        SandboxConfigBuilder {
+            inner: Self::default(),
+        }
+    }
+
+    /// Number of vCPUs (1–36 in the paper's experiments).
+    pub fn vcpus(&self) -> u32 {
+        self.vcpus
+    }
+
+    /// Guest memory in MiB.
+    pub fn memory_mb(&self) -> u32 {
+        self.memory_mb
+    }
+
+    /// Sandbox kind.
+    pub fn kind(&self) -> SandboxKind {
+        self.kind
+    }
+
+    /// Whether this sandbox hosts ultra-low-latency workloads (resumes on
+    /// the reserved ull_runqueue with HORSE's fast path).
+    pub fn is_ull(&self) -> bool {
+        self.ull
+    }
+}
+
+/// Non-consuming builder for [`SandboxConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct SandboxConfigBuilder {
+    inner: SandboxConfig,
+}
+
+impl SandboxConfigBuilder {
+    /// Sets the vCPU count.
+    pub fn vcpus(&mut self, vcpus: u32) -> &mut Self {
+        self.inner.vcpus = vcpus;
+        self
+    }
+
+    /// Sets the guest memory in MiB.
+    pub fn memory_mb(&mut self, memory_mb: u32) -> &mut Self {
+        self.inner.memory_mb = memory_mb;
+        self
+    }
+
+    /// Sets the sandbox kind.
+    pub fn kind(&mut self, kind: SandboxKind) -> &mut Self {
+        self.inner.kind = kind;
+        self
+    }
+
+    /// Marks the sandbox as hosting uLL workloads.
+    pub fn ull(&mut self, ull: bool) -> &mut Self {
+        self.inner.ull = ull;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero vCPUs or zero memory.
+    pub fn build(&self) -> Result<SandboxConfig, InvalidConfigError> {
+        if self.inner.vcpus == 0 {
+            return Err(InvalidConfigError {
+                what: "vcpus must be at least 1",
+            });
+        }
+        if self.inner.memory_mb == 0 {
+            return Err(InvalidConfigError {
+                what: "memory must be at least 1 MiB",
+            });
+        }
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SandboxConfig::default();
+        assert_eq!(c.vcpus(), 1);
+        assert_eq!(c.memory_mb(), 512);
+        assert_eq!(c.kind(), SandboxKind::MicroVm);
+        assert!(!c.is_ull());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = SandboxConfig::builder()
+            .vcpus(36)
+            .memory_mb(1024)
+            .kind(SandboxKind::Container)
+            .ull(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.vcpus(), 36);
+        assert_eq!(c.memory_mb(), 1024);
+        assert_eq!(c.kind(), SandboxKind::Container);
+        assert!(c.is_ull());
+    }
+
+    #[test]
+    fn builder_rejects_degenerate() {
+        assert!(SandboxConfig::builder().vcpus(0).build().is_err());
+        let e = SandboxConfig::builder().memory_mb(0).build().unwrap_err();
+        assert!(e.to_string().contains("memory"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Sandbox state machine.
+
+use crate::config::SandboxConfig;
+use horse_core::{CoalescedUpdate, MergePlan, NodeRef};
+use horse_sched::{RqId, SandboxId, Vcpu};
+
+/// Lifecycle state of a sandbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SandboxState {
+    /// Created but never started (cold).
+    Configured,
+    /// vCPUs on run queues, guest executing.
+    Running,
+    /// vCPUs off the run queues; warm and waiting for a function
+    /// ("hot sandboxes are paused", paper §3).
+    Paused,
+    /// Torn down; terminal.
+    Destroyed,
+}
+
+impl std::fmt::Display for SandboxState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SandboxState::Configured => "configured",
+            SandboxState::Running => "running",
+            SandboxState::Paused => "paused",
+            SandboxState::Destroyed => "destroyed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a pause precomputed, dictating which resume fast paths are
+/// available (paper §4.1.3 / §4.2.2: HORSE precomputes at pause time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PausePolicy {
+    /// Maintain 𝒫²𝒮ℳ structures (`merge_vcpus`, `arrayB`, `posA`)
+    /// against the assigned ull_runqueue.
+    pub precompute_merge: bool,
+    /// Precompute the coalesced load update from the vCPU count.
+    pub precompute_coalesce: bool,
+}
+
+impl PausePolicy {
+    /// Full HORSE pause: both precomputations.
+    pub fn horse() -> Self {
+        Self {
+            precompute_merge: true,
+            precompute_coalesce: true,
+        }
+    }
+
+    /// Vanilla pause: nothing precomputed.
+    pub fn vanilla() -> Self {
+        Self::default()
+    }
+}
+
+/// Pause-time state carried by a paused sandbox.
+#[derive(Debug)]
+pub(crate) struct PausedState {
+    /// Policy the pause ran with.
+    pub policy: PausePolicy,
+    /// Saved `(credit, vcpu)` pairs for per-vCPU (vanilla) re-insertion.
+    /// Always saved: the vanilla and coal resume modes need them.
+    pub saved_vcpus: Vec<(i64, Vcpu)>,
+    /// The 𝒫²𝒮ℳ plan against the assigned ull_runqueue
+    /// (`merge_vcpus` + `arrayB` + `posA`), when precomputed.
+    pub plan: Option<MergePlan>,
+    /// The coalesced load update, when precomputed.
+    pub coalesced: Option<CoalescedUpdate>,
+    /// The ull_runqueue this sandbox will resume onto.
+    pub ull_rq: Option<RqId>,
+}
+
+/// Placement of a running sandbox's vCPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct VcpuPlacement {
+    pub rq: RqId,
+    pub node: NodeRef,
+    pub vcpu: Vcpu,
+}
+
+/// A sandbox (microVM) managed by the [`crate::Vmm`].
+#[derive(Debug)]
+pub struct Sandbox {
+    id: SandboxId,
+    config: SandboxConfig,
+    state: SandboxState,
+    pub(crate) placements: Vec<VcpuPlacement>,
+    pub(crate) paused: Option<PausedState>,
+    /// Cumulative pause/maintenance cost (ns) — HORSE's off-critical-path
+    /// overhead, reported by the §5.2 experiment.
+    pub(crate) maintenance_ns: u64,
+}
+
+impl Sandbox {
+    pub(crate) fn new(id: SandboxId, config: SandboxConfig) -> Self {
+        Self {
+            id,
+            config,
+            state: SandboxState::Configured,
+            placements: Vec::new(),
+            paused: None,
+            maintenance_ns: 0,
+        }
+    }
+
+    /// Sandbox identifier.
+    pub fn id(&self) -> SandboxId {
+        self.id
+    }
+
+    /// Configuration the sandbox was created with.
+    pub fn config(&self) -> SandboxConfig {
+        self.config
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SandboxState {
+        self.state
+    }
+
+    /// Heap bytes held by pause-time 𝒫²𝒮ℳ structures (0 unless paused
+    /// with precomputation) — the §5.2 memory-overhead metric.
+    pub fn plan_memory_bytes(&self) -> usize {
+        self.paused
+            .as_ref()
+            .and_then(|p| p.plan.as_ref())
+            .map_or(0, |plan| plan.memory_bytes())
+    }
+
+    /// Cumulative pause-time maintenance cost in virtual nanoseconds.
+    pub fn maintenance_ns(&self) -> u64 {
+        self.maintenance_ns
+    }
+
+    pub(crate) fn set_state(&mut self, state: SandboxState) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_display() {
+        assert_eq!(SandboxState::Paused.to_string(), "paused");
+        assert_eq!(SandboxState::Running.to_string(), "running");
+        assert_eq!(SandboxState::Configured.to_string(), "configured");
+        assert_eq!(SandboxState::Destroyed.to_string(), "destroyed");
+    }
+
+    #[test]
+    fn pause_policies() {
+        let h = PausePolicy::horse();
+        assert!(h.precompute_merge && h.precompute_coalesce);
+        let v = PausePolicy::vanilla();
+        assert!(!v.precompute_merge && !v.precompute_coalesce);
+    }
+
+    #[test]
+    fn new_sandbox_is_configured() {
+        let s = Sandbox::new(SandboxId::new(1), SandboxConfig::default());
+        assert_eq!(s.state(), SandboxState::Configured);
+        assert_eq!(s.id(), SandboxId::new(1));
+        assert_eq!(s.plan_memory_bytes(), 0);
+        assert_eq!(s.maintenance_ns(), 0);
+    }
+}

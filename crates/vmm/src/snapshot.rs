@@ -1,0 +1,288 @@
+//! Macro-scale initialization cost models: cold boot and snapshot restore.
+//!
+//! These are the two start paths the paper compares warm starts against
+//! (§2, Table 1): a **cold** start boots a fresh microVM (≈1.5 s including
+//! guest kernel and Node.JS runtime initialization), and a **restore**
+//! start rehydrates a FaaSnap-style snapshot (≈1.3 ms for the default
+//! 512 MB / 1 vCPU sandbox). Neither path can be executed for real without
+//! KVM, so they are virtual-time models calibrated to Table 1 and scaled
+//! by configuration; the *warm* and *HORSE* paths, by contrast, are
+//! executed on the scheduler substrate.
+
+use crate::config::SandboxConfig;
+use serde::{Deserialize, Serialize};
+
+/// Cold-boot cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootModel {
+    /// Fixed cost: VMM process setup, guest kernel boot, language runtime
+    /// initialization (dominates; Table 1: 1.5 s total).
+    pub base_ns: u64,
+    /// Marginal cost per vCPU (KVM vCPU fd creation + topology setup).
+    pub per_vcpu_ns: u64,
+    /// Marginal cost per MiB of guest memory (EPT setup and zeroing).
+    pub per_mb_ns: u64,
+}
+
+impl Default for BootModel {
+    fn default() -> Self {
+        Self {
+            // Calibrated so a 1 vCPU / 512 MB microVM boots in 1.5 s
+            // (Table 1 "Cold" row: 1.5 × 10⁶ µs).
+            base_ns: 1_449_000_000,
+            per_vcpu_ns: 1_000_000,
+            per_mb_ns: 97_656,
+        }
+    }
+}
+
+impl BootModel {
+    /// Boot duration for a configuration.
+    pub fn boot_ns(&self, config: SandboxConfig) -> u64 {
+        self.base_ns
+            + u64::from(config.vcpus()) * self.per_vcpu_ns
+            + u64::from(config.memory_mb()) * self.per_mb_ns
+    }
+}
+
+/// FaaSnap-style snapshot restore cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RestoreModel {
+    /// Fixed cost: snapshot metadata load, VM state rehydration.
+    pub base_ns: u64,
+    /// Cost per MiB of the *working set* prefetched at restore
+    /// (FaaSnap's per-region prefetching).
+    pub per_ws_mb_ns: u64,
+    /// Fraction of guest memory in the restore working set.
+    pub working_set_fraction: f64,
+}
+
+impl Default for RestoreModel {
+    fn default() -> Self {
+        Self {
+            // Calibrated so the default 512 MB sandbox restores in 1.3 ms
+            // (Table 1 "Restore" row: 1300 µs) with a 5 % working set.
+            base_ns: 788_000,
+            per_ws_mb_ns: 20_000,
+            working_set_fraction: 0.05,
+        }
+    }
+}
+
+impl RestoreModel {
+    /// Restore duration for a configuration.
+    pub fn restore_ns(&self, config: SandboxConfig) -> u64 {
+        let ws_mb = (f64::from(config.memory_mb()) * self.working_set_fraction).ceil() as u64;
+        self.base_ns + ws_mb * self.per_ws_mb_ns
+    }
+
+    /// Size of a snapshot on disk (guest memory + device state), for
+    /// capacity accounting.
+    pub fn snapshot_bytes(&self, config: SandboxConfig) -> u64 {
+        u64::from(config.memory_mb()) * 1024 * 1024 + 4 * 1024 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_boot_matches_table1() {
+        let m = BootModel::default();
+        let ns = m.boot_ns(SandboxConfig::default());
+        let us = ns as f64 / 1e3;
+        assert!(
+            (1.4e6..1.6e6).contains(&us),
+            "cold boot {us} µs should be ≈1.5 × 10⁶ µs"
+        );
+    }
+
+    #[test]
+    fn restore_matches_table1() {
+        let m = RestoreModel::default();
+        let ns = m.restore_ns(SandboxConfig::default());
+        let us = ns as f64 / 1e3;
+        assert!(
+            (1200.0..1400.0).contains(&us),
+            "restore {us} µs should be ≈1300 µs"
+        );
+    }
+
+    #[test]
+    fn costs_scale_with_config() {
+        let boot = BootModel::default();
+        let restore = RestoreModel::default();
+        let small = SandboxConfig::default();
+        let big = SandboxConfig::builder()
+            .vcpus(36)
+            .memory_mb(4096)
+            .build()
+            .unwrap();
+        assert!(boot.boot_ns(big) > boot.boot_ns(small));
+        assert!(restore.restore_ns(big) > restore.restore_ns(small));
+        assert!(restore.snapshot_bytes(big) > restore.snapshot_bytes(small));
+    }
+
+    #[test]
+    fn boot_dwarfs_restore_dwarfs_nothing() {
+        // Ordering sanity: cold ≫ restore (Table 1's 1000× gap).
+        let cfg = SandboxConfig::default();
+        let cold = BootModel::default().boot_ns(cfg);
+        let restore = RestoreModel::default().restore_ns(cfg);
+        assert!(cold > 500 * restore);
+    }
+}
+
+/// A serializable snapshot of a paused sandbox — the artifact the
+/// *restore* start path rehydrates (FaaSnap-style, paper §2). It captures
+/// the guest-visible scheduling state: the configuration and each vCPU's
+/// remaining credit at pause time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SandboxSnapshot {
+    config: SandboxConfig,
+    /// Per-vCPU sort keys (credit/vruntime) captured at pause.
+    vcpu_keys: Vec<i64>,
+    /// Guest memory captured, in MiB (full-memory snapshot).
+    memory_mb: u32,
+}
+
+impl SandboxSnapshot {
+    pub(crate) fn new(config: SandboxConfig, vcpu_keys: Vec<i64>) -> Self {
+        Self {
+            config,
+            vcpu_keys,
+            memory_mb: config.memory_mb(),
+        }
+    }
+
+    /// Configuration of the snapshotted sandbox.
+    pub fn config(&self) -> SandboxConfig {
+        self.config
+    }
+
+    /// Captured per-vCPU sort keys, ascending.
+    pub fn vcpu_keys(&self) -> &[i64] {
+        &self.vcpu_keys
+    }
+
+    /// On-disk size of the snapshot per the restore model.
+    pub fn size_bytes(&self, model: &RestoreModel) -> u64 {
+        model.snapshot_bytes(self.config)
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_captures_config_and_keys() {
+        let cfg = SandboxConfig::builder()
+            .vcpus(3)
+            .memory_mb(256)
+            .build()
+            .unwrap();
+        let s = SandboxSnapshot::new(cfg, vec![10, 20, 30]);
+        assert_eq!(s.config(), cfg);
+        assert_eq!(s.vcpu_keys(), &[10, 20, 30]);
+        assert!(s.size_bytes(&RestoreModel::default()) > 256 * 1024 * 1024);
+    }
+}
+
+/// Stages of a cold boot, mirroring Firecracker's startup: VMM process
+/// and API setup, guest kernel boot, and language-runtime initialization
+/// (the Node.JS runtime dominates for the paper's functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BootStage {
+    /// VMM process creation, KVM fds, memory mapping.
+    VmmSetup,
+    /// Guest kernel boot to init.
+    KernelBoot,
+    /// Language runtime + function handler initialization.
+    RuntimeInit,
+}
+
+impl BootStage {
+    /// All stages, boot order.
+    pub const ALL: [BootStage; 3] = [
+        BootStage::VmmSetup,
+        BootStage::KernelBoot,
+        BootStage::RuntimeInit,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BootStage::VmmSetup => "vmm_setup",
+            BootStage::KernelBoot => "kernel_boot",
+            BootStage::RuntimeInit => "runtime_init",
+        }
+    }
+}
+
+/// Per-stage cold-boot timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BootBreakdown {
+    stages: [u64; 3],
+}
+
+impl BootBreakdown {
+    /// Duration of one stage.
+    pub fn get(&self, stage: BootStage) -> u64 {
+        self.stages[stage as usize]
+    }
+
+    /// Total boot duration (equals [`BootModel::boot_ns`]).
+    pub fn total_ns(&self) -> u64 {
+        self.stages.iter().sum()
+    }
+}
+
+impl BootModel {
+    /// Splits the boot cost into stages. The split follows Firecracker's
+    /// published profile: microVM setup is milliseconds, kernel boot is
+    /// ~100 ms, and runtime + handler initialization dominates the
+    /// remainder (why snapshot restore is three orders faster).
+    pub fn breakdown(&self, config: SandboxConfig) -> BootBreakdown {
+        let total = self.boot_ns(config);
+        let vmm_setup = 8_000_000
+            + u64::from(config.vcpus()) * self.per_vcpu_ns
+            + u64::from(config.memory_mb()) * self.per_mb_ns;
+        let kernel = 120_000_000;
+        BootBreakdown {
+            stages: [vmm_setup, kernel, total.saturating_sub(vmm_setup + kernel)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod boot_breakdown_tests {
+    use super::*;
+
+    #[test]
+    fn stages_sum_to_total() {
+        let m = BootModel::default();
+        for vcpus in [1u32, 8, 36] {
+            let cfg = SandboxConfig::builder().vcpus(vcpus).build().unwrap();
+            let b = m.breakdown(cfg);
+            assert_eq!(b.total_ns(), m.boot_ns(cfg), "vcpus={vcpus}");
+        }
+    }
+
+    #[test]
+    fn runtime_init_dominates() {
+        let m = BootModel::default();
+        let b = m.breakdown(SandboxConfig::default());
+        let runtime = b.get(BootStage::RuntimeInit);
+        assert!(runtime > b.get(BootStage::KernelBoot));
+        assert!(runtime > b.get(BootStage::VmmSetup));
+        assert!(runtime as f64 / b.total_ns() as f64 > 0.85);
+    }
+
+    #[test]
+    fn labels() {
+        let labels: Vec<_> = BootStage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["vmm_setup", "kernel_boot", "runtime_init"]);
+    }
+}

@@ -1,0 +1,777 @@
+//! The virtual machine monitor: sandbox lifecycle orchestration.
+//!
+//! [`Vmm`] glues the scheduler substrate to the sandbox state machine and
+//! implements the paper's pause and resume paths:
+//!
+//! * **pause** (§4.1.3/§4.2.2): dequeue the sandbox's vCPUs, and — under a
+//!   HORSE [`PausePolicy`] — build `merge_vcpus`, assign an
+//!   `ull_runqueue`, precompute the 𝒫²𝒮ℳ plan and the coalesced load
+//!   update;
+//! * **resume** (§3.1 / §5.1): the instrumented six-step pipeline in the
+//!   four evaluation setups (`vanil`, `ppsm`, `coal`, `horse`);
+//! * **plan maintenance**: every mutation of an `ull_runqueue` updates the
+//!   plans of the paused sandboxes assigned to it, charging the cost to
+//!   their off-critical-path maintenance budget (the §5.2 overhead).
+
+use crate::config::SandboxConfig;
+use crate::cost::CostModel;
+use crate::pause::{PauseBreakdown, PauseStep};
+use crate::resume::{ResumeBreakdown, ResumeMode, ResumeStep};
+use crate::sandbox::{PausePolicy, PausedState, Sandbox, SandboxState, VcpuPlacement};
+use crate::snapshot::{RestoreModel, SandboxSnapshot};
+use horse_core::{MergeReport, SortedList, SpliceMode, StalePlanError};
+use horse_sched::{HostScheduler, RqId, SandboxId, SchedConfig, Vcpu, VcpuId};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Vmm`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmmError {
+    /// The sandbox id is unknown (or destroyed and reaped).
+    NotFound(SandboxId),
+    /// The operation is invalid in the sandbox's current state — e.g.
+    /// resuming a sandbox that is not paused (the paper's step ③ sanity
+    /// check).
+    InvalidState {
+        /// Target sandbox.
+        id: SandboxId,
+        /// State required by the operation.
+        expected: SandboxState,
+        /// State the sandbox is actually in.
+        actual: SandboxState,
+    },
+    /// The resume mode requires precomputed state the pause did not build
+    /// (or built precomputed state the mode would leak).
+    ModeMismatch {
+        /// Target sandbox.
+        id: SandboxId,
+        /// The offending mode.
+        mode: ResumeMode,
+    },
+    /// The 𝒫²𝒮ℳ plan no longer matches its ull_runqueue.
+    Stale(StalePlanError),
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::NotFound(id) => write!(f, "sandbox {id} not found"),
+            VmmError::InvalidState {
+                id,
+                expected,
+                actual,
+            } => {
+                write!(f, "sandbox {id} is {actual}, operation requires {expected}")
+            }
+            VmmError::ModeMismatch { id, mode } => {
+                write!(f, "sandbox {id} was not paused for resume mode {mode}")
+            }
+            VmmError::Stale(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for VmmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmmError::Stale(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StalePlanError> for VmmError {
+    fn from(e: StalePlanError) -> Self {
+        VmmError::Stale(e)
+    }
+}
+
+/// Outcome of a pause: its off-critical-path cost and what it precomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseReport {
+    /// Modeled pause-path cost in virtual nanoseconds (dequeues plus any
+    /// HORSE precomputation).
+    pub cost_ns: u64,
+    /// Per-step breakdown of where the pause time went.
+    pub breakdown: PauseBreakdown,
+    /// Heap bytes of the 𝒫²𝒮ℳ structures (0 without precomputation).
+    pub plan_bytes: usize,
+    /// The ull_runqueue assigned for the future resume, if any.
+    pub ull_rq: Option<RqId>,
+}
+
+/// Outcome of a resume: per-step breakdown plus merge statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeOutcome {
+    /// Mode the resume executed in.
+    pub mode: ResumeMode,
+    /// Per-step virtual-nanosecond breakdown (Figures 2–3).
+    pub breakdown: ResumeBreakdown,
+    /// 𝒫²𝒮ℳ merge statistics when the mode used the splice path.
+    pub merge: Option<MergeReport>,
+}
+
+/// Cumulative operation counters of a [`Vmm`] — the observability
+/// surface an operator dashboards (resume counts and latencies per
+/// mode, pause counts, lifecycle totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmmStats {
+    /// Sandboxes created.
+    pub created: u64,
+    /// Sandboxes started.
+    pub started: u64,
+    /// Pauses performed.
+    pub pauses: u64,
+    /// Sandboxes destroyed.
+    pub destroyed: u64,
+    /// Resumes performed, indexed by [`ResumeMode::ALL`] order
+    /// (vanil, ppsm, coal, horse).
+    pub resumes_by_mode: [u64; 4],
+    /// Cumulative virtual nanoseconds spent in resume pipelines, same
+    /// indexing.
+    pub resume_ns_by_mode: [u64; 4],
+}
+
+impl VmmStats {
+    /// Total resumes across all modes.
+    pub fn total_resumes(&self) -> u64 {
+        self.resumes_by_mode.iter().sum()
+    }
+
+    /// Mean resume duration for a mode, in ns (0 if none ran).
+    pub fn mean_resume_ns(&self, mode: ResumeMode) -> u64 {
+        let i = ResumeMode::ALL
+            .iter()
+            .position(|m| *m == mode)
+            .expect("known mode");
+        let n = self.resumes_by_mode[i];
+        if n == 0 {
+            0
+        } else {
+            self.resume_ns_by_mode[i] / n
+        }
+    }
+}
+
+/// The virtual machine monitor.
+///
+/// # Example
+///
+/// ```
+/// use horse_vmm::{PausePolicy, ResumeMode, SandboxConfig, Vmm};
+///
+/// let mut vmm = Vmm::with_defaults();
+/// let cfg = SandboxConfig::builder().vcpus(4).ull(true).build()?;
+/// let id = vmm.create(cfg);
+/// vmm.start(id)?;
+/// vmm.pause(id, PausePolicy::horse())?;
+/// let outcome = vmm.resume(id, ResumeMode::Horse)?;
+/// assert!(outcome.breakdown.total_ns() < 1_000, "HORSE resumes in O(100ns)");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Vmm {
+    sched: HostScheduler,
+    cost: CostModel,
+    sandboxes: BTreeMap<u64, Sandbox>,
+    next_sandbox: u64,
+    next_vcpu: u64,
+    /// Paused sandboxes with plans, per ull_runqueue (plan maintenance).
+    paused_on_rq: HashMap<RqId, Vec<SandboxId>>,
+    stats: VmmStats,
+}
+
+impl Vmm {
+    /// Creates a VMM over a freshly-built scheduler.
+    pub fn new(sched_config: SchedConfig, cost: CostModel) -> Self {
+        Self {
+            sched: HostScheduler::new(sched_config),
+            cost,
+            sandboxes: BTreeMap::new(),
+            next_sandbox: 0,
+            next_vcpu: 0,
+            paused_on_rq: HashMap::new(),
+            stats: VmmStats::default(),
+        }
+    }
+
+    /// Creates a VMM with the default r650 topology and calibrated costs.
+    pub fn with_defaults() -> Self {
+        Self::new(SchedConfig::default(), CostModel::calibrated())
+    }
+
+    /// The underlying scheduler (read access).
+    pub fn sched(&self) -> &HostScheduler {
+        &self.sched
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> VmmStats {
+        self.stats
+    }
+
+    /// Looks up a sandbox.
+    pub fn sandbox(&self, id: SandboxId) -> Option<&Sandbox> {
+        self.sandboxes.get(&id.as_u64())
+    }
+
+    /// Number of managed (non-destroyed) sandboxes.
+    pub fn sandbox_count(&self) -> usize {
+        self.sandboxes.len()
+    }
+
+    /// Creates a sandbox in the `Configured` state.
+    pub fn create(&mut self, config: SandboxConfig) -> SandboxId {
+        let id = SandboxId::new(self.next_sandbox);
+        self.next_sandbox += 1;
+        self.stats.created += 1;
+        self.sandboxes.insert(id.as_u64(), Sandbox::new(id, config));
+        id
+    }
+
+    /// Starts a configured sandbox: places its vCPUs on run queues
+    /// (general queues, or an ull_runqueue for uLL sandboxes) and flips it
+    /// to `Running`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::InvalidState`] unless the sandbox is `Configured`.
+    pub fn start(&mut self, id: SandboxId) -> Result<(), VmmError> {
+        self.expect_state(id, SandboxState::Configured)?;
+        let config = self.sandboxes[&id.as_u64()].config();
+        let mut placements = Vec::with_capacity(config.vcpus() as usize);
+        for _ in 0..config.vcpus() {
+            let vcpu = Vcpu::new(VcpuId::new(self.next_vcpu), id);
+            self.next_vcpu += 1;
+            let credit = self.initial_credit();
+            let (rq, node) = if config.is_ull() {
+                let rq = self.shortest_ull_queue();
+                let node = self.enqueue_on_ull(rq, credit, vcpu, Some(id));
+                (rq, node)
+            } else {
+                let rq = self.sched.least_loaded_general();
+                (rq, self.sched.enqueue_vcpu(rq, credit, vcpu))
+            };
+            self.sched.load_update_per_vcpu(rq, 1);
+            placements.push(VcpuPlacement { rq, node, vcpu });
+        }
+        let sb = self.sandboxes.get_mut(&id.as_u64()).expect("checked above");
+        sb.placements = placements;
+        sb.set_state(SandboxState::Running);
+        self.stats.started += 1;
+        Ok(())
+    }
+
+    /// Pauses a running sandbox (keep-alive path): removes its vCPUs from
+    /// the run queues and, per the policy, performs HORSE's pause-time
+    /// precomputation.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::InvalidState`] unless the sandbox is `Running`.
+    pub fn pause(&mut self, id: SandboxId, policy: PausePolicy) -> Result<PauseReport, VmmError> {
+        self.expect_state(id, SandboxState::Running)?;
+        let sb = self.sandboxes.get_mut(&id.as_u64()).expect("checked above");
+        let placements = std::mem::take(&mut sb.placements);
+        let n = placements.len() as u32;
+
+        // Dequeue every vCPU, remembering credits for re-insertion. If the
+        // vCPUs sit on an ull_runqueue, other paused sandboxes' plans
+        // against that queue go stale and must be rebuilt afterwards.
+        let mut saved: Vec<(i64, Vcpu)> = Vec::with_capacity(placements.len());
+        let mut touched_ull: Vec<RqId> = Vec::new();
+        for p in placements {
+            let (credit, vcpu) = self.sched.dequeue_vcpu(p.rq, p.node);
+            if self.sched.ull_queues().contains(&p.rq) {
+                touched_ull.push(p.rq);
+            }
+            saved.push((credit, vcpu));
+        }
+        saved.sort_by_key(|(credit, vcpu)| (*credit, vcpu.id));
+        let mut breakdown = PauseBreakdown::default();
+        breakdown.set(
+            PauseStep::DequeueVcpus,
+            (f64::from(n) * self.cost.pause_dequeue_per_vcpu_ns).round() as u64,
+        );
+
+        let needs_ull_target = policy.precompute_merge || policy.precompute_coalesce;
+        let ull_rq = needs_ull_target.then(|| {
+            breakdown.set(
+                PauseStep::AssignUllQueue,
+                self.cost.ull_assign_ns.round() as u64,
+            );
+            self.sched.assign_ull_queue()
+        });
+
+        let plan = if policy.precompute_merge {
+            let rq = ull_rq.expect("assigned above");
+            self.sched.take_arena_stats();
+            let mut merge_vcpus = SortedList::new();
+            for &(credit, vcpu) in &saved {
+                merge_vcpus.insert_sorted(self.sched.arena_mut(), credit, vcpu);
+            }
+            let ops = self.sched.take_arena_stats();
+            breakdown.set(
+                PauseStep::BuildMergeList,
+                (ops.allocs as f64 * self.cost.alloc_ns
+                    + ops.comparisons as f64 * self.cost.cmp_ns
+                    + ops.pointer_writes as f64 * self.cost.ptr_write_ns)
+                    .round() as u64,
+            );
+            let plan = self.sched.ull_precompute(rq, merge_vcpus);
+            breakdown.set(
+                PauseStep::PrecomputePlan,
+                ((plan.a_len() + plan.b_len()) as f64 * self.cost.plan_precompute_per_elem_ns)
+                    .round() as u64,
+            );
+            Some(plan)
+        } else {
+            None
+        };
+
+        let coalesced = if policy.precompute_coalesce {
+            breakdown.set(
+                PauseStep::PrecomputeCoalesce,
+                self.cost.coalesce_precompute_ns.round() as u64,
+            );
+            Some(self.sched.tracker().coalesce(n))
+        } else {
+            None
+        };
+        let cost = breakdown.total_ns();
+
+        let plan_bytes = plan.as_ref().map_or(0, |p| p.memory_bytes());
+        let sb = self.sandboxes.get_mut(&id.as_u64()).expect("still present");
+        sb.paused = Some(PausedState {
+            policy,
+            saved_vcpus: saved,
+            plan,
+            coalesced,
+            ull_rq,
+        });
+        sb.set_state(SandboxState::Paused);
+        sb.maintenance_ns += cost;
+
+        if let Some(rq) = ull_rq {
+            if policy.precompute_merge {
+                self.paused_on_rq.entry(rq).or_default().push(id);
+            }
+        }
+        // Rebuild plans of other paused sandboxes whose B we mutated.
+        touched_ull.sort_by_key(|r| r.as_usize());
+        touched_ull.dedup();
+        for rq in touched_ull {
+            self.rebuild_plans_on(rq, Some(id));
+        }
+
+        self.stats.pauses += 1;
+        Ok(PauseReport {
+            cost_ns: cost,
+            breakdown,
+            plan_bytes,
+            ull_rq,
+        })
+    }
+
+    /// Resumes a paused sandbox in one of the paper's four setups,
+    /// returning the instrumented per-step breakdown.
+    ///
+    /// The data-structure work of steps ④ and ⑤ is **executed for real**
+    /// on the scheduler substrate; the step durations are the cost model
+    /// applied to the operations counted during execution.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmError::InvalidState`] unless the sandbox is `Paused` (the
+    ///   paper's step ③ sanity check);
+    /// * [`VmmError::ModeMismatch`] if the pause policy did not precompute
+    ///   what the mode consumes (or precomputed state the mode would
+    ///   leak);
+    /// * [`VmmError::Stale`] if the 𝒫²𝒮ℳ plan went stale (a bug in plan
+    ///   maintenance — surfaced, never silently absorbed).
+    pub fn resume(&mut self, id: SandboxId, mode: ResumeMode) -> Result<ResumeOutcome, VmmError> {
+        self.expect_state(id, SandboxState::Paused)?;
+        {
+            let paused = self.sandboxes[&id.as_u64()]
+                .paused
+                .as_ref()
+                .expect("paused sandboxes carry paused state");
+            let p = paused.policy;
+            if mode.uses_ppsm() != p.precompute_merge
+                || mode.uses_coalescing() != p.precompute_coalesce
+            {
+                return Err(VmmError::ModeMismatch { id, mode });
+            }
+        }
+
+        let mut breakdown = ResumeBreakdown::default();
+        breakdown.set(ResumeStep::ParseInput, self.cost.parse_ns.round() as u64);
+        breakdown.set(
+            ResumeStep::AcquireLock,
+            self.cost.resume_lock_ns.round() as u64,
+        );
+        breakdown.set(ResumeStep::SanityChecks, self.cost.sanity_ns.round() as u64);
+
+        let sb = self.sandboxes.get_mut(&id.as_u64()).expect("present");
+        let paused = sb.paused.take().expect("paused state present");
+        let n = paused.saved_vcpus.len() as u32;
+
+        // --- step ④: sorted merge ---
+        let mut merge_report = None;
+        let mut placements: Vec<VcpuPlacement> = Vec::with_capacity(n as usize);
+        self.sched.take_arena_stats(); // reset op counters
+        let merge_ns = if mode.uses_ppsm() {
+            let rq = paused.ull_rq.expect("ppsm pause assigned a queue");
+            let plan = paused.plan.expect("ppsm pause built a plan");
+            let splices = plan.splice_count();
+            let report = self.sched.ull_merge(rq, plan, SpliceMode::Parallel)?;
+            merge_report = Some(report);
+            // Bookkeeping (untimed): recover the node handles of this
+            // sandbox's vCPUs from the queue for the next pause.
+            for (node, credit, vcpu) in self.sched.queue_list(rq).iter(self.sched.arena()) {
+                let _ = credit;
+                if vcpu.sandbox == id {
+                    placements.push(VcpuPlacement {
+                        rq,
+                        node,
+                        vcpu: *vcpu,
+                    });
+                }
+            }
+            self.cost.horse_merge_ns(splices, true)
+        } else {
+            // Per-vCPU sorted inserts. Vanilla scatters across general
+            // queues; coal concentrates on the assigned ull_runqueue
+            // (coalescing requires a single target queue, §4.2).
+            for &(credit, vcpu) in &paused.saved_vcpus {
+                let (rq, node) = match paused.ull_rq {
+                    Some(rq) => (rq, self.sched.enqueue_vcpu(rq, credit, vcpu)),
+                    None => {
+                        let rq = self.sched.least_loaded_general();
+                        (rq, self.sched.enqueue_vcpu(rq, credit, vcpu))
+                    }
+                };
+                placements.push(VcpuPlacement { rq, node, vcpu });
+            }
+            let ops = self.sched.take_arena_stats();
+            self.cost.vanilla_merge_ns(ops)
+        };
+        breakdown.set(ResumeStep::SortedMerge, merge_ns.round() as u64);
+
+        // --- step ⑤: load update ---
+        let load_ns = if mode.uses_coalescing() {
+            let rq = paused.ull_rq.expect("coalescing pause assigned a queue");
+            let coalesced = paused.coalesced.expect("coalescing pause precomputed");
+            self.sched.load_update_coalesced(rq, coalesced);
+            self.cost.horse_load_ns()
+        } else {
+            // One lock-protected update per vCPU, on each vCPU's queue.
+            let mut per_rq: BTreeMap<RqId, u32> = BTreeMap::new();
+            for p in &placements {
+                *per_rq.entry(p.rq).or_default() += 1;
+            }
+            for (&rq, &count) in &per_rq {
+                self.sched.load_update_per_vcpu(rq, count);
+            }
+            self.cost.vanilla_load_ns(u64::from(n), u64::from(n))
+        };
+        breakdown.set(ResumeStep::LoadUpdate, load_ns.round() as u64);
+
+        breakdown.set(ResumeStep::Finalize, self.cost.finalize_ns.round() as u64);
+
+        // Post-pipeline bookkeeping.
+        if let Some(rq) = paused.ull_rq {
+            self.sched.release_ull_queue(rq);
+            if let Some(list) = self.paused_on_rq.get_mut(&rq) {
+                list.retain(|s| *s != id);
+            }
+            // The queue changed: other paused plans on it must be rebuilt.
+            self.rebuild_plans_on(rq, Some(id));
+        }
+        let sb = self.sandboxes.get_mut(&id.as_u64()).expect("present");
+        sb.placements = placements;
+        sb.set_state(SandboxState::Running);
+
+        let mode_idx = ResumeMode::ALL
+            .iter()
+            .position(|m| *m == mode)
+            .expect("known mode");
+        self.stats.resumes_by_mode[mode_idx] += 1;
+        self.stats.resume_ns_by_mode[mode_idx] += breakdown.total_ns();
+
+        Ok(ResumeOutcome {
+            mode,
+            breakdown,
+            merge: merge_report,
+        })
+    }
+
+    /// Destroys a sandbox from any non-destroyed state, releasing every
+    /// queue node and pause-time structure.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::NotFound`] if the id is unknown.
+    pub fn destroy(&mut self, id: SandboxId) -> Result<(), VmmError> {
+        let sb = self
+            .sandboxes
+            .get_mut(&id.as_u64())
+            .ok_or(VmmError::NotFound(id))?;
+        let placements = std::mem::take(&mut sb.placements);
+        let paused = sb.paused.take();
+        sb.set_state(SandboxState::Destroyed);
+        let mut touched: Vec<RqId> = Vec::new();
+        for p in placements {
+            self.sched.dequeue_vcpu(p.rq, p.node);
+            if self.sched.ull_queues().contains(&p.rq) {
+                touched.push(p.rq);
+            }
+        }
+        if let Some(paused) = paused {
+            if let Some(plan) = paused.plan {
+                let mut list = plan.into_list(self.sched.arena());
+                list.drain_all(self.sched.arena_mut());
+            }
+            if let Some(rq) = paused.ull_rq {
+                self.sched.release_ull_queue(rq);
+                if let Some(l) = self.paused_on_rq.get_mut(&rq) {
+                    l.retain(|s| *s != id);
+                }
+            }
+        }
+        touched.sort_by_key(|r| r.as_usize());
+        touched.dedup();
+        for rq in touched {
+            self.rebuild_plans_on(rq, None);
+        }
+        self.sandboxes.remove(&id.as_u64());
+        self.stats.destroyed += 1;
+        Ok(())
+    }
+
+    /// Captures a snapshot of a **paused** sandbox: its configuration and
+    /// per-vCPU scheduling keys (the FaaSnap-style artifact the *restore*
+    /// start path rehydrates).
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::InvalidState`] unless the sandbox is `Paused`.
+    pub fn snapshot(&self, id: SandboxId) -> Result<SandboxSnapshot, VmmError> {
+        let sb = self
+            .sandboxes
+            .get(&id.as_u64())
+            .ok_or(VmmError::NotFound(id))?;
+        if sb.state() != SandboxState::Paused {
+            return Err(VmmError::InvalidState {
+                id,
+                expected: SandboxState::Paused,
+                actual: sb.state(),
+            });
+        }
+        let paused = sb.paused.as_ref().expect("paused sandboxes carry state");
+        let keys = paused.saved_vcpus.iter().map(|(k, _)| *k).collect();
+        Ok(SandboxSnapshot::new(sb.config(), keys))
+    }
+
+    /// Restores a snapshot into a **new** paused sandbox (fresh identity,
+    /// fresh vCPU ids, captured scheduling keys), returning the new
+    /// sandbox id and the modeled restore duration.
+    ///
+    /// The restored sandbox is paused with a vanilla policy — a restore
+    /// start then resumes it through the vanilla path, exactly like the
+    /// paper's *restore* scenario; pausing it again with
+    /// [`PausePolicy::horse`] upgrades it to the fast path.
+    pub fn restore_snapshot(
+        &mut self,
+        snapshot: &SandboxSnapshot,
+        model: &RestoreModel,
+    ) -> (SandboxId, u64) {
+        let cost_ns = model.restore_ns(snapshot.config());
+        let id = self.create(snapshot.config());
+        let saved: Vec<(i64, Vcpu)> = snapshot
+            .vcpu_keys()
+            .iter()
+            .map(|&key| {
+                let vcpu = Vcpu::new(VcpuId::new(self.next_vcpu), id);
+                self.next_vcpu += 1;
+                (key, vcpu)
+            })
+            .collect();
+        let sb = self.sandboxes.get_mut(&id.as_u64()).expect("just created");
+        sb.paused = Some(PausedState {
+            policy: PausePolicy::vanilla(),
+            saved_vcpus: saved,
+            plan: None,
+            coalesced: None,
+            ull_rq: None,
+        });
+        sb.set_state(SandboxState::Paused);
+        (id, cost_ns)
+    }
+
+    /// Dispatches the front vCPU of an ull_runqueue (the scheduler picking
+    /// the next task), updating every paused plan incrementally —
+    /// the paper's "updates are performed each time ull_runqueue is
+    /// updated" (§4.1.3). Returns the dispatched vCPU.
+    pub fn ull_dispatch(&mut self, rq: RqId) -> Option<(i64, Vcpu)> {
+        let popped = self.sched.pick_next(rq)?;
+        // Drop the placement from the owning (running) sandbox.
+        if let Some(sb) = self.sandboxes.get_mut(&popped.1.sandbox.as_u64()) {
+            sb.placements.retain(|p| p.vcpu.id != popped.1.id);
+        }
+        let ids = self.paused_on_rq.get(&rq).cloned().unwrap_or_default();
+        for sid in ids {
+            let sb = self.sandboxes.get_mut(&sid.as_u64()).expect("registered");
+            if let Some(state) = sb.paused.as_mut() {
+                if let Some(plan) = state.plan.as_mut() {
+                    plan.on_b_pop_front(self.sched.arena(), self.sched.queue_list(rq));
+                    sb.maintenance_ns += self.cost.plan_update_pop_ns.round() as u64;
+                }
+            }
+        }
+        Some(popped)
+    }
+
+    /// Multi-line operator summary: per-sandbox states plus the
+    /// scheduler's own snapshot.
+    pub fn debug_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = self.stats;
+        let _ = writeln!(
+            out,
+            "vmm: {} sandboxes (created {}, destroyed {}), {} pauses, {} resumes",
+            self.sandboxes.len(),
+            s.created,
+            s.destroyed,
+            s.pauses,
+            s.total_resumes()
+        );
+        for sb in self.sandboxes.values() {
+            let _ = writeln!(
+                out,
+                "  {} [{}] {}vcpu {}MB{}{}",
+                sb.id(),
+                sb.state(),
+                sb.config().vcpus(),
+                sb.config().memory_mb(),
+                if sb.config().is_ull() { " uLL" } else { "" },
+                if sb.plan_memory_bytes() > 0 {
+                    format!(" plan={}B", sb.plan_memory_bytes())
+                } else {
+                    String::new()
+                }
+            );
+        }
+        out.push_str(&self.sched.debug_snapshot());
+        out
+    }
+
+    /// Total 𝒫²𝒮ℳ memory across all paused sandboxes (the §5.2 metric).
+    pub fn total_plan_memory_bytes(&self) -> usize {
+        self.sandboxes.values().map(|s| s.plan_memory_bytes()).sum()
+    }
+
+    /// Total pause-time maintenance cost across all sandboxes.
+    pub fn total_maintenance_ns(&self) -> u64 {
+        self.sandboxes.values().map(|s| s.maintenance_ns()).sum()
+    }
+
+    // --- internals ---
+
+    fn expect_state(&self, id: SandboxId, expected: SandboxState) -> Result<(), VmmError> {
+        let sb = self
+            .sandboxes
+            .get(&id.as_u64())
+            .ok_or(VmmError::NotFound(id))?;
+        if sb.state() != expected {
+            return Err(VmmError::InvalidState {
+                id,
+                expected,
+                actual: sb.state(),
+            });
+        }
+        Ok(())
+    }
+
+    fn initial_credit(&self) -> i64 {
+        // credit2 refills to a fixed budget; entities then burn credit as
+        // they run. A constant here keeps placement deterministic.
+        10_000
+    }
+
+    fn shortest_ull_queue(&self) -> RqId {
+        *self
+            .sched
+            .ull_queues()
+            .iter()
+            .min_by_key(|id| self.sched.queue(**id).len())
+            .expect("at least one uLL queue")
+    }
+
+    /// Enqueues on an ull_runqueue and keeps other paused plans fresh.
+    fn enqueue_on_ull(
+        &mut self,
+        rq: RqId,
+        credit: i64,
+        vcpu: Vcpu,
+        exclude: Option<SandboxId>,
+    ) -> horse_core::NodeRef {
+        let node = self.sched.enqueue_vcpu(rq, credit, vcpu);
+        let at_tail = self.sched.queue_list(rq).tail() == Some(node);
+        let ids = self.paused_on_rq.get(&rq).cloned().unwrap_or_default();
+        for sid in ids {
+            if Some(sid) == exclude {
+                continue;
+            }
+            if at_tail {
+                let sb = self.sandboxes.get_mut(&sid.as_u64()).expect("registered");
+                if let Some(state) = sb.paused.as_mut() {
+                    if let Some(plan) = state.plan.as_mut() {
+                        plan.on_b_push_back(self.sched.arena(), self.sched.queue_list(rq), node);
+                        sb.maintenance_ns += self.cost.plan_update_pop_ns.round() as u64;
+                    }
+                }
+            } else {
+                self.rebuild_plan_for(sid, rq);
+            }
+        }
+        node
+    }
+
+    /// Rebuilds the plans of every paused sandbox assigned to `rq`
+    /// (except `exclude`), charging the cost as maintenance.
+    fn rebuild_plans_on(&mut self, rq: RqId, exclude: Option<SandboxId>) {
+        let ids = self.paused_on_rq.get(&rq).cloned().unwrap_or_default();
+        for sid in ids {
+            if Some(sid) == exclude {
+                continue;
+            }
+            self.rebuild_plan_for(sid, rq);
+        }
+    }
+
+    fn rebuild_plan_for(&mut self, sid: SandboxId, rq: RqId) {
+        let sb = self.sandboxes.get_mut(&sid.as_u64()).expect("registered");
+        let Some(state) = sb.paused.as_mut() else {
+            return;
+        };
+        let Some(plan) = state.plan.take() else {
+            return;
+        };
+        let list = plan.into_list(self.sched.arena());
+        let rebuilt = self.sched.ull_precompute(rq, list);
+        let cost =
+            (rebuilt.a_len() + rebuilt.b_len()) as f64 * self.cost.plan_precompute_per_elem_ns;
+        let sb = self.sandboxes.get_mut(&sid.as_u64()).expect("registered");
+        let state = sb.paused.as_mut().expect("still paused");
+        state.plan = Some(rebuilt);
+        sb.maintenance_ns += cost.round() as u64;
+    }
+}

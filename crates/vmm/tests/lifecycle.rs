@@ -1,0 +1,325 @@
+//! Integration tests of the sandbox lifecycle and the four resume paths.
+
+use horse_sched::{GovernorPolicy, SchedConfig};
+use horse_vmm::{
+    CostModel, PausePolicy, ResumeMode, ResumeStep, SandboxConfig, SandboxState, Vmm, VmmError,
+};
+
+fn small_vmm() -> Vmm {
+    Vmm::new(
+        SchedConfig {
+            topology: horse_sched::CpuTopology::new(1, 8, false),
+            ull_queues: 2,
+            governor_policy: GovernorPolicy::Performance,
+            flavor: Default::default(),
+        },
+        CostModel::calibrated(),
+    )
+}
+
+fn ull_config(vcpus: u32) -> SandboxConfig {
+    SandboxConfig::builder()
+        .vcpus(vcpus)
+        .ull(true)
+        .build()
+        .unwrap()
+}
+
+fn policy_for(mode: ResumeMode) -> PausePolicy {
+    PausePolicy {
+        precompute_merge: mode.uses_ppsm(),
+        precompute_coalesce: mode.uses_coalescing(),
+    }
+}
+
+#[test]
+fn full_lifecycle_state_machine() {
+    let mut vmm = small_vmm();
+    let id = vmm.create(ull_config(2));
+    assert_eq!(vmm.sandbox(id).unwrap().state(), SandboxState::Configured);
+    vmm.start(id).unwrap();
+    assert_eq!(vmm.sandbox(id).unwrap().state(), SandboxState::Running);
+    vmm.pause(id, PausePolicy::horse()).unwrap();
+    assert_eq!(vmm.sandbox(id).unwrap().state(), SandboxState::Paused);
+    vmm.resume(id, ResumeMode::Horse).unwrap();
+    assert_eq!(vmm.sandbox(id).unwrap().state(), SandboxState::Running);
+    vmm.destroy(id).unwrap();
+    assert!(vmm.sandbox(id).is_none());
+    assert_eq!(vmm.sched().total_queued(), 0, "no leaked queue nodes");
+}
+
+#[test]
+fn resume_requires_paused_state() {
+    let mut vmm = small_vmm();
+    let id = vmm.create(ull_config(1));
+    let err = vmm.resume(id, ResumeMode::Vanilla).unwrap_err();
+    assert!(matches!(err, VmmError::InvalidState { .. }));
+    vmm.start(id).unwrap();
+    let err = vmm.resume(id, ResumeMode::Vanilla).unwrap_err();
+    assert!(matches!(err, VmmError::InvalidState { .. }), "{err}");
+}
+
+#[test]
+fn mode_must_match_pause_policy() {
+    let mut vmm = small_vmm();
+    let id = vmm.create(ull_config(2));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::vanilla()).unwrap();
+    let err = vmm.resume(id, ResumeMode::Horse).unwrap_err();
+    assert!(matches!(err, VmmError::ModeMismatch { .. }), "{err}");
+    // The sandbox is still paused and resumable in the right mode.
+    vmm.resume(id, ResumeMode::Vanilla).unwrap();
+}
+
+#[test]
+fn unknown_sandbox_is_not_found() {
+    let mut vmm = small_vmm();
+    let id = vmm.create(ull_config(1));
+    vmm.destroy(id).unwrap();
+    assert!(matches!(vmm.destroy(id), Err(VmmError::NotFound(_))));
+}
+
+#[test]
+fn all_four_modes_produce_equivalent_scheduler_state() {
+    // After resume, the set of (credit, vcpu) on the queues must be the
+    // same in every mode — HORSE must be observably equivalent.
+    let mut queued = Vec::new();
+    for mode in ResumeMode::ALL {
+        let mut vmm = small_vmm();
+        let id = vmm.create(ull_config(6));
+        vmm.start(id).unwrap();
+        vmm.pause(id, policy_for(mode)).unwrap();
+        vmm.resume(id, mode).unwrap();
+        assert_eq!(vmm.sched().total_queued(), 6, "{mode}: all vCPUs back");
+        queued.push(vmm.sched().total_queued());
+    }
+    assert!(queued.iter().all(|&q| q == queued[0]));
+}
+
+#[test]
+fn horse_resume_is_constant_in_vcpus_and_vanilla_grows() {
+    let resume_ns = |mode: ResumeMode, vcpus: u32| {
+        let mut vmm = small_vmm();
+        let id = vmm.create(ull_config(vcpus));
+        vmm.start(id).unwrap();
+        vmm.pause(id, policy_for(mode)).unwrap();
+        vmm.resume(id, mode).unwrap().breakdown.total_ns()
+    };
+
+    let v1 = resume_ns(ResumeMode::Vanilla, 1);
+    let v36 = resume_ns(ResumeMode::Vanilla, 36);
+    let h1 = resume_ns(ResumeMode::Horse, 1);
+    let h36 = resume_ns(ResumeMode::Horse, 36);
+
+    assert!(v36 > v1, "vanilla grows with vCPUs: {v1} -> {v36}");
+    let flat = h36 as f64 / h1 as f64;
+    assert!(flat < 1.3, "horse must be ~flat, got {h1} -> {h36}");
+    let speedup = v36 as f64 / h36 as f64;
+    assert!(
+        (4.0..10.0).contains(&speedup),
+        "36-vCPU speedup {speedup:.2} should be near the paper's 7.16x"
+    );
+    assert!(h36 < 250, "horse resume ≈150ns, got {h36}");
+}
+
+#[test]
+fn dominant_steps_match_paper_envelope() {
+    for vcpus in [1, 8, 16, 36] {
+        let mut vmm = small_vmm();
+        let id = vmm.create(ull_config(vcpus));
+        vmm.start(id).unwrap();
+        vmm.pause(id, PausePolicy::vanilla()).unwrap();
+        let out = vmm.resume(id, ResumeMode::Vanilla).unwrap();
+        let share = out.breakdown.dominant_share();
+        assert!(
+            (0.870..0.940).contains(&share),
+            "steps 4+5 share at {vcpus} vCPUs = {share:.3}, paper: 87.5%–93.1%"
+        );
+    }
+}
+
+#[test]
+fn ppsm_and_coal_land_between_vanilla_and_horse() {
+    let resume_ns = |mode: ResumeMode| {
+        let mut vmm = small_vmm();
+        let id = vmm.create(ull_config(36));
+        vmm.start(id).unwrap();
+        vmm.pause(id, policy_for(mode)).unwrap();
+        vmm.resume(id, mode).unwrap().breakdown.total_ns()
+    };
+    let vanil = resume_ns(ResumeMode::Vanilla);
+    let ppsm = resume_ns(ResumeMode::Ppsm);
+    let coal = resume_ns(ResumeMode::Coal);
+    let horse = resume_ns(ResumeMode::Horse);
+    assert!(horse < ppsm && ppsm < vanil, "{horse} < {ppsm} < {vanil}");
+    assert!(horse < coal && coal < vanil, "{horse} < {coal} < {vanil}");
+    // ppsm (55–69 % improvement) helps more than coal (16–20 %).
+    assert!(ppsm < coal, "ppsm {ppsm} should beat coal {coal}");
+    let coal_impr = 1.0 - coal as f64 / vanil as f64;
+    let ppsm_impr = 1.0 - ppsm as f64 / vanil as f64;
+    assert!(
+        (0.10..0.30).contains(&coal_impr),
+        "coal improvement {coal_impr:.2}"
+    );
+    assert!(
+        (0.45..0.75).contains(&ppsm_impr),
+        "ppsm improvement {ppsm_impr:.2}"
+    );
+}
+
+#[test]
+fn merge_report_present_only_for_ppsm_paths() {
+    for mode in ResumeMode::ALL {
+        let mut vmm = small_vmm();
+        let id = vmm.create(ull_config(4));
+        vmm.start(id).unwrap();
+        vmm.pause(id, policy_for(mode)).unwrap();
+        let out = vmm.resume(id, mode).unwrap();
+        assert_eq!(out.merge.is_some(), mode.uses_ppsm(), "{mode}");
+        if let Some(m) = out.merge {
+            assert_eq!(m.merged, 4);
+        }
+    }
+}
+
+#[test]
+fn pause_reports_plan_memory_for_horse_only() {
+    let mut vmm = small_vmm();
+    let a = vmm.create(ull_config(8));
+    let b = vmm.create(ull_config(8));
+    vmm.start(a).unwrap();
+    vmm.start(b).unwrap();
+    let vr = vmm.pause(a, PausePolicy::vanilla()).unwrap();
+    let hr = vmm.pause(b, PausePolicy::horse()).unwrap();
+    assert_eq!(vr.plan_bytes, 0);
+    assert!(hr.plan_bytes > 0);
+    assert!(vr.ull_rq.is_none());
+    assert!(hr.ull_rq.is_some());
+    assert_eq!(vmm.total_plan_memory_bytes(), hr.plan_bytes);
+    assert!(vmm.total_maintenance_ns() > 0);
+}
+
+#[test]
+fn paused_plans_survive_queue_churn() {
+    // While sandbox A is paused with a plan, other uLL sandboxes start,
+    // run, get dispatched and pause on the same queues; A must still
+    // resume correctly afterwards.
+    let mut vmm = small_vmm();
+    let a = vmm.create(ull_config(4));
+    vmm.start(a).unwrap();
+    vmm.pause(a, PausePolicy::horse()).unwrap();
+
+    let b = vmm.create(ull_config(3));
+    vmm.start(b).unwrap(); // enqueues on uLL queues -> plan updates
+    for rq in vmm.sched().ull_queues().to_vec() {
+        vmm.ull_dispatch(rq); // pops -> plan updates
+    }
+    vmm.pause(b, PausePolicy::horse()).unwrap();
+
+    let out = vmm.resume(a, ResumeMode::Horse).unwrap();
+    assert_eq!(out.merge.unwrap().merged, 4);
+    // Resume b too: both sandboxes' vCPUs are back on queues (minus the
+    // dispatched ones that left the queues).
+    vmm.resume(b, ResumeMode::Horse).unwrap();
+    let queued = vmm.sched().total_queued();
+    assert!(queued >= 5, "most vCPUs queued again, got {queued}");
+}
+
+#[test]
+fn destroy_paused_sandbox_releases_plan_nodes() {
+    let mut vmm = small_vmm();
+    let id = vmm.create(ull_config(12));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::horse()).unwrap();
+    assert!(vmm.total_plan_memory_bytes() > 0);
+    vmm.destroy(id).unwrap();
+    assert_eq!(vmm.total_plan_memory_bytes(), 0);
+    assert_eq!(vmm.sched().total_queued(), 0);
+    assert!(vmm.sched().arena().is_empty(), "no leaked arena nodes");
+}
+
+#[test]
+fn repeated_pause_resume_cycles_are_stable() {
+    let mut vmm = small_vmm();
+    let id = vmm.create(ull_config(5));
+    vmm.start(id).unwrap();
+    let mut totals = Vec::new();
+    for _ in 0..20 {
+        vmm.pause(id, PausePolicy::horse()).unwrap();
+        let out = vmm.resume(id, ResumeMode::Horse).unwrap();
+        totals.push(out.breakdown.total_ns());
+    }
+    let min = *totals.iter().min().unwrap();
+    let max = *totals.iter().max().unwrap();
+    assert!(
+        max as f64 / min as f64 <= 1.5,
+        "stable across cycles: {min}..{max}"
+    );
+    assert_eq!(vmm.sched().total_queued(), 5);
+}
+
+#[test]
+fn breakdown_steps_are_all_populated() {
+    let mut vmm = small_vmm();
+    let id = vmm.create(ull_config(3));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::vanilla()).unwrap();
+    let out = vmm.resume(id, ResumeMode::Vanilla).unwrap();
+    for step in ResumeStep::ALL {
+        assert!(out.breakdown.get(step) > 0, "step {step:?} must be timed");
+    }
+}
+
+#[test]
+fn pause_breakdown_reflects_policy() {
+    use horse_vmm::PauseStep;
+    let mut vmm = small_vmm();
+    let a = vmm.create(ull_config(8));
+    let b = vmm.create(ull_config(8));
+    vmm.start(a).unwrap();
+    vmm.start(b).unwrap();
+
+    let vanilla = vmm.pause(a, PausePolicy::vanilla()).unwrap();
+    let horse = vmm.pause(b, PausePolicy::horse()).unwrap();
+
+    // Vanilla pause only dequeues.
+    assert!(vanilla.breakdown.get(PauseStep::DequeueVcpus) > 0);
+    assert_eq!(vanilla.breakdown.get(PauseStep::PrecomputePlan), 0);
+    assert_eq!(vanilla.breakdown.get(PauseStep::PrecomputeCoalesce), 0);
+    assert_eq!(vanilla.breakdown.precompute_share(), 0.0);
+
+    // HORSE pause pays for every precompute step — the cost moved off
+    // the resume critical path.
+    for step in PauseStep::ALL {
+        assert!(horse.breakdown.get(step) > 0, "{step:?} must be timed");
+    }
+    assert!(horse.breakdown.precompute_share() > 0.2);
+    assert!(horse.cost_ns > vanilla.cost_ns);
+    assert_eq!(horse.cost_ns, horse.breakdown.total_ns());
+}
+
+#[test]
+fn vmm_stats_track_operations() {
+    let mut vmm = small_vmm();
+    let a = vmm.create(ull_config(2));
+    let b = vmm.create(ull_config(2));
+    vmm.start(a).unwrap();
+    vmm.start(b).unwrap();
+    for _ in 0..3 {
+        vmm.pause(a, PausePolicy::horse()).unwrap();
+        vmm.resume(a, ResumeMode::Horse).unwrap();
+    }
+    vmm.pause(b, PausePolicy::vanilla()).unwrap();
+    vmm.resume(b, ResumeMode::Vanilla).unwrap();
+    vmm.destroy(b).unwrap();
+
+    let s = vmm.stats();
+    assert_eq!(s.created, 2);
+    assert_eq!(s.started, 2);
+    assert_eq!(s.pauses, 4);
+    assert_eq!(s.destroyed, 1);
+    assert_eq!(s.total_resumes(), 4);
+    assert_eq!(s.resumes_by_mode, [1, 0, 0, 3]);
+    assert!(s.mean_resume_ns(ResumeMode::Horse) < s.mean_resume_ns(ResumeMode::Vanilla));
+    assert_eq!(s.mean_resume_ns(ResumeMode::Ppsm), 0);
+}

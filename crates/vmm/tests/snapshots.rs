@@ -1,0 +1,119 @@
+//! Snapshot/restore integration tests (the paper's *restore* start path
+//! as a first-class VMM operation).
+
+use horse_vmm::{
+    PausePolicy, RestoreModel, ResumeMode, SandboxConfig, SandboxState, Vmm, VmmError,
+};
+
+fn cfg(vcpus: u32) -> SandboxConfig {
+    SandboxConfig::builder()
+        .vcpus(vcpus)
+        .ull(true)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn snapshot_restore_roundtrip_preserves_scheduling_state() {
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(4));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::vanilla()).unwrap();
+
+    let snap = vmm.snapshot(id).unwrap();
+    assert_eq!(snap.config(), cfg(4));
+    assert_eq!(snap.vcpu_keys().len(), 4);
+
+    let (restored, cost_ns) = vmm.restore_snapshot(&snap, &RestoreModel::default());
+    assert_ne!(restored, id, "restored sandbox has a fresh identity");
+    assert!(
+        (1_200_000..1_400_000).contains(&cost_ns),
+        "≈1.3 ms (Table 1)"
+    );
+    assert_eq!(vmm.sandbox(restored).unwrap().state(), SandboxState::Paused);
+
+    // The restored sandbox resumes through the vanilla path with the
+    // captured keys.
+    vmm.resume(restored, ResumeMode::Vanilla).unwrap();
+    assert_eq!(
+        vmm.sandbox(restored).unwrap().state(),
+        SandboxState::Running
+    );
+    // And the original is still intact.
+    vmm.resume(id, ResumeMode::Vanilla).unwrap();
+    assert_eq!(vmm.sched().total_queued(), 8);
+}
+
+#[test]
+fn snapshot_requires_paused_state() {
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(1));
+    assert!(matches!(
+        vmm.snapshot(id),
+        Err(VmmError::InvalidState { .. })
+    ));
+    vmm.start(id).unwrap();
+    assert!(vmm.snapshot(id).is_err());
+    vmm.pause(id, PausePolicy::horse()).unwrap();
+    assert!(vmm.snapshot(id).is_ok());
+}
+
+#[test]
+fn restored_sandbox_can_be_upgraded_to_horse() {
+    // Restore → resume → pause(horse) → HORSE fast path thereafter.
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(8));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::vanilla()).unwrap();
+    let snap = vmm.snapshot(id).unwrap();
+
+    let (restored, _) = vmm.restore_snapshot(&snap, &RestoreModel::default());
+    vmm.resume(restored, ResumeMode::Vanilla).unwrap();
+    vmm.pause(restored, PausePolicy::horse()).unwrap();
+    let out = vmm.resume(restored, ResumeMode::Horse).unwrap();
+    assert!(out.breakdown.total_ns() < 300);
+    assert_eq!(out.merge.unwrap().merged, 8);
+}
+
+#[test]
+fn one_snapshot_fans_out_to_many_clones() {
+    // Provisioned concurrency bootstrapping: restore the same snapshot N
+    // times (the FaaSnap use case).
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(2));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::vanilla()).unwrap();
+    let snap = vmm.snapshot(id).unwrap();
+
+    let clones: Vec<_> = (0..5)
+        .map(|_| vmm.restore_snapshot(&snap, &RestoreModel::default()).0)
+        .collect();
+    for c in &clones {
+        vmm.resume(*c, ResumeMode::Vanilla).unwrap();
+    }
+    // 5 clones × 2 vCPUs live on the queues (the original is paused).
+    assert_eq!(vmm.sched().total_queued(), 10);
+    // All vCPU ids are globally unique.
+    let mut ids: Vec<u64> = Vec::new();
+    let sched = vmm.sched();
+    for rq in sched.general_queues().iter().chain(sched.ull_queues()) {
+        for (_, _, vcpu) in sched.queue_list(*rq).iter(sched.arena()) {
+            ids.push(vcpu.id.as_u64());
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 10, "no duplicated vCPU identities");
+}
+
+#[test]
+fn snapshot_size_accounting() {
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(1));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::vanilla()).unwrap();
+    let snap = vmm.snapshot(id).unwrap();
+    let model = RestoreModel::default();
+    // 512 MB memory + device state.
+    assert!(snap.size_bytes(&model) > 512 * 1024 * 1024);
+}

@@ -1,0 +1,158 @@
+//! State-machine property test of the VMM: arbitrary lifecycle operation
+//! sequences on a fleet of sandboxes never corrupt the scheduler, never
+//! leak arena nodes, and keep every sandbox in a legal state.
+
+use horse_sched::{CpuTopology, GovernorPolicy, SandboxId, SchedConfig, SchedFlavor};
+use horse_vmm::{CostModel, PausePolicy, ResumeMode, SandboxConfig, SandboxState, Vmm};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { vcpus: u32, ull: bool },
+    Start { target: usize },
+    Pause { target: usize, horse: bool },
+    Resume { target: usize, mode: u8 },
+    Destroy { target: usize },
+    UllDispatch { queue: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..6, any::<bool>()).prop_map(|(vcpus, ull)| Op::Create { vcpus, ull }),
+        (0usize..16).prop_map(|target| Op::Start { target }),
+        (0usize..16, any::<bool>()).prop_map(|(target, horse)| Op::Pause { target, horse }),
+        (0usize..16, 0u8..4).prop_map(|(target, mode)| Op::Resume { target, mode }),
+        (0usize..16).prop_map(|target| Op::Destroy { target }),
+        (0usize..2).prop_map(|queue| Op::UllDispatch { queue }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arbitrary_lifecycles_preserve_all_invariants(
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut vmm = Vmm::new(
+            SchedConfig {
+                topology: CpuTopology::new(1, 8, false),
+                ull_queues: 2,
+                governor_policy: GovernorPolicy::Performance,
+                flavor: SchedFlavor::Credit2,
+            },
+            CostModel::calibrated(),
+        );
+        // Shadow model: id -> (state, vcpus, paused_horse).
+        let mut shadow: BTreeMap<SandboxId, (SandboxState, u32, bool)> = BTreeMap::new();
+        let mut ids: Vec<SandboxId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Create { vcpus, ull } => {
+                    let cfg = SandboxConfig::builder()
+                        .vcpus(vcpus)
+                        .ull(ull)
+                        .build()
+                        .expect("valid");
+                    let id = vmm.create(cfg);
+                    shadow.insert(id, (SandboxState::Configured, vcpus, false));
+                    ids.push(id);
+                }
+                Op::Start { target } if !ids.is_empty() => {
+                    let id = ids[target % ids.len()];
+                    let ok = vmm.start(id).is_ok();
+                    if let Some(entry) = shadow.get_mut(&id) {
+                        let expected = entry.0 == SandboxState::Configured;
+                        prop_assert_eq!(ok, expected, "start {}", id);
+                        if ok {
+                            entry.0 = SandboxState::Running;
+                        }
+                    }
+                }
+                Op::Pause { target, horse } if !ids.is_empty() => {
+                    let id = ids[target % ids.len()];
+                    let policy = if horse {
+                        PausePolicy::horse()
+                    } else {
+                        PausePolicy::vanilla()
+                    };
+                    let ok = vmm.pause(id, policy).is_ok();
+                    if let Some(entry) = shadow.get_mut(&id) {
+                        let expected = entry.0 == SandboxState::Running;
+                        prop_assert_eq!(ok, expected, "pause {}", id);
+                        if ok {
+                            entry.0 = SandboxState::Paused;
+                            entry.2 = horse;
+                        }
+                    }
+                }
+                Op::Resume { target, mode } if !ids.is_empty() => {
+                    let id = ids[target % ids.len()];
+                    let mode = ResumeMode::ALL[mode as usize % 4];
+                    let ok = vmm.resume(id, mode).is_ok();
+                    if let Some(entry) = shadow.get_mut(&id) {
+                        let expected = entry.0 == SandboxState::Paused
+                            && mode.uses_ppsm() == entry.2
+                            && mode.uses_coalescing() == entry.2;
+                        prop_assert_eq!(ok, expected, "resume {} {}", id, mode);
+                        if ok {
+                            entry.0 = SandboxState::Running;
+                        }
+                    }
+                }
+                Op::Destroy { target } if !ids.is_empty() => {
+                    let id = ids[target % ids.len()];
+                    let ok = vmm.destroy(id).is_ok();
+                    prop_assert_eq!(ok, shadow.contains_key(&id));
+                    shadow.remove(&id);
+                    ids.retain(|x| *x != id);
+                }
+                Op::UllDispatch { queue } => {
+                    let rqs = vmm.sched().ull_queues().to_vec();
+                    let rq = rqs[queue % rqs.len()];
+                    // Dispatch may or may not yield; either is fine. The
+                    // dispatched vCPU leaves the queues (it is "running on
+                    // the CPU"), so drop it from the shadow queue count by
+                    // treating its sandbox as having one fewer queued vCPU.
+                    if let Some((_, vcpu)) = vmm.ull_dispatch(rq) {
+                        if let Some(entry) = shadow.get_mut(&vcpu.sandbox) {
+                            entry.1 = entry.1.saturating_sub(1);
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            // Global invariants after every operation.
+            let expected_queued: u32 = shadow
+                .values()
+                .filter(|(state, _, _)| *state == SandboxState::Running)
+                .map(|(_, vcpus, _)| *vcpus)
+                .sum();
+            prop_assert_eq!(vmm.sched().total_queued(), expected_queued as usize);
+            for rq in vmm
+                .sched()
+                .general_queues()
+                .iter()
+                .chain(vmm.sched().ull_queues())
+            {
+                vmm.sched()
+                    .queue_list(*rq)
+                    .check_invariants(vmm.sched().arena())
+                    .map_err(TestCaseError::fail)?;
+            }
+            for (&id, &(state, _, _)) in &shadow {
+                prop_assert_eq!(vmm.sandbox(id).expect("tracked").state(), state);
+            }
+        }
+
+        // Teardown: destroying everything must leave the arena empty.
+        for id in ids {
+            let _ = vmm.destroy(id);
+        }
+        prop_assert!(vmm.sched().arena().is_empty(), "leaked arena nodes");
+        prop_assert_eq!(vmm.total_plan_memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Background CPU burner, standing in for sysbench.
+//!
+//! §5.2 runs "10 1-vCPU sandboxes (each running a CPU-intensive
+//! application with sysbench)" as background occupants. sysbench's CPU
+//! test verifies primality of successive integers up to a bound; this is
+//! the same kernel, restartable in fixed-size work units so a simulation
+//! can interleave it.
+
+use serde::{Deserialize, Serialize};
+
+/// A sysbench-style prime-verification burner.
+///
+/// # Example
+///
+/// ```
+/// use horse_workloads::CpuStress;
+///
+/// let mut s = CpuStress::new(10_000);
+/// let found = s.run_unit(1_000);
+/// assert!(found > 0);
+/// assert!(s.primes_found() >= found);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuStress {
+    limit: u64,
+    next: u64,
+    primes_found: u64,
+    units_run: u64,
+}
+
+impl CpuStress {
+    /// Creates a burner verifying numbers up to `limit` (sysbench's
+    /// `--cpu-max-prime`), then wrapping around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit < 3`.
+    pub fn new(limit: u64) -> Self {
+        assert!(limit >= 3, "limit too small to contain primes");
+        Self {
+            limit,
+            next: 3,
+            primes_found: 0,
+            units_run: 0,
+        }
+    }
+
+    /// Runs one work unit: checks `candidates` consecutive odd numbers by
+    /// trial division (exactly sysbench's inner loop). Returns how many
+    /// primes this unit found.
+    pub fn run_unit(&mut self, candidates: u64) -> u64 {
+        self.units_run += 1;
+        let mut found = 0;
+        for _ in 0..candidates {
+            if self.next > self.limit {
+                self.next = 3;
+            }
+            let c = self.next;
+            self.next += 2;
+            let mut t = 2;
+            let mut is_prime = true;
+            while t * t <= c {
+                if c % t == 0 {
+                    is_prime = false;
+                    break;
+                }
+                t += 1;
+            }
+            if is_prime {
+                found += 1;
+            }
+        }
+        self.primes_found += found;
+        found
+    }
+
+    /// Total primes verified across all units.
+    pub fn primes_found(&self) -> u64 {
+        self.primes_found
+    }
+
+    /// Number of work units executed.
+    pub fn units_run(&self) -> u64 {
+        self.units_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_known_primes() {
+        let mut s = CpuStress::new(30);
+        // Odd candidates from 3 to 29: primes are 3,5,7,11,13,17,19,23,29.
+        let found = s.run_unit(14);
+        assert_eq!(found, 9);
+    }
+
+    #[test]
+    fn wraps_around_at_limit() {
+        let mut s = CpuStress::new(10);
+        let first = s.run_unit(4); // 3,5,7,9 -> 3 primes
+        let second = s.run_unit(4); // wraps: 3,5,7,9 again
+        assert_eq!(first, second);
+        assert_eq!(s.units_run(), 2);
+        assert_eq!(s.primes_found(), first + second);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit too small")]
+    fn tiny_limit_panics() {
+        CpuStress::new(2);
+    }
+}

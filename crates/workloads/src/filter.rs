@@ -1,0 +1,128 @@
+//! Category 3 uLL workload: threshold index filter.
+//!
+//! "Given an array composed of 3000 integers, retrieve the indexes of all
+//! the elements in the array that are larger than an integer parameter
+//! passed during the workload trigger. Such operations are used during
+//! image transformation operations" (paper §2).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's fixed array length.
+pub const FILTER_ARRAY_LEN: usize = 3000;
+
+/// Returns the indexes of all elements strictly larger than `threshold`.
+///
+/// # Example
+///
+/// ```
+/// use horse_workloads::index_filter;
+///
+/// let data = [5, 10, 3, 42];
+/// assert_eq!(index_filter(&data, 4), vec![0, 1, 3]);
+/// assert!(index_filter(&data, 100).is_empty());
+/// ```
+pub fn index_filter(data: &[i32], threshold: i32) -> Vec<usize> {
+    data.iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v > threshold).then_some(i))
+        .collect()
+}
+
+/// A stateful wrapper holding the paper-sized array, so FaaS invocations
+/// only pass the threshold parameter (matching the trigger interface the
+/// paper describes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexFilter {
+    data: Vec<i32>,
+    invocations: u64,
+}
+
+impl IndexFilter {
+    /// Builds the workload over the paper's 3000-element array, filled
+    /// deterministically from a seed so runs are reproducible.
+    pub fn from_seed(seed: u64) -> Self {
+        // xorshift64* fill: deterministic, uniform enough for a filter.
+        let mut x = seed.max(1);
+        let data = (0..FILTER_ARRAY_LEN)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) as i32
+            })
+            .collect();
+        Self {
+            data,
+            invocations: 0,
+        }
+    }
+
+    /// Builds the workload over caller-provided data.
+    pub fn from_data(data: Vec<i32>) -> Self {
+        Self {
+            data,
+            invocations: 0,
+        }
+    }
+
+    /// The backing array.
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Runs the filter with the trigger parameter.
+    pub fn invoke(&mut self, threshold: i32) -> Vec<usize> {
+        self.invocations += 1;
+        index_filter(&self.data, threshold)
+    }
+
+    /// Number of invocations served.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_expected_indexes() {
+        assert_eq!(index_filter(&[1, 5, 2, 8], 1), vec![1, 2, 3]);
+        assert_eq!(index_filter(&[1, 5, 2, 8], 8), Vec::<usize>::new());
+        assert_eq!(index_filter(&[], 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        assert_eq!(index_filter(&[3, 3, 3], 3), Vec::<usize>::new());
+        assert_eq!(index_filter(&[3, 4], 3), vec![1]);
+    }
+
+    #[test]
+    fn seeded_array_has_paper_size_and_is_deterministic() {
+        let a = IndexFilter::from_seed(42);
+        let b = IndexFilter::from_seed(42);
+        let c = IndexFilter::from_seed(43);
+        assert_eq!(a.data().len(), FILTER_ARRAY_LEN);
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn invoke_filters_and_counts() {
+        let mut f = IndexFilter::from_data(vec![10, -5, 20]);
+        assert_eq!(f.invoke(0), vec![0, 2]);
+        assert_eq!(f.invoke(15), vec![2]);
+        assert_eq!(f.invocations(), 2);
+    }
+
+    #[test]
+    fn result_indexes_are_valid_and_sorted() {
+        let f = IndexFilter::from_seed(7);
+        let out = index_filter(f.data(), 0);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+        assert!(out.iter().all(|&i| i < FILTER_ARRAY_LEN));
+        assert!(out.iter().all(|&i| f.data()[i] > 0));
+    }
+}

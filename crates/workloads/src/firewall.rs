@@ -1,0 +1,216 @@
+//! Category 1 uLL workload: a stateless firewall.
+//!
+//! "A stateless firewall that takes a request header as input and
+//! determines whether the request should go through by querying a static
+//! allow list" (paper §2). Rules match on destination port, protocol and
+//! an optional source prefix; lookup is a hash probe plus a bounded prefix
+//! scan, comfortably inside the ≤ 20 µs category budget.
+
+use crate::packet::{Protocol, RequestHeader};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Decision of the firewall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The request passes.
+    Allow,
+    /// The request is dropped.
+    Deny,
+}
+
+/// One allow-list entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FirewallRule {
+    /// Destination port the rule applies to.
+    pub dst_port: u16,
+    /// Protocol the rule applies to.
+    pub proto: Protocol,
+    /// Source network prefix (address, prefix length). `(0, 0)` matches
+    /// any source.
+    pub src_prefix: (u32, u8),
+}
+
+impl FirewallRule {
+    /// Rule allowing any source to reach `dst_port` over `proto`.
+    pub fn any_source(dst_port: u16, proto: Protocol) -> Self {
+        Self {
+            dst_port,
+            proto,
+            src_prefix: (0, 0),
+        }
+    }
+
+    /// Rule restricted to a source prefix, e.g. `10.0.0.0/8`.
+    pub fn from_prefix(dst_port: u16, proto: Protocol, addr: [u8; 4], len: u8) -> Self {
+        Self {
+            dst_port,
+            proto,
+            src_prefix: (u32::from_be_bytes(addr), len.min(32)),
+        }
+    }
+
+    fn matches(&self, h: &RequestHeader) -> bool {
+        if self.dst_port != h.dst_port || self.proto != h.proto {
+            return false;
+        }
+        let (addr, len) = self.src_prefix;
+        if len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(len));
+        (h.src_ip & mask) == (addr & mask)
+    }
+}
+
+/// The stateless firewall function.
+///
+/// # Example
+///
+/// ```
+/// use horse_workloads::{Firewall, FirewallRule, Protocol, RequestHeader, Verdict};
+///
+/// let fw = Firewall::new(vec![FirewallRule::any_source(443, Protocol::Tcp)]);
+/// let ok = RequestHeader::new([1, 2, 3, 4], 9999, [10, 0, 0, 1], 443, Protocol::Tcp);
+/// let bad = RequestHeader::new([1, 2, 3, 4], 9999, [10, 0, 0, 1], 22, Protocol::Tcp);
+/// assert_eq!(fw.evaluate(&ok), Verdict::Allow);
+/// assert_eq!(fw.evaluate(&bad), Verdict::Deny);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Firewall {
+    /// Fast path: exact (port, proto) pairs that allow any source.
+    any_source: HashSet<(u16, Protocol)>,
+    /// Slow path: prefix-restricted rules, scanned linearly.
+    prefixed: Vec<FirewallRule>,
+    evaluations: u64,
+}
+
+impl Firewall {
+    /// Builds the firewall from a static allow list.
+    pub fn new(rules: Vec<FirewallRule>) -> Self {
+        let mut any_source = HashSet::new();
+        let mut prefixed = Vec::new();
+        for r in rules {
+            if r.src_prefix.1 == 0 {
+                any_source.insert((r.dst_port, r.proto));
+            } else {
+                prefixed.push(r);
+            }
+        }
+        Self {
+            any_source,
+            prefixed,
+            evaluations: 0,
+        }
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.any_source.len() + self.prefixed.len()
+    }
+
+    /// Evaluates one request header against the allow list.
+    pub fn evaluate(&self, h: &RequestHeader) -> Verdict {
+        if self.any_source.contains(&(h.dst_port, h.proto)) {
+            return Verdict::Allow;
+        }
+        if self.prefixed.iter().any(|r| r.matches(h)) {
+            return Verdict::Allow;
+        }
+        Verdict::Deny
+    }
+
+    /// Evaluates and counts (the FaaS invocation entry point).
+    pub fn invoke(&mut self, h: &RequestHeader) -> Verdict {
+        self.evaluations += 1;
+        self.evaluate(h)
+    }
+
+    /// Number of invocations served.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fw() -> Firewall {
+        Firewall::new(vec![
+            FirewallRule::any_source(80, Protocol::Tcp),
+            FirewallRule::any_source(53, Protocol::Udp),
+            FirewallRule::from_prefix(22, Protocol::Tcp, [10, 0, 0, 0], 8),
+        ])
+    }
+
+    fn req(src: [u8; 4], dport: u16, proto: Protocol) -> RequestHeader {
+        RequestHeader::new(src, 50_000, [192, 0, 2, 1], dport, proto)
+    }
+
+    #[test]
+    fn allows_open_ports() {
+        let f = fw();
+        assert_eq!(
+            f.evaluate(&req([1, 1, 1, 1], 80, Protocol::Tcp)),
+            Verdict::Allow
+        );
+        assert_eq!(
+            f.evaluate(&req([9, 9, 9, 9], 53, Protocol::Udp)),
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn denies_unknown_ports_and_wrong_protocols() {
+        let f = fw();
+        assert_eq!(
+            f.evaluate(&req([1, 1, 1, 1], 8080, Protocol::Tcp)),
+            Verdict::Deny
+        );
+        assert_eq!(
+            f.evaluate(&req([1, 1, 1, 1], 80, Protocol::Udp)),
+            Verdict::Deny
+        );
+    }
+
+    #[test]
+    fn prefix_rules_restrict_sources() {
+        let f = fw();
+        assert_eq!(
+            f.evaluate(&req([10, 20, 30, 40], 22, Protocol::Tcp)),
+            Verdict::Allow
+        );
+        assert_eq!(
+            f.evaluate(&req([11, 20, 30, 40], 22, Protocol::Tcp)),
+            Verdict::Deny
+        );
+    }
+
+    #[test]
+    fn invoke_counts() {
+        let mut f = fw();
+        assert_eq!(f.rule_count(), 3);
+        f.invoke(&req([1, 1, 1, 1], 80, Protocol::Tcp));
+        f.invoke(&req([1, 1, 1, 1], 81, Protocol::Tcp));
+        assert_eq!(f.evaluations(), 2);
+    }
+
+    #[test]
+    fn full_prefix_is_exact_match() {
+        let f = Firewall::new(vec![FirewallRule::from_prefix(
+            1,
+            Protocol::Tcp,
+            [1, 2, 3, 4],
+            32,
+        )]);
+        assert_eq!(
+            f.evaluate(&req([1, 2, 3, 4], 1, Protocol::Tcp)),
+            Verdict::Allow
+        );
+        assert_eq!(
+            f.evaluate(&req([1, 2, 3, 5], 1, Protocol::Tcp)),
+            Verdict::Deny
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! In-memory key-value store with small objects.
+//!
+//! §1 of the paper lists "distributed in-memory key-value stores with
+//! small objects" (FaRM, NetCache, RDMA KV) among the uLL workloads. A
+//! single GET over a resident hash index completes in hundreds of
+//! nanoseconds — squarely Category 3.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Maximum object size accepted by the store (small-object regime: the
+/// paper's motivating systems optimize for values well under 1 KiB).
+pub const MAX_VALUE_BYTES: usize = 1024;
+
+/// Error returned when a value exceeds the small-object bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueTooLargeError {
+    len: usize,
+}
+
+impl std::fmt::Display for ValueTooLargeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "value of {} bytes exceeds the small-object bound of {MAX_VALUE_BYTES}",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for ValueTooLargeError {}
+
+/// Operation statistics of a [`MicroKv`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvStats {
+    /// GETs that found the key.
+    pub hits: u64,
+    /// GETs that missed.
+    pub misses: u64,
+    /// Successful PUTs.
+    pub puts: u64,
+    /// DELETEs that removed something.
+    pub deletes: u64,
+}
+
+/// A small-object in-memory KV store (one FaaS-hosted shard).
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use horse_workloads::MicroKv;
+///
+/// let mut kv = MicroKv::new();
+/// kv.put("user:42", Bytes::from_static(b"alice"))?;
+/// assert_eq!(kv.get("user:42"), Some(Bytes::from_static(b"alice")));
+/// assert_eq!(kv.get("user:43"), None);
+/// assert!(kv.delete("user:42"));
+/// # Ok::<(), horse_workloads::ValueTooLargeError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MicroKv {
+    map: HashMap<String, Bytes>,
+    stats: KvStats,
+}
+
+impl MicroKv {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// GET: the Category-3 hot path — one hash probe, zero copies
+    /// ([`Bytes`] clones are reference-counted).
+    pub fn get(&mut self, key: &str) -> Option<Bytes> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// PUT, enforcing the small-object bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueTooLargeError`] for oversized values.
+    pub fn put(&mut self, key: impl Into<String>, value: Bytes) -> Result<(), ValueTooLargeError> {
+        if value.len() > MAX_VALUE_BYTES {
+            return Err(ValueTooLargeError { len: value.len() });
+        }
+        self.stats.puts += 1;
+        self.map.insert(key.into(), value);
+        Ok(())
+    }
+
+    /// DELETE. Returns whether a value was removed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        let removed = self.map.remove(key).is_some();
+        if removed {
+            self.stats.deletes += 1;
+        }
+        removed
+    }
+
+    /// Total resident value bytes.
+    pub fn value_bytes(&self) -> usize {
+        self.map.values().map(Bytes::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_delete_roundtrip() {
+        let mut kv = MicroKv::new();
+        assert!(kv.is_empty());
+        kv.put("a", Bytes::from_static(b"1")).unwrap();
+        kv.put("b", Bytes::from_static(b"22")).unwrap();
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.value_bytes(), 3);
+        assert_eq!(kv.get("a"), Some(Bytes::from_static(b"1")));
+        assert!(kv.delete("a"));
+        assert!(!kv.delete("a"));
+        assert_eq!(kv.get("a"), None);
+        let s = kv.stats();
+        assert_eq!((s.hits, s.misses, s.puts, s.deletes), (1, 1, 2, 1));
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let mut kv = MicroKv::new();
+        kv.put("k", Bytes::from_static(b"old")).unwrap();
+        kv.put("k", Bytes::from_static(b"new")).unwrap();
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get("k"), Some(Bytes::from_static(b"new")));
+    }
+
+    #[test]
+    fn rejects_large_objects() {
+        let mut kv = MicroKv::new();
+        let big = Bytes::from(vec![0u8; MAX_VALUE_BYTES + 1]);
+        let err = kv.put("big", big).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+        let ok = Bytes::from(vec![0u8; MAX_VALUE_BYTES]);
+        assert!(kv.put("ok", ok).is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! Quantized MLP inference.
+//!
+//! §1 cites "machine learning inference tasks" (Cloudflare's
+//! every-request scoring) among the uLL workloads: tiny quantized models
+//! evaluated per request in microseconds. This module implements an
+//! int8-quantized multi-layer perceptron with fixed-point arithmetic —
+//! the kind of model used for per-request bot scoring.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale: weights and activations are `value × 64` in i32.
+const SCALE: i32 = 64;
+
+/// One dense layer: `out = relu(W·x + b)` in fixed point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Dense {
+    /// Row-major weights, `outputs × inputs`, int8 range.
+    weights: Vec<i8>,
+    bias: Vec<i32>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Dense {
+    fn forward(&self, x: &[i32], relu: bool) -> Vec<i32> {
+        let mut out = Vec::with_capacity(self.outputs);
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc: i64 = i64::from(self.bias[o]);
+            for (w, v) in row.iter().zip(x) {
+                acc += i64::from(*w) * i64::from(*v);
+            }
+            let mut v = (acc / i64::from(SCALE)) as i32;
+            if relu {
+                v = v.max(0);
+            }
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// An int8 MLP classifier for per-request scoring.
+///
+/// # Example
+///
+/// ```
+/// use horse_workloads::MlInference;
+///
+/// // A 8 -> 16 -> 2 scorer, deterministically initialized.
+/// let mut model = MlInference::new(&[8, 16, 2], 7);
+/// let features = [10i32; 8];
+/// let class = model.classify(&features);
+/// assert!(class < 2);
+/// assert_eq!(model.inferences(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlInference {
+    layers: Vec<Dense>,
+    inferences: u64,
+}
+
+impl MlInference {
+    /// Builds an MLP with the given layer widths (first = input features,
+    /// last = classes), deterministically initialized from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least an input and an output layer are given.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let layers = widths
+            .windows(2)
+            .map(|w| {
+                let (inputs, outputs) = (w[0], w[1]);
+                Dense {
+                    weights: (0..inputs * outputs)
+                        .map(|_| ((next() >> 56) as i8) / 2)
+                        .collect(),
+                    bias: (0..outputs)
+                        .map(|_| ((next() >> 58) as i8) as i32)
+                        .collect(),
+                    inputs,
+                    outputs,
+                }
+            })
+            .collect();
+        Self {
+            layers,
+            inferences: 0,
+        }
+    }
+
+    /// Number of input features the model expects.
+    pub fn input_width(&self) -> usize {
+        self.layers.first().expect("non-empty").inputs
+    }
+
+    /// Number of output classes.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs
+    }
+
+    /// Full forward pass, returning the raw logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from [`Self::input_width`].
+    pub fn forward(&mut self, features: &[i32]) -> Vec<i32> {
+        assert_eq!(features.len(), self.input_width(), "feature width mismatch");
+        self.inferences += 1;
+        let last = self.layers.len() - 1;
+        let mut x = features.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(&x, i != last);
+        }
+        x
+    }
+
+    /// Argmax classification.
+    pub fn classify(&mut self, features: &[i32]) -> usize {
+        let logits = self.forward(features);
+        logits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Number of inferences served.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Parameter count (weights + biases) — model-size sanity metric.
+    pub fn parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.bias.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = MlInference::new(&[4, 8, 2], 1);
+        let mut b = MlInference::new(&[4, 8, 2], 1);
+        let mut c = MlInference::new(&[4, 8, 2], 2);
+        let f = [100, -50, 25, 0];
+        assert_eq!(a.forward(&f), b.forward(&f));
+        // Different seed virtually always yields different logits.
+        assert_ne!(a.forward(&f), c.forward(&f));
+    }
+
+    #[test]
+    fn shapes_are_checked() {
+        let mut m = MlInference::new(&[3, 5, 4], 9);
+        assert_eq!(m.input_width(), 3);
+        assert_eq!(m.output_width(), 4);
+        assert_eq!(m.parameters(), 3 * 5 + 5 + 5 * 4 + 4);
+        assert!(m.classify(&[1, 2, 3]) < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_width_panics() {
+        MlInference::new(&[3, 2], 1).forward(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn degenerate_model_panics() {
+        MlInference::new(&[3], 1);
+    }
+
+    #[test]
+    fn hidden_layers_relu() {
+        // With all-negative inputs and positive pass-through weights the
+        // hidden ReLU clamps — classification still works.
+        let mut m = MlInference::new(&[2, 4, 2], 5);
+        let c = m.classify(&[-1000, -1000]);
+        assert!(c < 2);
+        assert_eq!(m.inferences(), 1);
+    }
+}

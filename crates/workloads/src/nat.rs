@@ -1,0 +1,201 @@
+//! Category 2 uLL workload: a NAT.
+//!
+//! "A NAT that changes a request header based on pre-registered routing
+//! rules" (paper §2). Translation is a single hash lookup keyed by the
+//! public-facing destination, rewriting the header toward the private
+//! backend — comfortably inside the ≤ 1 µs category budget.
+
+use crate::packet::{Protocol, RequestHeader};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// One pre-registered routing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NatRule {
+    /// Public destination the clients address.
+    pub public_ip: u32,
+    /// Public destination port.
+    pub public_port: u16,
+    /// Protocol the rule applies to.
+    pub proto: Protocol,
+    /// Private backend address traffic is rewritten to.
+    pub private_ip: u32,
+    /// Private backend port.
+    pub private_port: u16,
+}
+
+impl NatRule {
+    /// Convenience constructor from dotted-quad octets.
+    pub fn new(public: ([u8; 4], u16), proto: Protocol, private: ([u8; 4], u16)) -> Self {
+        Self {
+            public_ip: u32::from_be_bytes(public.0),
+            public_port: public.1,
+            proto,
+            private_ip: u32::from_be_bytes(private.0),
+            private_port: private.1,
+        }
+    }
+}
+
+/// Error returned when no routing rule matches a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatError {
+    header: RequestHeader,
+}
+
+impl fmt::Display for NatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no NAT rule for {}", self.header)
+    }
+}
+
+impl Error for NatError {}
+
+/// The NAT function.
+///
+/// # Example
+///
+/// ```
+/// use horse_workloads::{NatRule, NatTable, Protocol, RequestHeader};
+///
+/// let nat = NatTable::new(vec![NatRule::new(
+///     ([203, 0, 113, 1], 443),
+///     Protocol::Tcp,
+///     ([10, 0, 0, 7], 8443),
+/// )]);
+/// let req = RequestHeader::new([1, 2, 3, 4], 5555, [203, 0, 113, 1], 443, Protocol::Tcp);
+/// let out = nat.translate(&req)?;
+/// assert_eq!(out.dst_ip, u32::from_be_bytes([10, 0, 0, 7]));
+/// assert_eq!(out.dst_port, 8443);
+/// assert_eq!(out.src_ip, req.src_ip, "source is preserved");
+/// # Ok::<(), horse_workloads::NatError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NatTable {
+    rules: HashMap<(u32, u16, Protocol), (u32, u16)>,
+    translations: u64,
+}
+
+impl NatTable {
+    /// Builds the table from pre-registered rules. Later duplicates of the
+    /// same public endpoint override earlier ones.
+    pub fn new(rules: Vec<NatRule>) -> Self {
+        let mut map = HashMap::with_capacity(rules.len());
+        for r in rules {
+            map.insert(
+                (r.public_ip, r.public_port, r.proto),
+                (r.private_ip, r.private_port),
+            );
+        }
+        Self {
+            rules: map,
+            translations: 0,
+        }
+    }
+
+    /// Number of routing rules registered.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Rewrites one header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NatError`] when no rule matches the destination.
+    pub fn translate(&self, h: &RequestHeader) -> Result<RequestHeader, NatError> {
+        match self.rules.get(&(h.dst_ip, h.dst_port, h.proto)) {
+            Some(&(ip, port)) => Ok(RequestHeader {
+                dst_ip: ip,
+                dst_port: port,
+                ..*h
+            }),
+            None => Err(NatError { header: *h }),
+        }
+    }
+
+    /// Translates and counts (the FaaS invocation entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NatError`] when no rule matches.
+    pub fn invoke(&mut self, h: &RequestHeader) -> Result<RequestHeader, NatError> {
+        self.translations += 1;
+        self.translate(h)
+    }
+
+    /// Number of invocations served.
+    pub fn translations(&self) -> u64 {
+        self.translations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NatTable {
+        NatTable::new(vec![
+            NatRule::new(([203, 0, 113, 1], 80), Protocol::Tcp, ([10, 0, 0, 1], 8080)),
+            NatRule::new(
+                ([203, 0, 113, 1], 443),
+                Protocol::Tcp,
+                ([10, 0, 0, 2], 8443),
+            ),
+        ])
+    }
+
+    #[test]
+    fn translates_known_destinations() {
+        let t = table();
+        let h = RequestHeader::new([8, 8, 8, 8], 1234, [203, 0, 113, 1], 80, Protocol::Tcp);
+        let out = t.translate(&h).unwrap();
+        assert_eq!(out.dst_ip, u32::from_be_bytes([10, 0, 0, 1]));
+        assert_eq!(out.dst_port, 8080);
+        assert_eq!(out.src_port, 1234);
+        assert_eq!(out.proto, Protocol::Tcp);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let t = table();
+        let h = RequestHeader::new([8, 8, 8, 8], 1234, [203, 0, 113, 9], 80, Protocol::Tcp);
+        let e = t.translate(&h).unwrap_err();
+        assert!(e.to_string().contains("no NAT rule"));
+    }
+
+    #[test]
+    fn protocol_is_part_of_the_key() {
+        let t = table();
+        let h = RequestHeader::new([8, 8, 8, 8], 1, [203, 0, 113, 1], 80, Protocol::Udp);
+        assert!(t.translate(&h).is_err());
+    }
+
+    #[test]
+    fn duplicate_rules_override() {
+        let t = NatTable::new(vec![
+            NatRule::new(([1, 1, 1, 1], 1), Protocol::Tcp, ([10, 0, 0, 1], 1)),
+            NatRule::new(([1, 1, 1, 1], 1), Protocol::Tcp, ([10, 0, 0, 2], 2)),
+        ]);
+        assert_eq!(t.rule_count(), 1);
+        let h = RequestHeader::new([8, 8, 8, 8], 9, [1, 1, 1, 1], 1, Protocol::Tcp);
+        assert_eq!(t.translate(&h).unwrap().dst_port, 2);
+    }
+
+    #[test]
+    fn invoke_counts() {
+        let mut t = table();
+        let h = RequestHeader::new([8, 8, 8, 8], 1, [203, 0, 113, 1], 443, Protocol::Tcp);
+        t.invoke(&h).unwrap();
+        let _ = t.invoke(&RequestHeader::new(
+            [8, 8, 8, 8],
+            1,
+            [9, 9, 9, 9],
+            1,
+            Protocol::Tcp,
+        ));
+        assert_eq!(t.translations(), 2);
+    }
+}

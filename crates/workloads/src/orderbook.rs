@@ -1,0 +1,262 @@
+//! Limit order book matching.
+//!
+//! §1 cites "finance microservices" (ultra-low-latency trading) among the
+//! uLL workloads. The inner loop of such services is a price-time
+//! priority limit order book: submitting an order and matching it against
+//! the opposite side is a microsecond-scale operation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Order side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// Buy (bid).
+    Buy,
+    /// Sell (ask).
+    Sell,
+}
+
+/// One fill produced by matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fill {
+    /// Resting order that was hit.
+    pub maker_id: u64,
+    /// Incoming order.
+    pub taker_id: u64,
+    /// Execution price (the maker's price — price improvement goes to
+    /// the taker).
+    pub price: u64,
+    /// Executed quantity.
+    pub quantity: u64,
+}
+
+/// A resting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Resting {
+    id: u64,
+    quantity: u64,
+}
+
+/// A price-time priority limit order book.
+///
+/// # Example
+///
+/// ```
+/// use horse_workloads::{OrderBook, Side};
+///
+/// let mut book = OrderBook::new();
+/// book.submit(Side::Sell, 101, 5); // ask 5 @ 101
+/// book.submit(Side::Sell, 100, 5); // ask 5 @ 100
+/// let fills = book.submit(Side::Buy, 101, 7); // crosses both levels
+/// assert_eq!(fills.len(), 2);
+/// assert_eq!(fills[0].price, 100, "best ask first");
+/// assert_eq!(fills[0].quantity, 5);
+/// assert_eq!(fills[1].price, 101);
+/// assert_eq!(fills[1].quantity, 2);
+/// assert_eq!(book.best_ask(), Some(101));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OrderBook {
+    /// Bids: price → FIFO of resting orders (iterated descending).
+    bids: BTreeMap<u64, Vec<Resting>>,
+    /// Asks: price → FIFO of resting orders (iterated ascending).
+    asks: BTreeMap<u64, Vec<Resting>>,
+    next_id: u64,
+    trades: u64,
+}
+
+impl OrderBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Best (highest) bid price.
+    pub fn best_bid(&self) -> Option<u64> {
+        self.bids.keys().next_back().copied()
+    }
+
+    /// Best (lowest) ask price.
+    pub fn best_ask(&self) -> Option<u64> {
+        self.asks.keys().next().copied()
+    }
+
+    /// Total resting quantity on a side.
+    pub fn depth(&self, side: Side) -> u64 {
+        let book = match side {
+            Side::Buy => &self.bids,
+            Side::Sell => &self.asks,
+        };
+        book.values()
+            .flat_map(|level| level.iter().map(|r| r.quantity))
+            .sum()
+    }
+
+    /// Number of trades matched so far.
+    pub fn trades(&self) -> u64 {
+        self.trades
+    }
+
+    /// Submits a limit order; matches aggressively against the opposite
+    /// side (price-time priority), rests any remainder. Returns the fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero quantity (not a valid order).
+    pub fn submit(&mut self, side: Side, price: u64, quantity: u64) -> Vec<Fill> {
+        assert!(quantity > 0, "orders must have positive quantity");
+        let taker_id = self.next_id;
+        self.next_id += 1;
+        let mut remaining = quantity;
+        let mut fills = Vec::new();
+
+        loop {
+            if remaining == 0 {
+                break;
+            }
+            // Best opposite level that crosses.
+            let best = match side {
+                Side::Buy => self.asks.keys().next().copied().filter(|&p| p <= price),
+                Side::Sell => self
+                    .bids
+                    .keys()
+                    .next_back()
+                    .copied()
+                    .filter(|&p| p >= price),
+            };
+            let Some(level_price) = best else { break };
+            let book = match side {
+                Side::Buy => &mut self.asks,
+                Side::Sell => &mut self.bids,
+            };
+            let level = book.get_mut(&level_price).expect("level exists");
+            while remaining > 0 {
+                let Some(maker) = level.first_mut() else {
+                    break;
+                };
+                let take = maker.quantity.min(remaining);
+                maker.quantity -= take;
+                remaining -= take;
+                fills.push(Fill {
+                    maker_id: maker.id,
+                    taker_id,
+                    price: level_price,
+                    quantity: take,
+                });
+                self.trades += 1;
+                if maker.quantity == 0 {
+                    level.remove(0);
+                }
+            }
+            if level.is_empty() {
+                book.remove(&level_price);
+            }
+        }
+
+        if remaining > 0 {
+            let book = match side {
+                Side::Buy => &mut self.bids,
+                Side::Sell => &mut self.asks,
+            };
+            book.entry(price).or_default().push(Resting {
+                id: taker_id,
+                quantity: remaining,
+            });
+        }
+        fills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resting_orders_do_not_cross() {
+        let mut b = OrderBook::new();
+        assert!(b.submit(Side::Buy, 99, 10).is_empty());
+        assert!(b.submit(Side::Sell, 101, 10).is_empty());
+        assert_eq!(b.best_bid(), Some(99));
+        assert_eq!(b.best_ask(), Some(101));
+        assert_eq!(b.depth(Side::Buy), 10);
+        assert_eq!(b.depth(Side::Sell), 10);
+        assert_eq!(b.trades(), 0);
+    }
+
+    #[test]
+    fn price_time_priority() {
+        let mut b = OrderBook::new();
+        b.submit(Side::Sell, 100, 3); // id 0 — first at the level
+        b.submit(Side::Sell, 100, 3); // id 1 — second
+        let fills = b.submit(Side::Buy, 100, 4);
+        assert_eq!(fills.len(), 2);
+        assert_eq!(fills[0].maker_id, 0, "time priority at equal price");
+        assert_eq!(fills[0].quantity, 3);
+        assert_eq!(fills[1].maker_id, 1);
+        assert_eq!(fills[1].quantity, 1);
+        assert_eq!(b.depth(Side::Sell), 2);
+    }
+
+    #[test]
+    fn taker_gets_price_improvement() {
+        let mut b = OrderBook::new();
+        b.submit(Side::Sell, 95, 5);
+        let fills = b.submit(Side::Buy, 100, 5);
+        assert_eq!(fills[0].price, 95, "maker price, not limit price");
+        assert_eq!(b.best_ask(), None);
+        assert_eq!(b.best_bid(), None, "fully matched taker does not rest");
+    }
+
+    #[test]
+    fn partial_fill_rests_remainder() {
+        let mut b = OrderBook::new();
+        b.submit(Side::Sell, 100, 2);
+        let fills = b.submit(Side::Buy, 100, 10);
+        assert_eq!(fills.iter().map(|f| f.quantity).sum::<u64>(), 2);
+        assert_eq!(b.best_bid(), Some(100));
+        assert_eq!(b.depth(Side::Buy), 8);
+    }
+
+    #[test]
+    fn sell_side_matches_highest_bids_first() {
+        let mut b = OrderBook::new();
+        b.submit(Side::Buy, 98, 1);
+        b.submit(Side::Buy, 99, 1);
+        let fills = b.submit(Side::Sell, 98, 2);
+        assert_eq!(fills[0].price, 99);
+        assert_eq!(fills[1].price, 98);
+        assert_eq!(b.depth(Side::Buy), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive quantity")]
+    fn zero_quantity_panics() {
+        OrderBook::new().submit(Side::Buy, 1, 0);
+    }
+
+    #[test]
+    fn conservation_of_quantity() {
+        // Total filled + resting == total submitted.
+        let mut b = OrderBook::new();
+        let mut submitted = 0u64;
+        let mut filled = 0u64;
+        for i in 0..50u64 {
+            let side = if i % 2 == 0 { Side::Buy } else { Side::Sell };
+            let price = 95 + (i * 7) % 11;
+            let qty = 1 + i % 5;
+            submitted += qty;
+            filled += b
+                .submit(side, price, qty)
+                .iter()
+                .map(|f| f.quantity)
+                .sum::<u64>();
+        }
+        let resting = b.depth(Side::Buy) + b.depth(Side::Sell);
+        assert_eq!(
+            submitted,
+            2 * filled + resting,
+            "each fill consumes taker and maker quantity"
+        );
+    }
+}

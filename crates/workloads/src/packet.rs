@@ -1,0 +1,96 @@
+//! Request headers processed by the NFV-style uLL functions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Transport protocol of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Transmission Control Protocol.
+    #[default]
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+}
+
+/// A request header, the input of the firewall and NAT functions ("takes
+/// a request header as input", paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestHeader {
+    /// Source IPv4 address (big-endian u32).
+    pub src_ip: u32,
+    /// Destination IPv4 address (big-endian u32).
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl RequestHeader {
+    /// Convenience constructor from dotted-quad octets.
+    pub fn new(src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16, proto: Protocol) -> Self {
+        Self {
+            src_ip: u32::from_be_bytes(src),
+            dst_ip: u32::from_be_bytes(dst),
+            src_port: sport,
+            dst_port: dport,
+            proto,
+        }
+    }
+
+    /// The 5-tuple as a hashable key.
+    pub fn five_tuple(&self) -> (u32, u16, u32, u16, Protocol) {
+        (
+            self.src_ip,
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            self.proto,
+        )
+    }
+}
+
+impl fmt::Display for RequestHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.src_ip.to_be_bytes();
+        let d = self.dst_ip.to_be_bytes();
+        write!(
+            f,
+            "{:?} {}.{}.{}.{}:{} -> {}.{}.{}.{}:{}",
+            self.proto,
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            self.src_port,
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let h = RequestHeader::new([10, 0, 0, 1], 4242, [192, 168, 1, 9], 80, Protocol::Tcp);
+        assert_eq!(h.src_ip, u32::from_be_bytes([10, 0, 0, 1]));
+        assert_eq!(h.to_string(), "Tcp 10.0.0.1:4242 -> 192.168.1.9:80");
+    }
+
+    #[test]
+    fn five_tuple_distinguishes_flows() {
+        let a = RequestHeader::new([1, 1, 1, 1], 1, [2, 2, 2, 2], 2, Protocol::Tcp);
+        let b = RequestHeader::new([1, 1, 1, 1], 1, [2, 2, 2, 2], 2, Protocol::Udp);
+        assert_ne!(a.five_tuple(), b.five_tuple());
+        assert_eq!(a.five_tuple(), a.five_tuple());
+    }
+}

@@ -1,0 +1,230 @@
+//! The longer-running function: thumbnail generation.
+//!
+//! §5.4 colocates uLL workloads with "the thumbnail generator from the
+//! SeBS benchmark suite, which generates thumbnails from images stored on
+//! an Amazon S3 bucket". Without S3, we synthesize images in memory
+//! (documented substitution, DESIGN.md §2) and downscale them with a box
+//! filter — the same CPU-bound role in the experiment.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// An RGB image with 8-bit channels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    /// Row-major RGB bytes, `3 * width * height` long. [`Bytes`] keeps
+    /// clones cheap when the same source image feeds many invocations.
+    #[serde(with = "bytes_serde")]
+    pixels: Bytes,
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Image {
+    /// Creates an image from raw RGB bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != 3 * width * height`.
+    pub fn from_rgb(width: u32, height: u32, pixels: Bytes) -> Self {
+        assert_eq!(
+            pixels.len() as u64,
+            3 * u64::from(width) * u64::from(height),
+            "pixel buffer size mismatch"
+        );
+        Self {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Synthesizes a deterministic test-card image (gradients + seed
+    /// noise), standing in for an S3-hosted photo.
+    pub fn synthetic(width: u32, height: u32, seed: u64) -> Self {
+        let mut pixels = Vec::with_capacity((3 * width * height) as usize);
+        let mut x = seed.max(1);
+        for row in 0..height {
+            for col in 0..width {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                let noise = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8;
+                pixels.push(((row * 255) / height.max(1)) as u8 ^ (noise >> 3));
+                pixels.push(((col * 255) / width.max(1)) as u8);
+                pixels.push(noise);
+            }
+        }
+        Self {
+            width,
+            height,
+            pixels: Bytes::from(pixels),
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw RGB bytes.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    fn pixel(&self, x: u32, y: u32) -> (u64, u64, u64) {
+        let i = 3 * (y as usize * self.width as usize + x as usize);
+        (
+            u64::from(self.pixels[i]),
+            u64::from(self.pixels[i + 1]),
+            u64::from(self.pixels[i + 2]),
+        )
+    }
+}
+
+/// The thumbnail-generation function.
+///
+/// # Example
+///
+/// ```
+/// use horse_workloads::{Image, Thumbnail};
+///
+/// let mut thumbgen = Thumbnail::new(64, 64);
+/// let src = Image::synthetic(640, 480, 7);
+/// let thumb = thumbgen.invoke(&src);
+/// assert_eq!((thumb.width(), thumb.height()), (64, 48), "aspect preserved");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Thumbnail {
+    max_width: u32,
+    max_height: u32,
+    generated: u64,
+}
+
+impl Thumbnail {
+    /// Creates a generator bounded by the given thumbnail box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero.
+    pub fn new(max_width: u32, max_height: u32) -> Self {
+        assert!(max_width > 0 && max_height > 0, "degenerate thumbnail box");
+        Self {
+            max_width,
+            max_height,
+            generated: 0,
+        }
+    }
+
+    /// Generates a thumbnail, preserving aspect ratio, using box-filter
+    /// averaging.
+    pub fn invoke(&mut self, src: &Image) -> Image {
+        self.generated += 1;
+        let scale = f64::min(
+            f64::from(self.max_width) / f64::from(src.width().max(1)),
+            f64::from(self.max_height) / f64::from(src.height().max(1)),
+        )
+        .min(1.0);
+        let tw = ((f64::from(src.width()) * scale).round() as u32).max(1);
+        let th = ((f64::from(src.height()) * scale).round() as u32).max(1);
+        let mut out = Vec::with_capacity((3 * tw * th) as usize);
+        for ty in 0..th {
+            let y0 = ty * src.height() / th;
+            let y1 = ((ty + 1) * src.height() / th).max(y0 + 1);
+            for tx in 0..tw {
+                let x0 = tx * src.width() / tw;
+                let x1 = ((tx + 1) * src.width() / tw).max(x0 + 1);
+                let (mut r, mut g, mut b, mut n) = (0u64, 0u64, 0u64, 0u64);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        let (pr, pg, pb) = src.pixel(x, y);
+                        r += pr;
+                        g += pg;
+                        b += pb;
+                        n += 1;
+                    }
+                }
+                out.push((r / n) as u8);
+                out.push((g / n) as u8);
+                out.push((b / n) as u8);
+            }
+        }
+        Image::from_rgb(tw, th, Bytes::from(out))
+    }
+
+    /// Number of thumbnails generated.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_image_is_deterministic() {
+        let a = Image::synthetic(32, 16, 1);
+        let b = Image::synthetic(32, 16, 1);
+        let c = Image::synthetic(32, 16, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.pixels().len(), 3 * 32 * 16);
+    }
+
+    #[test]
+    fn downscale_preserves_aspect() {
+        let mut t = Thumbnail::new(100, 100);
+        let wide = Image::synthetic(400, 200, 3);
+        let thumb = t.invoke(&wide);
+        assert_eq!((thumb.width(), thumb.height()), (100, 50));
+    }
+
+    #[test]
+    fn never_upscales() {
+        let mut t = Thumbnail::new(1000, 1000);
+        let small = Image::synthetic(10, 10, 3);
+        let thumb = t.invoke(&small);
+        assert_eq!((thumb.width(), thumb.height()), (10, 10));
+        assert_eq!(t.generated(), 1);
+    }
+
+    #[test]
+    fn uniform_image_stays_uniform() {
+        let flat = Image::from_rgb(8, 8, Bytes::from(vec![100u8; 3 * 64]));
+        let mut t = Thumbnail::new(2, 2);
+        let thumb = t.invoke(&flat);
+        assert!(thumb.pixels().iter().all(|&p| p == 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel buffer size mismatch")]
+    fn from_rgb_validates_size() {
+        Image::from_rgb(4, 4, Bytes::from(vec![0u8; 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate thumbnail box")]
+    fn zero_box_panics() {
+        Thumbnail::new(0, 10);
+    }
+}

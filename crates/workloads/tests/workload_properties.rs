@@ -1,0 +1,156 @@
+//! Property tests for the workload implementations: conservation laws of
+//! the order book, model-based KV behaviour, and firewall/NAT totality.
+
+use bytes::Bytes;
+use horse_workloads::{
+    index_filter, Firewall, FirewallRule, MicroKv, NatRule, NatTable, OrderBook, Protocol,
+    RequestHeader, Side,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Order-book conservation: every unit of quantity submitted is
+    /// either filled (counted once on the taker side) or resting.
+    #[test]
+    fn order_book_conserves_quantity(
+        orders in proptest::collection::vec(
+            (any::<bool>(), 90u64..110, 1u64..20),
+            1..200
+        ),
+    ) {
+        let mut book = OrderBook::new();
+        let mut submitted = 0u64;
+        let mut filled = 0u64;
+        for (buy, price, qty) in orders {
+            let side = if buy { Side::Buy } else { Side::Sell };
+            submitted += qty;
+            filled += book
+                .submit(side, price, qty)
+                .iter()
+                .map(|f| f.quantity)
+                .sum::<u64>();
+        }
+        let resting = book.depth(Side::Buy) + book.depth(Side::Sell);
+        // Each fill consumes equal taker and maker quantity.
+        prop_assert_eq!(submitted, 2 * filled + resting);
+        // The book never crosses at rest.
+        if let (Some(bid), Some(ask)) = (book.best_bid(), book.best_ask()) {
+            prop_assert!(bid < ask, "crossed book: bid {bid} >= ask {ask}");
+        }
+    }
+
+    /// The KV store against a HashMap model under arbitrary op sequences.
+    #[test]
+    fn kv_matches_hashmap_model(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u8..16, proptest::collection::vec(any::<u8>(), 0..32)),
+            0..150
+        ),
+    ) {
+        let mut kv = MicroKv::new();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for (op, key, value) in ops {
+            let key = format!("k{key}");
+            match op {
+                0 => {
+                    kv.put(&key, Bytes::from(value.clone())).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    let got = kv.get(&key).map(|b| b.to_vec());
+                    prop_assert_eq!(got, model.get(&key).cloned());
+                }
+                _ => {
+                    prop_assert_eq!(kv.delete(&key), model.remove(&key).is_some());
+                }
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+        let total: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(kv.value_bytes(), total);
+    }
+
+    /// The firewall is total and deterministic: every header gets exactly
+    /// one verdict, and any-source rules dominate prefixed ones.
+    #[test]
+    fn firewall_is_total_and_consistent(
+        headers in proptest::collection::vec(
+            (any::<u32>(), any::<u16>(), any::<u16>(), any::<bool>()),
+            0..100
+        ),
+    ) {
+        let fw = Firewall::new(vec![
+            FirewallRule::any_source(443, Protocol::Tcp),
+            FirewallRule::from_prefix(22, Protocol::Tcp, [10, 0, 0, 0], 8),
+        ]);
+        for (src, sport, dport, tcp) in headers {
+            let proto = if tcp { Protocol::Tcp } else { Protocol::Udp };
+            let h = RequestHeader {
+                src_ip: src,
+                dst_ip: 1,
+                src_port: sport,
+                dst_port: dport,
+                proto,
+            };
+            let v1 = fw.evaluate(&h);
+            let v2 = fw.evaluate(&h);
+            prop_assert_eq!(v1, v2, "determinism");
+            if dport == 443 && tcp {
+                prop_assert_eq!(v1, horse_workloads::Verdict::Allow);
+            }
+            if dport == 22 && tcp {
+                let in_prefix = src >> 24 == 10;
+                prop_assert_eq!(v1 == horse_workloads::Verdict::Allow, in_prefix);
+            }
+        }
+    }
+
+    /// NAT translation preserves everything except the destination, and
+    /// only fires for registered endpoints.
+    #[test]
+    fn nat_rewrites_exactly_the_destination(
+        dst_port in any::<u16>(),
+        src in any::<u32>(),
+        sport in any::<u16>(),
+    ) {
+        let nat = NatTable::new(vec![NatRule::new(
+            ([203, 0, 113, 1], 80),
+            Protocol::Tcp,
+            ([10, 0, 0, 9], 8080),
+        )]);
+        let h = RequestHeader {
+            src_ip: src,
+            dst_ip: u32::from_be_bytes([203, 0, 113, 1]),
+            src_port: sport,
+            dst_port,
+            proto: Protocol::Tcp,
+        };
+        match nat.translate(&h) {
+            Ok(out) => {
+                prop_assert_eq!(dst_port, 80, "only the registered port maps");
+                prop_assert_eq!(out.src_ip, h.src_ip);
+                prop_assert_eq!(out.src_port, h.src_port);
+                prop_assert_eq!(out.dst_ip, u32::from_be_bytes([10, 0, 0, 9]));
+                prop_assert_eq!(out.dst_port, 8080);
+            }
+            Err(_) => prop_assert_ne!(dst_port, 80),
+        }
+    }
+
+    /// index_filter returns exactly the indexes of qualifying elements.
+    #[test]
+    fn index_filter_is_exact(
+        data in proptest::collection::vec(any::<i32>(), 0..500),
+        threshold in any::<i32>(),
+    ) {
+        let out = index_filter(&data, threshold);
+        // Sorted, unique, correct membership.
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(out.contains(&i), v > threshold);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Provisioned concurrency at scale: sweep sandbox sizes from 1 to 36
+//! vCPUs and watch the vanilla resume cost grow while HORSE stays flat —
+//! a miniature of the paper's Figure 3, plus uLL-queue load balancing
+//! across multiple reserved queues (paper §4.1.3).
+//!
+//! Run with: `cargo run --example provisioned_faas`
+
+use horse::prelude::*;
+use horse_metrics::report::Table;
+use horse_sched::{CpuTopology, GovernorPolicy};
+use horse_vmm::CostModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A host with FOUR reserved ull_runqueues ("in the case of a high
+    // frequency of uLL workload triggers, we can increase the number of
+    // ull_runqueue").
+    let sched = SchedConfig {
+        topology: CpuTopology::r650(false),
+        ull_queues: 4,
+        governor_policy: GovernorPolicy::Performance,
+        flavor: Default::default(),
+    };
+
+    let mut table = Table::new(
+        "Resume cost vs sandbox size (provisioned warm sandboxes)",
+        &["vcpus", "vanilla (ns)", "horse (ns)", "speedup"],
+    );
+    for vcpus in [1u32, 4, 8, 16, 24, 36] {
+        let mut vanilla_ns = 0u64;
+        let mut horse_ns = 0u64;
+        for horse in [false, true] {
+            let mut vmm = Vmm::new(sched.clone(), CostModel::calibrated());
+            let cfg = SandboxConfig::builder().vcpus(vcpus).ull(true).build()?;
+            let id = vmm.create(cfg);
+            vmm.start(id)?;
+            let (policy, mode) = if horse {
+                (PausePolicy::horse(), ResumeMode::Horse)
+            } else {
+                (PausePolicy::vanilla(), ResumeMode::Vanilla)
+            };
+            vmm.pause(id, policy)?;
+            let out = vmm.resume(id, mode)?;
+            if horse {
+                horse_ns = out.breakdown.total_ns();
+            } else {
+                vanilla_ns = out.breakdown.total_ns();
+            }
+        }
+        table.row_owned(vec![
+            vcpus.to_string(),
+            vanilla_ns.to_string(),
+            horse_ns.to_string(),
+            format!("{:.2}x", vanilla_ns as f64 / horse_ns as f64),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Load balancing: pausing many uLL sandboxes spreads them across the
+    // reserved queues by paused count.
+    let mut vmm = Vmm::new(sched, CostModel::calibrated());
+    let cfg = SandboxConfig::builder().vcpus(2).ull(true).build()?;
+    let mut ids = Vec::new();
+    for _ in 0..12 {
+        let id = vmm.create(cfg);
+        vmm.start(id)?;
+        ids.push(id);
+    }
+    for &id in &ids {
+        vmm.pause(id, PausePolicy::horse())?;
+    }
+    let mut balance = Table::new(
+        "Paused uLL sandboxes per reserved queue (balanced assignment)",
+        &["ull queue", "paused sandboxes"],
+    );
+    for rq in vmm.sched().ull_queues() {
+        balance.row_owned(vec![
+            rq.to_string(),
+            vmm.sched().queue(*rq).paused_assigned().to_string(),
+        ]);
+    }
+    println!("{}", balance.render());
+    Ok(())
+}

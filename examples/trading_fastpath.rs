@@ -1,0 +1,100 @@
+//! Finance fast path: the paper's §1 motivation names finance
+//! microservices, ML inference and small-object KV stores among uLL
+//! workloads. This example wires all three behind HORSE-resumed
+//! sandboxes: orders are risk-scored by a quantized MLP, enriched from an
+//! in-memory KV store, and matched in a limit order book — each stage a
+//! sub-microsecond function on a hot-resumed sandbox.
+//!
+//! Run with: `cargo run --example trading_fastpath`
+
+use horse::prelude::*;
+use horse_workloads::{MicroKv, MlInference, OrderBook, Side};
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- the three uLL services (real code) ---
+    let mut scorer = MlInference::new(&[6, 12, 2], 10); // approve / reject
+    let mut accounts = MicroKv::new();
+    let mut book = OrderBook::new();
+
+    // Seed the account store with margin limits.
+    for i in 0..64u32 {
+        accounts.put(
+            format!("acct:{i}"),
+            bytes::Bytes::from(format!("{}", 100 + (i % 7) * 50)),
+        )?;
+    }
+
+    // --- the sandbox hosting the pipeline ---
+    let mut vmm = Vmm::with_defaults();
+    let sbx = vmm.create(SandboxConfig::builder().vcpus(4).ull(true).build()?);
+    vmm.start(sbx)?;
+    vmm.pause(sbx, PausePolicy::horse())?;
+
+    let seeds = SeedFactory::new(7);
+    let mut rng = seeds.stream("orders");
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut fills = 0usize;
+    let mut resume_ns = 0u64;
+    const ORDERS: u32 = 1_000;
+
+    for _ in 0..ORDERS {
+        // Each order burst hot-resumes the sandbox (HORSE fast path).
+        let out = vmm.resume(sbx, ResumeMode::Horse)?;
+        resume_ns += out.breakdown.total_ns();
+
+        // 1. Enrich: margin lookup from the KV store.
+        let acct = rng.gen_range(0..64u32);
+        let margin: i32 = accounts
+            .get(&format!("acct:{acct}"))
+            .and_then(|v| String::from_utf8(v.to_vec()).ok())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+
+        // 2. Risk-score: features -> approve/reject.
+        let qty = rng.gen_range(1..20i32);
+        let price = rng.gen_range(95..106i32);
+        let features = [margin, qty, price, price - 100, qty * price, acct as i32];
+        let approve = scorer.classify(&features) == 1;
+
+        // 3. Match approved orders in the book.
+        if approve {
+            accepted += 1;
+            let side = if rng.gen_bool(0.5) {
+                Side::Buy
+            } else {
+                Side::Sell
+            };
+            fills += book.submit(side, price as u64, qty as u64).len();
+        } else {
+            rejected += 1;
+        }
+
+        vmm.pause(sbx, PausePolicy::horse())?;
+    }
+
+    println!("processed {ORDERS} orders through the uLL pipeline:");
+    println!(
+        "  risk scorer: {accepted} accepted, {rejected} rejected ({} inferences)",
+        scorer.inferences()
+    );
+    println!(
+        "  kv store: {} hits / {} misses over {} accounts",
+        accounts.stats().hits,
+        accounts.stats().misses,
+        accounts.len()
+    );
+    println!(
+        "  order book: {fills} fills, {} resting buy / {} resting sell, best bid {:?} ask {:?}",
+        book.depth(Side::Buy),
+        book.depth(Side::Sell),
+        book.best_bid(),
+        book.best_ask()
+    );
+    println!(
+        "  mean HORSE resume per burst: {} ns — the sandbox is never the bottleneck",
+        resume_ns / u64::from(ORDERS)
+    );
+    Ok(())
+}

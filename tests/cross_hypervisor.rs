@@ -1,0 +1,111 @@
+//! Cross-hypervisor portability: the paper implements HORSE in both
+//! Firecracker/Linux-KVM (CFS) and Xen (credit2) and reports the same
+//! qualitative results. These tests run the full resume matrix under both
+//! scheduler flavors and both cost calibrations and assert the paper's
+//! shapes hold in all four combinations.
+
+use horse::prelude::*;
+use horse_sched::{CpuTopology, GovernorPolicy, SchedFlavor};
+use horse_vmm::CostModel;
+
+fn vmm_for(flavor: SchedFlavor, cost: CostModel) -> Vmm {
+    Vmm::new(
+        SchedConfig {
+            topology: CpuTopology::r650(false),
+            ull_queues: 1,
+            governor_policy: GovernorPolicy::Performance,
+            flavor,
+        },
+        cost,
+    )
+}
+
+fn resume_ns(vmm: &mut Vmm, vcpus: u32, mode: ResumeMode) -> u64 {
+    let cfg = SandboxConfig::builder()
+        .vcpus(vcpus)
+        .ull(true)
+        .build()
+        .unwrap();
+    let id = vmm.create(cfg);
+    vmm.start(id).unwrap();
+    vmm.pause(
+        id,
+        PausePolicy {
+            precompute_merge: mode.uses_ppsm(),
+            precompute_coalesce: mode.uses_coalescing(),
+        },
+    )
+    .unwrap();
+    vmm.resume(id, mode).unwrap().breakdown.total_ns()
+}
+
+#[test]
+fn horse_shape_holds_under_all_hypervisor_combinations() {
+    for flavor in [SchedFlavor::Credit2, SchedFlavor::Cfs] {
+        for (name, cost) in [
+            ("firecracker", CostModel::calibrated()),
+            ("xen", CostModel::xen_calibrated()),
+        ] {
+            let mut vmm = vmm_for(flavor, cost);
+            let v1 = resume_ns(&mut vmm, 1, ResumeMode::Vanilla);
+            let mut vmm = vmm_for(flavor, cost);
+            let v36 = resume_ns(&mut vmm, 36, ResumeMode::Vanilla);
+            let mut vmm = vmm_for(flavor, cost);
+            let h1 = resume_ns(&mut vmm, 1, ResumeMode::Horse);
+            let mut vmm = vmm_for(flavor, cost);
+            let h36 = resume_ns(&mut vmm, 36, ResumeMode::Horse);
+
+            let label = format!("{name}/{flavor}");
+            assert!(v36 > v1, "{label}: vanilla grows");
+            assert!(
+                (h36 as f64 / h1 as f64) < 1.3,
+                "{label}: horse stays flat ({h1} -> {h36})"
+            );
+            let speedup = v36 as f64 / h36 as f64;
+            assert!(
+                (3.5..12.0).contains(&speedup),
+                "{label}: speedup {speedup:.2} in the paper's ballpark"
+            );
+        }
+    }
+}
+
+#[test]
+fn xen_control_plane_is_slower_but_horse_still_wins() {
+    // Xen's fixed steps are heavier; HORSE's advantage persists.
+    let mut fc = vmm_for(SchedFlavor::Cfs, CostModel::calibrated());
+    let mut xen = vmm_for(SchedFlavor::Credit2, CostModel::xen_calibrated());
+    let fc_h = resume_ns(&mut fc, 16, ResumeMode::Horse);
+    let xen_h = resume_ns(&mut xen, 16, ResumeMode::Horse);
+    assert!(
+        xen_h > fc_h,
+        "Xen control plane costs more: {xen_h} vs {fc_h}"
+    );
+    let mut xen2 = vmm_for(SchedFlavor::Credit2, CostModel::xen_calibrated());
+    let xen_v = resume_ns(&mut xen2, 16, ResumeMode::Vanilla);
+    assert!(
+        xen_v > 3 * xen_h,
+        "HORSE still wins by >3x on Xen at 16 vCPUs"
+    );
+}
+
+#[test]
+fn merge_correctness_is_flavor_independent() {
+    // Whatever the sort key means (credit or vruntime), P2SM leaves the
+    // queue correctly sorted.
+    for flavor in [SchedFlavor::Credit2, SchedFlavor::Cfs] {
+        let mut vmm = vmm_for(flavor, CostModel::calibrated());
+        let a = vmm.create(SandboxConfig::builder().vcpus(6).ull(true).build().unwrap());
+        let b = vmm.create(SandboxConfig::builder().vcpus(6).ull(true).build().unwrap());
+        vmm.start(a).unwrap();
+        vmm.start(b).unwrap();
+        vmm.pause(a, PausePolicy::horse()).unwrap();
+        vmm.resume(a, ResumeMode::Horse).unwrap();
+        let rq = vmm.sched().ull_queues()[0];
+        vmm.sched()
+            .queue_list(rq)
+            .check_invariants(vmm.sched().arena())
+            .unwrap_or_else(|e| panic!("{flavor}: {e}"));
+        assert_eq!(vmm.sched().queue(rq).len(), 12);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end integration: the whole stack, from the platform API down
+//! to the arena, reproducing the paper's headline claims.
+
+use horse::prelude::*;
+use horse_workloads::Category;
+
+fn ull_config(vcpus: u32) -> SandboxConfig {
+    SandboxConfig::builder()
+        .vcpus(vcpus)
+        .memory_mb(512)
+        .ull(true)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn the_four_strategies_order_as_in_the_paper() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let f = platform.register("filter", Category::Cat3, ull_config(1));
+    platform.provision(f, 1, StartStrategy::Warm).unwrap();
+    platform.provision(f, 1, StartStrategy::Horse).unwrap();
+
+    let cold = platform.invoke(f, StartStrategy::Cold).unwrap();
+    let restore = platform.invoke(f, StartStrategy::Restore).unwrap();
+    let warm = platform.invoke(f, StartStrategy::Warm).unwrap();
+    let horse = platform.invoke(f, StartStrategy::Horse).unwrap();
+
+    assert!(cold.init_ns > restore.init_ns);
+    assert!(restore.init_ns > warm.init_ns);
+    assert!(warm.init_ns > horse.init_ns);
+    // Table 1 magnitudes.
+    assert!(cold.init_ns >= 1_000_000_000);
+    assert!((1_000_000..2_000_000).contains(&restore.init_ns));
+    assert!((900..1_400).contains(&warm.init_ns));
+    assert!(horse.init_ns < 300);
+}
+
+#[test]
+fn headline_speedups_hold_at_36_vcpus() {
+    // "HORSE improves warm sandboxes resume time by up to 7.16x and
+    // sandbox initialization overhead by up to 142.84x."
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let f = platform.register("fw", Category::Cat1, ull_config(36));
+    platform.provision(f, 1, StartStrategy::Warm).unwrap();
+    platform.provision(f, 1, StartStrategy::Horse).unwrap();
+
+    let warm = platform.invoke(f, StartStrategy::Warm).unwrap();
+    let horse = platform.invoke(f, StartStrategy::Horse).unwrap();
+    let cold = platform.invoke(f, StartStrategy::Cold).unwrap();
+
+    let resume_speedup = warm.init_ns as f64 / horse.init_ns as f64;
+    assert!(
+        (5.0..12.0).contains(&resume_speedup),
+        "warm/horse init ratio at 36 vCPUs: {resume_speedup:.2} (paper ~7x + trigger bypass)"
+    );
+    let share_ratio = cold.init_share() / horse.init_share();
+    assert!(
+        share_ratio > 50.0,
+        "cold/horse init-share ratio: {share_ratio:.1} (paper: up to 142.84x)"
+    );
+}
+
+#[test]
+fn horse_init_share_stays_in_paper_band_across_categories() {
+    // Figure 4: HORSE's init share varies between ~0.77% and ~17.64%.
+    let mut shares = Vec::new();
+    for category in Category::ULL {
+        let mut platform = FaasPlatform::new(PlatformConfig::default());
+        let f = platform.register(category.short_label(), category, ull_config(1));
+        platform.provision(f, 1, StartStrategy::Horse).unwrap();
+        let r = platform.invoke(f, StartStrategy::Horse).unwrap();
+        shares.push(r.init_share());
+    }
+    let lo = shares.iter().copied().fold(f64::MAX, f64::min);
+    let hi = shares.iter().copied().fold(0.0f64, f64::max);
+    assert!((0.005..0.03).contains(&lo), "lowest share {lo}");
+    assert!((0.10..0.30).contains(&hi), "highest share {hi}");
+}
+
+#[test]
+fn many_functions_share_one_host() {
+    // A small multi-tenant deployment: three uLL functions and steady
+    // invocation traffic, all strategies mixed, nothing leaks.
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let ids: Vec<_> = Category::ULL
+        .iter()
+        .map(|c| {
+            let f = platform.register(c.short_label(), *c, ull_config(2));
+            platform.provision(f, 2, StartStrategy::Horse).unwrap();
+            platform.provision(f, 1, StartStrategy::Warm).unwrap();
+            f
+        })
+        .collect();
+
+    for round in 0..30 {
+        let f = ids[round % ids.len()];
+        let strategy = if round % 3 == 0 {
+            StartStrategy::Warm
+        } else {
+            StartStrategy::Horse
+        };
+        let r = platform.invoke(f, strategy).unwrap();
+        assert!(r.init_ns > 0 && r.exec_ns > 0);
+    }
+    // Pools retain their provisioned capacity (keep-alive).
+    for f in ids {
+        assert_eq!(platform.pool_size(f, StartStrategy::Horse), 2);
+        assert_eq!(platform.pool_size(f, StartStrategy::Warm), 1);
+    }
+}
+
+#[test]
+fn resume_time_is_independent_of_ull_queue_count() {
+    // §4.1.3: more ull_runqueues spread paused sandboxes without
+    // changing the O(1) resume.
+    use horse_sched::{CpuTopology, GovernorPolicy};
+    for queues in [1usize, 2, 4] {
+        let sched = SchedConfig {
+            topology: CpuTopology::r650(false),
+            ull_queues: queues,
+            governor_policy: GovernorPolicy::Performance,
+            flavor: Default::default(),
+        };
+        let mut vmm = Vmm::new(sched, horse_vmm::CostModel::calibrated());
+        let mut totals = Vec::new();
+        for _ in 0..6 {
+            let id = vmm.create(ull_config(12));
+            vmm.start(id).unwrap();
+            vmm.pause(id, PausePolicy::horse()).unwrap();
+            totals.push(
+                vmm.resume(id, ResumeMode::Horse)
+                    .unwrap()
+                    .breakdown
+                    .total_ns(),
+            );
+        }
+        let min = *totals.iter().min().unwrap();
+        let max = *totals.iter().max().unwrap();
+        assert!(
+            max - min <= 60,
+            "resume variance with {queues} uLL queues: {min}..{max}"
+        );
+    }
+}

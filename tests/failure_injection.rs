@@ -1,0 +1,163 @@
+//! Failure injection across the stack: every error path has a defined,
+//! typed outcome and never corrupts state.
+
+use horse::prelude::*;
+use horse_faas::FaasError;
+use horse_traces::Trace;
+use horse_vmm::{SandboxState, VmmError};
+use horse_workloads::Category;
+
+fn cfg(vcpus: u32) -> SandboxConfig {
+    SandboxConfig::builder()
+        .vcpus(vcpus)
+        .ull(true)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn resume_of_non_paused_sandbox_is_the_paper_sanity_check() {
+    // Paper §3.1 step ③: "sanity checks are performed, such as checking
+    // if the target sandbox is in the pause state".
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(1));
+    // Configured, not paused.
+    let err = vmm.resume(id, ResumeMode::Horse).unwrap_err();
+    assert!(matches!(
+        err,
+        VmmError::InvalidState {
+            expected: SandboxState::Paused,
+            ..
+        }
+    ));
+    // The failed resume leaves the sandbox untouched and startable.
+    vmm.start(id).unwrap();
+    assert_eq!(vmm.sandbox(id).unwrap().state(), SandboxState::Running);
+}
+
+#[test]
+fn double_pause_and_double_resume_are_rejected() {
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(2));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::horse()).unwrap();
+    assert!(vmm.pause(id, PausePolicy::horse()).is_err());
+    vmm.resume(id, ResumeMode::Horse).unwrap();
+    assert!(vmm.resume(id, ResumeMode::Horse).is_err());
+    // State machine still sound.
+    vmm.pause(id, PausePolicy::horse()).unwrap();
+    vmm.resume(id, ResumeMode::Horse).unwrap();
+}
+
+#[test]
+fn mode_policy_mismatches_never_leak_nodes() {
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(4));
+    vmm.start(id).unwrap();
+    vmm.pause(id, PausePolicy::horse()).unwrap();
+    // Wrong mode: rejected before touching the queues.
+    for wrong in [ResumeMode::Vanilla, ResumeMode::Ppsm, ResumeMode::Coal] {
+        let err = vmm.resume(id, wrong).unwrap_err();
+        assert!(matches!(err, VmmError::ModeMismatch { .. }));
+    }
+    // The right mode still works and restores all vCPUs.
+    vmm.resume(id, ResumeMode::Horse).unwrap();
+    assert_eq!(vmm.sched().total_queued(), 4);
+    vmm.destroy(id).unwrap();
+    assert!(
+        vmm.sched().arena().is_empty(),
+        "no leaked nodes after errors"
+    );
+}
+
+#[test]
+fn platform_surfaces_vmm_errors() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let f = platform.register("fw", Category::Cat1, cfg(1));
+    // No provisioning: warm strategies fail with a typed error.
+    for strategy in [StartStrategy::Warm, StartStrategy::Horse] {
+        let err = platform.invoke(f, strategy).unwrap_err();
+        assert!(matches!(err, FaasError::NoWarmSandbox { .. }), "{err}");
+        assert!(err.to_string().contains("no provisioned sandbox"));
+    }
+    // Cold path still works afterwards.
+    platform.invoke(f, StartStrategy::Cold).unwrap();
+}
+
+#[test]
+fn malformed_traces_are_rejected_with_line_numbers() {
+    let cases = [
+        ("", "empty input"),
+        ("bad,header,row,1\n", "unexpected header"),
+        ("HashOwner,HashApp,HashFunction,1,2\no,a,f,1\n", "line 2"),
+        ("HashOwner,HashApp,HashFunction,1\no,a,f,NaN\n", "bad count"),
+    ];
+    for (input, needle) in cases {
+        let err = Trace::from_csv(input.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "{input:?} -> {err} (wanted {needle})"
+        );
+    }
+}
+
+#[test]
+fn destroying_mid_lifecycle_is_always_safe() {
+    // Destroy from every reachable state; the arena must end empty.
+    for stop_at in 0..3 {
+        let mut vmm = Vmm::with_defaults();
+        let id = vmm.create(cfg(6));
+        if stop_at >= 1 {
+            vmm.start(id).unwrap();
+        }
+        if stop_at >= 2 {
+            vmm.pause(id, PausePolicy::horse()).unwrap();
+        }
+        vmm.destroy(id).unwrap();
+        assert!(vmm.sandbox(id).is_none());
+        assert!(
+            vmm.sched().arena().is_empty(),
+            "leaked nodes when destroying at stage {stop_at}"
+        );
+        assert_eq!(vmm.total_plan_memory_bytes(), 0);
+    }
+}
+
+#[test]
+fn invalid_configs_are_rejected_at_the_boundary() {
+    assert!(SandboxConfig::builder().vcpus(0).build().is_err());
+    assert!(SandboxConfig::builder().memory_mb(0).build().is_err());
+    assert!(horse_core::LoadUpdate::new(f64::NAN, 1.0).is_err());
+    assert!(horse_core::LoadUpdate::new(-1.0, 1.0).is_err());
+}
+
+#[test]
+fn stress_many_sandboxes_with_interleaved_errors() {
+    // A chaotic schedule of valid and invalid operations must preserve
+    // all invariants.
+    let mut vmm = Vmm::with_defaults();
+    let ids: Vec<_> = (0..20)
+        .map(|i| vmm.create(cfg(1 + (i % 4) as u32)))
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        vmm.start(id).unwrap();
+        if i % 2 == 0 {
+            vmm.pause(id, PausePolicy::horse()).unwrap();
+        }
+        // Invalid ops sprinkled in.
+        let _ = vmm.start(id);
+        let _ = vmm.resume(id, ResumeMode::Vanilla);
+    }
+    // Resume all the paused ones.
+    for (i, &id) in ids.iter().enumerate() {
+        if i % 2 == 0 {
+            vmm.resume(id, ResumeMode::Horse).unwrap();
+        }
+    }
+    let expected: usize = ids.iter().enumerate().map(|(i, _)| 1 + (i % 4)).sum();
+    assert_eq!(vmm.sched().total_queued(), expected);
+    for &id in &ids {
+        vmm.destroy(id).unwrap();
+    }
+    assert!(vmm.sched().arena().is_empty());
+}

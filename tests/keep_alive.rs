@@ -1,0 +1,116 @@
+//! Platform-level keep-alive behaviour: pooled sandboxes expire, warm
+//! starts degrade to misses, provisioned pools never shrink.
+
+use horse::prelude::*;
+use horse_faas::FaasError;
+use horse_workloads::Category;
+
+fn cfg() -> SandboxConfig {
+    SandboxConfig::builder().vcpus(1).ull(true).build().unwrap()
+}
+
+#[test]
+fn cold_started_sandboxes_expire_after_keep_alive_ttl() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let f = platform.register("nat", Category::Cat2, cfg());
+
+    // A cold start leaves a warm sandbox behind (keep-alive).
+    platform.invoke(f, StartStrategy::Cold).unwrap();
+    assert_eq!(platform.pool_size(f, StartStrategy::Warm), 1);
+
+    // Within the TTL (default 10 min), the warm start hits.
+    platform.advance_to(SimTime::ZERO + SimDuration::from_secs(60));
+    platform.invoke(f, StartStrategy::Warm).unwrap();
+    assert_eq!(platform.pool_stats(f, StartStrategy::Warm).hits, 1);
+
+    // After the TTL elapses untouched, the sandbox is evicted and the
+    // warm start misses.
+    platform.advance_to(SimTime::ZERO + SimDuration::from_secs(60 + 601));
+    assert_eq!(platform.pool_size(f, StartStrategy::Warm), 0);
+    assert_eq!(platform.pool_stats(f, StartStrategy::Warm).evictions, 1);
+    let err = platform.invoke(f, StartStrategy::Warm).unwrap_err();
+    assert!(matches!(err, FaasError::NoWarmSandbox { .. }));
+    assert_eq!(platform.pool_stats(f, StartStrategy::Warm).misses, 1);
+}
+
+#[test]
+fn provisioned_horse_pool_survives_any_idle_time() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let f = platform.register("filter", Category::Cat3, cfg());
+    platform.provision(f, 2, StartStrategy::Horse).unwrap();
+
+    // A day of idleness: provisioned concurrency never expires (that is
+    // what the premium options sell).
+    platform.advance_to(SimTime::ZERO + SimDuration::from_secs(86_400));
+    assert_eq!(platform.pool_size(f, StartStrategy::Horse), 2);
+    let r = platform.invoke(f, StartStrategy::Horse).unwrap();
+    assert!(r.init_ns < 300);
+    assert_eq!(platform.pool_stats(f, StartStrategy::Horse).evictions, 0);
+}
+
+#[test]
+fn eviction_releases_all_sandbox_resources() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let f = platform.register("fw", Category::Cat1, cfg());
+    for _ in 0..3 {
+        platform.invoke(f, StartStrategy::Cold).unwrap();
+    }
+    assert_eq!(platform.pool_size(f, StartStrategy::Warm), 3);
+    platform.advance_to(SimTime::ZERO + SimDuration::from_secs(3_600));
+    assert_eq!(platform.pool_size(f, StartStrategy::Warm), 0);
+    assert_eq!(
+        platform.vmm().sandbox_count(),
+        0,
+        "evicted sandboxes destroyed"
+    );
+    assert!(platform.vmm().sched().arena().is_empty(), "no leaked nodes");
+}
+
+#[test]
+fn clock_is_monotonic() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    platform.advance_to(SimTime::ZERO + SimDuration::from_secs(10));
+    assert_eq!(platform.now(), SimTime::ZERO + SimDuration::from_secs(10));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        platform.advance_to(SimTime::ZERO);
+    }));
+    assert!(result.is_err(), "going backwards must panic");
+}
+
+#[test]
+fn trace_recommended_ttl_drives_the_pool() {
+    // The operator loop: analyze the trace, derive the TTL that covers
+    // 100% of observed idle gaps, configure the pool with it, and verify
+    // warm hits across exactly those gaps.
+    use horse_faas::KeepAlive;
+    use horse_traces::stats::keep_alive_for_hit_rate;
+    use horse_traces::{Trace, TraceFunction};
+
+    // A function that goes idle for 4 minutes between bursts.
+    let trace = Trace::new(vec![TraceFunction {
+        owner: "o".into(),
+        app: "a".into(),
+        func: "f".into(),
+        per_minute: vec![1, 0, 0, 0, 1, 1, 0, 0, 0, 1],
+    }]);
+    let ttl_secs = keep_alive_for_hit_rate(&trace, 0, 1.0).unwrap();
+    assert_eq!(ttl_secs, 240, "worst observed gap");
+
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let f = platform.register("f", Category::Cat2, cfg());
+    platform.invoke(f, StartStrategy::Cold).unwrap();
+    platform.set_keep_alive(
+        f,
+        StartStrategy::Warm,
+        KeepAlive::Ttl(SimDuration::from_secs(ttl_secs)),
+    );
+
+    // Re-invoke exactly at the worst observed gap: still warm.
+    platform.advance_to(SimTime::ZERO + SimDuration::from_secs(240));
+    platform.invoke(f, StartStrategy::Warm).unwrap();
+    assert_eq!(platform.pool_stats(f, StartStrategy::Warm).hits, 1);
+
+    // A gap beyond anything in the trace: evicted, as configured.
+    platform.advance_to(SimTime::ZERO + SimDuration::from_secs(240 + 241));
+    assert_eq!(platform.pool_size(f, StartStrategy::Warm), 0);
+}

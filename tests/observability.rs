@@ -1,0 +1,97 @@
+//! The operator surface: stats, snapshots and reports must agree with
+//! each other and with the underlying state.
+
+use horse::prelude::*;
+
+fn cfg(vcpus: u32) -> SandboxConfig {
+    SandboxConfig::builder()
+        .vcpus(vcpus)
+        .ull(true)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn debug_snapshot_reflects_reality() {
+    let mut vmm = Vmm::with_defaults();
+    let a = vmm.create(cfg(2));
+    let b = vmm.create(cfg(3));
+    vmm.start(a).unwrap();
+    vmm.start(b).unwrap();
+    vmm.pause(b, PausePolicy::horse()).unwrap();
+
+    let snap = vmm.debug_snapshot();
+    assert!(snap.contains("2 sandboxes"));
+    assert!(snap.contains("[running] 2vcpu"));
+    assert!(snap.contains("[paused] 3vcpu"));
+    assert!(
+        snap.contains("plan="),
+        "paused HORSE sandbox shows plan bytes"
+    );
+    assert!(snap.contains("scheduler: 72 queues"));
+    // The scheduler section reports the running sandbox's vCPUs queued.
+    assert!(snap.contains("len="));
+}
+
+#[test]
+fn stats_views_are_mutually_consistent() {
+    let mut vmm = Vmm::with_defaults();
+    let id = vmm.create(cfg(4));
+    vmm.start(id).unwrap();
+    for _ in 0..5 {
+        vmm.pause(id, PausePolicy::horse()).unwrap();
+        vmm.resume(id, ResumeMode::Horse).unwrap();
+    }
+    let stats = vmm.stats();
+    assert_eq!(stats.pauses, 5);
+    assert_eq!(stats.total_resumes(), 5);
+    // The mean resume reported by stats matches an independent run.
+    let mean = stats.mean_resume_ns(ResumeMode::Horse);
+    vmm.pause(id, PausePolicy::horse()).unwrap();
+    let one = vmm
+        .resume(id, ResumeMode::Horse)
+        .unwrap()
+        .breakdown
+        .total_ns();
+    assert!(
+        (mean as i64 - one as i64).abs() <= 40,
+        "mean {mean} vs single {one}"
+    );
+    // Maintenance accrues and is visible both per-sandbox and in total.
+    assert_eq!(
+        vmm.total_maintenance_ns(),
+        vmm.sandbox(id).unwrap().maintenance_ns()
+    );
+}
+
+#[test]
+fn charts_and_tables_render_experiment_output() {
+    use horse_metrics::chart::{BarChart, LinePlot};
+    use horse_metrics::report::Table;
+
+    // A miniature fig-3 style artifact built from live measurements.
+    let mut vmm = Vmm::with_defaults();
+    let mut table = Table::new("mini fig3", &["vcpus", "horse_ns"]);
+    let mut chart = BarChart::new("resume", 20);
+    let mut plot = LinePlot::new("resume", 20, 5);
+    let mut points = Vec::new();
+    for vcpus in [1u32, 8, 36] {
+        let id = vmm.create(cfg(vcpus));
+        vmm.start(id).unwrap();
+        vmm.pause(id, PausePolicy::horse()).unwrap();
+        let ns = vmm
+            .resume(id, ResumeMode::Horse)
+            .unwrap()
+            .breakdown
+            .total_ns();
+        table.row_owned(vec![vcpus.to_string(), ns.to_string()]);
+        chart.bar(format!("{vcpus}v"), ns as f64);
+        points.push((f64::from(vcpus), ns as f64));
+        vmm.destroy(id).unwrap();
+    }
+    plot.series("horse", &points);
+    assert_eq!(table.len(), 3);
+    assert!(table.to_csv().lines().count() == 4);
+    assert!(chart.render().contains("36v"));
+    assert!(plot.render().contains("horse: a"));
+}

@@ -1,0 +1,125 @@
+//! Long-running stress: thousands of mixed operations across the whole
+//! stack — the soak a downstream user effectively runs in production.
+
+use horse::prelude::*;
+use horse_faas::{Cluster, DispatchPolicy};
+use horse_workloads::Category;
+use rand::Rng;
+
+#[test]
+fn soak_single_host_mixed_strategies() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let cfg = SandboxConfig::builder().vcpus(2).ull(true).build().unwrap();
+    let functions: Vec<_> = (0..6)
+        .map(|i| {
+            let category = Category::ULL[i % 3];
+            let f = platform.register(format!("fn{i}"), category, cfg);
+            platform.provision(f, 2, StartStrategy::Horse).unwrap();
+            platform.provision(f, 1, StartStrategy::Warm).unwrap();
+            f
+        })
+        .collect();
+
+    let seeds = SeedFactory::new(2026);
+    let mut rng = seeds.stream("soak");
+    let mut clock = SimTime::ZERO;
+    let mut invocations = 0u64;
+    for round in 0..2_000 {
+        let f = functions[rng.gen_range(0..functions.len())];
+        let strategy = match rng.gen_range(0..10) {
+            0 => StartStrategy::Cold,
+            1 => StartStrategy::Restore,
+            2..=4 => StartStrategy::Warm,
+            _ => StartStrategy::Horse,
+        };
+        match platform.invoke(f, strategy) {
+            Ok(r) => {
+                invocations += 1;
+                assert!(r.exec_ns > 0);
+                if strategy == StartStrategy::Horse {
+                    assert!(r.init_ns < 500, "horse init degraded to {}", r.init_ns);
+                }
+            }
+            Err(e) => {
+                // Warm misses can legitimately happen after TTL eviction.
+                assert!(
+                    matches!(e, horse_faas::FaasError::NoWarmSandbox { .. }),
+                    "unexpected error: {e}"
+                );
+            }
+        }
+        // Occasionally advance time (keep-alive pressure).
+        if round % 100 == 99 {
+            clock += SimDuration::from_secs(120);
+            platform.advance_to(clock);
+        }
+    }
+    assert!(
+        invocations > 1_500,
+        "most invocations succeed: {invocations}"
+    );
+    // Provisioned HORSE pools never shrink.
+    for &f in &functions {
+        assert_eq!(platform.pool_size(f, StartStrategy::Horse), 2);
+    }
+    // The substrate is still internally consistent.
+    let sched = platform.vmm().sched();
+    for rq in sched.general_queues().iter().chain(sched.ull_queues()) {
+        sched
+            .queue_list(*rq)
+            .check_invariants(sched.arena())
+            .unwrap();
+    }
+}
+
+#[test]
+fn soak_cluster_round_robin() {
+    let mut cluster = Cluster::new(4, DispatchPolicy::RoundRobin, 99);
+    let cfg = SandboxConfig::builder().vcpus(1).ull(true).build().unwrap();
+    let f = cluster.register("nat", Category::Cat2, cfg);
+    cluster.provision_all(f, 2, StartStrategy::Horse).unwrap();
+
+    let mut host_counts = [0u64; 4];
+    for _ in 0..1_000 {
+        let (host, record) = cluster.invoke(f, StartStrategy::Horse).unwrap();
+        host_counts[host.0] += 1;
+        assert!(record.init_ns < 500);
+    }
+    assert_eq!(host_counts, [250; 4], "perfect round-robin spread");
+    let agg = cluster.aggregate_pool_stats(f, StartStrategy::Horse);
+    assert_eq!(agg.hits, 1_000);
+    assert_eq!(agg.misses, 0);
+    assert_eq!(agg.evictions, 0);
+}
+
+#[test]
+fn soak_vmm_pause_resume_endurance() {
+    // 500 HORSE cycles on one sandbox plus continuous queue churn from a
+    // neighbor: plans must stay fresh throughout.
+    let mut vmm = Vmm::with_defaults();
+    let main = vmm.create(
+        SandboxConfig::builder()
+            .vcpus(12)
+            .ull(true)
+            .build()
+            .unwrap(),
+    );
+    let churn = vmm.create(SandboxConfig::builder().vcpus(3).ull(true).build().unwrap());
+    vmm.start(main).unwrap();
+    vmm.start(churn).unwrap();
+
+    for i in 0..500 {
+        vmm.pause(main, PausePolicy::horse()).unwrap();
+        if i % 3 == 0 {
+            // Neighbor churns the ull queue while main is paused.
+            vmm.pause(churn, PausePolicy::horse()).unwrap();
+            vmm.resume(churn, ResumeMode::Horse).unwrap();
+        }
+        let out = vmm.resume(main, ResumeMode::Horse).unwrap();
+        assert_eq!(out.merge.unwrap().merged, 12, "cycle {i}");
+    }
+    let stats = vmm.stats();
+    assert!(stats.total_resumes() >= 500);
+    assert!(stats.mean_resume_ns(ResumeMode::Horse) < 300);
+    assert_eq!(vmm.sched().total_queued(), 15);
+}
