@@ -1,0 +1,83 @@
+//! Measures the **telemetry self-overhead**: wall-clock time of the
+//! HORSE pause/resume cycle with an enabled recorder vs a disabled one.
+//! The recorder is designed to cost one branch when disabled and a
+//! handful of relaxed atomics per event when enabled, so the inflation
+//! of the mean cycle must stay below 10 %.
+//!
+//! Run: `cargo run -p horse-bench --release --bin telemetry_overhead`
+
+use horse_sched::SandboxId;
+use horse_telemetry::Recorder;
+use horse_vmm::{PausePolicy, ResumeMode, SandboxConfig, Vmm};
+use std::time::Instant;
+
+const CYCLES_PER_TRIAL: u32 = 2_000;
+const TRIALS: u32 = 7;
+const BUDGET: f64 = 0.10;
+
+fn setup(recorder: Option<Recorder>) -> (Vmm, SandboxId) {
+    let mut vmm = Vmm::new(
+        horse_bench::paper_sched_config(),
+        horse_bench::Hypervisor::Firecracker.cost_model(),
+    );
+    if let Some(r) = recorder {
+        vmm.set_recorder(r);
+    }
+    let cfg = SandboxConfig::builder()
+        .vcpus(16)
+        .memory_mb(512)
+        .ull(true)
+        .build()
+        .expect("static config is valid");
+    let id = vmm.create(cfg);
+    vmm.start(id).expect("fresh sandbox starts");
+    (vmm, id)
+}
+
+/// Wall-clock nanoseconds per pause/resume cycle over one trial.
+fn trial_ns_per_cycle(vmm: &mut Vmm, id: SandboxId) -> f64 {
+    let start = Instant::now();
+    for _ in 0..CYCLES_PER_TRIAL {
+        vmm.pause(id, PausePolicy::horse()).expect("pauses");
+        vmm.resume(id, ResumeMode::Horse).expect("resumes");
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(CYCLES_PER_TRIAL)
+}
+
+fn main() {
+    let (mut off, off_id) = setup(None);
+    let (mut on, on_id) = setup(Some(Recorder::enabled()));
+
+    // Warm-up: fault in queues, caches and the ring before timing.
+    trial_ns_per_cycle(&mut off, off_id);
+    trial_ns_per_cycle(&mut on, on_id);
+    on.recorder().drain();
+
+    // Interleave trials so clock drift and frequency scaling hit both
+    // sides equally; keep each side's best (least-noisy) trial.
+    let mut best_off = f64::MAX;
+    let mut best_on = f64::MAX;
+    for _ in 0..TRIALS {
+        best_off = best_off.min(trial_ns_per_cycle(&mut off, off_id));
+        best_on = best_on.min(trial_ns_per_cycle(&mut on, on_id));
+        // Drain outside the timed window: ring overwrite is lock-free
+        // either way, but the overhead claim is about recording.
+        on.recorder().drain();
+    }
+
+    let overhead = best_on / best_off - 1.0;
+    println!("disabled recorder: {best_off:>10.1} ns/cycle");
+    println!("enabled recorder:  {best_on:>10.1} ns/cycle");
+    println!(
+        "self-overhead:     {:>9.2} %  (budget {:.0} %)",
+        overhead * 100.0,
+        BUDGET * 100.0
+    );
+    assert!(
+        overhead < BUDGET,
+        "telemetry inflates the HORSE cycle by {:.2} % (budget {:.0} %)",
+        overhead * 100.0,
+        BUDGET * 100.0
+    );
+    println!("PASS: telemetry self-overhead is within budget");
+}

@@ -1,0 +1,121 @@
+//! Emits **Perfetto-loadable traces** of one pause/resume cycle, HORSE
+//! vs vanilla, plus folded stacks for flame graphs — then re-reads the
+//! JSON and verifies it is a well-formed Chrome trace covering all six
+//! resume steps (and, for HORSE, the per-merge-thread splice work).
+//!
+//! Run: `cargo run -p horse-bench --bin trace_resume -- --out results`
+//! and open the `.trace.json` files at <https://ui.perfetto.dev>.
+
+use horse_metrics::export::{write_chrome_trace, write_folded_stacks};
+use horse_telemetry::{json, Recorder, TraceSnapshot};
+use horse_vmm::{ResumeMode, SandboxConfig, Vmm};
+
+/// One traced pause/resume cycle in the given mode.
+fn trace_cycle(mode: ResumeMode, vcpus: u32) -> TraceSnapshot {
+    let mut vmm = Vmm::new(
+        horse_bench::paper_sched_config(),
+        horse_bench::Hypervisor::Firecracker.cost_model(),
+    );
+    vmm.set_recorder(Recorder::enabled());
+    let cfg = SandboxConfig::builder()
+        .vcpus(vcpus)
+        .memory_mb(512)
+        .ull(true)
+        .build()
+        .expect("static config is valid");
+    let id = vmm.create(cfg);
+    vmm.start(id).expect("fresh sandbox starts");
+    vmm.pause(id, horse_bench::policy_for(mode))
+        .expect("running sandbox pauses");
+    vmm.resume(id, mode).expect("paused sandbox resumes");
+    vmm.recorder().drain()
+}
+
+/// Validates a written `.trace.json`: parses it back, checks the Chrome
+/// trace shape and that the six resume steps (and optionally the splice
+/// tracks) are present. Returns the number of complete ("X") spans.
+fn validate_trace(path: &str, expect_splices: bool) -> usize {
+    let text = std::fs::read_to_string(path).expect("trace file readable");
+    let root = json::parse(&text).expect("trace is valid JSON");
+    assert_eq!(
+        root.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ns"),
+        "{path}: displayTimeUnit"
+    );
+    assert_eq!(
+        root.get("droppedEvents").and_then(|v| v.as_f64()),
+        Some(0.0),
+        "{path}: the default ring must not drop a single cycle"
+    );
+    let events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+
+    let mut spans = 0usize;
+    let mut splice_tids = Vec::new();
+    let mut step_names = Vec::new();
+    for ev in events {
+        let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+        assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+        match ph {
+            "X" => {
+                spans += 1;
+                assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some());
+            }
+            "i" => {}
+            other => panic!("{path}: unexpected phase {other:?}"),
+        }
+        if ev.get("cat").and_then(|v| v.as_str()) == Some("resume") && ph == "X" {
+            step_names.push(name.to_string());
+        }
+        if name == "splice" {
+            splice_tids.push(ev.get("tid").and_then(|v| v.as_f64()).expect("tid"));
+        }
+    }
+    for step in [
+        "parse",
+        "lock",
+        "sanity",
+        "sorted_merge",
+        "load_update",
+        "finalize",
+    ] {
+        assert!(
+            step_names.iter().any(|n| n == step),
+            "{path}: missing resume step span {step:?}"
+        );
+    }
+    if expect_splices {
+        assert!(!splice_tids.is_empty(), "{path}: no splice work recorded");
+        let n = splice_tids.len();
+        splice_tids.sort_by(f64::total_cmp);
+        splice_tids.dedup();
+        assert_eq!(splice_tids.len(), n, "{path}: one track per merge thread");
+    }
+    spans
+}
+
+fn main() {
+    let opts = horse_bench::CliOptions::from_env();
+    let dir = opts.out.clone().unwrap_or_else(|| "results".to_string());
+    std::fs::create_dir_all(&dir).expect("create out dir");
+
+    for (mode, expect_splices) in [(ResumeMode::Horse, true), (ResumeMode::Vanilla, false)] {
+        let snapshot = trace_cycle(mode, 8);
+        let stem = format!("{dir}/resume_{}", mode.label());
+        let trace = format!("{stem}.trace.json");
+        let folded = format!("{stem}.folded");
+        write_chrome_trace(&trace, &snapshot).expect("write trace");
+        write_folded_stacks(&folded, &snapshot).expect("write folded stacks");
+        let spans = validate_trace(&trace, expect_splices);
+        println!(
+            "{trace}: {} events ({spans} spans), {} counters, 0 dropped — valid",
+            snapshot.events.len(),
+            snapshot.counters.len(),
+        );
+        println!("{folded}: flamegraph.pl input");
+    }
+    println!("open the .trace.json files at https://ui.perfetto.dev");
+}

@@ -265,7 +265,7 @@ impl CliOptions {
                         .map(|s| s.trim().parse::<u32>())
                         .collect::<Result<Vec<_>, _>>()
                         .map_err(|e| format!("bad --vcpus: {e}; {USAGE}"))?;
-                    if list.is_empty() || list.iter().any(|&v| v == 0) {
+                    if list.is_empty() || list.contains(&0) {
                         return Err(format!("--vcpus needs positive values; {USAGE}"));
                     }
                     opts.vcpus = Some(list);

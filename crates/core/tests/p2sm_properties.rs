@@ -101,11 +101,9 @@ proptest! {
                     a_expect.insert(pos, key);
                 }
                 // A loses an element (if present).
-                3 => {
-                    if plan.remove_a(&mut arena, key).is_some() {
-                        let pos = a_expect.iter().position(|&x| x == key).unwrap();
-                        a_expect.remove(pos);
-                    }
+                3 if plan.remove_a(&mut arena, key).is_some() => {
+                    let pos = a_expect.iter().position(|&x| x == key).unwrap();
+                    a_expect.remove(pos);
                 }
                 _ => {}
             }

@@ -167,12 +167,9 @@ impl Cluster {
                 self.next_host = (self.next_host + 1) % self.hosts.len();
                 h
             }
-            DispatchPolicy::WarmestPool => {
-                let best = (0..self.hosts.len())
-                    .max_by_key(|&i| self.hosts[i].pool_size(function, strategy))
-                    .expect("at least one host");
-                best
-            }
+            DispatchPolicy::WarmestPool => (0..self.hosts.len())
+                .max_by_key(|&i| self.hosts[i].pool_size(function, strategy))
+                .expect("at least one host"),
         };
         let n = self.hosts.len();
         let mut last_err = None;

@@ -6,6 +6,7 @@ use crate::registry::{FunctionId, FunctionRegistry};
 use horse_sched::{SandboxId, SchedConfig};
 use horse_sim::rng::SeedFactory;
 use horse_sim::SimTime;
+use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 use horse_vmm::{
     BootModel, CostModel, PausePolicy, RestoreModel, ResumeMode, SandboxConfig, Vmm, VmmError,
 };
@@ -127,6 +128,8 @@ pub struct FaasPlatform {
     exec_rng: StdRng,
     /// Platform clock for keep-alive accounting.
     now: SimTime,
+    /// Telemetry sink; disabled (and inert) by default.
+    recorder: Recorder,
 }
 
 impl FaasPlatform {
@@ -141,7 +144,22 @@ impl FaasPlatform {
             warm_pool: HashMap::new(),
             exec_rng: seeds.stream("faas-exec"),
             now: SimTime::ZERO,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs a telemetry recorder, shared down through the VMM and
+    /// scheduler (all clones of a [`Recorder`] feed one sink). Invoke
+    /// phases, pool hits/misses and the inner pause/resume pipelines all
+    /// land in the same trace.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.vmm.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The active telemetry recorder (disabled unless one was installed).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Current platform clock.
@@ -309,6 +327,11 @@ impl FaasPlatform {
         let category = meta.category();
         let exec_ns = self.sample_exec_ns(category);
 
+        // Telemetry: the invoke span covers initialization, the exec span
+        // follows it, and the keep-alive re-pause (its own spans) comes
+        // after execution — the pipeline order an operator expects to see
+        // in the trace.
+        let t0 = self.recorder.now_ns();
         let init_ns = match strategy {
             StartStrategy::Cold => {
                 // Boot a brand-new sandbox; it joins the vanilla pool
@@ -316,6 +339,7 @@ impl FaasPlatform {
                 let id = self.vmm.create(cfg);
                 self.vmm.start(id)?;
                 let init = self.boot.boot_ns(cfg);
+                self.record_init_and_exec(EventKind::InvokeCold, t0, init, exec_ns);
                 self.vmm.pause(id, PausePolicy::vanilla())?;
                 let now = self.now;
                 self.pool_entry(function, false, KeepAlive::default_ttl())
@@ -326,6 +350,7 @@ impl FaasPlatform {
                 let id = self.vmm.create(cfg);
                 self.vmm.start(id)?;
                 let init = self.restore.restore_ns(cfg);
+                self.record_init_and_exec(EventKind::InvokeRestore, t0, init, exec_ns);
                 self.vmm.pause(id, PausePolicy::vanilla())?;
                 let now = self.now;
                 self.pool_entry(function, false, KeepAlive::default_ttl())
@@ -334,8 +359,12 @@ impl FaasPlatform {
             }
             StartStrategy::Warm => {
                 let id = self.pop_pool(function, false, strategy)?;
+                // The userspace trigger precedes the resume on the
+                // critical path.
+                self.recorder.advance(WARM_TRIGGER_NS);
                 let outcome = self.vmm.resume(id, ResumeMode::Vanilla)?;
                 let init = WARM_TRIGGER_NS + outcome.breakdown.total_ns();
+                self.record_init_and_exec(EventKind::InvokeWarm, t0, init, exec_ns);
                 self.vmm.pause(id, PausePolicy::vanilla())?;
                 let now = self.now;
                 self.pool_entry(function, false, KeepAlive::default_ttl())
@@ -346,6 +375,7 @@ impl FaasPlatform {
                 let id = self.pop_pool(function, true, strategy)?;
                 let outcome = self.vmm.resume(id, ResumeMode::Horse)?;
                 let init = outcome.breakdown.total_ns();
+                self.record_init_and_exec(EventKind::InvokeHorse, t0, init, exec_ns);
                 self.vmm.pause(id, PausePolicy::horse())?;
                 let now = self.now;
                 self.pool_entry(function, true, KeepAlive::Provisioned)
@@ -353,6 +383,20 @@ impl FaasPlatform {
                 init
             }
         };
+
+        self.recorder.count(
+            match strategy {
+                StartStrategy::Cold => Counter::InvokesCold,
+                StartStrategy::Restore => Counter::InvokesRestore,
+                StartStrategy::Warm => Counter::InvokesWarm,
+                StartStrategy::Horse => Counter::InvokesHorse,
+            },
+            1,
+        );
+        self.recorder.gauge(
+            Gauge::PooledSandboxes,
+            self.warm_pool.values().map(|p| p.len() as u64).sum(),
+        );
 
         Ok(InvocationRecord {
             function,
@@ -362,6 +406,17 @@ impl FaasPlatform {
         })
     }
 
+    /// Emits the invoke-phase span `[t0, t0+init]` and the exec span that
+    /// follows it, leaving the cursor at the end of execution.
+    fn record_init_and_exec(&self, kind: EventKind, t0: u64, init_ns: u64, exec_ns: u64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.span_at(kind, 0, t0, init_ns, init_ns);
+        self.recorder.set_now(t0 + init_ns);
+        self.recorder.span(EventKind::Exec, 0, exec_ns, exec_ns);
+    }
+
     fn pop_pool(
         &mut self,
         function: FunctionId,
@@ -369,10 +424,22 @@ impl FaasPlatform {
         strategy: StartStrategy,
     ) -> Result<SandboxId, FaasError> {
         let now = self.now;
-        self.warm_pool
+        match self
+            .warm_pool
             .get_mut(&(function, horse))
             .and_then(|p| p.take(now))
-            .ok_or(FaasError::NoWarmSandbox { function, strategy })
+        {
+            Some(id) => {
+                self.recorder.instant(EventKind::PoolHit, 0, 0);
+                self.recorder.count(Counter::PoolHits, 1);
+                Ok(id)
+            }
+            None => {
+                self.recorder.instant(EventKind::PoolMiss, 0, 0);
+                self.recorder.count(Counter::PoolMisses, 1);
+                Err(FaasError::NoWarmSandbox { function, strategy })
+            }
+        }
     }
 
     /// Samples a service time: the category's Table 1 mean with ±10 %

@@ -1,0 +1,112 @@
+//! Platform-level telemetry: invoke spans, exec spans, pool
+//! hit/miss instants and the invoke counters.
+
+use horse_faas::{FaasError, FaasPlatform, PlatformConfig, StartStrategy};
+use horse_telemetry::{Counter, EventKind, Recorder};
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+
+fn platform() -> FaasPlatform {
+    let mut p = FaasPlatform::new(PlatformConfig::default());
+    p.set_recorder(Recorder::enabled());
+    p
+}
+
+fn ull_config() -> SandboxConfig {
+    SandboxConfig::builder().vcpus(2).ull(true).build().unwrap()
+}
+
+#[test]
+fn horse_invoke_traces_hit_resume_invoke_and_exec() {
+    let mut p = platform();
+    let f = p.register("nat", Category::Cat2, ull_config());
+    p.provision(f, 1, StartStrategy::Horse).unwrap();
+    let record = p.invoke(f, StartStrategy::Horse).unwrap();
+
+    let rec = p.recorder().clone();
+    assert_eq!(rec.counter_value(Counter::InvokesHorse), 1);
+    assert_eq!(rec.counter_value(Counter::PoolHits), 1);
+    assert_eq!(rec.counter_value(Counter::PoolMisses), 0);
+
+    let snap = rec.drain();
+    assert_eq!(snap.dropped, 0);
+
+    let invoke = snap
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::InvokeHorse)
+        .expect("invoke span");
+    assert_eq!(invoke.dur_ns, record.init_ns);
+    let exec = snap
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::Exec)
+        .expect("exec span");
+    assert_eq!(
+        exec.start_ns,
+        invoke.end_ns(),
+        "exec follows initialization"
+    );
+    assert_eq!(exec.dur_ns, record.exec_ns);
+
+    let hit = snap
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::PoolHit)
+        .expect("pool-hit instant");
+    assert!(hit.start_ns <= invoke.start_ns);
+
+    // The HORSE start resumed a sandbox: the six-step pipeline sits
+    // inside the invoke window.
+    let resume = snap
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::Resume)
+        .expect("resume span");
+    assert!(resume.start_ns >= invoke.start_ns);
+    assert!(resume.end_ns() <= invoke.end_ns());
+}
+
+#[test]
+fn pool_miss_is_an_instant_not_an_invoke() {
+    let mut p = platform();
+    let f = p.register("filter", Category::Cat3, ull_config());
+    let err = p.invoke(f, StartStrategy::Horse).unwrap_err();
+    assert_eq!(
+        err,
+        FaasError::NoWarmSandbox {
+            function: f,
+            strategy: StartStrategy::Horse
+        }
+    );
+
+    let rec = p.recorder().clone();
+    assert_eq!(rec.counter_value(Counter::PoolMisses), 1);
+    assert_eq!(rec.counter_value(Counter::InvokesHorse), 0);
+    let snap = rec.drain();
+    assert!(snap.events.iter().any(|e| e.kind == EventKind::PoolMiss));
+    assert!(!snap.events.iter().any(|e| e.kind == EventKind::InvokeHorse));
+}
+
+#[test]
+fn cold_and_warm_strategies_use_their_own_kinds() {
+    let mut p = platform();
+    let f = p.register("fw", Category::Cat1, ull_config());
+    p.invoke(f, StartStrategy::Cold).unwrap();
+    p.provision(f, 1, StartStrategy::Warm).unwrap();
+    p.invoke(f, StartStrategy::Warm).unwrap();
+
+    let rec = p.recorder().clone();
+    assert_eq!(rec.counter_value(Counter::InvokesCold), 1);
+    assert_eq!(rec.counter_value(Counter::InvokesWarm), 1);
+    let snap = rec.drain();
+    assert!(snap.events.iter().any(|e| e.kind == EventKind::InvokeCold));
+    assert!(snap.events.iter().any(|e| e.kind == EventKind::InvokeWarm));
+    assert_eq!(
+        snap.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Exec)
+            .count(),
+        2
+    );
+}

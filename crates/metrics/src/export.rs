@@ -70,6 +70,32 @@ pub fn write_manifest(path: impl AsRef<Path>, entries: &[(&str, String)]) -> std
     std::fs::write(path, out)
 }
 
+/// Writes a telemetry snapshot as Chrome trace-event JSON
+/// (Perfetto-loadable, conventionally `*.trace.json`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_chrome_trace(
+    path: impl AsRef<Path>,
+    snapshot: &horse_telemetry::TraceSnapshot,
+) -> std::io::Result<()> {
+    std::fs::write(path, horse_telemetry::chrome::render(snapshot))
+}
+
+/// Writes a telemetry snapshot as folded-stack text (`flamegraph.pl`
+/// input, conventionally `*.folded`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_folded_stacks(
+    path: impl AsRef<Path>,
+    snapshot: &horse_telemetry::TraceSnapshot,
+) -> std::io::Result<()> {
+    std::fs::write(path, horse_telemetry::folded::render(snapshot))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

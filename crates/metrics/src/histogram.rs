@@ -186,7 +186,7 @@ impl Histogram {
         let bucket = (64 - SUB_BUCKET_BITS)
             .saturating_sub((value | SUB_BUCKET_MASK).leading_zeros())
             as usize;
-        let sub = (value >> bucket) as u64 & SUB_BUCKET_MASK;
+        let sub = (value >> bucket) & SUB_BUCKET_MASK;
         if bucket == 0 {
             sub as usize
         } else {

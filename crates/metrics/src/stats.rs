@@ -184,6 +184,32 @@ impl RunningStats {
             half_width: t * sem,
         }
     }
+
+    /// 95 % **prediction interval** for one further observation:
+    /// `mean ± t(n−1) · s · √(1 + 1/n)`.
+    ///
+    /// Where [`RunningStats::ci95`] bounds the *mean*, this bounds where
+    /// the *next sample* should land — the right tolerance when checking
+    /// a fresh measurement against collected history, instead of a magic
+    /// constant. `quantum` widens the interval by a fixed amount for
+    /// discretization the accumulator cannot see (e.g. ±1 for values
+    /// rounded to integer nanoseconds); it also keeps the interval
+    /// non-degenerate when the history has zero variance.
+    pub fn prediction95(&self, quantum: f64) -> ConfidenceInterval {
+        if self.n < 2 {
+            return ConfidenceInterval {
+                mean: self.mean(),
+                half_width: quantum,
+            };
+        }
+        let df = (self.n - 1) as usize;
+        let t = if df < T_975.len() { T_975[df] } else { 1.96 };
+        let spread = self.stddev() * (1.0 + 1.0 / self.n as f64).sqrt();
+        ConfidenceInterval {
+            mean: self.mean,
+            half_width: t * spread + quantum,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +276,40 @@ mod tests {
         let ci = s.ci95();
         assert!(ci.contains(s.mean()));
         assert!(!ci.contains(1000.0));
+    }
+
+    #[test]
+    fn prediction_interval_is_wider_than_ci_and_covers_next_sample() {
+        let mut s = RunningStats::new();
+        for x in [98.0, 100.0, 102.0, 99.0, 101.0] {
+            s.push(x);
+        }
+        let ci = s.ci95();
+        let pi = s.prediction95(0.0);
+        assert!(
+            pi.half_width > ci.half_width,
+            "PI bounds a sample, not a mean"
+        );
+        // Closed form: t(4)=2.776, s·√(1+1/5).
+        let expected = 2.776 * s.stddev() * (1.0 + 0.2f64).sqrt();
+        assert!((pi.half_width - expected).abs() < 1e-9);
+        assert!(pi.contains(100.5), "a plausible next draw is inside");
+    }
+
+    #[test]
+    fn prediction_interval_quantum_floors_degenerate_history() {
+        let mut s = RunningStats::new();
+        for _ in 0..5 {
+            s.push(150.0);
+        }
+        assert_eq!(s.prediction95(0.0).half_width, 0.0);
+        let pi = s.prediction95(1.0);
+        assert_eq!(
+            pi.half_width, 1.0,
+            "quantum keeps zero-variance history usable"
+        );
+        assert!(pi.contains(150.9));
+        assert!(!pi.contains(152.0));
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl Governor {
         if pstates.windows(2).any(|w| w[0] >= w[1]) {
             return Err("P-state table must be strictly ascending".into());
         }
-        if !(saturation_load > 0.0) {
+        if saturation_load.is_nan() || saturation_load <= 0.0 {
             return Err("saturation load must be positive".into());
         }
         Ok(Self {

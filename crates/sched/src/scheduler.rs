@@ -9,6 +9,7 @@ use crate::vcpu::Vcpu;
 use horse_core::{
     Arena, ArenaStats, MergePlan, MergeReport, NodeRef, SortedList, SpliceMode, StalePlanError,
 };
+use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 
 /// Configuration of a [`HostScheduler`].
 #[derive(Debug, Clone)]
@@ -68,6 +69,8 @@ pub struct HostScheduler {
     governor: Governor,
     flavor: SchedFlavor,
     topology: CpuTopology,
+    /// Telemetry sink; disabled (and inert) by default.
+    recorder: Recorder,
 }
 
 impl HostScheduler {
@@ -110,7 +113,19 @@ impl HostScheduler {
             governor: Governor::xeon_8360y(config.governor_policy),
             flavor: config.flavor,
             topology: config.topology,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs a telemetry recorder. Recorders are cheap clones sharing
+    /// one sink, so the VMM and platform typically pass the same one down.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The active telemetry recorder (disabled unless one was installed).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The shared node arena (read access, e.g. for 𝒫²𝒮ℳ plan updates).
@@ -251,6 +266,10 @@ impl HostScheduler {
     /// Vanilla load update for an `n`-vCPU placement: `n` lock-protected
     /// affine updates (paper step ⑤).
     pub fn load_update_per_vcpu(&self, rq: RqId, n: u32) -> f64 {
+        self.recorder
+            .instant(EventKind::LoadUpdate, 0, u64::from(n));
+        self.recorder
+            .count(Counter::PerVcpuLoadUpdates, u64::from(n));
         self.queues[rq.0]
             .load()
             .apply_per_vcpu(self.tracker.update(), n)
@@ -259,6 +278,9 @@ impl HostScheduler {
     /// HORSE load update: one lock acquisition applying the coalesced
     /// update precomputed at pause time (paper §4.2).
     pub fn load_update_coalesced(&self, rq: RqId, coalesced: horse_core::CoalescedUpdate) -> f64 {
+        self.recorder
+            .instant(EventKind::LoadCoalesce, 0, u64::from(coalesced.n()));
+        self.recorder.count(Counter::CoalescedLoadUpdates, 1);
         self.queues[rq.0].load().apply_coalesced(coalesced)
     }
 
@@ -293,7 +315,11 @@ impl HostScheduler {
         mode: SpliceMode,
     ) -> Result<MergeReport, StalePlanError> {
         let q = &mut self.queues[rq.0];
-        plan.merge(&self.arena, &mut q.list, mode)
+        let report = plan.merge(&self.arena, &mut q.list, mode)?;
+        self.recorder
+            .instant(EventKind::RunqueueMerge, 0, report.splices as u64);
+        self.recorder.count(Counter::Splices, report.splices as u64);
+        Ok(report)
     }
 
     /// Read access to a queue's vCPU list (plan maintenance helpers).
@@ -306,11 +332,18 @@ impl HostScheduler {
         for q in &self.queues {
             q.load().decay(crate::load::PELT_DECAY);
         }
+        self.recorder
+            .gauge(Gauge::QueuedVcpus, self.total_queued() as u64);
     }
 
     /// Target frequency for a queue's CPU under the active governor.
     pub fn target_pstate(&self, rq: RqId) -> PState {
-        self.governor.target_pstate(self.queues[rq.0].load().get())
+        let pstate = self.governor.target_pstate(self.queues[rq.0].load().get());
+        let mhz = pstate.mhz().round() as u64;
+        self.recorder.instant(EventKind::GovernorDecision, 0, mhz);
+        self.recorder.count(Counter::GovernorDecisions, 1);
+        self.recorder.gauge(Gauge::LastPstateMhz, mhz);
+        pstate
     }
 
     /// Drains and returns the arena's operation counters.
@@ -356,6 +389,8 @@ impl HostScheduler {
             (max_load - crate::load::VCPU_LOAD_CONTRIB).max(0.0) / max_load.max(f64::EPSILON),
         );
         self.load_update_per_vcpu(dst, 1);
+        self.recorder.instant(EventKind::Rebalance, 0, 1);
+        self.recorder.count(Counter::RebalanceMigrations, 1);
         true
     }
 
@@ -564,6 +599,38 @@ mod tests {
             flavor: SchedFlavor::default(),
         });
         assert!(s1.least_loaded_general_on_socket(1).is_none());
+    }
+
+    #[test]
+    fn recorder_sees_merge_and_load_events() {
+        use horse_telemetry::{Counter, EventKind, Recorder};
+
+        let mut s = sched_with(1);
+        s.set_recorder(Recorder::enabled());
+        assert!(s.recorder().is_enabled());
+        let rq = s.ull_queues()[0];
+        s.enqueue_vcpu(rq, 100, vcpu(0));
+        let mut merge_vcpus = SortedList::new();
+        merge_vcpus.insert_sorted(s.arena_mut(), 200, vcpu(1));
+        merge_vcpus.insert_sorted(s.arena_mut(), 300, vcpu(2));
+        let plan = s.ull_precompute(rq, merge_vcpus);
+        let report = s.ull_merge(rq, plan, SpliceMode::Parallel).unwrap();
+        s.load_update_coalesced(rq, s.tracker().coalesce(2));
+        s.load_update_per_vcpu(rq, 3);
+        let _ = s.target_pstate(rq);
+
+        let rec = s.recorder().clone();
+        assert_eq!(rec.counter_value(Counter::Splices), report.splices as u64);
+        assert_eq!(rec.counter_value(Counter::CoalescedLoadUpdates), 1);
+        assert_eq!(rec.counter_value(Counter::PerVcpuLoadUpdates), 3);
+        assert_eq!(rec.counter_value(Counter::GovernorDecisions), 1);
+        let snap = rec.drain();
+        assert_eq!(snap.dropped, 0);
+        let kinds: Vec<_> = snap.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::RunqueueMerge));
+        assert!(kinds.contains(&EventKind::LoadCoalesce));
+        assert!(kinds.contains(&EventKind::LoadUpdate));
+        assert!(kinds.contains(&EventKind::GovernorDecision));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Monotonic counters and last-value gauges, snapshotable at any time.
+//!
+//! Like [`EventKind`](crate::EventKind), the counter and gauge names form
+//! a closed vocabulary so the registry is two fixed arrays of
+//! `AtomicU64` — a bump is one `fetch_add`, and a snapshot never pauses
+//! writers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters the pipeline bumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Counter {
+    /// Resumes in `vanil` mode.
+    ResumesVanil = 0,
+    /// Resumes in `ppsm` mode.
+    ResumesPpsm = 1,
+    /// Resumes in `coal` mode.
+    ResumesCoal = 2,
+    /// Resumes in `horse` mode.
+    ResumesHorse = 3,
+    /// Pauses (HORSE-style, plan precomputed).
+    PausesHorse = 4,
+    /// Pauses (vanilla, no precomputation).
+    PausesVanilla = 5,
+    /// Individual 𝒫²𝒮ℳ splices applied.
+    Splices = 6,
+    /// Coalesced load updates (one per resume in coal/horse modes).
+    CoalescedLoadUpdates = 7,
+    /// Per-vCPU load updates (vanilla path, one per vCPU).
+    PerVcpuLoadUpdates = 8,
+    /// DVFS governor decisions taken.
+    GovernorDecisions = 9,
+    /// Warm-pool hits.
+    PoolHits = 10,
+    /// Warm-pool misses.
+    PoolMisses = 11,
+    /// Cold-start invokes.
+    InvokesCold = 12,
+    /// Snapshot-restore invokes.
+    InvokesRestore = 13,
+    /// Conventional warm invokes.
+    InvokesWarm = 14,
+    /// HORSE fast-path invokes.
+    InvokesHorse = 15,
+    /// Rebalance passes that migrated a vCPU.
+    RebalanceMigrations = 16,
+}
+
+impl Counter {
+    /// Every counter, in discriminant order.
+    pub const ALL: [Counter; 17] = [
+        Counter::ResumesVanil,
+        Counter::ResumesPpsm,
+        Counter::ResumesCoal,
+        Counter::ResumesHorse,
+        Counter::PausesHorse,
+        Counter::PausesVanilla,
+        Counter::Splices,
+        Counter::CoalescedLoadUpdates,
+        Counter::PerVcpuLoadUpdates,
+        Counter::GovernorDecisions,
+        Counter::PoolHits,
+        Counter::PoolMisses,
+        Counter::InvokesCold,
+        Counter::InvokesRestore,
+        Counter::InvokesWarm,
+        Counter::InvokesHorse,
+        Counter::RebalanceMigrations,
+    ];
+
+    /// Export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ResumesVanil => "resumes_vanil",
+            Counter::ResumesPpsm => "resumes_ppsm",
+            Counter::ResumesCoal => "resumes_coal",
+            Counter::ResumesHorse => "resumes_horse",
+            Counter::PausesHorse => "pauses_horse",
+            Counter::PausesVanilla => "pauses_vanilla",
+            Counter::Splices => "splices",
+            Counter::CoalescedLoadUpdates => "coalesced_load_updates",
+            Counter::PerVcpuLoadUpdates => "per_vcpu_load_updates",
+            Counter::GovernorDecisions => "governor_decisions",
+            Counter::PoolHits => "pool_hits",
+            Counter::PoolMisses => "pool_misses",
+            Counter::InvokesCold => "invokes_cold",
+            Counter::InvokesRestore => "invokes_restore",
+            Counter::InvokesWarm => "invokes_warm",
+            Counter::InvokesHorse => "invokes_horse",
+            Counter::RebalanceMigrations => "rebalance_migrations",
+        }
+    }
+}
+
+/// Last-value gauges the pipeline sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Gauge {
+    /// vCPUs queued across all runqueues.
+    QueuedVcpus = 0,
+    /// Sandboxes currently live in the VMM.
+    LiveSandboxes = 1,
+    /// Sandboxes parked in warm pools.
+    PooledSandboxes = 2,
+    /// Last governor frequency choice, in MHz.
+    LastPstateMhz = 3,
+}
+
+impl Gauge {
+    /// Every gauge, in discriminant order.
+    pub const ALL: [Gauge; 4] = [
+        Gauge::QueuedVcpus,
+        Gauge::LiveSandboxes,
+        Gauge::PooledSandboxes,
+        Gauge::LastPstateMhz,
+    ];
+
+    /// Export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueuedVcpus => "queued_vcpus",
+            Gauge::LiveSandboxes => "live_sandboxes",
+            Gauge::PooledSandboxes => "pooled_sandboxes",
+            Gauge::LastPstateMhz => "last_pstate_mhz",
+        }
+    }
+}
+
+/// The lock-free registry backing both vocabularies.
+#[derive(Debug)]
+pub struct CounterRegistry {
+    counters: [AtomicU64; Counter::ALL.len()],
+    gauges: [AtomicU64; Gauge::ALL.len()],
+}
+
+impl Default for CounterRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterRegistry {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Moves a gauge by a signed delta (two's-complement wrapping add),
+    /// for call sites that know the change but would have to scan state
+    /// to recompute the absolute value on a hot path.
+    pub fn add_gauge(&self, gauge: Gauge, delta: i64) {
+        self.gauges[gauge as usize].fetch_add(delta as u64, Ordering::Relaxed);
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshots every counter as `(name, value)`, in vocabulary order.
+    pub fn snapshot_counters(&self) -> Vec<(&'static str, u64)> {
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), self.get(c)))
+            .collect()
+    }
+
+    /// Snapshots every gauge as `(name, value)`, in vocabulary order.
+    pub fn snapshot_gauges(&self) -> Vec<(&'static str, u64)> {
+        Gauge::ALL
+            .iter()
+            .map(|&g| (g.name(), self.gauge(g)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_discriminants_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+    }
+
+    #[test]
+    fn add_and_snapshot() {
+        let reg = CounterRegistry::new();
+        reg.add(Counter::Splices, 3);
+        reg.add(Counter::Splices, 4);
+        reg.add(Counter::PoolHits, 1);
+        reg.set_gauge(Gauge::QueuedVcpus, 42);
+        reg.set_gauge(Gauge::QueuedVcpus, 17);
+        assert_eq!(reg.get(Counter::Splices), 7);
+        assert_eq!(reg.gauge(Gauge::QueuedVcpus), 17, "gauge keeps last value");
+        let snap = reg.snapshot_counters();
+        assert_eq!(snap.len(), Counter::ALL.len());
+        assert!(snap.contains(&("splices", 7)));
+        assert!(snap.contains(&("pool_hits", 1)));
+        assert!(reg.snapshot_gauges().contains(&("queued_vcpus", 17)));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+}

@@ -1,0 +1,326 @@
+//! The static event vocabulary and the event record itself.
+
+/// Everything the HORSE pipeline can emit, as a closed vocabulary.
+///
+/// A fixed enum (rather than interned strings) keeps the hot-path record
+/// to a handful of integer stores and lets exporters attach names,
+/// categories and argument labels without any per-event allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    // --- pause path (§4.1.3 / §4.2.2) ---
+    /// Whole pause pipeline.
+    Pause = 0,
+    /// Pause: dequeue the sandbox's vCPUs.
+    PauseDequeue = 1,
+    /// Pause: build the sorted `merge_vcpus` list.
+    PauseBuildList = 2,
+    /// Pause: pick and record the target ull_runqueue.
+    PauseAssignQueue = 3,
+    /// Pause: precompute the 𝒫²𝒮ℳ merge plan.
+    PausePlan = 4,
+    /// Pause: precompute the coalesced load update.
+    PauseCoalesce = 5,
+
+    // --- resume path (§3.1, steps ①–⑥) ---
+    /// Whole resume pipeline.
+    Resume = 6,
+    /// Step ①: parse input.
+    ResumeParse = 7,
+    /// Step ②: acquire the resume lock.
+    ResumeLock = 8,
+    /// Step ③: sanity checks.
+    ResumeSanity = 9,
+    /// Step ④: sorted merge into the run queue.
+    ResumeSortedMerge = 10,
+    /// Step ⑤: run-queue load update.
+    ResumeLoadUpdate = 11,
+    /// Step ⑥: finalize.
+    ResumeFinalize = 12,
+
+    // --- 𝒫²𝒮ℳ internals ---
+    /// One merge thread performing its splice(s) (arg = splice count).
+    SpliceWork = 13,
+
+    // --- scheduler substrate ---
+    /// A 𝒫²𝒮ℳ merge executed against an ull_runqueue (arg = splices).
+    RunqueueMerge = 14,
+    /// A coalesced load update: one lock, one affine apply (arg = vCPUs
+    /// covered).
+    LoadCoalesce = 15,
+    /// Per-vCPU load updates: n locked applies (arg = n).
+    LoadUpdate = 16,
+    /// DVFS governor decision (arg = chosen frequency in MHz).
+    GovernorDecision = 17,
+    /// General-queue rebalance pass (arg = 1 if a vCPU migrated).
+    Rebalance = 18,
+
+    // --- platform invoke phases ---
+    /// Cold-start initialization (arg = init ns).
+    InvokeCold = 19,
+    /// Snapshot-restore initialization (arg = init ns).
+    InvokeRestore = 20,
+    /// Conventional warm-start initialization (arg = init ns).
+    InvokeWarm = 21,
+    /// HORSE fast-path initialization (arg = init ns).
+    InvokeHorse = 22,
+    /// Function execution following initialization (arg = exec ns).
+    Exec = 23,
+    /// Warm-pool hit: a provisioned sandbox was available.
+    PoolHit = 24,
+    /// Warm-pool miss: the pool was empty for the strategy.
+    PoolMiss = 25,
+}
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; 26] = [
+        EventKind::Pause,
+        EventKind::PauseDequeue,
+        EventKind::PauseBuildList,
+        EventKind::PauseAssignQueue,
+        EventKind::PausePlan,
+        EventKind::PauseCoalesce,
+        EventKind::Resume,
+        EventKind::ResumeParse,
+        EventKind::ResumeLock,
+        EventKind::ResumeSanity,
+        EventKind::ResumeSortedMerge,
+        EventKind::ResumeLoadUpdate,
+        EventKind::ResumeFinalize,
+        EventKind::SpliceWork,
+        EventKind::RunqueueMerge,
+        EventKind::LoadCoalesce,
+        EventKind::LoadUpdate,
+        EventKind::GovernorDecision,
+        EventKind::Rebalance,
+        EventKind::InvokeCold,
+        EventKind::InvokeRestore,
+        EventKind::InvokeWarm,
+        EventKind::InvokeHorse,
+        EventKind::Exec,
+        EventKind::PoolHit,
+        EventKind::PoolMiss,
+    ];
+
+    /// Decodes a stored discriminant (drain path).
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+
+    /// Display name (matches the step labels used by `horse-vmm`).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Pause => "pause",
+            EventKind::PauseDequeue => "dequeue_vcpus",
+            EventKind::PauseBuildList => "build_merge_list",
+            EventKind::PauseAssignQueue => "assign_ull_queue",
+            EventKind::PausePlan => "precompute_plan",
+            EventKind::PauseCoalesce => "precompute_coalesce",
+            EventKind::Resume => "resume",
+            EventKind::ResumeParse => "parse",
+            EventKind::ResumeLock => "lock",
+            EventKind::ResumeSanity => "sanity",
+            EventKind::ResumeSortedMerge => "sorted_merge",
+            EventKind::ResumeLoadUpdate => "load_update",
+            EventKind::ResumeFinalize => "finalize",
+            EventKind::SpliceWork => "splice",
+            EventKind::RunqueueMerge => "runqueue_merge",
+            EventKind::LoadCoalesce => "load_coalesce",
+            EventKind::LoadUpdate => "load_update_per_vcpu",
+            EventKind::GovernorDecision => "governor",
+            EventKind::Rebalance => "rebalance",
+            EventKind::InvokeCold => "cold",
+            EventKind::InvokeRestore => "restore",
+            EventKind::InvokeWarm => "warm",
+            EventKind::InvokeHorse => "horse",
+            EventKind::Exec => "exec",
+            EventKind::PoolHit => "pool_hit",
+            EventKind::PoolMiss => "pool_miss",
+        }
+    }
+
+    /// Trace category (Perfetto groups tracks and filters by these).
+    pub fn category(self) -> &'static str {
+        match self {
+            EventKind::Pause
+            | EventKind::PauseDequeue
+            | EventKind::PauseBuildList
+            | EventKind::PauseAssignQueue
+            | EventKind::PausePlan
+            | EventKind::PauseCoalesce => "pause",
+            EventKind::Resume
+            | EventKind::ResumeParse
+            | EventKind::ResumeLock
+            | EventKind::ResumeSanity
+            | EventKind::ResumeSortedMerge
+            | EventKind::ResumeLoadUpdate
+            | EventKind::ResumeFinalize => "resume",
+            EventKind::SpliceWork => "p2sm",
+            EventKind::RunqueueMerge
+            | EventKind::LoadCoalesce
+            | EventKind::LoadUpdate
+            | EventKind::GovernorDecision
+            | EventKind::Rebalance => "sched",
+            EventKind::InvokeCold
+            | EventKind::InvokeRestore
+            | EventKind::InvokeWarm
+            | EventKind::InvokeHorse
+            | EventKind::Exec => "invoke",
+            EventKind::PoolHit | EventKind::PoolMiss => "pool",
+        }
+    }
+
+    /// Name of the `arg` payload in exports (`None` = no meaningful arg).
+    pub fn arg_name(self) -> Option<&'static str> {
+        match self {
+            EventKind::SpliceWork | EventKind::RunqueueMerge => Some("splices"),
+            EventKind::LoadCoalesce | EventKind::LoadUpdate => Some("vcpus"),
+            EventKind::GovernorDecision => Some("mhz"),
+            EventKind::Rebalance => Some("migrated"),
+            EventKind::InvokeCold
+            | EventKind::InvokeRestore
+            | EventKind::InvokeWarm
+            | EventKind::InvokeHorse => Some("init_ns"),
+            EventKind::Exec => Some("exec_ns"),
+            EventKind::Pause | EventKind::Resume => Some("sandbox"),
+            _ => None,
+        }
+    }
+
+    /// Folded-stack frames, root first (used by the flamegraph exporter).
+    pub fn stack(self) -> &'static [&'static str] {
+        match self {
+            EventKind::Pause => &["pause"],
+            EventKind::PauseDequeue => &["pause", "dequeue_vcpus"],
+            EventKind::PauseBuildList => &["pause", "build_merge_list"],
+            EventKind::PauseAssignQueue => &["pause", "assign_ull_queue"],
+            EventKind::PausePlan => &["pause", "precompute_plan"],
+            EventKind::PauseCoalesce => &["pause", "precompute_coalesce"],
+            EventKind::Resume => &["resume"],
+            EventKind::ResumeParse => &["resume", "parse"],
+            EventKind::ResumeLock => &["resume", "lock"],
+            EventKind::ResumeSanity => &["resume", "sanity"],
+            EventKind::ResumeSortedMerge => &["resume", "sorted_merge"],
+            EventKind::ResumeLoadUpdate => &["resume", "load_update"],
+            EventKind::ResumeFinalize => &["resume", "finalize"],
+            EventKind::SpliceWork => &["resume", "sorted_merge", "splice"],
+            EventKind::RunqueueMerge => &["sched", "runqueue_merge"],
+            EventKind::LoadCoalesce => &["sched", "load_coalesce"],
+            EventKind::LoadUpdate => &["sched", "load_update_per_vcpu"],
+            EventKind::GovernorDecision => &["sched", "governor"],
+            EventKind::Rebalance => &["sched", "rebalance"],
+            EventKind::InvokeCold => &["invoke", "cold"],
+            EventKind::InvokeRestore => &["invoke", "restore"],
+            EventKind::InvokeWarm => &["invoke", "warm"],
+            EventKind::InvokeHorse => &["invoke", "horse"],
+            EventKind::Exec => &["invoke", "exec"],
+            EventKind::PoolHit => &["pool", "hit"],
+            EventKind::PoolMiss => &["pool", "miss"],
+        }
+    }
+}
+
+/// One recorded event on the virtual-time axis.
+///
+/// `dur_ns == 0` marks an instant event; spans carry their duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Track the event belongs to (0 = the main pipeline; 𝒫²𝒮ℳ merge
+    /// threads use 1..=N).
+    pub track: u32,
+    /// Start time on the virtual clock, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 = instant).
+    pub dur_ns: u64,
+    /// Kind-specific payload (see [`EventKind::arg_name`]).
+    pub arg: u64,
+}
+
+impl Event {
+    /// Whether this is an instant (zero-duration) event.
+    pub fn is_instant(&self) -> bool {
+        self.dur_ns == 0
+    }
+
+    /// End time on the virtual clock.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_round_trip() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as u8, i as u8);
+            assert_eq!(EventKind::from_u8(i as u8), Some(*kind));
+        }
+        assert_eq!(EventKind::from_u8(EventKind::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn labels_and_stacks_are_consistent() {
+        for kind in EventKind::ALL {
+            let stack = kind.stack();
+            assert!(!stack.is_empty());
+            assert_eq!(
+                *stack.first().unwrap(),
+                kind.category().replace("p2sm", "resume").as_str()
+            );
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn resume_steps_cover_the_paper_pipeline() {
+        let labels: Vec<_> = [
+            EventKind::ResumeParse,
+            EventKind::ResumeLock,
+            EventKind::ResumeSanity,
+            EventKind::ResumeSortedMerge,
+            EventKind::ResumeLoadUpdate,
+            EventKind::ResumeFinalize,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "parse",
+                "lock",
+                "sanity",
+                "sorted_merge",
+                "load_update",
+                "finalize"
+            ]
+        );
+    }
+
+    #[test]
+    fn instant_detection() {
+        let span = Event {
+            kind: EventKind::Resume,
+            track: 0,
+            start_ns: 5,
+            dur_ns: 10,
+            arg: 0,
+        };
+        let inst = Event {
+            kind: EventKind::PoolHit,
+            track: 0,
+            start_ns: 5,
+            dur_ns: 0,
+            arg: 0,
+        };
+        assert!(!span.is_instant());
+        assert!(inst.is_instant());
+        assert_eq!(span.end_ns(), 15);
+    }
+}

@@ -1,0 +1,54 @@
+//! Nanosecond-resolution tracing for the HORSE pause/resume pipeline.
+//!
+//! The paper's entire argument lives in a few hundred nanoseconds, so
+//! this crate is built around one constraint: *recording must never
+//! perturb what it measures*. Concretely:
+//!
+//! - a fixed [`EventKind`] vocabulary (no per-event strings or
+//!   allocation) covering pause, the six resume steps of §3.1, 𝒫²𝒮ℳ
+//!   splice work per merge thread, load coalescing, governor decisions
+//!   and the platform invoke phases;
+//! - per-thread lock-free ring buffers ([`ring`]) — recording is one
+//!   `fetch_add` plus a handful of atomic stores, overwrite-oldest with
+//!   drop *counting* rather than blocking, drained off-path;
+//! - a counter/gauge registry ([`counters`]) snapshotable at any time;
+//! - exporters: Chrome trace-event JSON ([`chrome`], loadable in
+//!   Perfetto) and folded-stack text ([`folded`], flamegraph input);
+//! - a [`Recorder`] handle that is a single `Option` branch when
+//!   disabled, so uninstrumented runs pay near-zero cost.
+//!
+//! Spans live on the simulator's **virtual** nanosecond axis (the cost
+//! model's modeled durations), so exported traces line up exactly with
+//! the `ResumeBreakdown` numbers the rest of the workspace reports.
+//!
+//! # Example
+//!
+//! ```
+//! use horse_telemetry::{EventKind, Recorder, chrome, json};
+//!
+//! let rec = Recorder::enabled();
+//! rec.set_now(1_000);
+//! rec.span(EventKind::ResumeParse, 0, 10, 0);
+//! rec.span(EventKind::ResumeSortedMerge, 0, 60, 0);
+//! let snapshot = rec.drain();
+//! assert_eq!(snapshot.events.len(), 2);
+//! assert_eq!(snapshot.dropped, 0);
+//! let trace = chrome::render(&snapshot);
+//! assert!(json::parse(&trace).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod counters;
+pub mod event;
+pub mod folded;
+pub mod json;
+pub mod recorder;
+pub mod ring;
+
+pub use counters::{Counter, CounterRegistry, Gauge};
+pub use event::{Event, EventKind};
+pub use recorder::{Recorder, TelemetryConfig, TraceSnapshot};
+pub use ring::{EventRing, ShardedRing};

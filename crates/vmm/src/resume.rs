@@ -163,6 +163,17 @@ impl ResumeBreakdown {
     pub fn dominant_share(&self) -> f64 {
         self.share(ResumeStep::SortedMerge) + self.share(ResumeStep::LoadUpdate)
     }
+
+    /// The single step with the largest duration, or `None` for an empty
+    /// breakdown. Ties resolve to the earlier pipeline step.
+    pub fn dominant_step(&self) -> Option<ResumeStep> {
+        if self.total_ns() == 0 {
+            return None;
+        }
+        ResumeStep::ALL
+            .into_iter()
+            .max_by_key(|&s| (self.get(s), std::cmp::Reverse(s.index())))
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use crate::sandbox::{PausePolicy, PausedState, Sandbox, SandboxState, VcpuPlacem
 use crate::snapshot::{RestoreModel, SandboxSnapshot};
 use horse_core::{MergeReport, SortedList, SpliceMode, StalePlanError};
 use horse_sched::{HostScheduler, RqId, SandboxId, SchedConfig, Vcpu, VcpuId};
+use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
@@ -145,12 +146,9 @@ impl VmmStats {
             .iter()
             .position(|m| *m == mode)
             .expect("known mode");
-        let n = self.resumes_by_mode[i];
-        if n == 0 {
-            0
-        } else {
-            self.resume_ns_by_mode[i] / n
-        }
+        self.resume_ns_by_mode[i]
+            .checked_div(self.resumes_by_mode[i])
+            .unwrap_or(0)
     }
 }
 
@@ -180,6 +178,8 @@ pub struct Vmm {
     /// Paused sandboxes with plans, per ull_runqueue (plan maintenance).
     paused_on_rq: HashMap<RqId, Vec<SandboxId>>,
     stats: VmmStats,
+    /// Telemetry sink; disabled (and inert) by default.
+    recorder: Recorder,
 }
 
 impl Vmm {
@@ -193,7 +193,21 @@ impl Vmm {
             next_vcpu: 0,
             paused_on_rq: HashMap::new(),
             stats: VmmStats::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs a telemetry recorder, shared with the scheduler (all
+    /// clones of a [`Recorder`] feed one sink). Pause/resume spans land
+    /// on the recorder's virtual-time cursor.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.sched.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The active telemetry recorder (disabled unless one was installed).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Creates a VMM with the default r650 topology and calibrated costs.
@@ -232,6 +246,8 @@ impl Vmm {
         self.next_sandbox += 1;
         self.stats.created += 1;
         self.sandboxes.insert(id.as_u64(), Sandbox::new(id, config));
+        self.recorder
+            .gauge(Gauge::LiveSandboxes, self.sandboxes.len() as u64);
         id
     }
 
@@ -265,6 +281,8 @@ impl Vmm {
         sb.placements = placements;
         sb.set_state(SandboxState::Running);
         self.stats.started += 1;
+        self.recorder
+            .gauge_add(Gauge::QueuedVcpus, i64::from(config.vcpus()));
         Ok(())
     }
 
@@ -371,12 +389,75 @@ impl Vmm {
         }
 
         self.stats.pauses += 1;
+        self.record_pause(id, policy, &breakdown, n);
         Ok(PauseReport {
             cost_ns: cost,
             breakdown,
             plan_bytes,
             ull_rq,
         })
+    }
+
+    /// Lays the pause pipeline onto the telemetry cursor (no-op when the
+    /// recorder is disabled): one child span per non-zero step in
+    /// execution order, under a parent [`EventKind::Pause`] span.
+    fn record_pause(
+        &self,
+        id: SandboxId,
+        policy: PausePolicy,
+        breakdown: &PauseBreakdown,
+        vcpus: u32,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let start = self.recorder.now_ns();
+        const STEPS: [(PauseStep, EventKind); 5] = [
+            (PauseStep::DequeueVcpus, EventKind::PauseDequeue),
+            (PauseStep::AssignUllQueue, EventKind::PauseAssignQueue),
+            (PauseStep::BuildMergeList, EventKind::PauseBuildList),
+            (PauseStep::PrecomputePlan, EventKind::PausePlan),
+            (PauseStep::PrecomputeCoalesce, EventKind::PauseCoalesce),
+        ];
+        // One batched claim: the parent span plus every non-zero step.
+        let mut events = [horse_telemetry::Event {
+            kind: EventKind::Pause,
+            track: 0,
+            start_ns: start,
+            dur_ns: breakdown.total_ns(),
+            arg: id.as_u64(),
+        }; 6];
+        let mut filled = 1;
+        let mut cursor = start;
+        for (step, kind) in STEPS {
+            let ns = breakdown.get(step);
+            if ns > 0 {
+                events[filled] = horse_telemetry::Event {
+                    kind,
+                    track: 0,
+                    start_ns: cursor,
+                    dur_ns: ns,
+                    arg: 0,
+                };
+                filled += 1;
+                cursor += ns;
+            }
+        }
+        self.recorder.set_now(cursor);
+        self.recorder.span_batch(events.into_iter().take(filled));
+        let horse_pause = policy.precompute_merge || policy.precompute_coalesce;
+        self.recorder.count(
+            if horse_pause {
+                Counter::PausesHorse
+            } else {
+                Counter::PausesVanilla
+            },
+            1,
+        );
+        // Delta, not a recount: scanning every runqueue here would put
+        // an O(queues) walk on the pause hot path.
+        self.recorder
+            .gauge_add(Gauge::QueuedVcpus, -i64::from(vcpus));
     }
 
     /// Resumes a paused sandbox in one of the paper's four setups,
@@ -418,11 +499,25 @@ impl Vmm {
         );
         breakdown.set(ResumeStep::SanityChecks, self.cost.sanity_ns.round() as u64);
 
+        // Telemetry: advance the virtual cursor past steps ①–③ now, so
+        // the scheduler's own instants (merge, load update) land inside
+        // the step-④/⑤ windows. The step spans themselves are emitted in
+        // one batch at the end of the pipeline — a push per step would
+        // double the recorder's hot-path cost.
+        let resume_start = self.recorder.now_ns();
+        self.recorder.set_now(
+            resume_start
+                + breakdown.get(ResumeStep::ParseInput)
+                + breakdown.get(ResumeStep::AcquireLock)
+                + breakdown.get(ResumeStep::SanityChecks),
+        );
+
         let sb = self.sandboxes.get_mut(&id.as_u64()).expect("present");
         let paused = sb.paused.take().expect("paused state present");
         let n = paused.saved_vcpus.len() as u32;
 
         // --- step ④: sorted merge ---
+        let merge_start = self.recorder.now_ns();
         let mut merge_report = None;
         let mut placements: Vec<VcpuPlacement> = Vec::with_capacity(n as usize);
         self.sched.take_arena_stats(); // reset op counters
@@ -462,7 +557,23 @@ impl Vmm {
             let ops = self.sched.take_arena_stats();
             self.cost.vanilla_merge_ns(ops)
         };
-        breakdown.set(ResumeStep::SortedMerge, merge_ns.round() as u64);
+        let merge_dur = merge_ns.round() as u64;
+        breakdown.set(ResumeStep::SortedMerge, merge_dur);
+        self.recorder.set_now(merge_start + merge_dur);
+        if let Some(report) = &merge_report {
+            // Synthesize the per-merge-thread view: in parallel splice
+            // mode every splice point is one thread's work, and the
+            // threads run concurrently across the step-④ window
+            // (tracks 1..=N; track 0 is the resume pipeline itself).
+            self.recorder
+                .span_batch((0..report.splices).map(|thread| horse_telemetry::Event {
+                    kind: EventKind::SpliceWork,
+                    track: thread as u32 + 1,
+                    start_ns: merge_start,
+                    dur_ns: merge_dur,
+                    arg: 1,
+                }));
+        }
 
         // --- step ⑤: load update ---
         let load_ns = if mode.uses_coalescing() {
@@ -481,9 +592,11 @@ impl Vmm {
             }
             self.cost.vanilla_load_ns(u64::from(n), u64::from(n))
         };
-        breakdown.set(ResumeStep::LoadUpdate, load_ns.round() as u64);
+        let load_dur = load_ns.round() as u64;
+        breakdown.set(ResumeStep::LoadUpdate, load_dur);
 
-        breakdown.set(ResumeStep::Finalize, self.cost.finalize_ns.round() as u64);
+        let finalize_dur = self.cost.finalize_ns.round() as u64;
+        breakdown.set(ResumeStep::Finalize, finalize_dur);
 
         // Post-pipeline bookkeeping.
         if let Some(rq) = paused.ull_rq {
@@ -504,6 +617,50 @@ impl Vmm {
             .expect("known mode");
         self.stats.resumes_by_mode[mode_idx] += 1;
         self.stats.resume_ns_by_mode[mode_idx] += breakdown.total_ns();
+
+        if self.recorder.is_enabled() {
+            // One batched claim for the six step spans plus the parent:
+            // starts derive from the cursor laid down during execution.
+            const STEPS: [(ResumeStep, EventKind); 6] = [
+                (ResumeStep::ParseInput, EventKind::ResumeParse),
+                (ResumeStep::AcquireLock, EventKind::ResumeLock),
+                (ResumeStep::SanityChecks, EventKind::ResumeSanity),
+                (ResumeStep::SortedMerge, EventKind::ResumeSortedMerge),
+                (ResumeStep::LoadUpdate, EventKind::ResumeLoadUpdate),
+                (ResumeStep::Finalize, EventKind::ResumeFinalize),
+            ];
+            let mut events = [horse_telemetry::Event {
+                kind: EventKind::Resume,
+                track: 0,
+                start_ns: resume_start,
+                dur_ns: breakdown.total_ns(),
+                arg: id.as_u64(),
+            }; 7];
+            let mut cursor = resume_start;
+            for (i, (step, kind)) in STEPS.iter().enumerate() {
+                let dur = breakdown.get(*step);
+                events[i] = horse_telemetry::Event {
+                    kind: *kind,
+                    track: 0,
+                    start_ns: cursor,
+                    dur_ns: dur,
+                    arg: 0,
+                };
+                cursor += dur;
+            }
+            self.recorder.set_now(cursor);
+            self.recorder.span_batch(events);
+            self.recorder.count(
+                match mode {
+                    ResumeMode::Vanilla => Counter::ResumesVanil,
+                    ResumeMode::Ppsm => Counter::ResumesPpsm,
+                    ResumeMode::Coal => Counter::ResumesCoal,
+                    ResumeMode::Horse => Counter::ResumesHorse,
+                },
+                1,
+            );
+            self.recorder.gauge_add(Gauge::QueuedVcpus, i64::from(n));
+        }
 
         Ok(ResumeOutcome {
             mode,
@@ -526,6 +683,8 @@ impl Vmm {
         let placements = std::mem::take(&mut sb.placements);
         let paused = sb.paused.take();
         sb.set_state(SandboxState::Destroyed);
+        self.recorder
+            .gauge_add(Gauge::QueuedVcpus, -(placements.len() as i64));
         let mut touched: Vec<RqId> = Vec::new();
         for p in placements {
             self.sched.dequeue_vcpu(p.rq, p.node);
@@ -552,6 +711,8 @@ impl Vmm {
         }
         self.sandboxes.remove(&id.as_u64());
         self.stats.destroyed += 1;
+        self.recorder
+            .gauge(Gauge::LiveSandboxes, self.sandboxes.len() as u64);
         Ok(())
     }
 

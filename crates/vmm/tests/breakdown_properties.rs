@@ -1,0 +1,81 @@
+//! Algebraic properties of [`ResumeBreakdown`]: shares partition the
+//! total, and the dominant-step accessors agree with first principles.
+
+use horse_vmm::{ResumeBreakdown, ResumeStep};
+use proptest::prelude::*;
+
+type Six = (u64, u64, u64, u64, u64, u64);
+
+fn six_steps() -> impl Strategy<Value = Six> {
+    let ns = || 0u64..2_000_000;
+    (ns(), ns(), ns(), ns(), ns(), ns())
+}
+
+fn breakdown(steps: Six) -> ResumeBreakdown {
+    let steps = [steps.0, steps.1, steps.2, steps.3, steps.4, steps.5];
+    let mut b = ResumeBreakdown::default();
+    for (step, ns) in ResumeStep::ALL.into_iter().zip(steps) {
+        b.set(step, ns);
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Whenever any step is non-zero, the six shares form a partition of
+    /// unity (within float tolerance).
+    #[test]
+    fn shares_sum_to_one(steps in six_steps()) {
+        let b = breakdown(steps);
+        let sum: f64 = ResumeStep::ALL.iter().map(|&s| b.share(s)).collect::<Vec<_>>().iter().sum();
+        if b.total_ns() > 0 {
+            prop_assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
+        } else {
+            prop_assert_eq!(sum, 0.0, "empty breakdown has no shares");
+        }
+    }
+
+    /// `dominant_share` is exactly the ④+⑤ share, and never exceeds 1.
+    #[test]
+    fn dominant_share_is_steps_four_plus_five(steps in six_steps()) {
+        let b = breakdown(steps);
+        let expected = b.share(ResumeStep::SortedMerge) + b.share(ResumeStep::LoadUpdate);
+        prop_assert!((b.dominant_share() - expected).abs() < 1e-12);
+        prop_assert!(b.dominant_share() <= 1.0 + 1e-12);
+    }
+
+    /// `dominant_step` returns the argmax step: its share is the maximum
+    /// share, and only an all-zero breakdown has none.
+    #[test]
+    fn dominant_step_matches_max_share(steps in six_steps()) {
+        let b = breakdown(steps);
+        match b.dominant_step() {
+            None => prop_assert_eq!(b.total_ns(), 0),
+            Some(step) => {
+                let max = ResumeStep::ALL.iter().map(|&s| b.get(s)).max().unwrap();
+                prop_assert_eq!(b.get(step), max);
+                // Ties resolve to the earliest pipeline step.
+                let first_max = ResumeStep::ALL
+                    .into_iter()
+                    .find(|&s| b.get(s) == max)
+                    .unwrap();
+                prop_assert_eq!(step, first_max);
+            }
+        }
+    }
+}
+
+#[test]
+fn dominant_step_on_real_breakdown_is_merge_or_load() {
+    // The paper's observation: steps ④/⑤ dominate a vanilla resume.
+    let mut b = ResumeBreakdown::default();
+    b.set(ResumeStep::ParseInput, 60);
+    b.set(ResumeStep::AcquireLock, 40);
+    b.set(ResumeStep::SanityChecks, 25);
+    b.set(ResumeStep::SortedMerge, 1_450);
+    b.set(ResumeStep::LoadUpdate, 980);
+    b.set(ResumeStep::Finalize, 35);
+    assert_eq!(b.dominant_step(), Some(ResumeStep::SortedMerge));
+    assert!(b.dominant_share() > 0.87);
+}

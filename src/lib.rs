@@ -58,6 +58,7 @@ pub use horse_faas as faas;
 pub use horse_metrics as metrics;
 pub use horse_sched as sched;
 pub use horse_sim as sim;
+pub use horse_telemetry as telemetry;
 pub use horse_traces as traces;
 pub use horse_vmm as vmm;
 pub use horse_workloads as workloads;
@@ -70,9 +71,10 @@ pub mod prelude {
         PlatformConfig, StartStrategy, UllScaler, WarmPool,
     };
     pub use horse_metrics::{Histogram, RunningStats};
-    pub use horse_sched::{HostScheduler, SchedConfig, SchedFlavor};
+    pub use horse_sched::{CpuTopology, GovernorPolicy, HostScheduler, SchedConfig, SchedFlavor};
     pub use horse_sim::rng::SeedFactory;
     pub use horse_sim::{SimDuration, SimTime};
+    pub use horse_telemetry::{Recorder, TelemetryConfig, TraceSnapshot};
     pub use horse_traces::{ArrivalSampler, SynthConfig, Trace};
     pub use horse_vmm::{
         BootModel, CostModel, PausePolicy, RestoreModel, ResumeBreakdown, ResumeMode, ResumeStep,

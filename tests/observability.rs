@@ -28,9 +28,32 @@ fn debug_snapshot_reflects_reality() {
         snap.contains("plan="),
         "paused HORSE sandbox shows plan bytes"
     );
-    assert!(snap.contains("scheduler: 72 queues"));
+    // One runqueue per logical CPU of the configured topology — derived,
+    // not hard-coded, so the assertion holds for any machine model.
+    let queues = SchedConfig::default().topology.logical_cpus();
+    assert_eq!(vmm.sched().num_queues(), queues as usize);
+    assert!(snap.contains(&format!("scheduler: {queues} queues")));
     // The scheduler section reports the running sandbox's vCPUs queued.
     assert!(snap.contains("len="));
+}
+
+#[test]
+fn debug_snapshot_tracks_non_default_topology() {
+    // The r650 with SMT on exposes twice the logical CPUs (2×36×2 = 144);
+    // the snapshot's queue count must follow the topology, not a default.
+    let topology = CpuTopology::r650(true);
+    let queues = topology.logical_cpus();
+    assert_eq!(queues, 144);
+    let config = SchedConfig {
+        topology,
+        ..SchedConfig::default()
+    };
+    let mut vmm = Vmm::new(config, CostModel::calibrated());
+    let id = vmm.create(cfg(2));
+    vmm.start(id).unwrap();
+    let snap = vmm.debug_snapshot();
+    assert_eq!(vmm.sched().num_queues(), queues as usize);
+    assert!(snap.contains(&format!("scheduler: {queues} queues")));
 }
 
 #[test]
@@ -38,24 +61,41 @@ fn stats_views_are_mutually_consistent() {
     let mut vmm = Vmm::with_defaults();
     let id = vmm.create(cfg(4));
     vmm.start(id).unwrap();
+    let mut history = RunningStats::new();
     for _ in 0..5 {
         vmm.pause(id, PausePolicy::horse()).unwrap();
-        vmm.resume(id, ResumeMode::Horse).unwrap();
+        let ns = vmm
+            .resume(id, ResumeMode::Horse)
+            .unwrap()
+            .breakdown
+            .total_ns();
+        history.push(ns as f64);
     }
     let stats = vmm.stats();
     assert_eq!(stats.pauses, 5);
     assert_eq!(stats.total_resumes(), 5);
-    // The mean resume reported by stats matches an independent run.
+    // The mean resume reported by stats matches the observed history.
     let mean = stats.mean_resume_ns(ResumeMode::Horse);
+    assert!(
+        (mean as f64 - history.mean()).abs() <= 1.0,
+        "stats mean {mean} vs history mean {} (integer division)",
+        history.mean()
+    );
+    // One more run must land inside the 95 % prediction interval derived
+    // from the observed variance (±1 ns for integer rounding) — a
+    // tolerance that tracks the model instead of a hard-coded slack.
     vmm.pause(id, PausePolicy::horse()).unwrap();
     let one = vmm
         .resume(id, ResumeMode::Horse)
         .unwrap()
         .breakdown
         .total_ns();
+    let interval = history.prediction95(1.0);
     assert!(
-        (mean as i64 - one as i64).abs() <= 40,
-        "mean {mean} vs single {one}"
+        interval.contains(one as f64),
+        "single run {one} outside {} ± {:.1}",
+        interval.mean,
+        interval.half_width
     );
     // Maintenance accrues and is visible both per-sandbox and in total.
     assert_eq!(

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's `harness = false` benches
+//! use — `Criterion::benchmark_group`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — with a deliberately
+//! simple measurement loop: a short warm-up, then a fixed number of timed
+//! iterations, reporting the per-iteration mean and min to stdout. There
+//! is no statistical analysis, plotting, or `target/criterion` output;
+//! the point is that `cargo bench` runs offline and prints usable
+//! relative numbers.
+
+// Vendored stub: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How batched setup output is sized (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            iters,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+        }
+    }
+
+    /// Runs `routine` repeatedly, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, untimed.
+        for _ in 0..self.iters.min(8) {
+            black_box(routine());
+        }
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+
+    /// Runs `routine` on fresh input from `setup` each iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters.min(8) {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.total == Duration::ZERO && self.min == Duration::MAX {
+            println!("{label:<56} (no measurements)");
+            return;
+        }
+        let mean = self.total.as_nanos() as f64 / self.iters as f64;
+        let min = self.min.as_nanos() as f64;
+        println!("{label:<56} mean {mean:>12.1} ns/iter   min {min:>12.1} ns/iter");
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iters: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.iters);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Benchmarks a closure taking only a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.iters);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Overrides the per-benchmark iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n.max(1) as u64;
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iters: 101 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            iters: self.iters,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.iters);
+        f(&mut bencher);
+        bencher.report(&name.to_string());
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        for &n in &[1u64, 4] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).map(black_box).sum::<u64>());
+            });
+            group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+                b.iter_batched(
+                    || vec![1u64; n as usize],
+                    |v| v.into_iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, routine);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

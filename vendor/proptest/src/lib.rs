@@ -1,0 +1,534 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of proptest 1.x this workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`, range / `Just` /
+//! tuple / union / vec strategies, `any::<T>()`, [`ProptestConfig`], and
+//! the `proptest!` / `prop_assert*` / `prop_oneof!` macros.
+//!
+//! Differences from upstream, deliberate for an offline build:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and the case index, but is not minimised.
+//! - **Deterministic seeding.** Each test's RNG is seeded from an FNV-1a
+//!   hash of the test name, so failures reproduce exactly across runs
+//!   and machines. There is no `PROPTEST_` environment handling.
+//! - **Strategies are samplers**, not value trees: `generate` draws one
+//!   value per call.
+
+// Vendored stub: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Strategy trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// Produces random values of an associated type.
+    ///
+    /// Unlike upstream proptest there is no intermediate value tree: a
+    /// strategy is a sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates an empty union; add alternatives with [`Union::or`].
+        pub fn new() -> Self {
+            Self { arms: Vec::new() }
+        }
+
+        /// Adds an alternative.
+        pub fn or(mut self, strat: impl Strategy<Value = T> + 'static) -> Self {
+            self.arms.push(Box::new(strat));
+            self
+        }
+    }
+
+    impl<T> Default for Union<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("arms", &self.arms.len())
+                .finish()
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.gen_index(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+        A.0, B.1, C.2, D.3, E.4
+    )(A.0, B.1, C.2, D.3, E.4, F.5));
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-type-range strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// The canonical strategy for `T`: uniform over the whole type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, spanning several magnitudes — enough
+            // for numeric property tests without the hazards of NaN bits.
+            rng.gen_range(-1.0e9..1.0e9)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.gen_range(-1.0e6f32..1.0e6)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size` and elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, RNG and the case loop behind `proptest!`.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SampleRange, SeedableRng as _};
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a test case failed.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failed case with the given reason.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name (FNV-1a), so each test has a stable
+        /// stream independent of the others in its file.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.gen()
+        }
+
+        /// Uniform sample from a range.
+        pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            self.inner.gen_range(range)
+        }
+
+        /// Uniform index in `0..len`.
+        pub fn gen_index(&mut self, len: usize) -> usize {
+            self.inner.gen_range(0..len)
+        }
+    }
+
+    /// Runs `f` against `config.cases` values drawn from `strategy`.
+    /// Panics (failing the enclosing `#[test]`) on the first `Err`.
+    pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut f: F)
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::from_name(name);
+        for case in 0..config.cases {
+            let value = strategy.generate(&mut rng);
+            if let Err(e) = f(value) {
+                panic!(
+                    "proptest `{name}` failed at case {case}/{total}: {e}",
+                    total = config.cases,
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn adds(a in 0u32..10, b in 0u32..10) { prop_assert!(a + b < 20); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(&config, stringify!($name), strategy, |($($pat,)+)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`: {}\n  left: {left:?}\n right: {right:?}",
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: {left:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`: {}\n  both: {left:?}",
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let union = $crate::strategy::Union::new();
+        $(let union = union.or($strat);)+
+        union
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_covers_all_arms() {
+        let strat = prop_oneof![0u32..1, 10u32..11, 20u32..21];
+        let mut rng = crate::test_runner::TestRng::from_name("union");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 10, 20]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Vec lengths respect the requested range.
+        #[test]
+        fn vec_len_in_range(v in crate::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0i64..10, 10i64..20).prop_map(|(a, b)| a + b),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((10..30).contains(&pair));
+            prop_assert_eq!(flag as u8 <= 1, true);
+            if flag {
+                prop_assert_ne!(pair, 99);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        let config = ProptestConfig::with_cases(16);
+        crate::test_runner::run(&config, "always_fails", (0u32..5,), |(_x,)| {
+            prop_assert!(false, "intentional");
+            Ok(())
+        });
+    }
+}

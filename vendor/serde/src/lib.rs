@@ -1,0 +1,82 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace's artifact writers are hand-rolled (CSV in
+//! `horse-metrics`, Chrome trace JSON in `horse-telemetry`), so serde is
+//! only a *vocabulary* here: types derive `Serialize`/`Deserialize` for
+//! API compatibility, and one module (`horse-workloads`' `bytes_serde`)
+//! writes manual serializer glue. This crate provides exactly that
+//! surface: the four traits with the methods those call sites use, plus
+//! inert derive macros re-exported from the sibling `serde_derive`
+//! stand-in. No serde data format exists in the workspace, so no real
+//! serialization ever flows through these traits.
+
+// Vendored stub: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be serialized (marker in this stand-in; the inert
+/// derive emits no impl and nothing in the workspace requires one).
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type constructible from serialized data.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A serialization sink (subset: the methods the workspace's manual
+/// `serialize_with` helpers call).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A deserialization source (subset: enough for `Vec<u8>`/`u64`/`String`
+/// impls below; no implementor exists in the workspace).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error;
+
+    /// Produces a byte buffer.
+    fn read_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+
+    /// Produces a `u64`.
+    fn read_u64(self) -> Result<u64, Self::Error>;
+
+    /// Produces a string.
+    fn read_string(self) -> Result<String, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_byte_buf()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_u64()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_string()
+    }
+}
