@@ -154,11 +154,40 @@ impl CoalescedUpdate {
     pub fn beta_sum(&self) -> f64 {
         self.beta_sum
     }
+
+    /// Whether the precomputed factors are trustworthy for a resume
+    /// covering `n` vCPUs: finite factors and a matching count. The
+    /// resume path validates before applying; a poisoned or mismatched
+    /// update falls back to per-vCPU load updates.
+    pub fn is_valid_for(&self, n: u32) -> bool {
+        self.alpha_n.is_finite() && self.beta_sum.is_finite() && self.n == n
+    }
+
+    /// Fault-injection hook: a copy with non-finite factors, modeling
+    /// corruption of the precomputed coalescing state between pause and
+    /// resume. Always fails [`CoalescedUpdate::is_valid_for`].
+    pub fn poisoned(self) -> CoalescedUpdate {
+        CoalescedUpdate {
+            alpha_n: f64::NAN,
+            beta_sum: f64::NAN,
+            n: self.n,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poisoned_update_fails_validation() {
+        let u = LoadUpdate::new(0.9, 5.0).unwrap().coalesce(8);
+        assert!(u.is_valid_for(8));
+        assert!(!u.is_valid_for(7), "vCPU-count mismatch is invalid");
+        let p = u.poisoned();
+        assert!(!p.is_valid_for(8));
+        assert_eq!(p.n(), 8);
+    }
 
     #[test]
     fn single_application() {

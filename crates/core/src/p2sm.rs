@@ -96,6 +96,48 @@ impl fmt::Display for StalePlanError {
 
 impl Error for StalePlanError {}
 
+/// Ways a plan's *metadata* can be made inconsistent with the list it
+/// was computed against, used by the fault-injection plane
+/// (`horse-faults`) to model staleness and corruption between pause and
+/// resume.
+///
+/// Every variant corrupts only the auxiliary structures (`arrayB`, the
+/// staleness guard, splice anchors) — never the sub-list node chain or
+/// `a_len` — so a corrupted plan is always detected by
+/// [`MergePlan::check_consistent`] while [`MergePlan::into_list`] still
+/// reconstructs *A* exactly. That pair of properties is what makes the
+/// vanilla-merge fallback sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanCorruption {
+    /// The recorded head of *B* no longer matches (models *B* mutating
+    /// under the plan without maintenance callbacks). Needs |B| ≥ 2.
+    StaleBHead,
+    /// `arrayB` lost its last entry (models a torn positional index).
+    /// Needs |B| ≥ 1.
+    TruncatedArrayB,
+    /// The first splice anchor points past the end of `arrayB` (models a
+    /// corrupted `posA` entry). Needs at least one splice.
+    AnchorSkew,
+}
+
+impl PlanCorruption {
+    /// Every corruption, in a fixed order (used by seeded injectors).
+    pub const ALL: [PlanCorruption; 3] = [
+        PlanCorruption::StaleBHead,
+        PlanCorruption::TruncatedArrayB,
+        PlanCorruption::AnchorSkew,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanCorruption::StaleBHead => "stale_b_head",
+            PlanCorruption::TruncatedArrayB => "truncated_array_b",
+            PlanCorruption::AnchorSkew => "anchor_skew",
+        }
+    }
+}
+
 /// The precomputed state enabling an O(1) sorted merge of *A* into *B*.
 ///
 /// A `MergePlan` takes ownership of *A*'s nodes at construction: while the
@@ -561,6 +603,31 @@ impl MergePlan {
         SortedList::from_raw_parts(head, tail, self.a_len)
     }
 
+    /// Applies a metadata-only corruption to the plan, returning whether
+    /// it was applicable (degenerate plans — empty *B* or no splices —
+    /// cannot express every corruption).
+    ///
+    /// After a successful `corrupt`, [`MergePlan::check_consistent`] is
+    /// guaranteed to fail while [`MergePlan::into_list`] still
+    /// reconstructs *A* exactly — see [`PlanCorruption`].
+    pub fn corrupt(&mut self, corruption: PlanCorruption) -> bool {
+        match corruption {
+            PlanCorruption::StaleBHead if self.array_b.len() >= 2 => {
+                self.b_head = Some(self.array_b[1]);
+                true
+            }
+            PlanCorruption::TruncatedArrayB if !self.array_b.is_empty() => {
+                self.array_b.pop();
+                true
+            }
+            PlanCorruption::AnchorSkew if !self.splices.is_empty() => {
+                self.splices[0].anchor = self.array_b.len() as isize;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Anchor for a key: index of the last element of *B* with key ≤
     /// `key`, or `BEFORE_HEAD`. O(log |B|) binary search over `arrayB`
     /// (an improvement over the paper's stated O(|B|) scan — `arrayB` is
@@ -666,6 +733,47 @@ mod tests {
         let mut v: Vec<i64> = b_keys.iter().chain(a_keys).copied().collect();
         v.sort();
         v
+    }
+
+    #[test]
+    fn corruptions_are_detected_and_into_list_survives() {
+        for c in PlanCorruption::ALL {
+            let mut arena = Arena::new();
+            let b = build(&mut arena, &[10, 30, 50]);
+            let a = build(&mut arena, &[20, 40]);
+            let mut plan = MergePlan::precompute(&arena, &b, a);
+            plan.check_consistent(&arena, &b).unwrap();
+            assert!(
+                plan.corrupt(c),
+                "{} applicable on non-degenerate plan",
+                c.label()
+            );
+            assert!(
+                plan.check_consistent(&arena, &b).is_err(),
+                "{} must be detected",
+                c.label()
+            );
+            let rebuilt = plan.into_list(&arena);
+            rebuilt.check_invariants(&arena).unwrap();
+            assert_eq!(
+                rebuilt.keys(&arena),
+                vec![20, 40],
+                "{} keeps A intact",
+                c.label()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_plans_refuse_inapplicable_corruptions() {
+        let mut arena = Arena::new();
+        let b = build(&mut arena, &[]);
+        let a = build(&mut arena, &[]);
+        let mut plan = MergePlan::precompute(&arena, &b, a);
+        for c in PlanCorruption::ALL {
+            assert!(!plan.corrupt(c), "{} inapplicable on empty plan", c.label());
+        }
+        plan.check_consistent(&arena, &b).unwrap();
     }
 
     #[test]

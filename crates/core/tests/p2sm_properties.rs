@@ -3,7 +3,7 @@
 //! merge, in both splice modes, and the plan must survive arbitrary
 //! sequences of incremental updates.
 
-use horse_core::{Arena, MergePlan, SortedList, SpliceMode};
+use horse_core::{Arena, MergePlan, PlanCorruption, SortedList, SpliceMode};
 use proptest::prelude::*;
 
 fn build(arena: &mut Arena<u64>, keys: &[i64]) -> SortedList {
@@ -134,6 +134,118 @@ proptest! {
         let rebuilt = plan.into_list(&arena);
         rebuilt.check_invariants(&arena).map_err(TestCaseError::fail)?;
         prop_assert_eq!(rebuilt.keys(&arena), sorted_a);
+    }
+}
+
+proptest! {
+    /// Fallback soundness: every applicable corruption of a plan is
+    /// *detected* by `check_consistent` — stale metadata never slips
+    /// through to a splice — while `into_list` still reconstructs the
+    /// original A exactly, so the vanilla sorted-merge fallback produces
+    /// the same run-queue contents the fast path would have.
+    #[test]
+    fn corruption_is_detected_and_fallback_is_sound(
+        b_keys in proptest::collection::vec(-500i64..500, 2..48),
+        a_keys in proptest::collection::vec(-500i64..500, 1..48),
+        which in 0usize..3,
+    ) {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &b_keys);
+        let a = build(&mut arena, &a_keys);
+        let mut sorted_a = a_keys.clone();
+        sorted_a.sort();
+
+        let mut plan = MergePlan::precompute(&arena, &b, a);
+        plan.check_consistent(&arena, &b).unwrap();
+
+        // Apply the requested corruption; fall back to any applicable one
+        // (applicability depends on the generated shape).
+        let preferred = PlanCorruption::ALL[which];
+        let applied = plan.corrupt(preferred)
+            || PlanCorruption::ALL
+                .into_iter()
+                .any(|c| c != preferred && plan.corrupt(c));
+        prop_assert!(applied, "no corruption was applicable");
+
+        // Detection: the verification step must reject the plan.
+        prop_assert!(
+            plan.check_consistent(&arena, &b).is_err(),
+            "corruption went undetected"
+        );
+
+        // Recovery: tearing the plan down still yields A exactly, and a
+        // reference merge of B with it matches the clean-path result.
+        let rebuilt = plan.into_list(&arena);
+        rebuilt.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(rebuilt.keys(&arena), sorted_a);
+        b.merge_walk(&arena, rebuilt);
+        b.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(b.keys(&arena), reference_merge(&b_keys, &a_keys));
+    }
+
+    /// A plan that survived arbitrary incremental updates is still fully
+    /// recoverable after corruption: detection plus vanilla fallback give
+    /// the reference merge of the *updated* contents.
+    #[test]
+    fn corruption_after_updates_still_recovers(
+        b_init in proptest::collection::vec(0i64..500, 2..16),
+        a_init in proptest::collection::vec(0i64..500, 1..16),
+        ops in proptest::collection::vec((0u8..4, 0i64..500), 0..16),
+        which in 0usize..3,
+    ) {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &b_init);
+        let a = build(&mut arena, &a_init);
+        let mut plan = MergePlan::precompute(&arena, &b, a);
+
+        let mut b_expect = b_init.clone();
+        b_expect.sort();
+        let mut a_expect = a_init.clone();
+        a_expect.sort();
+        for (op, key) in ops {
+            match op {
+                0 if b_expect.len() > 1 => {
+                    b.pop_front(&mut arena);
+                    plan.on_b_pop_front(&arena, &b);
+                    b_expect.remove(0);
+                }
+                1 => {
+                    let back = *b_expect.last().unwrap();
+                    let k = back + (key % 50).abs();
+                    let node = b.insert_sorted(&mut arena, k, 0);
+                    plan.on_b_push_back(&arena, &b, node);
+                    b_expect.push(k);
+                }
+                2 => {
+                    plan.insert_a(&mut arena, key, 0);
+                    let pos = a_expect.partition_point(|&x| x <= key);
+                    a_expect.insert(pos, key);
+                }
+                3 if plan.remove_a(&mut arena, key).is_some() => {
+                    let pos = a_expect.iter().position(|&x| x == key).unwrap();
+                    a_expect.remove(pos);
+                }
+                _ => {}
+            }
+        }
+        plan.check_consistent(&arena, &b).map_err(TestCaseError::fail)?;
+
+        let preferred = PlanCorruption::ALL[which];
+        let applied = plan.corrupt(preferred)
+            || PlanCorruption::ALL
+                .into_iter()
+                .any(|c| c != preferred && plan.corrupt(c));
+        prop_assert!(applied, "no corruption was applicable");
+        prop_assert!(plan.check_consistent(&arena, &b).is_err());
+
+        let rebuilt = plan.into_list(&arena);
+        prop_assert_eq!(rebuilt.keys(&arena), a_expect.clone());
+        b.merge_walk(&arena, rebuilt);
+        b.check_invariants(&arena).map_err(TestCaseError::fail)?;
+        let mut expect = b_expect;
+        expect.extend(&a_expect);
+        expect.sort();
+        prop_assert_eq!(b.keys(&arena), expect);
     }
 }
 

@@ -12,7 +12,9 @@ use crate::invocation::{InvocationRecord, StartStrategy};
 use crate::platform::{FaasError, FaasPlatform, PlatformConfig};
 use crate::pool::PoolStats;
 use crate::registry::FunctionId;
+use horse_faults::{FaultInjector, FaultSite, RecoveryOutcome};
 use horse_sim::SimTime;
+use horse_telemetry::{Counter, EventKind, Recorder};
 use horse_vmm::SandboxConfig;
 use horse_workloads::Category;
 use serde::{Deserialize, Serialize};
@@ -59,8 +61,15 @@ impl std::fmt::Display for HostId {
 #[derive(Debug)]
 pub struct Cluster {
     hosts: Vec<FaasPlatform>,
+    /// Liveness per host; dead hosts are skipped by routing.
+    alive: Vec<bool>,
     policy: DispatchPolicy,
     next_host: usize,
+    /// Cluster-level fault plane (whole-host failures); disabled by
+    /// default.
+    injector: FaultInjector,
+    /// Telemetry sink; disabled (and inert) by default.
+    recorder: Recorder,
 }
 
 impl Cluster {
@@ -72,7 +81,7 @@ impl Cluster {
     /// Panics if `hosts` is zero.
     pub fn new(hosts: usize, policy: DispatchPolicy, seed: u64) -> Self {
         assert!(hosts > 0, "a cluster needs at least one host");
-        let hosts = (0..hosts)
+        let hosts: Vec<FaasPlatform> = (0..hosts)
             .map(|i| {
                 FaasPlatform::new(PlatformConfig {
                     seed: seed.wrapping_add(i as u64),
@@ -80,11 +89,38 @@ impl Cluster {
                 })
             })
             .collect();
+        let alive = vec![true; hosts.len()];
         Self {
             hosts,
+            alive,
             policy,
             next_host: 0,
+            injector: FaultInjector::disabled(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs a fault injector on the cluster (whole-host failures) and
+    /// on every host (all clones feed one injection plane and one log).
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        for h in &mut self.hosts {
+            h.set_injector(injector.clone());
+        }
+        self.injector = injector;
+    }
+
+    /// The active fault injector (disabled unless one was installed).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Installs a telemetry recorder on the cluster and every host (all
+    /// clones feed one sink).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        for h in &mut self.hosts {
+            h.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
     }
 
     /// Number of hosts.
@@ -143,10 +179,53 @@ impl Cluster {
         per_host: usize,
         strategy: StartStrategy,
     ) -> Result<(), FaasError> {
-        for h in &mut self.hosts {
-            h.provision(function, per_host, strategy)?;
+        for (i, h) in self.hosts.iter_mut().enumerate() {
+            if self.alive[i] {
+                h.provision(function, per_host, strategy)?;
+            }
         }
         Ok(())
+    }
+
+    /// Whether a host is alive (dead hosts are skipped by routing).
+    pub fn is_alive(&self, id: HostId) -> bool {
+        self.alive[id.0]
+    }
+
+    /// Number of alive hosts.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Whole-host failure: marks the host dead (routing skips it from now
+    /// on) and rebalances its warm capacity — every pool entry it held is
+    /// re-provisioned, spread round-robin across the surviving hosts
+    /// (landing on *their* ull_runqueues via the usual pause path).
+    /// Returns the number of warm entries re-provisioned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provisioning errors from the surviving hosts; failing
+    /// an already-dead host is a no-op returning 0.
+    pub fn fail_host(&mut self, id: HostId) -> Result<usize, FaasError> {
+        if !self.alive[id.0] {
+            return Ok(0);
+        }
+        self.alive[id.0] = false;
+        let survivors: Vec<usize> = (0..self.hosts.len()).filter(|&i| self.alive[i]).collect();
+        if survivors.is_empty() {
+            return Ok(0);
+        }
+        let inventory = self.hosts[id.0].pool_inventory();
+        let mut rebalanced = 0usize;
+        for (function, strategy, count) in inventory {
+            for _ in 0..count {
+                let target = survivors[rebalanced % survivors.len()];
+                self.hosts[target].provision(function, 1, strategy)?;
+                rebalanced += 1;
+            }
+        }
+        Ok(rebalanced)
     }
 
     /// Routes one invocation per the dispatch policy, failing over to the
@@ -161,20 +240,38 @@ impl Cluster {
         function: FunctionId,
         strategy: StartStrategy,
     ) -> Result<(HostId, InvocationRecord), FaasError> {
-        let start = match self.policy {
-            DispatchPolicy::RoundRobin => {
-                let h = self.next_host;
-                self.next_host = (self.next_host + 1) % self.hosts.len();
-                h
-            }
-            DispatchPolicy::WarmestPool => (0..self.hosts.len())
-                .max_by_key(|&i| self.hosts[i].pool_size(function, strategy))
-                .expect("at least one host"),
+        // Chaos: a whole host dies as the request arrives. The victim is
+        // the host the policy would have routed to; its warm capacity is
+        // rebalanced onto the survivors before routing resumes.
+        if let Some(fault) = self.injector.should_inject(FaultSite::HostFailure) {
+            self.recorder.count(Counter::FaultsInjected, 1);
+            self.recorder.instant(
+                EventKind::FaultInjected,
+                0,
+                FaultSite::HostFailure.index() as u64,
+            );
+            let rebalanced = match self.route_start(function, strategy) {
+                Some(victim) => self.fail_host(HostId(victim))?,
+                None => 0,
+            };
+            self.injector.resolve(
+                fault,
+                RecoveryOutcome::HostEvacuated {
+                    rebalanced: rebalanced as u64,
+                },
+            );
+        }
+
+        let Some(start) = self.route_start(function, strategy) else {
+            return Err(FaasError::NoHealthyHost);
         };
         let n = self.hosts.len();
         let mut last_err = None;
         for off in 0..n {
             let idx = (start + off) % n;
+            if !self.alive[idx] {
+                continue;
+            }
             match self.hosts[idx].invoke(function, strategy) {
                 Ok(record) => return Ok((HostId(idx), record)),
                 Err(e @ FaasError::NoWarmSandbox { .. }) => last_err = Some(e),
@@ -184,10 +281,36 @@ impl Cluster {
         Err(last_err.expect("at least one attempt"))
     }
 
-    /// Advances every host's clock (keep-alive eviction fleet-wide).
+    /// The alive host the dispatch policy picks first, or `None` when the
+    /// whole fleet is dead. Round-robin advances its cursor past dead
+    /// hosts.
+    fn route_start(&mut self, function: FunctionId, strategy: StartStrategy) -> Option<usize> {
+        if self.alive.iter().all(|a| !a) {
+            return None;
+        }
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let n = self.hosts.len();
+                let mut h = self.next_host;
+                while !self.alive[h] {
+                    h = (h + 1) % n;
+                }
+                self.next_host = (h + 1) % n;
+                Some(h)
+            }
+            DispatchPolicy::WarmestPool => (0..self.hosts.len())
+                .filter(|&i| self.alive[i])
+                .max_by_key(|&i| self.hosts[i].pool_size(function, strategy)),
+        }
+    }
+
+    /// Advances every alive host's clock (keep-alive eviction
+    /// fleet-wide; dead hosts are unreachable).
     pub fn advance_to(&mut self, to: SimTime) {
-        for h in &mut self.hosts {
-            h.advance_to(to);
+        for (i, h) in self.hosts.iter_mut().enumerate() {
+            if self.alive[i] {
+                h.advance_to(to);
+            }
         }
     }
 
@@ -281,5 +404,88 @@ mod tests {
     #[should_panic(expected = "at least one host")]
     fn zero_hosts_panics() {
         Cluster::new(0, DispatchPolicy::RoundRobin, 1);
+    }
+
+    // ---- fault plane ----------------------------------------------------
+
+    use horse_faults::{FaultPlan, FaultTrigger, RecoveryOutcome};
+
+    #[test]
+    fn fail_host_rebalances_its_warm_capacity_onto_survivors() {
+        let (mut c, f) = cluster(3, DispatchPolicy::RoundRobin);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        let rebalanced = c.fail_host(HostId(0)).unwrap();
+        assert_eq!(rebalanced, 2, "both pool entries were re-provisioned");
+        assert!(!c.is_alive(HostId(0)));
+        assert_eq!(c.alive_count(), 2);
+        // The fleet-wide capacity is preserved: 2 + 2 on the survivors
+        // plus one rebalanced each.
+        let total: usize = (1..3)
+            .map(|i| c.host(HostId(i)).pool_size(f, StartStrategy::Horse))
+            .sum();
+        assert_eq!(total, 6);
+        // Routing never lands on the dead host again.
+        for _ in 0..6 {
+            let (host, _) = c.invoke(f, StartStrategy::Horse).unwrap();
+            assert_ne!(host, HostId(0));
+        }
+        // Failing an already-dead host is a no-op.
+        assert_eq!(c.fail_host(HostId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn losing_every_host_is_a_typed_error() {
+        let (mut c, f) = cluster(2, DispatchPolicy::RoundRobin);
+        c.provision_all(f, 1, StartStrategy::Horse).unwrap();
+        c.fail_host(HostId(0)).unwrap();
+        // The last host's capacity has nowhere to go.
+        assert_eq!(c.fail_host(HostId(1)).unwrap(), 0);
+        let err = c.invoke(f, StartStrategy::Horse).unwrap_err();
+        assert!(matches!(err, FaasError::NoHealthyHost), "{err}");
+        assert!(err.to_string().contains("no healthy host"));
+    }
+
+    #[test]
+    fn injected_host_failure_evacuates_and_still_serves() {
+        let (mut c, f) = cluster(3, DispatchPolicy::RoundRobin);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        c.set_injector(FaultInjector::new(
+            5,
+            FaultPlan::new().with(FaultSite::HostFailure, FaultTrigger::Once(1)),
+        ));
+        // The victim is the host routing would have picked; the request
+        // itself is served by a survivor.
+        let (host, r) = c.invoke(f, StartStrategy::Horse).unwrap();
+        assert_ne!(host, HostId(0), "round-robin's first pick died");
+        assert!(!c.is_alive(HostId(0)));
+        assert!(r.init_ns > 0);
+        let log = c.injector().log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].site, FaultSite::HostFailure);
+        assert_eq!(
+            log[0].outcome,
+            RecoveryOutcome::HostEvacuated { rebalanced: 2 }
+        );
+        assert_eq!(c.injector().unresolved(), 0);
+    }
+
+    #[test]
+    fn host_failure_injection_replays_deterministically() {
+        let run = |seed: u64| -> Vec<horse_faults::FaultRecord> {
+            let (mut c, f) = cluster(4, DispatchPolicy::RoundRobin);
+            c.provision_all(f, 3, StartStrategy::Horse).unwrap();
+            c.set_injector(FaultInjector::new(
+                seed,
+                FaultPlan::new().with(FaultSite::HostFailure, FaultTrigger::Probability(0.15)),
+            ));
+            for _ in 0..30 {
+                // Ignore pool-dry errors late in the run; the log is the
+                // artifact under test.
+                let _ = c.invoke(f, StartStrategy::Horse);
+            }
+            c.injector().log()
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault sequence");
+        assert_ne!(run(42), run(43), "different seed, different sequence");
     }
 }

@@ -3,12 +3,14 @@
 use crate::invocation::{InvocationRecord, StartStrategy};
 use crate::pool::{KeepAlive, PoolStats, WarmPool};
 use crate::registry::{FunctionId, FunctionRegistry};
+use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome, RetryPolicy};
 use horse_sched::{SandboxId, SchedConfig};
 use horse_sim::rng::SeedFactory;
 use horse_sim::SimTime;
 use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 use horse_vmm::{
-    BootModel, CostModel, PausePolicy, RestoreModel, ResumeMode, SandboxConfig, Vmm, VmmError,
+    BootModel, CostModel, PausePolicy, RestoreModel, ResumeMode, ResumeOutcome, SandboxConfig, Vmm,
+    VmmError,
 };
 use horse_workloads::Category;
 use rand::rngs::StdRng;
@@ -52,7 +54,11 @@ impl Default for PlatformConfig {
 }
 
 /// Errors surfaced by platform operations.
+///
+/// Marked `#[non_exhaustive]`: the fault plane grows new failure classes
+/// (retry exhaustion, dead fleets) without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaasError {
     /// The function id is not registered.
     UnknownFunction(FunctionId),
@@ -66,6 +72,19 @@ pub enum FaasError {
     },
     /// An underlying VMM operation failed.
     Vmm(VmmError),
+    /// Bounded-retry recovery (quarantined warm entries, mid-resume
+    /// crashes) ran out of budget. The chained `cause` is the terminal
+    /// error of the final attempt.
+    RetriesExhausted {
+        /// The function being invoked.
+        function: FunctionId,
+        /// Attempts made before giving up (> the retry policy's budget).
+        attempts: u32,
+        /// Terminal error of the final attempt (see `Error::source`).
+        cause: Box<FaasError>,
+    },
+    /// Every host in the cluster is dead.
+    NoHealthyHost,
 }
 
 impl fmt::Display for FaasError {
@@ -79,6 +98,15 @@ impl fmt::Display for FaasError {
                 )
             }
             FaasError::Vmm(e) => write!(f, "{e}"),
+            FaasError::RetriesExhausted {
+                function,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "gave up invoking {function} after {attempts} attempts: {cause}"
+            ),
+            FaasError::NoHealthyHost => write!(f, "no healthy host left in the cluster"),
         }
     }
 }
@@ -87,6 +115,7 @@ impl Error for FaasError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FaasError::Vmm(e) => Some(e),
+            FaasError::RetriesExhausted { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -130,6 +159,10 @@ pub struct FaasPlatform {
     now: SimTime,
     /// Telemetry sink; disabled (and inert) by default.
     recorder: Recorder,
+    /// Fault-injection plane, shared with the VMM; disabled by default.
+    injector: FaultInjector,
+    /// Retry budget for quarantine/crash recovery on the warm path.
+    retry: RetryPolicy,
 }
 
 impl FaasPlatform {
@@ -145,7 +178,27 @@ impl FaasPlatform {
             exec_rng: seeds.stream("faas-exec"),
             now: SimTime::ZERO,
             recorder: Recorder::disabled(),
+            injector: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Installs a fault injector, shared down through the VMM (all clones
+    /// of a [`FaultInjector`] feed one injection plane and one log).
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.vmm.set_injector(injector.clone());
+        self.injector = injector;
+    }
+
+    /// The active fault injector (disabled unless one was installed).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Replaces the warm-path retry budget (default: 3 retries with
+    /// exponential backoff).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Installs a telemetry recorder, shared down through the VMM and
@@ -340,10 +393,7 @@ impl FaasPlatform {
                 self.vmm.start(id)?;
                 let init = self.boot.boot_ns(cfg);
                 self.record_init_and_exec(EventKind::InvokeCold, t0, init, exec_ns);
-                self.vmm.pause(id, PausePolicy::vanilla())?;
-                let now = self.now;
-                self.pool_entry(function, false, KeepAlive::default_ttl())
-                    .put(id, now);
+                self.repause_into_pool(id, function, false)?;
                 init
             }
             StartStrategy::Restore => {
@@ -351,35 +401,24 @@ impl FaasPlatform {
                 self.vmm.start(id)?;
                 let init = self.restore.restore_ns(cfg);
                 self.record_init_and_exec(EventKind::InvokeRestore, t0, init, exec_ns);
-                self.vmm.pause(id, PausePolicy::vanilla())?;
-                let now = self.now;
-                self.pool_entry(function, false, KeepAlive::default_ttl())
-                    .put(id, now);
+                self.repause_into_pool(id, function, false)?;
                 init
             }
             StartStrategy::Warm => {
-                let id = self.pop_pool(function, false, strategy)?;
                 // The userspace trigger precedes the resume on the
                 // critical path.
                 self.recorder.advance(WARM_TRIGGER_NS);
-                let outcome = self.vmm.resume(id, ResumeMode::Vanilla)?;
-                let init = WARM_TRIGGER_NS + outcome.breakdown.total_ns();
+                let (id, outcome, extra_ns) = self.warm_resume(function, strategy, cfg)?;
+                let init = WARM_TRIGGER_NS + extra_ns + outcome.breakdown.total_ns();
                 self.record_init_and_exec(EventKind::InvokeWarm, t0, init, exec_ns);
-                self.vmm.pause(id, PausePolicy::vanilla())?;
-                let now = self.now;
-                self.pool_entry(function, false, KeepAlive::default_ttl())
-                    .put(id, now);
+                self.repause_into_pool(id, function, false)?;
                 init
             }
             StartStrategy::Horse => {
-                let id = self.pop_pool(function, true, strategy)?;
-                let outcome = self.vmm.resume(id, ResumeMode::Horse)?;
-                let init = outcome.breakdown.total_ns();
+                let (id, outcome, extra_ns) = self.warm_resume(function, strategy, cfg)?;
+                let init = extra_ns + outcome.breakdown.total_ns();
                 self.record_init_and_exec(EventKind::InvokeHorse, t0, init, exec_ns);
-                self.vmm.pause(id, PausePolicy::horse())?;
-                let now = self.now;
-                self.pool_entry(function, true, KeepAlive::Provisioned)
-                    .put(id, now);
+                self.repause_into_pool(id, function, true)?;
                 init
             }
         };
@@ -417,6 +456,175 @@ impl FaasPlatform {
         self.recorder.span(EventKind::Exec, 0, exec_ns, exec_ns);
     }
 
+    /// Pops a warm sandbox and resumes it, riding out quarantined pool
+    /// entries and mid-resume crashes with bounded, exponentially
+    /// backed-off retries, and degraded (downgraded) pauses with a
+    /// vanilla-path fallback. Returns the running sandbox, the resume
+    /// outcome, and the extra latency (backoffs plus re-provisioning
+    /// boots) charged to the invocation on top of the resume itself.
+    fn warm_resume(
+        &mut self,
+        function: FunctionId,
+        strategy: StartStrategy,
+        cfg: SandboxConfig,
+    ) -> Result<(SandboxId, ResumeOutcome, u64), FaasError> {
+        let horse = strategy == StartStrategy::Horse;
+        let (mode, pause_policy) = if horse {
+            (ResumeMode::Horse, PausePolicy::horse())
+        } else {
+            (ResumeMode::Vanilla, PausePolicy::vanilla())
+        };
+        let mut extra_ns = 0u64;
+        let mut attempts: u32 = 0;
+        let mut pending: Option<FaultId> = None;
+        loop {
+            // Acquire an entry: from the pool, or — once recovery is
+            // under way and the pool has drained — by re-provisioning a
+            // fresh sandbox (a full boot, charged to the invocation).
+            let (id, reprovisioned) = match self.pop_pool(function, horse, strategy) {
+                Ok(id) => (id, false),
+                Err(e) if attempts == 0 => return Err(e),
+                Err(_) => {
+                    let id = self.vmm.create(cfg);
+                    self.vmm.start(id)?;
+                    self.vmm.pause(id, pause_policy)?;
+                    extra_ns += self.boot.boot_ns(cfg);
+                    (id, true)
+                }
+            };
+            if let Some(fault) = pending.take() {
+                self.injector.resolve(
+                    fault,
+                    RecoveryOutcome::EntryQuarantined {
+                        reprovisioned,
+                        retries: attempts,
+                    },
+                );
+            }
+
+            // Chaos: the popped entry is invalid (stale snapshot, dead
+            // cgroup, …) — quarantine it and retry.
+            if let Some(fault) = self.injector.should_inject(FaultSite::PoolEntryInvalid) {
+                self.note_fault(FaultSite::PoolEntryInvalid);
+                self.quarantine(id)?;
+                attempts += 1;
+                if attempts > self.retry.max_retries {
+                    self.injector.resolve(
+                        fault,
+                        RecoveryOutcome::EntryQuarantined {
+                            reprovisioned: false,
+                            retries: attempts,
+                        },
+                    );
+                    return Err(FaasError::RetriesExhausted {
+                        function,
+                        attempts,
+                        cause: Box::new(FaasError::NoWarmSandbox { function, strategy }),
+                    });
+                }
+                extra_ns += self.retry.backoff_ns(attempts);
+                pending = Some(fault);
+                continue;
+            }
+
+            match self.vmm.resume(id, mode) {
+                Ok(outcome) => return Ok((id, outcome, extra_ns)),
+                Err(VmmError::ModeMismatch { .. }) if mode == ResumeMode::Horse => {
+                    // A queue failure downgraded the pause to vanilla;
+                    // the sandbox still resumes through the slow path —
+                    // recorded as a HORSE fallback.
+                    let outcome = self.vmm.resume(id, ResumeMode::Vanilla)?;
+                    self.recorder.count(Counter::HorseFallbacks, 1);
+                    self.recorder.instant(
+                        EventKind::HorseFallback,
+                        0,
+                        outcome.breakdown.total_ns(),
+                    );
+                    return Ok((id, outcome, extra_ns));
+                }
+                Err(e @ VmmError::Crashed { .. }) => {
+                    // The VMM contained the crash (and resolved its
+                    // fault); the platform's recovery is a bounded retry.
+                    attempts += 1;
+                    if attempts > self.retry.max_retries {
+                        return Err(FaasError::RetriesExhausted {
+                            function,
+                            attempts,
+                            cause: Box::new(e.into()),
+                        });
+                    }
+                    extra_ns += self.retry.backoff_ns(attempts);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Quarantines a warm sandbox: telemetry, then destruction (the
+    /// simulated equivalent of fencing it off and reaping it).
+    fn quarantine(&mut self, id: SandboxId) -> Result<(), FaasError> {
+        self.recorder.count(Counter::PoolQuarantined, 1);
+        self.recorder
+            .instant(EventKind::PoolQuarantine, 0, id.as_u64());
+        self.vmm.destroy(id)?;
+        Ok(())
+    }
+
+    /// Returns a sandbox to its keep-alive pool after execution. A crash
+    /// during the re-pause (fault plane) is contained by the VMM; the
+    /// sandbox simply does not rejoin the pool, and the completed
+    /// invocation stands.
+    fn repause_into_pool(
+        &mut self,
+        id: SandboxId,
+        function: FunctionId,
+        horse: bool,
+    ) -> Result<(), FaasError> {
+        let (policy, keep_alive) = if horse {
+            (PausePolicy::horse(), KeepAlive::Provisioned)
+        } else {
+            (PausePolicy::vanilla(), KeepAlive::default_ttl())
+        };
+        match self.vmm.pause(id, policy) {
+            Ok(_) => {
+                let now = self.now;
+                self.pool_entry(function, horse, keep_alive).put(id, now);
+                Ok(())
+            }
+            Err(VmmError::Crashed { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Emits the fault-injection telemetry pair (counter + instant with
+    /// the site index as arg) for a fault that just fired at this layer.
+    fn note_fault(&self, site: FaultSite) {
+        self.recorder.count(Counter::FaultsInjected, 1);
+        self.recorder
+            .instant(EventKind::FaultInjected, 0, site.index() as u64);
+    }
+
+    /// The current warm-pool inventory: `(function, strategy, size)` per
+    /// non-empty pool — what a cluster re-provisions on surviving hosts
+    /// when this host dies.
+    pub fn pool_inventory(&self) -> Vec<(FunctionId, StartStrategy, usize)> {
+        let mut out: Vec<(FunctionId, StartStrategy, usize)> = self
+            .warm_pool
+            .iter()
+            .filter(|(_, pool)| !pool.is_empty())
+            .map(|(&(function, horse), pool)| {
+                let strategy = if horse {
+                    StartStrategy::Horse
+                } else {
+                    StartStrategy::Warm
+                };
+                (function, strategy, pool.len())
+            })
+            .collect();
+        out.sort_by_key(|&(f, s, _)| (f, s.label()));
+        out
+    }
+
     fn pop_pool(
         &mut self,
         function: FunctionId,
@@ -424,11 +632,18 @@ impl FaasPlatform {
         strategy: StartStrategy,
     ) -> Result<SandboxId, FaasError> {
         let now = self.now;
-        match self
-            .warm_pool
-            .get_mut(&(function, horse))
-            .and_then(|p| p.take(now))
-        {
+        let (taken, doomed) = match self.warm_pool.get_mut(&(function, horse)) {
+            Some(pool) => (pool.take(now), pool.drain_doomed()),
+            None => (None, Vec::new()),
+        };
+        // Destroy entries `take` lazily expired (the keep-alive tax is
+        // paid even when eviction happens on the take path).
+        for id in doomed {
+            self.vmm
+                .destroy(id)
+                .expect("pooled sandboxes are destroyable");
+        }
+        match taken {
             Some(id) => {
                 self.recorder.instant(EventKind::PoolHit, 0, 0);
                 self.recorder.count(Counter::PoolHits, 1);
@@ -584,5 +799,159 @@ mod tests {
         for &x in &ra {
             assert!((630..=770).contains(&x), "±10% around 700ns: {x}");
         }
+    }
+
+    // ---- fault plane ----------------------------------------------------
+
+    use horse_faults::{FaultPlan, FaultTrigger};
+
+    fn chaos_platform(site: FaultSite, trigger: FaultTrigger) -> (FaasPlatform, FunctionId) {
+        let mut p = platform();
+        let f = p.register("nat", Category::Cat2, ull_cfg(2));
+        p.set_injector(FaultInjector::new(11, FaultPlan::new().with(site, trigger)));
+        p.set_recorder(Recorder::enabled());
+        (p, f)
+    }
+
+    #[test]
+    fn invalid_pool_entry_is_quarantined_and_the_next_one_serves() {
+        let (mut p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1));
+        p.provision(f, 2, StartStrategy::Horse).unwrap();
+        let clean = {
+            let mut q = platform();
+            let g = q.register("nat", Category::Cat2, ull_cfg(2));
+            q.provision(g, 1, StartStrategy::Horse).unwrap();
+            q.invoke(g, StartStrategy::Horse).unwrap().init_ns
+        };
+        let r = p.invoke(f, StartStrategy::Horse).unwrap();
+        // One entry quarantined (destroyed), the survivor served and
+        // returned to the pool.
+        assert_eq!(p.pool_size(f, StartStrategy::Horse), 1);
+        assert!(
+            r.init_ns >= clean + RetryPolicy::default().backoff_ns(1),
+            "backoff latency is charged: {} vs clean {clean}",
+            r.init_ns
+        );
+        let log = p.injector().log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].site, FaultSite::PoolEntryInvalid);
+        assert_eq!(
+            log[0].outcome,
+            RecoveryOutcome::EntryQuarantined {
+                reprovisioned: false,
+                retries: 1
+            }
+        );
+        assert_eq!(p.injector().unresolved(), 0);
+        assert_eq!(p.recorder().counter_value(Counter::PoolQuarantined), 1);
+        assert_eq!(p.recorder().counter_value(Counter::FaultsInjected), 1);
+    }
+
+    #[test]
+    fn drained_pool_reprovisions_a_fresh_sandbox_mid_recovery() {
+        let (mut p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1));
+        p.provision(f, 1, StartStrategy::Horse).unwrap();
+        let r = p.invoke(f, StartStrategy::Horse).unwrap();
+        // The only entry was quarantined; recovery re-provisioned a fresh
+        // sandbox and charged its full boot to the invocation.
+        assert!(r.init_ns > 1_000_000, "boot dominates: {}", r.init_ns);
+        let log = p.injector().log();
+        assert_eq!(
+            log[0].outcome,
+            RecoveryOutcome::EntryQuarantined {
+                reprovisioned: true,
+                retries: 1
+            }
+        );
+        assert_eq!(p.pool_size(f, StartStrategy::Horse), 1);
+    }
+
+    #[test]
+    fn quarantine_retries_are_bounded_and_chain_the_cause() {
+        // Every pop is invalid: recovery must give up after max_retries.
+        let (mut p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(1));
+        p.provision(f, 4, StartStrategy::Horse).unwrap();
+        let e = p.invoke(f, StartStrategy::Horse).unwrap_err();
+        let FaasError::RetriesExhausted {
+            attempts,
+            ref cause,
+            ..
+        } = e
+        else {
+            panic!("expected RetriesExhausted, got {e}");
+        };
+        assert_eq!(attempts, RetryPolicy::default().max_retries + 1);
+        assert!(matches!(**cause, FaasError::NoWarmSandbox { .. }));
+        // std::error::Error chaining surfaces the root cause.
+        let src = std::error::Error::source(&e).expect("source is chained");
+        assert!(src.to_string().contains("no provisioned sandbox"), "{src}");
+        assert!(e.to_string().contains("gave up"), "{e}");
+        assert_eq!(p.injector().unresolved(), 0);
+    }
+
+    #[test]
+    fn crash_mid_resume_is_retried_with_the_next_entry() {
+        let (mut p, f) = chaos_platform(FaultSite::CrashMidResume, FaultTrigger::Once(1));
+        p.provision(f, 2, StartStrategy::Horse).unwrap();
+        let r = p.invoke(f, StartStrategy::Horse).unwrap();
+        assert!(r.init_ns > 0);
+        // The crashed sandbox is gone; the survivor served and re-pooled.
+        assert_eq!(p.pool_size(f, StartStrategy::Horse), 1);
+        let log = p.injector().log();
+        assert_eq!(
+            log[0].outcome,
+            RecoveryOutcome::CrashContained { mid_resume: true }
+        );
+        assert_eq!(p.injector().unresolved(), 0);
+    }
+
+    #[test]
+    fn crash_during_repause_completes_the_invocation_without_repooling() {
+        let mut p = platform();
+        let f = p.register("nat", Category::Cat2, ull_cfg(2));
+        p.provision(f, 1, StartStrategy::Horse).unwrap();
+        // Arm the injector only after provisioning so the fault hits the
+        // keep-alive re-pause, not the provisioning pause.
+        p.set_injector(FaultInjector::new(
+            3,
+            FaultPlan::new().with(FaultSite::CrashMidPause, FaultTrigger::Once(1)),
+        ));
+        let r = p.invoke(f, StartStrategy::Horse);
+        assert!(r.is_ok(), "completed work stands: {r:?}");
+        assert_eq!(
+            p.pool_size(f, StartStrategy::Horse),
+            0,
+            "the crashed sandbox must not rejoin the pool"
+        );
+        let log = p.injector().log();
+        assert_eq!(
+            log[0].outcome,
+            RecoveryOutcome::CrashContained { mid_resume: false }
+        );
+        assert_eq!(p.injector().unresolved(), 0);
+    }
+
+    #[test]
+    fn expired_pool_entries_are_destroyed_not_resumed() {
+        let mut p = platform();
+        let f = p.register("fw", Category::Cat1, ull_cfg(1));
+        p.provision(f, 1, StartStrategy::Warm).unwrap();
+        // Advance under the default 600 s TTL (no eager sweep fires), then
+        // shrink the TTL so the entry is past-deadline with no sweep having
+        // run: only `take`'s lazy eviction stands between the invocation
+        // and a stale sandbox.
+        p.advance_to(SimTime::ZERO + horse_sim::SimDuration::from_secs(120));
+        p.set_keep_alive(
+            f,
+            StartStrategy::Warm,
+            KeepAlive::Ttl(horse_sim::SimDuration::from_secs(60)),
+        );
+        let live_before = p.vmm().stats().destroyed;
+        let e = p.invoke(f, StartStrategy::Warm).unwrap_err();
+        assert!(matches!(e, FaasError::NoWarmSandbox { .. }), "{e}");
+        assert!(
+            p.vmm().stats().destroyed > live_before,
+            "the expired sandbox was reaped"
+        );
     }
 }

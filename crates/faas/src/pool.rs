@@ -69,6 +69,10 @@ pub struct WarmPool {
     entries: VecDeque<(SandboxId, SimTime)>,
     keep_alive: KeepAlive,
     stats: PoolStats,
+    /// Expired entries lazily evicted by [`WarmPool::take`], awaiting
+    /// destruction by the platform (the pool hands out ids, it does not
+    /// own the sandboxes).
+    doomed: Vec<SandboxId>,
 }
 
 impl WarmPool {
@@ -78,6 +82,7 @@ impl WarmPool {
             entries: VecDeque::new(),
             keep_alive,
             stats: PoolStats::default(),
+            doomed: Vec::new(),
         }
     }
 
@@ -109,7 +114,15 @@ impl WarmPool {
 
     /// Returns a warm sandbox (most recently used first, maximizing cache
     /// warmth), or `None` on a miss.
-    pub fn take(&mut self, _now: SimTime) -> Option<SandboxId> {
+    ///
+    /// Entries idle past the TTL are lazily evicted first — `take` must
+    /// never hand out a sandbox that keep-alive has already expired, even
+    /// if the platform has not run [`WarmPool::evict_expired`] since the
+    /// deadline passed. Lazily evicted sandboxes are surfaced through
+    /// [`WarmPool::drain_doomed`] for the platform to destroy.
+    pub fn take(&mut self, now: SimTime) -> Option<SandboxId> {
+        let expired = self.evict_expired(now);
+        self.doomed.extend(expired);
         match self.entries.pop_back() {
             Some((id, _)) => {
                 self.stats.hits += 1;
@@ -120,6 +133,20 @@ impl WarmPool {
                 None
             }
         }
+    }
+
+    /// Sandboxes lazily evicted by [`WarmPool::take`] since the last
+    /// drain: the caller owns their destruction.
+    pub fn drain_doomed(&mut self) -> Vec<SandboxId> {
+        std::mem::take(&mut self.doomed)
+    }
+
+    /// Removes a specific sandbox from the pool (quarantine path),
+    /// returning whether it was present.
+    pub fn remove(&mut self, id: SandboxId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(e, _)| *e != id);
+        before != self.entries.len()
     }
 
     /// Returns a sandbox to the pool after an invocation (keep-alive
@@ -166,6 +193,33 @@ mod tests {
         assert_eq!(p.take(t(2)), None);
         let s = p.stats();
         assert_eq!((s.hits, s.misses), (2, 1));
+    }
+
+    #[test]
+    fn take_never_hands_out_expired_entries() {
+        // Regression: `take` used to ignore `now`, handing out sandboxes
+        // the keep-alive policy had already expired.
+        let mut p = WarmPool::new(KeepAlive::Ttl(SimDuration::from_secs(100)));
+        p.put(SandboxId::new(1), t(0));
+        p.put(SandboxId::new(2), t(90));
+        assert_eq!(p.take(t(150)), Some(SandboxId::new(2)), "2 is still warm");
+        assert_eq!(p.take(t(150)), None, "1 expired at t=100");
+        let s = p.stats();
+        assert_eq!(s.evictions, 1, "lazy eviction is counted");
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(p.drain_doomed(), vec![SandboxId::new(1)]);
+        assert!(p.drain_doomed().is_empty(), "drain is one-shot");
+    }
+
+    #[test]
+    fn remove_quarantines_a_specific_entry() {
+        let mut p = WarmPool::new(KeepAlive::default_ttl());
+        p.put(SandboxId::new(1), t(0));
+        p.put(SandboxId::new(2), t(0));
+        assert!(p.remove(SandboxId::new(1)));
+        assert!(!p.remove(SandboxId::new(1)), "already gone");
+        assert_eq!(p.take(t(1)), Some(SandboxId::new(2)));
+        assert_eq!(p.take(t(1)), None);
     }
 
     #[test]

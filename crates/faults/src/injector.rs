@@ -1,0 +1,346 @@
+//! The seeded injector and the typed recovery log.
+
+use crate::plan::FaultPlan;
+use crate::site::FaultSite;
+use horse_sim::rng::SeedFactory;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Handle to one injected fault, used to attach its recovery outcome to
+/// the log entry created at injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultId(u64);
+
+impl FaultId {
+    /// Position of the fault in the injection sequence (0-based).
+    pub fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// How an injected fault was recovered — the typed vocabulary the chaos
+/// soak audits ("every injected fault mapped to a typed recovery
+/// outcome").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryOutcome {
+    /// Injected but not yet resolved; the soak treats any record left in
+    /// this state as a bug in the recovery wiring.
+    Unresolved,
+    /// A HORSE resume detected a bad plan via `check_consistent` and
+    /// fell back to the vanilla sorted merge, paying `penalty_ns` over
+    /// the fast path.
+    FellBackToVanillaMerge {
+        /// Extra latency versus the intact fast path, in virtual ns.
+        penalty_ns: u64,
+    },
+    /// Straggling or dead splice threads were abandoned at the watchdog
+    /// budget and the remaining splice points completed sequentially.
+    StragglerRescued {
+        /// Splice points completed by the sequential rescue pass.
+        rescued_splices: u64,
+    },
+    /// Poisoned coalescing factors failed validation; step ⑤ reverted to
+    /// per-vCPU load updates.
+    CoalesceBypassed {
+        /// vCPUs updated the slow way.
+        vcpus: u64,
+    },
+    /// A sandbox crash was contained: partial pause/resume state was
+    /// rolled back and the sandbox destroyed cleanly.
+    CrashContained {
+        /// `true` if the crash hit mid-resume, `false` mid-pause.
+        mid_resume: bool,
+    },
+    /// An invalid pool entry (or crash-destroyed sandbox) was
+    /// quarantined out of the warm pool.
+    EntryQuarantined {
+        /// Whether a replacement was successfully re-provisioned.
+        reprovisioned: bool,
+        /// Provisioning attempts consumed by the retry policy.
+        retries: u32,
+    },
+    /// A failed host was evacuated: its paused sandboxes' queues were
+    /// rebalanced onto the survivors.
+    HostEvacuated {
+        /// Warm sandboxes re-provisioned onto surviving hosts.
+        rebalanced: u64,
+    },
+}
+
+impl RecoveryOutcome {
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryOutcome::Unresolved => "UNRESOLVED",
+            RecoveryOutcome::FellBackToVanillaMerge { .. } => "vanilla_merge_fallback",
+            RecoveryOutcome::StragglerRescued { .. } => "straggler_rescued",
+            RecoveryOutcome::CoalesceBypassed { .. } => "coalesce_bypassed",
+            RecoveryOutcome::CrashContained { .. } => "crash_contained",
+            RecoveryOutcome::EntryQuarantined { .. } => "entry_quarantined",
+            RecoveryOutcome::HostEvacuated { .. } => "host_evacuated",
+        }
+    }
+}
+
+/// One injected fault and its resolution, in injection order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecord {
+    /// Position in the injection sequence (0-based).
+    pub seq: u64,
+    /// Where the fault was injected.
+    pub site: FaultSite,
+    /// 1-based arrival number at the site when it fired.
+    pub arrival: u64,
+    /// How the pipeline recovered.
+    pub outcome: RecoveryOutcome,
+}
+
+#[derive(Debug)]
+struct Inner {
+    plan: FaultPlan,
+    rngs: [StdRng; FaultSite::COUNT],
+    arrivals: [u64; FaultSite::COUNT],
+    injected: [u64; FaultSite::COUNT],
+    log: Vec<FaultRecord>,
+}
+
+/// The seeded, deterministic fault-injection plane.
+///
+/// Mirrors the `Recorder` idiom from `horse-telemetry`: a cheap-clone
+/// handle that is **disabled by default**, so production call sites pay
+/// one `Option` check when chaos is off. Clones share all state — the
+/// per-site arrival counters, the per-site RNG streams, and the ordered
+/// fault log — so an injector threaded through `vmm`, `faas`, and
+/// `cluster` produces one global, replayable injection sequence.
+///
+/// Determinism: each site draws from its own stream derived from
+/// `(seed, site label)` via [`SeedFactory`], and triggers consume exactly
+/// one draw per arrival regardless of outcome, so two runs with the same
+/// seed, plan, and arrival order inject identical fault sequences.
+///
+/// # Example
+///
+/// ```
+/// use horse_faults::{FaultInjector, FaultPlan, FaultSite, FaultTrigger, RecoveryOutcome};
+///
+/// let plan = FaultPlan::new().with(FaultSite::CrashMidResume, FaultTrigger::Nth(2));
+/// let inj = FaultInjector::new(42, plan);
+/// assert!(inj.should_inject(FaultSite::CrashMidResume).is_none());
+/// let fault = inj.should_inject(FaultSite::CrashMidResume).unwrap();
+/// inj.resolve(fault, RecoveryOutcome::CrashContained { mid_resume: true });
+/// assert_eq!(inj.injected_total(), 1);
+/// assert_eq!(inj.unresolved(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl FaultInjector {
+    /// The no-op injector every component starts with.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An armed injector: per-site streams derived from `seed`, firing
+    /// per `plan`.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        let factory = SeedFactory::new(seed);
+        let rngs = std::array::from_fn(|i| factory.stream(FaultSite::ALL[i].label()));
+        Self {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                plan,
+                rngs,
+                arrivals: [0; FaultSite::COUNT],
+                injected: [0; FaultSite::COUNT],
+                log: Vec::new(),
+            }))),
+        }
+    }
+
+    /// Whether this handle can ever inject.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reports an arrival at `site` and decides whether to inject.
+    ///
+    /// Returns a [`FaultId`] when the site fires; the recovery code must
+    /// later [`resolve`](FaultInjector::resolve) it. Exactly one RNG draw
+    /// is consumed per arrival (even for non-probabilistic triggers), so
+    /// editing one site's trigger never shifts another site's stream.
+    pub fn should_inject(&self, site: FaultSite) -> Option<FaultId> {
+        let inner = self.inner.as_ref()?;
+        let mut g = inner.lock();
+        let i = site.index();
+        g.arrivals[i] += 1;
+        let arrival = g.arrivals[i];
+        let coin: f64 = g.rngs[i].gen();
+        if !g.plan.trigger(site).fires(arrival, coin) {
+            return None;
+        }
+        g.injected[i] += 1;
+        let seq = g.log.len() as u64;
+        g.log.push(FaultRecord {
+            seq,
+            site,
+            arrival,
+            outcome: RecoveryOutcome::Unresolved,
+        });
+        Some(FaultId(seq))
+    }
+
+    /// Attaches the recovery outcome to an injected fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this injector's log (a wiring
+    /// bug, not a runtime condition).
+    pub fn resolve(&self, fault: FaultId, outcome: RecoveryOutcome) {
+        let inner = self
+            .inner
+            .as_ref()
+            .expect("resolve called on a disabled injector");
+        let mut g = inner.lock();
+        let rec = g
+            .log
+            .get_mut(fault.0 as usize)
+            .expect("fault id out of range");
+        rec.outcome = outcome;
+    }
+
+    /// Total faults injected across all sites.
+    pub fn injected_total(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.lock().injected.iter().sum())
+    }
+
+    /// Faults injected at one site.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.lock().injected[site.index()])
+    }
+
+    /// Arrivals observed at one site (injected or not).
+    pub fn arrivals_at(&self, site: FaultSite) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.lock().arrivals[site.index()])
+    }
+
+    /// Number of injected faults still [`RecoveryOutcome::Unresolved`].
+    pub fn unresolved(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.lock()
+                .log
+                .iter()
+                .filter(|r| matches!(r.outcome, RecoveryOutcome::Unresolved))
+                .count() as u64
+        })
+    }
+
+    /// Snapshot of the ordered fault log.
+    pub fn log(&self) -> Vec<FaultRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.lock().log.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultTrigger;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        for site in FaultSite::ALL {
+            assert!(inj.should_inject(site).is_none());
+        }
+        assert_eq!(inj.injected_total(), 0);
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn armed_plan_with_never_triggers_stays_quiet() {
+        let inj = FaultInjector::new(7, FaultPlan::new());
+        for _ in 0..100 {
+            assert!(inj.should_inject(FaultSite::CrashMidPause).is_none());
+        }
+        assert_eq!(inj.arrivals_at(FaultSite::CrashMidPause), 100);
+        assert_eq!(inj.injected_total(), 0);
+    }
+
+    #[test]
+    fn nth_and_once_fire_on_schedule() {
+        let plan = FaultPlan::new()
+            .with(FaultSite::ResumePlanStale, FaultTrigger::Nth(3))
+            .with(FaultSite::HostFailure, FaultTrigger::Once(2));
+        let inj = FaultInjector::new(1, plan);
+        let fired: Vec<bool> = (0..9)
+            .map(|_| inj.should_inject(FaultSite::ResumePlanStale).is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert!(inj.should_inject(FaultSite::HostFailure).is_none());
+        assert!(inj.should_inject(FaultSite::HostFailure).is_some());
+        assert!(inj.should_inject(FaultSite::HostFailure).is_none());
+        assert_eq!(inj.injected_at(FaultSite::ResumePlanStale), 3);
+        assert_eq!(inj.injected_at(FaultSite::HostFailure), 1);
+    }
+
+    #[test]
+    fn same_seed_replays_identical_sequences() {
+        let run = |seed| {
+            let inj = FaultInjector::new(seed, FaultPlan::uniform(0.3));
+            let mut fired = Vec::new();
+            for i in 0..200u64 {
+                let site = FaultSite::ALL[(i % 9) as usize];
+                fired.push(inj.should_inject(site).is_some());
+            }
+            fired
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let inj = FaultInjector::new(
+            5,
+            FaultPlan::new().with(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(2)),
+        );
+        let clone = inj.clone();
+        assert!(clone.should_inject(FaultSite::PoolEntryInvalid).is_none());
+        assert!(inj.should_inject(FaultSite::PoolEntryInvalid).is_some());
+        assert_eq!(clone.injected_total(), 1);
+    }
+
+    #[test]
+    fn resolve_replaces_unresolved() {
+        let inj = FaultInjector::new(
+            9,
+            FaultPlan::new().with(FaultSite::CoalescePoisoned, FaultTrigger::Once(1)),
+        );
+        let fault = inj.should_inject(FaultSite::CoalescePoisoned).unwrap();
+        assert_eq!(inj.unresolved(), 1);
+        inj.resolve(fault, RecoveryOutcome::CoalesceBypassed { vcpus: 4 });
+        assert_eq!(inj.unresolved(), 0);
+        let log = inj.log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].site, FaultSite::CoalescePoisoned);
+        assert_eq!(log[0].arrival, 1);
+        assert_eq!(
+            log[0].outcome,
+            RecoveryOutcome::CoalesceBypassed { vcpus: 4 }
+        );
+    }
+}

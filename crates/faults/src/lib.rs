@@ -1,0 +1,41 @@
+//! # horse-faults — deterministic chaos for the HORSE pipeline
+//!
+//! HORSE's speed comes from trusting precomputed state (the 𝒫²𝒮ℳ
+//! `MergePlan`, the coalesced load factors, the warm pool) that can go
+//! stale or be corrupted between pause and resume. The paper assumes it
+//! is always valid; a production platform cannot. This crate is the
+//! fault-injection plane that exercises those assumptions on purpose:
+//!
+//! * [`FaultSite`] — the closed vocabulary of injection points, from a
+//!   staled `MergePlan` at resume step ④ to whole-host failure.
+//! * [`FaultTrigger`] / [`FaultPlan`] — per-site firing rules
+//!   (probability, every-nth, one-shot), fully seeded.
+//! * [`FaultInjector`] — a cheap-clone, disabled-by-default handle
+//!   (mirroring the telemetry `Recorder`) that components consult at
+//!   each site. Same seed + same plan + same arrival order ⇒ identical
+//!   injection sequence, so chaos runs replay exactly.
+//! * [`RecoveryOutcome`] / [`FaultRecord`] — every injected fault is
+//!   resolved to a typed outcome in an ordered log, which the
+//!   `chaos_soak` bench audits (no fault may end unresolved, and two
+//!   same-seed runs must produce identical logs).
+//! * [`RetryPolicy`] — bounded retry with exponential backoff for
+//!   re-provisioning quarantined sandboxes.
+//!
+//! The recovery *mechanisms* live with the components they protect
+//! (`horse-vmm` falls back to the vanilla merge, `horse-sched` rescues
+//! straggling splices, `horse-faas` quarantines pool entries and
+//! evacuates failed hosts); this crate only decides *when* to break
+//! things and keeps the audit trail.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod injector;
+mod plan;
+mod retry;
+mod site;
+
+pub use injector::{FaultId, FaultInjector, FaultRecord, RecoveryOutcome};
+pub use plan::{FaultPlan, FaultTrigger};
+pub use retry::RetryPolicy;
+pub use site::FaultSite;

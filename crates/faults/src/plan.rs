@@ -1,0 +1,133 @@
+//! Per-site trigger configuration.
+
+use crate::site::FaultSite;
+use serde::{Deserialize, Serialize};
+
+/// When a site fires, evaluated against the site's arrival counter and
+/// its private RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum FaultTrigger {
+    /// Never fires (the default for every site).
+    #[default]
+    Never,
+    /// Fires independently on each arrival with probability `p`
+    /// (clamped to `[0, 1]`), drawn from the site's seeded stream.
+    Probability(f64),
+    /// Fires on every `n`-th arrival (1-based; `Nth(3)` fires on
+    /// arrivals 3, 6, 9, …). `Nth(0)` never fires.
+    Nth(u64),
+    /// Fires exactly once, on arrival `k` (1-based). `Once(0)` never
+    /// fires.
+    Once(u64),
+}
+
+impl FaultTrigger {
+    /// Whether the trigger fires for the given 1-based arrival number.
+    /// `coin` is a uniform draw in `[0, 1)` from the site's stream —
+    /// always consumed by the caller for [`FaultTrigger::Probability`]
+    /// so trigger changes don't shift other sites' streams.
+    pub(crate) fn fires(self, arrival: u64, coin: f64) -> bool {
+        match self {
+            FaultTrigger::Never => false,
+            FaultTrigger::Probability(p) => coin < p.clamp(0.0, 1.0),
+            FaultTrigger::Nth(n) => n != 0 && arrival % n == 0,
+            FaultTrigger::Once(k) => k != 0 && arrival == k,
+        }
+    }
+}
+
+/// The full injection configuration: one [`FaultTrigger`] per
+/// [`FaultSite`].
+///
+/// # Example
+///
+/// ```
+/// use horse_faults::{FaultPlan, FaultSite, FaultTrigger};
+///
+/// let plan = FaultPlan::new()
+///     .with(FaultSite::ResumePlanStale, FaultTrigger::Probability(0.05))
+///     .with(FaultSite::CrashMidResume, FaultTrigger::Nth(100))
+///     .with(FaultSite::HostFailure, FaultTrigger::Once(5_000));
+/// assert_eq!(
+///     plan.trigger(FaultSite::ResumePlanStale),
+///     FaultTrigger::Probability(0.05)
+/// );
+/// assert_eq!(plan.trigger(FaultSite::CoalescePoisoned), FaultTrigger::Never);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    triggers: [FaultTrigger; FaultSite::COUNT],
+}
+
+impl FaultPlan {
+    /// A plan where no site fires.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan firing every site independently with probability `p` —
+    /// the chaos-soak default.
+    pub fn uniform(p: f64) -> Self {
+        let mut plan = Self::new();
+        for site in FaultSite::ALL {
+            plan.triggers[site.index()] = FaultTrigger::Probability(p);
+        }
+        plan
+    }
+
+    /// Sets one site's trigger (builder style).
+    pub fn with(mut self, site: FaultSite, trigger: FaultTrigger) -> Self {
+        self.triggers[site.index()] = trigger;
+        self
+    }
+
+    /// Reads one site's trigger.
+    pub fn trigger(&self, site: FaultSite) -> FaultTrigger {
+        self.triggers[site.index()]
+    }
+
+    /// Whether any site can ever fire.
+    pub fn is_armed(&self) -> bool {
+        self.triggers
+            .iter()
+            .any(|t| !matches!(t, FaultTrigger::Never))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_never() {
+        let plan = FaultPlan::new();
+        assert!(!plan.is_armed());
+        for site in FaultSite::ALL {
+            assert_eq!(plan.trigger(site), FaultTrigger::Never);
+        }
+    }
+
+    #[test]
+    fn trigger_semantics() {
+        assert!(!FaultTrigger::Never.fires(1, 0.0));
+        assert!(FaultTrigger::Probability(0.5).fires(1, 0.49));
+        assert!(!FaultTrigger::Probability(0.5).fires(1, 0.5));
+        assert!(FaultTrigger::Probability(2.0).fires(9, 0.999), "clamped");
+        assert!(!FaultTrigger::Nth(0).fires(7, 0.0));
+        assert!(FaultTrigger::Nth(3).fires(3, 0.9));
+        assert!(FaultTrigger::Nth(3).fires(6, 0.9));
+        assert!(!FaultTrigger::Nth(3).fires(4, 0.0));
+        assert!(FaultTrigger::Once(2).fires(2, 0.9));
+        assert!(!FaultTrigger::Once(2).fires(4, 0.0));
+        assert!(!FaultTrigger::Once(0).fires(0, 0.0));
+    }
+
+    #[test]
+    fn uniform_arms_every_site() {
+        let plan = FaultPlan::uniform(0.25);
+        assert!(plan.is_armed());
+        for site in FaultSite::ALL {
+            assert_eq!(plan.trigger(site), FaultTrigger::Probability(0.25));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Bounded retry with exponential backoff.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry policy for re-provisioning quarantined sandboxes (and any other
+/// recoverable platform operation): a bounded number of attempts with
+/// exponential backoff, capped so a burst of failures cannot push a
+/// single recovery into the seconds range.
+///
+/// Backoff is charged on the *virtual* clock — it adds to the recorded
+/// initialization latency of the invocation that absorbed the recovery,
+/// which is how degraded-path tail latency becomes visible in reports.
+///
+/// # Example
+///
+/// ```
+/// use horse_faults::RetryPolicy;
+///
+/// let p = RetryPolicy::default();
+/// assert_eq!(p.backoff_ns(0), 0);              // first attempt is free
+/// assert_eq!(p.backoff_ns(1), p.base_backoff_ns);
+/// assert_eq!(p.backoff_ns(2), 2 * p.base_backoff_ns);
+/// assert!(p.backoff_ns(30) <= p.max_backoff_ns);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first (0 = fail immediately on first error).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual ns.
+    pub base_backoff_ns: u64,
+    /// Cap on any single backoff, in virtual ns.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 3 retries, 10 µs base, 1 ms cap — generous next to a ≈1.3 ms
+    /// snapshot restore, negligible next to a cold boot.
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff_ns: 10_000,
+            max_backoff_ns: 1_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before attempt `attempt` (0-based; the first attempt is
+    /// immediate, retry `k` waits `base · 2^(k−1)`, capped).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let shift = (attempt - 1).min(63);
+        self.base_backoff_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ns)
+    }
+
+    /// Total virtual time spent backing off across `attempts` attempts.
+    pub fn total_backoff_ns(&self, attempts: u32) -> u64 {
+        (0..attempts).map(|a| self.backoff_ns(a)).sum()
+    }
+
+    /// Maximum number of attempts (initial + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_cap() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ns: 100,
+            max_backoff_ns: 450,
+        };
+        assert_eq!(p.backoff_ns(0), 0);
+        assert_eq!(p.backoff_ns(1), 100);
+        assert_eq!(p.backoff_ns(2), 200);
+        assert_eq!(p.backoff_ns(3), 400);
+        assert_eq!(p.backoff_ns(4), 450, "capped");
+        assert_eq!(p.backoff_ns(63), 450, "no overflow at large attempts");
+        assert_eq!(p.total_backoff_ns(3), 300);
+        assert_eq!(p.max_attempts(), 11);
+    }
+
+    #[test]
+    fn no_retries_fails_fast() {
+        let p = RetryPolicy::no_retries();
+        assert_eq!(p.max_attempts(), 1);
+        assert_eq!(p.total_backoff_ns(1), 0);
+    }
+}

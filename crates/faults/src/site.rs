@@ -1,0 +1,103 @@
+//! The closed vocabulary of injection sites.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a fault can be injected in the pause/resume pipeline.
+///
+/// Sites form a closed vocabulary (like the telemetry event kinds) so the
+/// injector state is fixed-size arrays indexed by discriminant and a
+/// [`FaultPlan`](crate::FaultPlan) can be fully enumerated in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FaultSite {
+    /// The `MergePlan` went stale between pause and resume (step ④): *B*
+    /// mutated without maintenance callbacks reaching the plan.
+    ResumePlanStale = 0,
+    /// The `MergePlan`'s auxiliary structures (`arrayB`/`posA`) were
+    /// corrupted between pause and resume (step ④).
+    ResumePlanCorrupt = 1,
+    /// A splice thread straggles past the watchdog budget during the
+    /// parallel merge.
+    SpliceStraggler = 2,
+    /// A splice thread dies outright during the parallel merge.
+    SpliceThreadDeath = 3,
+    /// The precomputed coalescing factors are poisoned (step ⑤).
+    CoalescePoisoned = 4,
+    /// The sandbox crashes mid-pause (after vCPUs were dequeued, before
+    /// the paused state is sealed).
+    CrashMidPause = 5,
+    /// The sandbox crashes mid-resume (after sanity checks, before the
+    /// merge lands).
+    CrashMidResume = 6,
+    /// A warm-pool entry turns out to be invalid when popped (the parked
+    /// sandbox silently died while pooled).
+    PoolEntryInvalid = 7,
+    /// A whole host fails in the cluster.
+    HostFailure = 8,
+}
+
+impl FaultSite {
+    /// Every site, in discriminant order.
+    pub const ALL: [FaultSite; 9] = [
+        FaultSite::ResumePlanStale,
+        FaultSite::ResumePlanCorrupt,
+        FaultSite::SpliceStraggler,
+        FaultSite::SpliceThreadDeath,
+        FaultSite::CoalescePoisoned,
+        FaultSite::CrashMidPause,
+        FaultSite::CrashMidResume,
+        FaultSite::PoolEntryInvalid,
+        FaultSite::HostFailure,
+    ];
+
+    /// Number of sites (array dimension for injector state).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Export name (used in reports, telemetry args, and RNG stream
+    /// labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::ResumePlanStale => "resume_plan_stale",
+            FaultSite::ResumePlanCorrupt => "resume_plan_corrupt",
+            FaultSite::SpliceStraggler => "splice_straggler",
+            FaultSite::SpliceThreadDeath => "splice_thread_death",
+            FaultSite::CoalescePoisoned => "coalesce_poisoned",
+            FaultSite::CrashMidPause => "crash_mid_pause",
+            FaultSite::CrashMidResume => "crash_mid_resume",
+            FaultSite::PoolEntryInvalid => "pool_entry_invalid",
+            FaultSite::HostFailure => "host_failure",
+        }
+    }
+
+    /// Index into per-site state arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_match_all_order() {
+        for (i, s) in FaultSite::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = FaultSite::ALL.iter().map(|s| s.label()).collect();
+        let total = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), total);
+    }
+}

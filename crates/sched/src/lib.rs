@@ -27,6 +27,7 @@ mod runqueue;
 mod scheduler;
 mod topology;
 mod vcpu;
+mod watchdog;
 
 pub use energy::{EnergyLedger, PowerModel};
 pub use flavor::{SchedFlavor, CFS_WEIGHT_BASELINE, CREDIT2_INIT};
@@ -36,3 +37,4 @@ pub use runqueue::{RqId, RqKind, RunQueue, GENERAL_TIMESLICE_NS, ULL_TIMESLICE_N
 pub use scheduler::{HostScheduler, SchedConfig};
 pub use topology::{CpuId, CpuTopology};
 pub use vcpu::{SandboxId, Vcpu, VcpuId};
+pub use watchdog::{RescuePlan, SpliceWatchdog, DEFAULT_SPLICE_BUDGET_NS};

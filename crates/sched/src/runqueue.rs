@@ -63,6 +63,7 @@ pub struct RunQueue {
     load: RqLoad,
     timeslice_ns: u64,
     paused_assigned: usize,
+    failed: bool,
 }
 
 impl RunQueue {
@@ -79,6 +80,7 @@ impl RunQueue {
             load: RqLoad::new(),
             timeslice_ns,
             paused_assigned: 0,
+            failed: false,
         }
     }
 
@@ -121,6 +123,17 @@ impl RunQueue {
     /// (only meaningful for [`RqKind::Ull`]).
     pub fn paused_assigned(&self) -> usize {
         self.paused_assigned
+    }
+
+    /// Whether the queue's CPU has been marked failed (chaos plane);
+    /// failed queues are skipped by uLL assignment and rebalancing
+    /// targets.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    pub(crate) fn set_failed(&mut self, failed: bool) {
+        self.failed = failed;
     }
 
     pub(crate) fn inc_paused(&mut self) {

@@ -219,14 +219,27 @@ impl HostScheduler {
     /// Chooses the ull_runqueue for a sandbox being paused, balancing by
     /// the number of paused sandboxes already assigned to each queue
     /// (paper §4.1.3), and records the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every uLL queue has been marked failed; callers that can
+    /// degrade should use [`HostScheduler::try_assign_ull_queue`].
     pub fn assign_ull_queue(&mut self) -> RqId {
+        self.try_assign_ull_queue()
+            .expect("no healthy uLL queue available")
+    }
+
+    /// Like [`HostScheduler::assign_ull_queue`], but skips queues marked
+    /// failed and returns `None` when no healthy uLL queue remains (the
+    /// caller then degrades to a vanilla, plan-less pause).
+    pub fn try_assign_ull_queue(&mut self) -> Option<RqId> {
         let id = *self
             .ull
             .iter()
-            .min_by_key(|id| self.queues[id.0].paused_assigned())
-            .expect("at least one uLL queue");
+            .filter(|id| !self.queues[id.0].is_failed())
+            .min_by_key(|id| self.queues[id.0].paused_assigned())?;
         self.queues[id.0].inc_paused();
-        id
+        Some(id)
     }
 
     /// Releases a pause-time assignment made by
@@ -322,6 +335,55 @@ impl HostScheduler {
         Ok(report)
     }
 
+    /// Vanilla sorted merge of a standalone list into a queue — the
+    /// degradation path taken when a 𝒫²𝒮ℳ plan fails verification at
+    /// resume time (the list is then the plan's reconstructed *A*, see
+    /// `MergePlan::into_list`). O(|A|+|B|) `merge_walk`, semantics
+    /// identical to a successful splice. Returns the number of vCPUs
+    /// merged.
+    pub fn fallback_merge(&mut self, rq: RqId, list: SortedList) -> usize {
+        let merged = list.len();
+        let q = &mut self.queues[rq.0];
+        q.list.merge_walk(&self.arena, list);
+        merged
+    }
+
+    /// Marks a queue's CPU as failed (chaos plane: whole-host or per-CPU
+    /// failure). Failed uLL queues are skipped by
+    /// [`HostScheduler::try_assign_ull_queue`]; the caller is responsible
+    /// for migrating the queue's current and paused occupants.
+    pub fn fail_queue(&mut self, rq: RqId) {
+        self.queues[rq.0].set_failed(true);
+    }
+
+    /// Clears a failure mark (the CPU came back).
+    pub fn revive_queue(&mut self, rq: RqId) {
+        self.queues[rq.0].set_failed(false);
+    }
+
+    /// Whether a queue is currently marked failed.
+    pub fn queue_is_failed(&self, rq: RqId) -> bool {
+        self.queues[rq.0].is_failed()
+    }
+
+    /// Ids of the uLL queues not marked failed.
+    pub fn healthy_ull_queues(&self) -> impl Iterator<Item = RqId> + '_ {
+        self.ull
+            .iter()
+            .copied()
+            .filter(|rq| !self.queues[rq.0].is_failed())
+    }
+
+    /// Drains every vCPU off a queue (failure evacuation), returning the
+    /// popped `(credit, vcpu)` pairs front-to-back.
+    pub fn drain_queue(&mut self, rq: RqId) -> Vec<(i64, Vcpu)> {
+        let mut out = Vec::with_capacity(self.queues[rq.0].len());
+        while let Some(entry) = self.queues[rq.0].list.pop_front(&mut self.arena) {
+            out.push(entry);
+        }
+        out
+    }
+
     /// Read access to a queue's vCPU list (plan maintenance helpers).
     pub fn queue_list(&self, rq: RqId) -> &SortedList {
         &self.queues[rq.0].list
@@ -411,7 +473,7 @@ impl HostScheduler {
         for q in &self.queues {
             let _ = writeln!(
                 out,
-                "  {} [{}] len={} load={:.0} pstate={}MHz paused={}",
+                "  {} [{}] len={} load={:.0} pstate={}MHz paused={}{}",
                 q.id(),
                 match q.kind() {
                     RqKind::General => "gen",
@@ -420,7 +482,8 @@ impl HostScheduler {
                 q.len(),
                 q.load().get(),
                 self.target_pstate(q.id()).mhz(),
-                q.paused_assigned()
+                q.paused_assigned(),
+                if q.is_failed() { " FAILED" } else { "" }
             );
         }
         out
@@ -559,6 +622,56 @@ mod tests {
         s.load_update_per_vcpu(rq, 1);
         // One vCPU: nothing migratable without emptying the queue.
         assert!(!s.rebalance_general());
+    }
+
+    #[test]
+    fn failed_queues_are_skipped_by_assignment() {
+        let mut s = sched_with(2);
+        let a = s.ull_queues()[0];
+        let b = s.ull_queues()[1];
+        s.fail_queue(a);
+        assert!(s.queue_is_failed(a));
+        assert_eq!(s.healthy_ull_queues().collect::<Vec<_>>(), vec![b]);
+        for _ in 0..3 {
+            assert_eq!(s.try_assign_ull_queue(), Some(b));
+        }
+        s.fail_queue(b);
+        assert_eq!(s.try_assign_ull_queue(), None);
+        s.revive_queue(a);
+        assert_eq!(s.try_assign_ull_queue(), Some(a));
+        assert!(s.debug_snapshot().contains("FAILED"));
+    }
+
+    #[test]
+    fn fallback_merge_equals_plan_merge() {
+        let mut s = sched_with(1);
+        let rq = s.ull_queues()[0];
+        s.enqueue_vcpu(rq, 100, vcpu(0));
+        s.enqueue_vcpu(rq, 300, vcpu(1));
+        let mut merge_vcpus = SortedList::new();
+        merge_vcpus.insert_sorted(s.arena_mut(), 200, vcpu(2));
+        merge_vcpus.insert_sorted(s.arena_mut(), 400, vcpu(3));
+        // Reconstruct A from a (corrupt-able) plan, then merge vanilla.
+        let plan = s.ull_precompute(rq, merge_vcpus);
+        let list = plan.into_list(s.arena());
+        assert_eq!(s.fallback_merge(rq, list), 2);
+        s.queue_list(rq).check_invariants(s.arena()).unwrap();
+        assert_eq!(s.queue_list(rq).keys(s.arena()), vec![100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn drain_queue_empties_in_order() {
+        let mut s = sched_with(1);
+        let rq = s.ull_queues()[0];
+        s.enqueue_vcpu(rq, 30, vcpu(0));
+        s.enqueue_vcpu(rq, 10, vcpu(1));
+        s.enqueue_vcpu(rq, 20, vcpu(2));
+        let drained = s.drain_queue(rq);
+        assert_eq!(
+            drained.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert!(s.queue(rq).is_empty());
     }
 
     #[test]

@@ -45,11 +45,21 @@ pub enum Counter {
     InvokesHorse = 15,
     /// Rebalance passes that migrated a vCPU.
     RebalanceMigrations = 16,
+    /// Faults injected by the chaos plane (any site).
+    FaultsInjected = 17,
+    /// HORSE resumes that degraded to the vanilla merge/load path.
+    HorseFallbacks = 18,
+    /// Sandboxes quarantined out of a warm pool after a crash or an
+    /// invalid pool entry.
+    PoolQuarantined = 19,
+    /// Parallel merges rescued from a splice-thread straggler or death
+    /// by sequential completion under the watchdog budget.
+    StragglerRescues = 20,
 }
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 21] = [
         Counter::ResumesVanil,
         Counter::ResumesPpsm,
         Counter::ResumesCoal,
@@ -67,6 +77,10 @@ impl Counter {
         Counter::InvokesWarm,
         Counter::InvokesHorse,
         Counter::RebalanceMigrations,
+        Counter::FaultsInjected,
+        Counter::HorseFallbacks,
+        Counter::PoolQuarantined,
+        Counter::StragglerRescues,
     ];
 
     /// Export name.
@@ -89,6 +103,10 @@ impl Counter {
             Counter::InvokesWarm => "invokes_warm",
             Counter::InvokesHorse => "invokes_horse",
             Counter::RebalanceMigrations => "rebalance_migrations",
+            Counter::FaultsInjected => "fault_injected",
+            Counter::HorseFallbacks => "horse_fallback",
+            Counter::PoolQuarantined => "pool_quarantined",
+            Counter::StragglerRescues => "merge_straggler_rescue",
         }
     }
 }

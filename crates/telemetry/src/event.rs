@@ -70,11 +70,22 @@ pub enum EventKind {
     PoolHit = 24,
     /// Warm-pool miss: the pool was empty for the strategy.
     PoolMiss = 25,
+
+    // --- chaos plane (fault injection + recovery) ---
+    /// A fault was injected (arg = site discriminant in `horse-faults`).
+    FaultInjected = 26,
+    /// A HORSE resume degraded to the vanilla path (arg = penalty ns).
+    HorseFallback = 27,
+    /// A parallel merge was rescued from a straggling or dead splice
+    /// thread (arg = splices completed sequentially).
+    StragglerRescue = 28,
+    /// A sandbox was quarantined out of a warm pool (arg = sandbox id).
+    PoolQuarantine = 29,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 26] = [
+    pub const ALL: [EventKind; 30] = [
         EventKind::Pause,
         EventKind::PauseDequeue,
         EventKind::PauseBuildList,
@@ -101,6 +112,10 @@ impl EventKind {
         EventKind::Exec,
         EventKind::PoolHit,
         EventKind::PoolMiss,
+        EventKind::FaultInjected,
+        EventKind::HorseFallback,
+        EventKind::StragglerRescue,
+        EventKind::PoolQuarantine,
     ];
 
     /// Decodes a stored discriminant (drain path).
@@ -137,6 +152,10 @@ impl EventKind {
             EventKind::Exec => "exec",
             EventKind::PoolHit => "pool_hit",
             EventKind::PoolMiss => "pool_miss",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::HorseFallback => "horse_fallback",
+            EventKind::StragglerRescue => "straggler_rescue",
+            EventKind::PoolQuarantine => "pool_quarantine",
         }
     }
 
@@ -168,6 +187,10 @@ impl EventKind {
             | EventKind::InvokeHorse
             | EventKind::Exec => "invoke",
             EventKind::PoolHit | EventKind::PoolMiss => "pool",
+            EventKind::FaultInjected
+            | EventKind::HorseFallback
+            | EventKind::StragglerRescue
+            | EventKind::PoolQuarantine => "fault",
         }
     }
 
@@ -184,6 +207,10 @@ impl EventKind {
             | EventKind::InvokeHorse => Some("init_ns"),
             EventKind::Exec => Some("exec_ns"),
             EventKind::Pause | EventKind::Resume => Some("sandbox"),
+            EventKind::FaultInjected => Some("site"),
+            EventKind::HorseFallback => Some("penalty_ns"),
+            EventKind::StragglerRescue => Some("splices"),
+            EventKind::PoolQuarantine => Some("sandbox"),
             _ => None,
         }
     }
@@ -217,6 +244,10 @@ impl EventKind {
             EventKind::Exec => &["invoke", "exec"],
             EventKind::PoolHit => &["pool", "hit"],
             EventKind::PoolMiss => &["pool", "miss"],
+            EventKind::FaultInjected => &["fault", "injected"],
+            EventKind::HorseFallback => &["fault", "horse_fallback"],
+            EventKind::StragglerRescue => &["fault", "straggler_rescue"],
+            EventKind::PoolQuarantine => &["fault", "pool_quarantine"],
         }
     }
 }

@@ -36,4 +36,6 @@ pub use pause::{PauseBreakdown, PauseStep};
 pub use resume::{ResumeBreakdown, ResumeMode, ResumeStep};
 pub use sandbox::{PausePolicy, Sandbox, SandboxState};
 pub use snapshot::{BootBreakdown, BootModel, BootStage, RestoreModel, SandboxSnapshot};
-pub use vmm::{PauseReport, ResumeOutcome, Vmm, VmmError, VmmStats};
+pub use vmm::{
+    PauseReport, QueueFailover, ResumeDegradation, ResumeOutcome, Vmm, VmmError, VmmStats,
+};

@@ -135,6 +135,12 @@ impl Sandbox {
         self.maintenance_ns
     }
 
+    /// The run queue of each live vCPU placement (empty unless Running) —
+    /// lets operators and the failure plane see where a sandbox landed.
+    pub fn placement_queues(&self) -> Vec<horse_sched::RqId> {
+        self.placements.iter().map(|p| p.rq).collect()
+    }
+
     pub(crate) fn set_state(&mut self, state: SandboxState) {
         self.state = state;
     }

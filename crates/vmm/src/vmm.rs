@@ -19,15 +19,20 @@ use crate::pause::{PauseBreakdown, PauseStep};
 use crate::resume::{ResumeBreakdown, ResumeMode, ResumeStep};
 use crate::sandbox::{PausePolicy, PausedState, Sandbox, SandboxState, VcpuPlacement};
 use crate::snapshot::{RestoreModel, SandboxSnapshot};
-use horse_core::{MergeReport, SortedList, SpliceMode, StalePlanError};
-use horse_sched::{HostScheduler, RqId, SandboxId, SchedConfig, Vcpu, VcpuId};
+use horse_core::{MergeReport, PlanCorruption, SortedList, SpliceMode, StalePlanError};
+use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome};
+use horse_sched::{HostScheduler, RqId, SandboxId, SchedConfig, SpliceWatchdog, Vcpu, VcpuId};
 use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 
 /// Errors returned by [`Vmm`] operations.
+///
+/// Marked `#[non_exhaustive]`: the fault plane grows new failure classes
+/// (crashes, exhausted queues) without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum VmmError {
     /// The sandbox id is unknown (or destroyed and reaped).
     NotFound(SandboxId),
@@ -52,6 +57,16 @@ pub enum VmmError {
     },
     /// The 𝒫²𝒮ℳ plan no longer matches its ull_runqueue.
     Stale(StalePlanError),
+    /// The sandbox crashed mid-pause or mid-resume (fault injection or a
+    /// real microVM death). Partial scheduler state was rolled back and
+    /// the sandbox destroyed — the id is gone.
+    Crashed {
+        /// The sandbox that crashed.
+        id: SandboxId,
+        /// `true` if the crash hit the resume path, `false` the pause
+        /// path.
+        mid_resume: bool,
+    },
 }
 
 impl fmt::Display for VmmError {
@@ -69,6 +84,11 @@ impl fmt::Display for VmmError {
                 write!(f, "sandbox {id} was not paused for resume mode {mode}")
             }
             VmmError::Stale(e) => write!(f, "{e}"),
+            VmmError::Crashed { id, mid_resume } => write!(
+                f,
+                "sandbox {id} crashed mid-{}; state rolled back, sandbox destroyed",
+                if *mid_resume { "resume" } else { "pause" }
+            ),
         }
     }
 }
@@ -102,6 +122,49 @@ pub struct PauseReport {
     pub ull_rq: Option<RqId>,
 }
 
+/// What degraded during a resume, and what it cost.
+///
+/// All-zeroes/`false` means the clean path ran; any set field means a
+/// fault-plane recovery fired. `penalty_ns` is the total virtual-time
+/// latency charged over the clean path for the same mode (the
+/// "degradation must be measured" requirement — it is also the arg of
+/// the `horse_fallback` telemetry event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeDegradation {
+    /// Step ④: the 𝒫²𝒮ℳ plan failed `check_consistent` and the resume
+    /// fell back to the vanilla sorted merge.
+    pub plan_fallback: bool,
+    /// Step ④: splice points reclaimed from straggling/dead splice
+    /// threads and completed sequentially (0 = no rescue).
+    pub straggler_rescued_splices: u32,
+    /// Step ⑤: the coalesced factors failed validation and per-vCPU load
+    /// updates ran instead.
+    pub coalesce_bypassed: bool,
+    /// Total latency charged over the clean path, in virtual ns.
+    pub penalty_ns: u64,
+}
+
+impl ResumeDegradation {
+    /// Whether any degradation fired.
+    pub fn any(&self) -> bool {
+        self.plan_fallback || self.straggler_rescued_splices > 0 || self.coalesce_bypassed
+    }
+}
+
+/// What [`Vmm::fail_ull_queue`] did to evacuate a failed uLL queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueFailover {
+    /// Running vCPUs drained from the failed queue and re-enqueued on a
+    /// healthy queue.
+    pub migrated_running: usize,
+    /// Paused sandboxes whose 𝒫²𝒮ℳ state was rebuilt against a healthy
+    /// uLL queue (they keep their HORSE fast path).
+    pub replanned: usize,
+    /// Paused sandboxes downgraded to a vanilla pause because no healthy
+    /// uLL queue was left (they must resume through the vanilla path).
+    pub degraded: usize,
+}
+
 /// Outcome of a resume: per-step breakdown plus merge statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResumeOutcome {
@@ -111,6 +174,9 @@ pub struct ResumeOutcome {
     pub breakdown: ResumeBreakdown,
     /// 𝒫²𝒮ℳ merge statistics when the mode used the splice path.
     pub merge: Option<MergeReport>,
+    /// Degradations the fault plane forced on this resume (defaults —
+    /// clean path).
+    pub degradation: ResumeDegradation,
 }
 
 /// Cumulative operation counters of a [`Vmm`] — the observability
@@ -180,6 +246,10 @@ pub struct Vmm {
     stats: VmmStats,
     /// Telemetry sink; disabled (and inert) by default.
     recorder: Recorder,
+    /// Fault-injection plane; disabled (and inert) by default.
+    injector: FaultInjector,
+    /// Straggler budget for the parallel splice.
+    watchdog: SpliceWatchdog,
 }
 
 impl Vmm {
@@ -194,6 +264,8 @@ impl Vmm {
             paused_on_rq: HashMap::new(),
             stats: VmmStats::default(),
             recorder: Recorder::disabled(),
+            injector: FaultInjector::disabled(),
+            watchdog: SpliceWatchdog::default(),
         }
     }
 
@@ -208,6 +280,24 @@ impl Vmm {
     /// The active telemetry recorder (disabled unless one was installed).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Installs a fault injector (clones share one injection plane, so
+    /// the platform typically passes the same handle to the VMM, pools
+    /// and cluster).
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// The active fault injector (disabled unless one was installed).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Replaces the splice-straggler watchdog (default budget:
+    /// [`horse_sched::DEFAULT_SPLICE_BUDGET_NS`]).
+    pub fn set_watchdog(&mut self, watchdog: SpliceWatchdog) {
+        self.watchdog = watchdog;
     }
 
     /// Creates a VMM with the default r650 topology and calibrated costs.
@@ -266,13 +356,20 @@ impl Vmm {
             let vcpu = Vcpu::new(VcpuId::new(self.next_vcpu), id);
             self.next_vcpu += 1;
             let credit = self.initial_credit();
-            let (rq, node) = if config.is_ull() {
-                let rq = self.shortest_ull_queue();
-                let node = self.enqueue_on_ull(rq, credit, vcpu, Some(id));
-                (rq, node)
-            } else {
-                let rq = self.sched.least_loaded_general();
-                (rq, self.sched.enqueue_vcpu(rq, credit, vcpu))
+            let (rq, node) = match self
+                .shortest_healthy_ull_queue()
+                .filter(|_| config.is_ull())
+            {
+                Some(rq) => {
+                    let node = self.enqueue_on_ull(rq, credit, vcpu, Some(id));
+                    (rq, node)
+                }
+                // Non-uLL sandbox — or every uLL queue failed, in which
+                // case uLL starts degrade to the general queues.
+                None => {
+                    let rq = self.sched.least_loaded_general();
+                    (rq, self.sched.enqueue_vcpu(rq, credit, vcpu))
+                }
             };
             self.sched.load_update_per_vcpu(rq, 1);
             placements.push(VcpuPlacement { rq, node, vcpu });
@@ -318,14 +415,54 @@ impl Vmm {
             (f64::from(n) * self.cost.pause_dequeue_per_vcpu_ns).round() as u64,
         );
 
+        // Chaos: crash mid-pause — vCPUs are off the queues but nothing
+        // precomputed yet. Recovery rolls the sandbox forward to a clean
+        // `Destroyed` state (the vCPU nodes are already freed by the
+        // dequeues) and rebuilds the plans the dequeues staled.
+        if let Some(fault) = self.injector.should_inject(FaultSite::CrashMidPause) {
+            self.note_fault(FaultSite::CrashMidPause);
+            let sb = self.sandboxes.get_mut(&id.as_u64()).expect("checked above");
+            sb.set_state(SandboxState::Destroyed);
+            self.sandboxes.remove(&id.as_u64());
+            self.stats.destroyed += 1;
+            self.recorder.gauge_add(Gauge::QueuedVcpus, -i64::from(n));
+            self.recorder
+                .gauge(Gauge::LiveSandboxes, self.sandboxes.len() as u64);
+            touched_ull.sort_by_key(|r| r.as_usize());
+            touched_ull.dedup();
+            for rq in touched_ull {
+                self.rebuild_plans_on(rq, None);
+            }
+            self.injector
+                .resolve(fault, RecoveryOutcome::CrashContained { mid_resume: false });
+            return Err(VmmError::Crashed {
+                id,
+                mid_resume: false,
+            });
+        }
+
+        // Degrade gracefully when every uLL queue has failed: pause
+        // without precomputation (the sandbox then resumes through the
+        // vanilla path) rather than refusing the pause.
+        let mut policy = policy;
         let needs_ull_target = policy.precompute_merge || policy.precompute_coalesce;
-        let ull_rq = needs_ull_target.then(|| {
-            breakdown.set(
-                PauseStep::AssignUllQueue,
-                self.cost.ull_assign_ns.round() as u64,
-            );
-            self.sched.assign_ull_queue()
-        });
+        let ull_rq = if needs_ull_target {
+            match self.sched.try_assign_ull_queue() {
+                Some(rq) => {
+                    breakdown.set(
+                        PauseStep::AssignUllQueue,
+                        self.cost.ull_assign_ns.round() as u64,
+                    );
+                    Some(rq)
+                }
+                None => {
+                    policy = PausePolicy::vanilla();
+                    None
+                }
+            }
+        } else {
+            None
+        };
 
         let plan = if policy.precompute_merge {
             let rq = ull_rq.expect("assigned above");
@@ -491,6 +628,23 @@ impl Vmm {
             }
         }
 
+        // Chaos: crash mid-resume — the sanity checks passed but the
+        // sandbox dies before touching the queues. `destroy` already
+        // knows how to unwind a paused sandbox completely (plan nodes,
+        // queue assignment, plan maintenance on the queue), so crash
+        // containment *is* a destroy.
+        if let Some(fault) = self.injector.should_inject(FaultSite::CrashMidResume) {
+            self.note_fault(FaultSite::CrashMidResume);
+            self.destroy(id).expect("sandbox exists; checked above");
+            self.injector
+                .resolve(fault, RecoveryOutcome::CrashContained { mid_resume: true });
+            return Err(VmmError::Crashed {
+                id,
+                mid_resume: true,
+            });
+        }
+
+        let mut degradation = ResumeDegradation::default();
         let mut breakdown = ResumeBreakdown::default();
         breakdown.set(ResumeStep::ParseInput, self.cost.parse_ns.round() as u64);
         breakdown.set(
@@ -523,10 +677,134 @@ impl Vmm {
         self.sched.take_arena_stats(); // reset op counters
         let merge_ns = if mode.uses_ppsm() {
             let rq = paused.ull_rq.expect("ppsm pause assigned a queue");
-            let plan = paused.plan.expect("ppsm pause built a plan");
+            let mut plan = paused.plan.expect("ppsm pause built a plan");
             let splices = plan.splice_count();
-            let report = self.sched.ull_merge(rq, plan, SpliceMode::Parallel)?;
-            merge_report = Some(report);
+
+            // Chaos: stale/corrupted-plan injections. Corruption is
+            // metadata-only ([`PlanCorruption`]), so the verification
+            // below detects it while `into_list` still reconstructs A
+            // exactly — the fallback is sound by construction.
+            let mut plan_faults: Vec<FaultId> = Vec::new();
+            for site in [FaultSite::ResumePlanStale, FaultSite::ResumePlanCorrupt] {
+                let Some(fault) = self.injector.should_inject(site) else {
+                    continue;
+                };
+                self.note_fault(site);
+                let preferred = match site {
+                    FaultSite::ResumePlanStale => PlanCorruption::StaleBHead,
+                    _ if self.injector.arrivals_at(site) % 2 == 0 => {
+                        PlanCorruption::TruncatedArrayB
+                    }
+                    _ => PlanCorruption::AnchorSkew,
+                };
+                let applied = plan.corrupt(preferred)
+                    || PlanCorruption::ALL
+                        .into_iter()
+                        .any(|c| c != preferred && plan.corrupt(c));
+                if applied {
+                    plan_faults.push(fault);
+                } else {
+                    // Degenerate plan with nothing to corrupt: the fault
+                    // is a no-op and the clean path continues.
+                    self.injector.resolve(
+                        fault,
+                        RecoveryOutcome::FellBackToVanillaMerge { penalty_ns: 0 },
+                    );
+                }
+            }
+
+            // Step-④ safety net: *always* verify the plan against its
+            // queue before splicing — a corrupted plan must never reach
+            // `ull_merge`. On the clean path the walk is folded into the
+            // step-③ sanity budget; a failed check falls back to the
+            // vanilla sorted merge of the plan's reconstructed A.
+            let verified = plan
+                .check_consistent(self.sched.arena(), self.sched.queue_list(rq))
+                .is_ok();
+            let ns = if verified {
+                debug_assert!(
+                    plan_faults.is_empty(),
+                    "corrupted plans must fail verification"
+                );
+                // Chaos: straggling or dead splice threads. The watchdog
+                // reclaims their splice points and completes them
+                // sequentially via a chunked splice (order-equivalent —
+                // splices are disjoint); only the latency differs.
+                let straggler = self.injector.should_inject(FaultSite::SpliceStraggler);
+                let death = self.injector.should_inject(FaultSite::SpliceThreadDeath);
+                let lost = usize::from(straggler.is_some()) + usize::from(death.is_some());
+                let mut splice_mode = SpliceMode::Parallel;
+                let mut rescue_penalty = 0u64;
+                if lost > 0 {
+                    let rescue = self.watchdog.plan_rescue(splices, lost);
+                    splice_mode = SpliceMode::ParallelChunked {
+                        threads: rescue.healthy_threads,
+                    };
+                    // Rescued splices re-run sequentially: one unlink plus
+                    // one link per splice point, ptr-write bound.
+                    let per_splice_ns = 2.0 * self.cost.ptr_write_ns;
+                    rescue_penalty = if straggler.is_some() {
+                        // A straggler makes the merge wait out the full
+                        // budget; a dead thread is detected immediately.
+                        self.watchdog
+                            .rescue_penalty_ns(rescue.rescued_splices, per_splice_ns)
+                    } else {
+                        (rescue.rescued_splices as f64 * per_splice_ns).round() as u64
+                    };
+                    for (fault, site) in [
+                        (straggler, FaultSite::SpliceStraggler),
+                        (death, FaultSite::SpliceThreadDeath),
+                    ] {
+                        if let Some(fault) = fault {
+                            self.note_fault(site);
+                            self.injector.resolve(
+                                fault,
+                                RecoveryOutcome::StragglerRescued {
+                                    rescued_splices: rescue.rescued_splices as u64,
+                                },
+                            );
+                        }
+                    }
+                    degradation.straggler_rescued_splices = rescue.rescued_splices as u32;
+                    degradation.penalty_ns += rescue_penalty;
+                    self.recorder.count(Counter::StragglerRescues, 1);
+                    self.recorder.instant(
+                        EventKind::StragglerRescue,
+                        0,
+                        rescue.rescued_splices as u64,
+                    );
+                }
+                let report = self.sched.ull_merge(rq, plan, splice_mode)?;
+                merge_report = Some(report);
+                self.cost.horse_merge_ns(splices, true) + rescue_penalty as f64
+            } else {
+                // Degraded step ④: reconstruct A from the plan (exact —
+                // `into_list` ignores the corruptible metadata) and run
+                // the vanilla sorted merge into the queue. Same queue
+                // contents as a successful splice, vanilla latency.
+                let list = plan.into_list(self.sched.arena());
+                self.sched.take_arena_stats(); // time only the fallback walk
+                let merged = self.sched.fallback_merge(rq, list);
+                assert_eq!(merged as u32, n, "fallback must merge all of A");
+                let ops = self.sched.take_arena_stats();
+                let vanilla_ns = self.cost.vanilla_merge_ns(ops);
+                let penalty = (vanilla_ns - self.cost.horse_merge_ns(splices, true))
+                    .max(0.0)
+                    .round() as u64;
+                degradation.plan_fallback = true;
+                degradation.penalty_ns += penalty;
+                self.recorder.count(Counter::HorseFallbacks, 1);
+                self.recorder.instant(EventKind::HorseFallback, 0, penalty);
+                for fault in plan_faults.drain(..) {
+                    self.injector.resolve(
+                        fault,
+                        RecoveryOutcome::FellBackToVanillaMerge {
+                            penalty_ns: penalty,
+                        },
+                    );
+                }
+                vanilla_ns
+            };
             // Bookkeeping (untimed): recover the node handles of this
             // sandbox's vCPUs from the queue for the next pause.
             for (node, credit, vcpu) in self.sched.queue_list(rq).iter(self.sched.arena()) {
@@ -539,7 +817,7 @@ impl Vmm {
                     });
                 }
             }
-            self.cost.horse_merge_ns(splices, true)
+            ns
         } else {
             // Per-vCPU sorted inserts. Vanilla scatters across general
             // queues; coal concentrates on the assigned ull_runqueue
@@ -579,8 +857,40 @@ impl Vmm {
         let load_ns = if mode.uses_coalescing() {
             let rq = paused.ull_rq.expect("coalescing pause assigned a queue");
             let coalesced = paused.coalesced.expect("coalescing pause precomputed");
-            self.sched.load_update_coalesced(rq, coalesced);
-            self.cost.horse_load_ns()
+            // Chaos: poisoned coalescing factors (corrupted between pause
+            // and resume).
+            let poison = self.injector.should_inject(FaultSite::CoalescePoisoned);
+            let coalesced = match poison {
+                Some(_) => {
+                    self.note_fault(FaultSite::CoalescePoisoned);
+                    coalesced.poisoned()
+                }
+                None => coalesced,
+            };
+            // Step-⑤ safety net: validate the precomputed factors before
+            // the one-shot multiply-add; invalid factors degrade to the
+            // vanilla per-vCPU updates (same final load, vanilla latency).
+            if coalesced.is_valid_for(n) {
+                self.sched.load_update_coalesced(rq, coalesced);
+                self.cost.horse_load_ns()
+            } else {
+                self.sched.load_update_per_vcpu(rq, n);
+                let vanilla_ns = self.cost.vanilla_load_ns(u64::from(n), u64::from(n));
+                let penalty = (vanilla_ns - self.cost.horse_load_ns()).max(0.0).round() as u64;
+                degradation.coalesce_bypassed = true;
+                degradation.penalty_ns += penalty;
+                self.recorder.count(Counter::HorseFallbacks, 1);
+                self.recorder.instant(EventKind::HorseFallback, 0, penalty);
+                if let Some(fault) = poison {
+                    self.injector.resolve(
+                        fault,
+                        RecoveryOutcome::CoalesceBypassed {
+                            vcpus: u64::from(n),
+                        },
+                    );
+                }
+                vanilla_ns
+            }
         } else {
             // One lock-protected update per vCPU, on each vCPU's queue.
             let mut per_rq: BTreeMap<RqId, u32> = BTreeMap::new();
@@ -666,6 +976,7 @@ impl Vmm {
             mode,
             breakdown,
             merge: merge_report,
+            degradation,
         })
     }
 
@@ -799,6 +1110,93 @@ impl Vmm {
         Some(popped)
     }
 
+    /// Fails a uLL run queue (whole-host / per-CPU failure plane) and
+    /// evacuates it: running vCPUs are drained and re-enqueued on healthy
+    /// queues, and paused sandboxes assigned to it are re-planned against
+    /// a healthy uLL queue — or, when none is left, downgraded to a
+    /// vanilla pause so they stay resumable (through the slow path).
+    ///
+    /// The queue stays failed (skipped by every assignment) until
+    /// [`HostScheduler::revive_queue`] is called through a future
+    /// recovery plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rq` is not a reserved uLL queue.
+    pub fn fail_ull_queue(&mut self, rq: RqId) -> QueueFailover {
+        assert!(
+            self.sched.ull_queues().contains(&rq),
+            "fail_ull_queue targets reserved uLL queues"
+        );
+        self.sched.fail_queue(rq);
+        let mut report = QueueFailover::default();
+
+        // 1. Migrate the queue's running vCPUs to healthy queues,
+        //    updating the owning sandboxes' placements.
+        for (credit, vcpu) in self.sched.drain_queue(rq) {
+            let (target, node) = match self.shortest_healthy_ull_queue() {
+                Some(target) => (target, self.enqueue_on_ull(target, credit, vcpu, None)),
+                None => {
+                    let target = self.sched.least_loaded_general();
+                    (target, self.sched.enqueue_vcpu(target, credit, vcpu))
+                }
+            };
+            self.sched.load_update_per_vcpu(target, 1);
+            if let Some(sb) = self.sandboxes.get_mut(&vcpu.sandbox.as_u64()) {
+                if let Some(p) = sb.placements.iter_mut().find(|p| p.vcpu.id == vcpu.id) {
+                    p.rq = target;
+                    p.node = node;
+                }
+            }
+            report.migrated_running += 1;
+        }
+
+        // 2. Re-home every paused sandbox assigned to the failed queue.
+        let affected: Vec<SandboxId> = self
+            .sandboxes
+            .values()
+            .filter(|s| s.paused.as_ref().is_some_and(|p| p.ull_rq == Some(rq)))
+            .map(|s| s.id())
+            .collect();
+        for sid in affected {
+            self.sched.release_ull_queue(rq);
+            if let Some(l) = self.paused_on_rq.get_mut(&rq) {
+                l.retain(|s| *s != sid);
+            }
+            match self.sched.try_assign_ull_queue() {
+                Some(new_rq) => {
+                    // Keep the fast path: rebuild the plan against the
+                    // new queue (the coalesced factors only depend on the
+                    // vCPU count and stay valid).
+                    let sb = self.sandboxes.get_mut(&sid.as_u64()).expect("listed above");
+                    let state = sb.paused.as_mut().expect("paused");
+                    state.ull_rq = Some(new_rq);
+                    if state.plan.is_some() {
+                        self.paused_on_rq.entry(new_rq).or_default().push(sid);
+                        self.rebuild_plan_for(sid, new_rq);
+                    }
+                    report.replanned += 1;
+                }
+                None => {
+                    // No healthy uLL queue left: free the precomputed
+                    // state and downgrade to a vanilla pause.
+                    let sb = self.sandboxes.get_mut(&sid.as_u64()).expect("listed above");
+                    let state = sb.paused.as_mut().expect("paused");
+                    state.ull_rq = None;
+                    state.coalesced = None;
+                    state.policy = PausePolicy::vanilla();
+                    let plan = state.plan.take();
+                    if let Some(plan) = plan {
+                        let mut list = plan.into_list(self.sched.arena());
+                        list.drain_all(self.sched.arena_mut());
+                    }
+                    report.degraded += 1;
+                }
+            }
+        }
+        report
+    }
+
     /// Multi-line operator summary: per-sandbox states plus the
     /// scheduler's own snapshot.
     pub fn debug_snapshot(&self) -> String {
@@ -867,13 +1265,18 @@ impl Vmm {
         10_000
     }
 
-    fn shortest_ull_queue(&self) -> RqId {
-        *self
-            .sched
-            .ull_queues()
-            .iter()
-            .min_by_key(|id| self.sched.queue(**id).len())
-            .expect("at least one uLL queue")
+    /// Emits the fault-injection telemetry pair (counter + instant with
+    /// the site index as arg) for a fault that just fired.
+    fn note_fault(&self, site: FaultSite) {
+        self.recorder.count(Counter::FaultsInjected, 1);
+        self.recorder
+            .instant(EventKind::FaultInjected, 0, site.index() as u64);
+    }
+
+    fn shortest_healthy_ull_queue(&self) -> Option<RqId> {
+        self.sched
+            .healthy_ull_queues()
+            .min_by_key(|id| self.sched.queue(*id).len())
     }
 
     /// Enqueues on an ull_runqueue and keeps other paused plans fresh.

@@ -55,6 +55,7 @@
 
 pub use horse_core as core;
 pub use horse_faas as faas;
+pub use horse_faults as faults;
 pub use horse_metrics as metrics;
 pub use horse_sched as sched;
 pub use horse_sim as sim;
@@ -67,8 +68,11 @@ pub use horse_workloads as workloads;
 pub mod prelude {
     pub use horse_core::{Arena, LoadUpdate, MergePlan, SortedList, SpliceMode};
     pub use horse_faas::{
-        Cluster, DispatchPolicy, FaasError, FaasPlatform, FunctionId, InvocationRecord, KeepAlive,
-        PlatformConfig, StartStrategy, UllScaler, WarmPool,
+        Cluster, DispatchPolicy, FaasError, FaasPlatform, FunctionId, HostId, InvocationRecord,
+        KeepAlive, PlatformConfig, StartStrategy, UllScaler, WarmPool,
+    };
+    pub use horse_faults::{
+        FaultInjector, FaultPlan, FaultSite, FaultTrigger, RecoveryOutcome, RetryPolicy,
     };
     pub use horse_metrics::{Histogram, RunningStats};
     pub use horse_sched::{CpuTopology, GovernorPolicy, HostScheduler, SchedConfig, SchedFlavor};

@@ -161,3 +161,114 @@ fn stress_many_sandboxes_with_interleaved_errors() {
     }
     assert!(vmm.sched().arena().is_empty());
 }
+
+// ---- seeded chaos across the whole stack --------------------------------
+
+/// Runs a small chaotic cluster workload and returns the injector's fault
+/// log plus the run-queue invariant status at the end.
+fn chaos_round(seed: u64) -> (Vec<horse::faults::FaultRecord>, bool) {
+    let mut cluster = Cluster::new(2, DispatchPolicy::RoundRobin, seed);
+    let f = cluster.register("nat", Category::Cat2, cfg(2));
+    cluster.provision_all(f, 3, StartStrategy::Horse).unwrap();
+    cluster.provision_all(f, 2, StartStrategy::Warm).unwrap();
+    cluster.set_injector(FaultInjector::new(seed, FaultPlan::uniform(0.05)));
+    for i in 0..120 {
+        let strategy = if i % 3 == 0 {
+            StartStrategy::Warm
+        } else {
+            StartStrategy::Horse
+        };
+        match cluster.invoke(f, strategy) {
+            Ok(_) => {}
+            Err(FaasError::NoWarmSandbox { .. }) | Err(FaasError::RetriesExhausted { .. }) => {
+                let _ = cluster.provision_all(f, 1, strategy);
+            }
+            Err(FaasError::NoHealthyHost) => break,
+            Err(_) => {}
+        }
+    }
+    let mut sound = true;
+    for i in 0..cluster.len() {
+        let host = HostId(i);
+        if !cluster.is_alive(host) {
+            continue;
+        }
+        let sched = cluster.host(host).vmm().sched();
+        for rq in sched.general_queues().iter().chain(sched.ull_queues()) {
+            sound &= sched
+                .queue_list(*rq)
+                .check_invariants(sched.arena())
+                .is_ok();
+        }
+    }
+    (cluster.injector().log(), sound)
+}
+
+#[test]
+fn cluster_chaos_is_contained_and_replays_exactly() {
+    let (log_a, sound_a) = chaos_round(7);
+    let (log_b, sound_b) = chaos_round(7);
+    let (log_c, _) = chaos_round(8);
+    assert!(sound_a && sound_b, "queue invariants survived the chaos");
+    assert!(!log_a.is_empty(), "p=0.05 over 120 invocations must fire");
+    assert_eq!(log_a, log_b, "same seed, same fault/recovery sequence");
+    assert_ne!(log_a, log_c, "different seed, different sequence");
+    // Every injected fault carries a typed recovery outcome.
+    assert!(log_a
+        .iter()
+        .all(|r| r.outcome != RecoveryOutcome::Unresolved));
+}
+
+#[test]
+fn fault_telemetry_reaches_the_chrome_trace_export() {
+    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let recorder = Recorder::enabled();
+    platform.set_recorder(recorder.clone());
+    let f = platform.register("nat", Category::Cat2, cfg(2));
+    platform.provision(f, 2, StartStrategy::Horse).unwrap();
+    platform.set_injector(FaultInjector::new(
+        9,
+        FaultPlan::new()
+            .with(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1))
+            .with(FaultSite::ResumePlanStale, FaultTrigger::Once(1)),
+    ));
+    platform.invoke(f, StartStrategy::Horse).unwrap();
+
+    let snapshot = recorder.drain();
+    let chrome = horse::telemetry::chrome::render(&snapshot);
+    for needle in ["fault_injected", "horse_fallback", "pool_quarantine"] {
+        assert!(
+            chrome.contains(needle),
+            "{needle} missing from the Chrome-trace export"
+        );
+    }
+    // The counters made it into the snapshot too.
+    use horse::telemetry::Counter;
+    assert_eq!(recorder.counter_value(Counter::FaultsInjected), 2);
+    assert_eq!(recorder.counter_value(Counter::PoolQuarantined), 1);
+    assert!(recorder.counter_value(Counter::HorseFallbacks) >= 1);
+}
+
+#[test]
+fn whole_host_failure_keeps_serving_from_survivors() {
+    let mut cluster = Cluster::new(3, DispatchPolicy::RoundRobin, 1);
+    let f = cluster.register("filter", Category::Cat3, cfg(1));
+    cluster.provision_all(f, 2, StartStrategy::Horse).unwrap();
+    cluster.set_injector(FaultInjector::new(
+        1,
+        FaultPlan::new().with(FaultSite::HostFailure, FaultTrigger::Once(2)),
+    ));
+    let mut served = 0;
+    for _ in 0..6 {
+        if cluster.invoke(f, StartStrategy::Horse).is_ok() {
+            served += 1;
+        }
+    }
+    assert_eq!(served, 6, "the failure was absorbed, not surfaced");
+    assert_eq!(cluster.alive_count(), 2);
+    let log = cluster.injector().log();
+    assert!(matches!(
+        log[0].outcome,
+        RecoveryOutcome::HostEvacuated { rebalanced: 2 }
+    ));
+}
