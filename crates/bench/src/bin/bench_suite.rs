@@ -1,0 +1,443 @@
+//! Machine-readable benchmark trajectory with a regression gate.
+//!
+//! Runs the resume / merge / coalesce micro-benchmarks plus a seeded
+//! end-to-end soak and emits two JSON artifacts:
+//!
+//! * `BENCH_resume.json` — per `(mode × vCPU)` resume totals, per-step
+//!   breakdowns and the paper's dominant-share metric, plus the isolated
+//!   merge (step ④) and coalesce (step ⑤) numbers;
+//! * `BENCH_e2e.json` — per-class p50/p99/p99.9 end-to-end and resume
+//!   latencies of a seeded cluster soak, with the full per-step tail
+//!   attribution (exemplar trace ids included) from
+//!   [`horse_metrics::TailAttribution`].
+//!
+//! Both carry the git sha and seed. All latencies are **virtual
+//! nanoseconds** from the calibrated cost model, so a given tree
+//! reproduces its numbers bit-for-bit on any machine — which is what
+//! makes a *committed* baseline meaningful.
+//!
+//! Modes:
+//!
+//! * `bench_suite --seed 42 --out results` — run and write artifacts;
+//! * `bench_suite --against results/bench_baseline.json` — also compare
+//!   every `*_ns` leaf against the committed baseline and exit non-zero
+//!   when any leaf drifts beyond the noise band (the CI perf gate);
+//! * `bench_suite --write-baseline` — regenerate the committed
+//!   baseline's section for this seed;
+//! * `bench_suite --slowdown-splice 2 --against ...` — scale the
+//!   splice-path cost-model terms, which MUST trip the gate (CI runs
+//!   this as the gate's negative test).
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use horse_bench::{paper_sched_config, policy_for};
+use horse_faas::{Cluster, DispatchPolicy, PlatformConfig, StartStrategy};
+use horse_metrics::export::write_chrome_trace;
+use horse_metrics::TailAttribution;
+use horse_telemetry::json::{self, JsonValue};
+use horse_telemetry::{Recorder, TraceSnapshot};
+use horse_vmm::{CostModel, ResumeMode, ResumeStep, SandboxConfig, Vmm};
+use horse_workloads::Category;
+
+const SCHEMA_RESUME: &str = "horse-bench/resume/1";
+const SCHEMA_E2E: &str = "horse-bench/e2e/1";
+const SCHEMA_BASELINE: &str = "horse-bench/baseline/1";
+
+/// Relative drift tolerated per `*_ns` leaf by `--against`. The model is
+/// deterministic, so an unchanged tree reproduces the baseline exactly;
+/// the band only absorbs deliberate small calibration adjustments. A 2×
+/// splice-path slowdown sits far outside it.
+const NOISE_BAND: f64 = 0.10;
+
+/// vCPU points of the micro sections (ends of the paper's Figure 2–3
+/// sweep plus the mid-range knee).
+const VCPUS: [u32; 3] = [1, 8, 36];
+
+/// Invocation rounds of the e2e soak (each round = one warm + one
+/// horse invocation).
+const SOAK_ROUNDS: usize = 200;
+
+struct Options {
+    seed: u64,
+    out: String,
+    against: Option<String>,
+    write_baseline: bool,
+    slowdown_splice: f64,
+}
+
+const USAGE: &str = "usage: bench_suite [--seed <u64>] [--out <dir>] \
+     [--against <baseline.json>] [--write-baseline] [--slowdown-splice <f64>]";
+
+impl Options {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = Options {
+            seed: 42,
+            out: "results".to_string(),
+            against: None,
+            write_baseline: false,
+            slowdown_splice: 1.0,
+        };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("{flag} needs a value; {USAGE}"))
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    opts.seed = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}; {USAGE}"))?;
+                }
+                "--out" => opts.out = value()?,
+                "--against" => opts.against = Some(value()?),
+                "--write-baseline" => opts.write_baseline = true,
+                "--slowdown-splice" => {
+                    opts.slowdown_splice = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --slowdown-splice: {e}; {USAGE}"))?;
+                    if !opts.slowdown_splice.is_finite() || opts.slowdown_splice <= 0.0 {
+                        return Err(format!("--slowdown-splice must be positive; {USAGE}"));
+                    }
+                }
+                other => return Err(format!("unknown flag {other}; {USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn git_sha() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The calibrated model with the 𝒫²𝒮ℳ splice path scaled by `factor`
+/// (1.0 = faithful). Used by CI to prove the gate catches a splice-path
+/// regression.
+fn cost_model(factor: f64) -> CostModel {
+    let mut cost = CostModel::calibrated();
+    cost.horse_merge_base_ns *= factor;
+    cost.splice_thread_ns *= factor;
+    cost
+}
+
+fn obj(entries: Vec<(String, JsonValue)>) -> JsonValue {
+    JsonValue::Object(entries.into_iter().collect::<BTreeMap<_, _>>())
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Number(v)
+}
+
+/// One deterministic pause/resume cycle under `cost`.
+fn one_resume(cost: &CostModel, vcpus: u32, mode: ResumeMode) -> horse_vmm::ResumeBreakdown {
+    let mut vmm = Vmm::new(paper_sched_config(), *cost);
+    let cfg = SandboxConfig::builder()
+        .vcpus(vcpus)
+        .memory_mb(512)
+        .ull(true)
+        .build()
+        .expect("static config is valid");
+    let id = vmm.create(cfg);
+    vmm.start(id).expect("fresh sandbox starts");
+    vmm.pause(id, policy_for(mode))
+        .expect("running sandbox pauses");
+    vmm.resume(id, mode)
+        .expect("paused sandbox resumes")
+        .breakdown
+}
+
+/// The `resume` / `merge` / `coalesce` sections of `BENCH_resume.json`.
+fn micro_sections(cost: &CostModel) -> (JsonValue, JsonValue, JsonValue) {
+    let mut resume = BTreeMap::new();
+    let mut merge = BTreeMap::new();
+    let mut coalesce = BTreeMap::new();
+    for mode in ResumeMode::ALL {
+        for vcpus in VCPUS {
+            let b = one_resume(cost, vcpus, mode);
+            let key = format!("{}_v{vcpus}", mode.label());
+            let total: u64 = b.total_ns();
+            let mut steps = BTreeMap::new();
+            for step in ResumeStep::ALL {
+                steps.insert(format!("{}_ns", step.label()), num(b.get(step) as f64));
+            }
+            let dominant = (b.get(ResumeStep::SortedMerge) + b.get(ResumeStep::LoadUpdate)) as f64
+                / total.max(1) as f64;
+            resume.insert(
+                key.clone(),
+                obj(vec![
+                    ("total_ns".into(), num(total as f64)),
+                    ("steps".into(), JsonValue::Object(steps)),
+                    ("dominant_share".into(), num(dominant)),
+                ]),
+            );
+            merge.insert(
+                format!("{key}_ns"),
+                num(b.get(ResumeStep::SortedMerge) as f64),
+            );
+            coalesce.insert(
+                format!("{key}_ns"),
+                num(b.get(ResumeStep::LoadUpdate) as f64),
+            );
+        }
+    }
+    (
+        JsonValue::Object(resume),
+        JsonValue::Object(merge),
+        JsonValue::Object(coalesce),
+    )
+}
+
+/// Seeded cluster soak: warm (vanilla resume) and horse invocations on a
+/// 3-host cluster, traced end to end. Returns the e2e JSON section and
+/// the snapshot (for the sample Chrome trace artifact).
+fn e2e_soak(seed: u64, cost: &CostModel) -> (JsonValue, TraceSnapshot) {
+    let config = PlatformConfig {
+        cost: *cost,
+        ..PlatformConfig::default()
+    };
+    let mut cluster = Cluster::with_config(3, DispatchPolicy::RoundRobin, seed, config);
+    let recorder = Recorder::enabled();
+    cluster.set_recorder(recorder.clone());
+
+    let vanilla = SandboxConfig::builder().vcpus(1).build().unwrap();
+    let ull = SandboxConfig::builder().vcpus(2).ull(true).build().unwrap();
+    let warm_fn = cluster.register("nat", Category::Cat2, vanilla);
+    let horse_fn = cluster.register("filter", Category::Cat3, ull);
+    cluster
+        .provision_all(warm_fn, 2, StartStrategy::Warm)
+        .expect("provision warm pool");
+    cluster
+        .provision_all(horse_fn, 2, StartStrategy::Horse)
+        .expect("provision horse pool");
+    recorder.drain(); // provisioning is untraced noise: keep it out
+
+    for _ in 0..SOAK_ROUNDS {
+        cluster
+            .invoke(warm_fn, StartStrategy::Warm)
+            .expect("warm invoke");
+        cluster
+            .invoke(horse_fn, StartStrategy::Horse)
+            .expect("horse invoke");
+    }
+    let snapshot = recorder.drain();
+
+    let attribution = TailAttribution::from_snapshot(&snapshot);
+    let mut classes = BTreeMap::new();
+    for (class, attr) in &attribution.classes {
+        let mut entry = vec![("invocations".to_string(), num(attr.e2e.len() as f64))];
+        for (pct, tag) in [(50.0, "p50"), (99.0, "p99"), (99.9, "p999")] {
+            entry.push((
+                format!("e2e_{tag}_ns"),
+                num(attr.e2e.percentile(pct) as f64),
+            ));
+            entry.push((
+                format!("resume_{tag}_ns"),
+                num(attr.resume.percentile(pct) as f64),
+            ));
+        }
+        classes.insert(class.to_string(), obj(entry));
+    }
+    let report = attribution.report(&[50.0, 99.0, 99.9]);
+    let section = obj(vec![
+        ("invocations".into(), num((SOAK_ROUNDS * 2) as f64)),
+        ("classes".into(), JsonValue::Object(classes)),
+        ("attribution".into(), report.to_json()),
+    ]);
+    (section, snapshot)
+}
+
+/// Flattens every numeric leaf whose key ends in `_ns` to
+/// `(dotted.path, value)` — the latency surface the gate compares.
+fn latency_leaves(value: &JsonValue, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    if let JsonValue::Object(map) = value {
+        for (key, child) in map {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            match child {
+                JsonValue::Number(n) if key.ends_with("_ns") => {
+                    out.insert(path, *n);
+                }
+                _ => latency_leaves(child, &path, out),
+            }
+        }
+    }
+}
+
+/// Compares current sections against the baseline's entry for `seed`.
+/// Returns the list of violations (empty = gate passes).
+fn compare(baseline: &JsonValue, seed: u64, current: &JsonValue) -> Result<Vec<String>, String> {
+    if baseline.get("schema").and_then(|v| v.as_str()) != Some(SCHEMA_BASELINE) {
+        return Err(format!("baseline schema is not {SCHEMA_BASELINE}"));
+    }
+    let entry = baseline
+        .get("seeds")
+        .and_then(|s| s.get(&seed.to_string()))
+        .ok_or_else(|| format!("baseline has no entry for seed {seed}"))?;
+    let mut expected = BTreeMap::new();
+    latency_leaves(entry, "", &mut expected);
+    let mut actual = BTreeMap::new();
+    latency_leaves(current, "", &mut actual);
+    if expected.is_empty() {
+        return Err(format!("baseline entry for seed {seed} has no *_ns leaves"));
+    }
+
+    let mut violations = Vec::new();
+    for (path, base) in &expected {
+        match actual.get(path) {
+            None => violations.push(format!("{path}: present in baseline, missing in run")),
+            Some(cur) => {
+                let drift = (cur - base).abs() / base.abs().max(1.0);
+                if drift > NOISE_BAND {
+                    violations.push(format!(
+                        "{path}: {base:.0} ns -> {cur:.0} ns ({:+.1} % > ±{:.0} % band)",
+                        100.0 * (cur - base) / base.abs().max(1.0),
+                        100.0 * NOISE_BAND
+                    ));
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+fn write_json(path: &str, value: &JsonValue) {
+    let mut text = value.render();
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&opts.out).expect("create out dir");
+    let sha = git_sha();
+    let cost = cost_model(opts.slowdown_splice);
+
+    let (resume, merge, coalesce) = micro_sections(&cost);
+    let resume_doc = obj(vec![
+        ("schema".into(), JsonValue::String(SCHEMA_RESUME.into())),
+        ("git_sha".into(), JsonValue::String(sha.clone())),
+        ("seed".into(), num(opts.seed as f64)),
+        ("slowdown_splice".into(), num(opts.slowdown_splice)),
+        ("resume".into(), resume),
+        ("merge".into(), merge),
+        ("coalesce".into(), coalesce),
+    ]);
+    let resume_path = format!("{}/BENCH_resume.json", opts.out);
+    write_json(&resume_path, &resume_doc);
+
+    let (e2e_section, snapshot) = e2e_soak(opts.seed, &cost);
+    let e2e_doc = obj(vec![
+        ("schema".into(), JsonValue::String(SCHEMA_E2E.into())),
+        ("git_sha".into(), JsonValue::String(sha.clone())),
+        ("seed".into(), num(opts.seed as f64)),
+        ("slowdown_splice".into(), num(opts.slowdown_splice)),
+        ("e2e".into(), e2e_section),
+    ]);
+    let e2e_path = format!("{}/BENCH_e2e.json", opts.out);
+    write_json(&e2e_path, &e2e_doc);
+
+    // Sample Chrome trace of the soak — uploaded by CI next to the JSON
+    // so a regression comes with the trace that explains it.
+    let trace_path = format!("{}/BENCH_e2e.trace.json", opts.out);
+    write_chrome_trace(&trace_path, &snapshot).expect("write sample trace");
+    if snapshot.dropped > 0 {
+        eprintln!(
+            "warning: soak dropped {} events — percentiles are lower bounds",
+            snapshot.dropped
+        );
+    }
+    println!(
+        "{resume_path}: {SCHEMA_RESUME} (sha {sha}, seed {})",
+        opts.seed
+    );
+    println!(
+        "{e2e_path}: {SCHEMA_E2E} ({} traced events)",
+        snapshot.events.len()
+    );
+    println!("{trace_path}: sample Chrome trace");
+
+    // The comparable surface: both documents' *_ns leaves under one root.
+    let sections = obj(vec![
+        ("resume_doc".into(), resume_doc),
+        ("e2e_doc".into(), e2e_doc),
+    ]);
+
+    if opts.write_baseline {
+        let path = format!("{}/bench_baseline.json", opts.out);
+        // The baseline is committed *before* the commit it will gate, so
+        // an embedded sha would always name the wrong tree — drop it.
+        let mut sections = sections.clone();
+        if let JsonValue::Object(docs) = &mut sections {
+            for doc in docs.values_mut() {
+                if let JsonValue::Object(map) = doc {
+                    map.remove("git_sha");
+                }
+            }
+        }
+        let mut seeds = match std::fs::read_to_string(&path) {
+            Ok(text) => match json::parse(&text).expect("existing baseline parses") {
+                JsonValue::Object(mut map) => match map.remove("seeds") {
+                    Some(JsonValue::Object(seeds)) => seeds,
+                    _ => BTreeMap::new(),
+                },
+                _ => BTreeMap::new(),
+            },
+            Err(_) => BTreeMap::new(),
+        };
+        seeds.insert(opts.seed.to_string(), sections.clone());
+        let baseline = obj(vec![
+            ("schema".into(), JsonValue::String(SCHEMA_BASELINE.into())),
+            ("seeds".into(), JsonValue::Object(seeds)),
+        ]);
+        write_json(&path, &baseline);
+        println!("{path}: baseline updated for seed {}", opts.seed);
+    }
+
+    if let Some(baseline_path) = &opts.against {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let baseline = json::parse(&text).expect("baseline is valid JSON");
+        match compare(&baseline, opts.seed, &sections) {
+            Ok(violations) if violations.is_empty() => {
+                println!(
+                    "perf gate: all *_ns leaves within ±{:.0} % of {baseline_path} (seed {})",
+                    100.0 * NOISE_BAND,
+                    opts.seed
+                );
+            }
+            Ok(violations) => {
+                eprintln!(
+                    "perf gate FAILED against {baseline_path} (seed {}): {} leaf(s) out of band",
+                    opts.seed,
+                    violations.len()
+                );
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(msg) => {
+                eprintln!("perf gate error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -80,12 +80,29 @@ impl Cluster {
     ///
     /// Panics if `hosts` is zero.
     pub fn new(hosts: usize, policy: DispatchPolicy, seed: u64) -> Self {
+        Self::with_config(hosts, policy, seed, PlatformConfig::default())
+    }
+
+    /// Builds a cluster of `hosts` hosts sharing `config` (each host gets
+    /// a derived seed on top of it). Lets experiments swap in a modified
+    /// cost model — e.g. the bench suite's deliberate splice-path
+    /// slowdown that validates the CI perf gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn with_config(
+        hosts: usize,
+        policy: DispatchPolicy,
+        seed: u64,
+        config: PlatformConfig,
+    ) -> Self {
         assert!(hosts > 0, "a cluster needs at least one host");
         let hosts: Vec<FaasPlatform> = (0..hosts)
             .map(|i| {
                 FaasPlatform::new(PlatformConfig {
                     seed: seed.wrapping_add(i as u64),
-                    ..PlatformConfig::default()
+                    ..config.clone()
                 })
             })
             .collect();
@@ -236,6 +253,23 @@ impl Cluster {
     ///
     /// Returns the last host's error if every host fails.
     pub fn invoke(
+        &mut self,
+        function: FunctionId,
+        strategy: StartStrategy,
+    ) -> Result<(HostId, InvocationRecord), FaasError> {
+        // Trace context: routing is part of the invocation it serves, so
+        // the cluster mints the id *before* routing — host-failure fault
+        // events and every downstream host/vmm span carry it. The serving
+        // host reuses the installed context instead of minting its own.
+        let invocation = self.recorder.mint_invocation();
+        self.recorder
+            .set_context(horse_telemetry::TraceContext::root(invocation));
+        let result = self.invoke_routed(function, strategy);
+        self.recorder.clear_context();
+        result
+    }
+
+    fn invoke_routed(
         &mut self,
         function: FunctionId,
         strategy: StartStrategy,

@@ -61,6 +61,10 @@ pub struct InvocationRecord {
     pub init_ns: u64,
     /// Function execution time (ns).
     pub exec_ns: u64,
+    /// Trace id minted for this invocation (0 when telemetry is
+    /// disabled); every span the invocation emitted carries it, so a
+    /// record links back to its causal trace.
+    pub invocation: u64,
 }
 
 impl InvocationRecord {
@@ -103,6 +107,7 @@ mod tests {
             strategy: StartStrategy::Warm,
             init_ns: 1_100,
             exec_ns: 700,
+            invocation: 1,
         };
         assert_eq!(r.total_ns(), 1_800);
         assert!((r.init_share() - 1_100.0 / 1_800.0).abs() < 1e-12);
@@ -115,6 +120,7 @@ mod tests {
             strategy: StartStrategy::Cold,
             init_ns: 0,
             exec_ns: 0,
+            invocation: 0,
         };
         assert_eq!(r.init_share(), 0.0);
     }

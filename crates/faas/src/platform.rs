@@ -7,7 +7,7 @@ use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome, RetryPoli
 use horse_sched::{SandboxId, SchedConfig};
 use horse_sim::rng::SeedFactory;
 use horse_sim::SimTime;
-use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
+use horse_telemetry::{Counter, EventKind, Gauge, Recorder, TraceContext};
 use horse_vmm::{
     BootModel, CostModel, PausePolicy, RestoreModel, ResumeMode, ResumeOutcome, SandboxConfig, Vmm,
     VmmError,
@@ -380,12 +380,81 @@ impl FaasPlatform {
         let category = meta.category();
         let exec_ns = self.sample_exec_ns(category);
 
+        // Trace context: mint an invocation id here — unless the cluster
+        // routing layer already installed one (its routing/fault events
+        // precede this call and must carry the same id). The context's
+        // parent is the invoke-phase span, so the warm-pool take, the
+        // scheduler's dispatch instants, the resume steps and the
+        // keep-alive re-pause all attach to the invocation they serve.
+        let outer = self.recorder.context();
+        let invocation = if outer.is_traced() {
+            outer.invocation
+        } else {
+            self.recorder.mint_invocation()
+        };
+        self.recorder.set_context(TraceContext {
+            invocation,
+            parent: Some(Self::invoke_kind(strategy)),
+        });
+
         // Telemetry: the invoke span covers initialization, the exec span
         // follows it, and the keep-alive re-pause (its own spans) comes
         // after execution — the pipeline order an operator expects to see
         // in the trace.
         let t0 = self.recorder.now_ns();
-        let init_ns = match strategy {
+        let dispatched = self.dispatch_invoke(function, strategy, cfg, exec_ns, t0);
+        // Restore the caller's context before propagating any error so a
+        // failed invocation cannot leak its id onto unrelated work.
+        if outer.is_traced() {
+            self.recorder.set_context(outer);
+        } else {
+            self.recorder.clear_context();
+        }
+        let init_ns = dispatched?;
+        self.recorder.count(
+            match strategy {
+                StartStrategy::Cold => Counter::InvokesCold,
+                StartStrategy::Restore => Counter::InvokesRestore,
+                StartStrategy::Warm => Counter::InvokesWarm,
+                StartStrategy::Horse => Counter::InvokesHorse,
+            },
+            1,
+        );
+        self.recorder.gauge(
+            Gauge::PooledSandboxes,
+            self.warm_pool.values().map(|p| p.len() as u64).sum(),
+        );
+
+        Ok(InvocationRecord {
+            function,
+            strategy,
+            init_ns,
+            exec_ns,
+            invocation,
+        })
+    }
+
+    /// The invoke-phase span kind for a strategy.
+    fn invoke_kind(strategy: StartStrategy) -> EventKind {
+        match strategy {
+            StartStrategy::Cold => EventKind::InvokeCold,
+            StartStrategy::Restore => EventKind::InvokeRestore,
+            StartStrategy::Warm => EventKind::InvokeWarm,
+            StartStrategy::Horse => EventKind::InvokeHorse,
+        }
+    }
+
+    /// Runs the strategy-specific initialization pipeline under the
+    /// invocation's trace context, returning the init latency.
+    fn dispatch_invoke(
+        &mut self,
+        function: FunctionId,
+        strategy: StartStrategy,
+        cfg: SandboxConfig,
+        exec_ns: u64,
+        t0: u64,
+    ) -> Result<u64, FaasError> {
+        Ok(match strategy {
             StartStrategy::Cold => {
                 // Boot a brand-new sandbox; it joins the vanilla pool
                 // afterwards (keep-alive).
@@ -421,37 +490,22 @@ impl FaasPlatform {
                 self.repause_into_pool(id, function, true)?;
                 init
             }
-        };
-
-        self.recorder.count(
-            match strategy {
-                StartStrategy::Cold => Counter::InvokesCold,
-                StartStrategy::Restore => Counter::InvokesRestore,
-                StartStrategy::Warm => Counter::InvokesWarm,
-                StartStrategy::Horse => Counter::InvokesHorse,
-            },
-            1,
-        );
-        self.recorder.gauge(
-            Gauge::PooledSandboxes,
-            self.warm_pool.values().map(|p| p.len() as u64).sum(),
-        );
-
-        Ok(InvocationRecord {
-            function,
-            strategy,
-            init_ns,
-            exec_ns,
         })
     }
 
     /// Emits the invoke-phase span `[t0, t0+init]` and the exec span that
     /// follows it, leaving the cursor at the end of execution.
+    ///
+    /// The invoke span is the invocation's root (parent `None`); the exec
+    /// span is its causal child. The ambient parent — the invoke kind —
+    /// is restored afterwards for the keep-alive re-pause.
     fn record_init_and_exec(&self, kind: EventKind, t0: u64, init_ns: u64, exec_ns: u64) {
         if !self.recorder.is_enabled() {
             return;
         }
+        self.recorder.set_parent(None);
         self.recorder.span_at(kind, 0, t0, init_ns, init_ns);
+        self.recorder.set_parent(Some(kind));
         self.recorder.set_now(t0 + init_ns);
         self.recorder.span(EventKind::Exec, 0, exec_ns, exec_ns);
     }

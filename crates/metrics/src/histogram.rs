@@ -180,6 +180,46 @@ impl Histogram {
             .map(|(i, &c)| (Self::highest_value_for(i), c))
     }
 
+    /// Index of the bucket `value` falls into. Bucket indices are a
+    /// property of the scheme, not of one histogram instance, so two
+    /// histograms (or an exemplar side-table) can share them.
+    pub fn bucket_index(value: u64) -> usize {
+        Self::index_for(value)
+    }
+
+    /// Highest value mapping to bucket `index` — the inverse of
+    /// [`Histogram::bucket_index`] up to quantization.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        Self::highest_value_for(index)
+    }
+
+    /// Index of the bucket containing the rank of percentile `pct`
+    /// (`None` when empty) — unlike [`Histogram::percentile`] this
+    /// identifies the *bucket*, so callers can join percentiles against
+    /// per-bucket side data such as exemplar trace ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not within `0.0..=100.0`.
+    pub fn percentile_bucket(&self, pct: f64) -> Option<usize> {
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "percentile {pct} out of range"
+        );
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((pct / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
     fn index_for(value: u64) -> usize {
         // Index of the power-of-two bucket holding `value`. Values below
         // SUB_BUCKET_COUNT land in bucket 0 which has full resolution.

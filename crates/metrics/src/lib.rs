@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod chart;
 pub mod export;
 mod histogram;
@@ -37,6 +38,7 @@ pub mod report;
 mod stats;
 mod timeseries;
 
+pub use attribution::{TailAttribution, TailReport};
 pub use histogram::Histogram;
 pub use stats::{ConfidenceInterval, RunningStats};
 pub use timeseries::{Sample, TimeSeries};

@@ -77,6 +77,83 @@ proptest! {
         }
     }
 
+    /// The tail-report ordering the attribution plane depends on:
+    /// p50 ≤ p99 ≤ p99.9 ≤ max, with every point tracking the exact
+    /// oracle's order statistic within the error bound.
+    #[test]
+    fn tail_percentiles_are_ordered_and_track_oracle(
+        mut values in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let (p50, p99, p999) = (h.percentile(50.0), h.percentile(99.0), h.percentile(99.9));
+        prop_assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        prop_assert!(p99 <= p999, "p99 {p99} > p99.9 {p999}");
+        prop_assert!(p999 <= h.max(), "p99.9 {p999} > max {}", h.max());
+        for (pct, approx) in [(50.0, p50), (99.0, p99), (99.9, p999)] {
+            let exact = exact_percentile(&values, pct);
+            let tolerance = (exact as f64 / 64.0).max(2.0);
+            prop_assert!(
+                (approx as f64 - exact as f64).abs() <= tolerance,
+                "p{pct}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    /// Merge is associative: sharded recording (the per-thread layout of
+    /// the soak) queried after any merge order equals recording the
+    /// union directly — and both match the exact oracle.
+    #[test]
+    fn merge_is_associative_shards_vs_union(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        pct in 0.0f64..100.0,
+    ) {
+        let shard = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let mut left = shard(&a);
+        left.merge(&shard(&b));
+        left.merge(&shard(&c));
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = shard(&b);
+        right_tail.merge(&shard(&c));
+        let mut right = shard(&a);
+        right.merge(&right_tail);
+        // The union recorded directly.
+        let mut union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = shard(&union);
+
+        prop_assert_eq!(left.len(), direct.len());
+        prop_assert_eq!(right.len(), direct.len());
+        prop_assert_eq!(left.min(), direct.min());
+        prop_assert_eq!(left.max(), direct.max());
+        prop_assert!((left.mean() - direct.mean()).abs() < 1e-6);
+        for p in [pct, 50.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(left.percentile(p), direct.percentile(p), "left vs direct at p{}", p);
+            prop_assert_eq!(right.percentile(p), direct.percentile(p), "right vs direct at p{}", p);
+        }
+        if !union.is_empty() {
+            union.sort_unstable();
+            let exact = exact_percentile(&union, pct);
+            let approx = direct.percentile(pct);
+            let tolerance = (exact as f64 / 64.0).max(2.0);
+            prop_assert!(
+                (approx as f64 - exact as f64).abs() <= tolerance,
+                "union p{pct}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
     /// Percentiles are monotone in the percentile argument.
     #[test]
     fn percentiles_are_monotone(

@@ -747,6 +747,45 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_events_inherit_the_installed_trace_context() {
+        use horse_telemetry::{EventKind, Recorder, TraceContext};
+
+        let mut s = sched_with(1);
+        s.set_recorder(Recorder::enabled());
+        let rq = s.ull_queues()[0];
+        // The vmm installs the invocation context before dispatching the
+        // merge/load work; the scheduler's own instants must inherit it
+        // without any scheduler-side plumbing.
+        let inv = s.recorder().mint_invocation();
+        s.recorder()
+            .set_context(TraceContext::root(inv).child(EventKind::ResumeSortedMerge));
+        let mut merge_vcpus = SortedList::new();
+        merge_vcpus.insert_sorted(s.arena_mut(), 200, vcpu(1));
+        let plan = s.ull_precompute(rq, merge_vcpus);
+        s.ull_merge(rq, plan, SpliceMode::Parallel).unwrap();
+        s.recorder()
+            .set_context(TraceContext::root(inv).child(EventKind::ResumeLoadUpdate));
+        s.load_update_coalesced(rq, s.tracker().coalesce(1));
+        s.recorder().clear_context();
+
+        let snap = s.recorder().drain();
+        let merge = snap
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::RunqueueMerge)
+            .unwrap();
+        assert_eq!(merge.invocation, inv);
+        assert_eq!(merge.parent, Some(EventKind::ResumeSortedMerge));
+        let load = snap
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::LoadCoalesce)
+            .unwrap();
+        assert_eq!(load.invocation, inv);
+        assert_eq!(load.parent, Some(EventKind::ResumeLoadUpdate));
+    }
+
+    #[test]
     fn load_paths_agree_but_lock_counts_differ() {
         let s = sched_with(2);
         let rq_a = s.ull_queues()[0];

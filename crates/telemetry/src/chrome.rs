@@ -38,9 +38,20 @@ fn event_json(event: &Event) -> JsonValue {
         obj.insert("ph".into(), JsonValue::String("X".into()));
         obj.insert("dur".into(), micros(event.dur_ns));
     }
+    let mut args = BTreeMap::new();
     if let Some(arg_name) = event.kind.arg_name() {
-        let mut args = BTreeMap::new();
         args.insert(arg_name.into(), JsonValue::Number(event.arg as f64));
+    }
+    if event.invocation != 0 {
+        args.insert(
+            "invocation".into(),
+            JsonValue::Number(event.invocation as f64),
+        );
+    }
+    if let Some(parent) = event.parent {
+        args.insert("parent".into(), JsonValue::String(parent.label().into()));
+    }
+    if !args.is_empty() {
         obj.insert("args".into(), JsonValue::Object(args));
     }
     JsonValue::Object(obj)
@@ -68,6 +79,20 @@ pub fn render(snapshot: &TraceSnapshot) -> String {
         "droppedEvents".into(),
         JsonValue::Number(snapshot.dropped as f64),
     );
+    // Per writer-shard losses, keyed "shard<i>", so a lossy trace names
+    // the writer whose stream is incomplete (satellite: drops must not
+    // be silently absent from exports).
+    root.insert(
+        "droppedEventsByThread".into(),
+        JsonValue::Object(
+            snapshot
+                .dropped_by_shard
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (format!("shard{i}"), JsonValue::Number(d as f64)))
+                .collect(),
+        ),
+    );
     JsonValue::Object(root).render()
 }
 
@@ -86,6 +111,8 @@ mod tests {
                     start_ns: 1_000,
                     dur_ns: 230,
                     arg: 7,
+                    invocation: 42,
+                    parent: Some(EventKind::InvokeHorse),
                 },
                 Event {
                     kind: EventKind::SpliceWork,
@@ -93,18 +120,20 @@ mod tests {
                     start_ns: 1_060,
                     dur_ns: 45,
                     arg: 3,
+                    invocation: 42,
+                    parent: Some(EventKind::ResumeSortedMerge),
                 },
                 Event {
                     kind: EventKind::PoolHit,
                     track: 0,
                     start_ns: 990,
-                    dur_ns: 0,
-                    arg: 0,
+                    ..Event::default()
                 },
             ],
             counters: vec![("resumes_horse", 1), ("splices", 3)],
             gauges: vec![("queued_vcpus", 12)],
-            dropped: 0,
+            dropped: 3,
+            dropped_by_shard: vec![0, 3, 0, 0],
         }
     }
 
@@ -115,7 +144,37 @@ mod tests {
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();
         assert_eq!(events.len(), 3);
         assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
-        assert_eq!(doc.get("droppedEvents").unwrap().as_f64(), Some(0.0));
+        assert_eq!(doc.get("droppedEvents").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn per_thread_drop_counts_are_exported() {
+        let text = render(&snapshot());
+        let doc = json::parse(&text).unwrap();
+        let by_thread = doc.get("droppedEventsByThread").unwrap();
+        assert_eq!(by_thread.get("shard0").unwrap().as_f64(), Some(0.0));
+        assert_eq!(by_thread.get("shard1").unwrap().as_f64(), Some(3.0));
+        assert_eq!(by_thread.get("shard3").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn trace_context_rides_in_args() {
+        let text = render(&snapshot());
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let resume = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("resume"))
+            .unwrap();
+        let args = resume.get("args").unwrap();
+        assert_eq!(args.get("invocation").unwrap().as_f64(), Some(42.0));
+        assert_eq!(args.get("parent").unwrap().as_str(), Some("horse"));
+        // Untraced events carry neither key.
+        let hit = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("pool_hit"))
+            .unwrap();
+        assert!(hit.get("args").is_none());
     }
 
     #[test]

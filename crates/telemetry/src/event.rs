@@ -252,6 +252,55 @@ impl EventKind {
     }
 }
 
+/// Invocation-scoped trace context: which platform invocation an event
+/// served, and which span causally produced it.
+///
+/// Invocation ids are minted by `horse-faas::platform` from the shared
+/// [`Recorder`](crate::Recorder) (so ids are unique across every host of
+/// a cluster that shares one recorder); id `0` means *untraced* — work
+/// done outside any invocation, e.g. pool provisioning. The causal
+/// parent is an [`EventKind`] rather than a per-span id: the vocabulary
+/// is closed and the pipeline's span nesting is static, so the enclosing
+/// kind identifies the parent span within an invocation exactly, without
+/// minting (and contending on) a global span-id counter on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// The invocation this work serves (0 = untraced).
+    pub invocation: u64,
+    /// The span that causally produced events recorded under this
+    /// context (`None` = root of the invocation).
+    pub parent: Option<EventKind>,
+}
+
+impl TraceContext {
+    /// The untraced context (invocation 0, no parent).
+    pub const UNTRACED: TraceContext = TraceContext {
+        invocation: 0,
+        parent: None,
+    };
+
+    /// A root context for a freshly minted invocation.
+    pub fn root(invocation: u64) -> Self {
+        Self {
+            invocation,
+            parent: None,
+        }
+    }
+
+    /// The same invocation, re-parented under `parent`.
+    pub fn child(self, parent: EventKind) -> Self {
+        Self {
+            invocation: self.invocation,
+            parent: Some(parent),
+        }
+    }
+
+    /// Whether this context belongs to a real invocation.
+    pub fn is_traced(&self) -> bool {
+        self.invocation != 0
+    }
+}
+
 /// One recorded event on the virtual-time axis.
 ///
 /// `dur_ns == 0` marks an instant event; spans carry their duration.
@@ -268,6 +317,26 @@ pub struct Event {
     pub dur_ns: u64,
     /// Kind-specific payload (see [`EventKind::arg_name`]).
     pub arg: u64,
+    /// The invocation this event served (0 = untraced).
+    pub invocation: u64,
+    /// The span that causally produced this event (`None` = root).
+    pub parent: Option<EventKind>,
+}
+
+impl Default for Event {
+    /// An untraced zero instant — the base for struct-update syntax in
+    /// tests and batch builders; `kind` defaults to [`EventKind::Pause`].
+    fn default() -> Self {
+        Self {
+            kind: EventKind::Pause,
+            track: 0,
+            start_ns: 0,
+            dur_ns: 0,
+            arg: 0,
+            invocation: 0,
+            parent: None,
+        }
+    }
 }
 
 impl Event {
@@ -279,6 +348,23 @@ impl Event {
     /// End time on the virtual clock.
     pub fn end_ns(&self) -> u64 {
         self.start_ns + self.dur_ns
+    }
+
+    /// This event's context.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            invocation: self.invocation,
+            parent: self.parent,
+        }
+    }
+
+    /// The same event stamped with `ctx`.
+    pub fn with_context(self, ctx: TraceContext) -> Self {
+        Self {
+            invocation: ctx.invocation,
+            parent: ctx.parent,
+            ..self
+        }
     }
 }
 
@@ -338,20 +424,38 @@ mod tests {
     fn instant_detection() {
         let span = Event {
             kind: EventKind::Resume,
-            track: 0,
             start_ns: 5,
             dur_ns: 10,
-            arg: 0,
+            ..Event::default()
         };
         let inst = Event {
             kind: EventKind::PoolHit,
-            track: 0,
             start_ns: 5,
-            dur_ns: 0,
-            arg: 0,
+            ..Event::default()
         };
         assert!(!span.is_instant());
         assert!(inst.is_instant());
         assert_eq!(span.end_ns(), 15);
+    }
+
+    #[test]
+    fn trace_context_reparent_and_stamp() {
+        let root = TraceContext::root(7);
+        assert!(root.is_traced());
+        assert_eq!(root.parent, None);
+        let child = root.child(EventKind::Resume);
+        assert_eq!(child.invocation, 7);
+        assert_eq!(child.parent, Some(EventKind::Resume));
+        assert!(!TraceContext::UNTRACED.is_traced());
+
+        let ev = Event {
+            kind: EventKind::ResumeSortedMerge,
+            dur_ns: 40,
+            ..Event::default()
+        }
+        .with_context(child);
+        assert_eq!(ev.invocation, 7);
+        assert_eq!(ev.parent, Some(EventKind::Resume));
+        assert_eq!(ev.context(), child);
     }
 }

@@ -38,17 +38,14 @@ mod tests {
             events: vec![
                 Event {
                     kind: EventKind::ResumeSortedMerge,
-                    track: 0,
-                    start_ns: 0,
                     dur_ns: 50,
-                    arg: 0,
+                    ..Event::default()
                 },
                 Event {
                     kind: EventKind::ResumeSortedMerge,
-                    track: 0,
                     start_ns: 100,
                     dur_ns: 30,
-                    arg: 0,
+                    ..Event::default()
                 },
                 Event {
                     kind: EventKind::SpliceWork,
@@ -56,18 +53,17 @@ mod tests {
                     start_ns: 5,
                     dur_ns: 20,
                     arg: 2,
+                    ..Event::default()
                 },
                 Event {
                     kind: EventKind::PoolHit,
-                    track: 0,
-                    start_ns: 0,
-                    dur_ns: 0,
-                    arg: 0,
+                    ..Event::default()
                 },
             ],
             counters: vec![],
             gauges: vec![],
             dropped: 0,
+            dropped_by_shard: vec![],
         };
         let text = render(&snapshot);
         let lines: Vec<&str> = text.lines().collect();
@@ -84,6 +80,7 @@ mod tests {
             counters: vec![],
             gauges: vec![],
             dropped: 0,
+            dropped_by_shard: vec![],
         };
         assert!(render(&snapshot).is_empty());
     }

@@ -49,6 +49,6 @@ pub mod recorder;
 pub mod ring;
 
 pub use counters::{Counter, CounterRegistry, Gauge};
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, TraceContext};
 pub use recorder::{Recorder, TelemetryConfig, TraceSnapshot};
 pub use ring::{EventRing, ShardedRing};

@@ -12,10 +12,29 @@
 //! the simulator reports.
 
 use crate::counters::{Counter, CounterRegistry, Gauge};
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, TraceContext};
 use crate::ring::ShardedRing;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The current [`TraceContext`] packed into one atomic word so readers
+/// always see a coherent (invocation, parent) pair: bits 0..56 the
+/// invocation id, bits 56..64 the parent kind as `discriminant + 1`
+/// (0 = no parent).
+fn pack_ctx(ctx: TraceContext) -> u64 {
+    let parent = ctx.parent.map_or(0u64, |p| u64::from(p as u8) + 1);
+    (parent << 56) | (ctx.invocation & ((1 << 56) - 1))
+}
+
+fn unpack_ctx(word: u64) -> TraceContext {
+    TraceContext {
+        invocation: word & ((1 << 56) - 1),
+        parent: match (word >> 56) as u8 {
+            0 => None,
+            p => EventKind::from_u8(p - 1),
+        },
+    }
+}
 
 /// Ring sizing for a [`Recorder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +62,11 @@ struct RecorderInner {
     counters: CounterRegistry,
     /// The virtual-time cursor, in nanoseconds.
     now_ns: AtomicU64,
+    /// The current trace context (see [`pack_ctx`]); stamped onto every
+    /// event recorded through the cursor APIs.
+    ctx: AtomicU64,
+    /// Next invocation id to mint (ids start at 1; 0 = untraced).
+    next_invocation: AtomicU64,
 }
 
 /// A complete drain of a recorder: the coherent event timeline plus the
@@ -57,6 +81,18 @@ pub struct TraceSnapshot {
     pub gauges: Vec<(&'static str, u64)>,
     /// Events lost to ring overwrite (cumulative).
     pub dropped: u64,
+    /// Events lost per writer shard (cumulative; sums to `dropped`), so
+    /// exports can point at the lossy writer instead of one anonymous
+    /// total.
+    pub dropped_by_shard: Vec<u64>,
+}
+
+impl TraceSnapshot {
+    /// Whether any writer's event stream lost events — percentiles and
+    /// attributions computed from this snapshot are lower bounds then.
+    pub fn is_lossy(&self) -> bool {
+        self.dropped > 0
+    }
 }
 
 /// Handle for recording telemetry; see the module docs.
@@ -78,6 +114,8 @@ impl Recorder {
                 ring: ShardedRing::new(config.shards, config.capacity_per_shard),
                 counters: CounterRegistry::new(),
                 now_ns: AtomicU64::new(0),
+                ctx: AtomicU64::new(0),
+                next_invocation: AtomicU64::new(1),
             })),
         }
     }
@@ -126,15 +164,70 @@ impl Recorder {
         }
     }
 
+    /// Mints a fresh invocation id (unique across every clone of this
+    /// recorder — in a cluster all hosts share one recorder, so ids are
+    /// cluster-unique). Returns 0 when disabled.
+    pub fn mint_invocation(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.next_invocation.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Installs the current trace context: every event recorded through
+    /// [`Recorder::span`] / [`Recorder::span_at`] / [`Recorder::instant`]
+    /// is stamped with it until the next `set_context`/`clear_context`.
+    ///
+    /// Like the time cursor, the context is **single-writer**: the
+    /// thread driving an invocation installs it; 𝒫²𝒮ℳ merge threads
+    /// only read it.
+    pub fn set_context(&self, ctx: TraceContext) {
+        if let Some(inner) = &self.inner {
+            inner.ctx.store(pack_ctx(ctx), Ordering::Relaxed);
+        }
+    }
+
+    /// Resets the current context to untraced.
+    pub fn clear_context(&self) {
+        self.set_context(TraceContext::UNTRACED);
+    }
+
+    /// The current trace context ([`TraceContext::UNTRACED`] when
+    /// disabled or outside an invocation).
+    pub fn context(&self) -> TraceContext {
+        self.inner.as_ref().map_or(TraceContext::UNTRACED, |i| {
+            unpack_ctx(i.ctx.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Re-parents the current context (same invocation) — called when
+    /// the pipeline descends into a child span, e.g. the vmm sets the
+    /// parent to `ResumeSortedMerge` before dispatching the scheduler
+    /// merge so the scheduler's events attach to the right step.
+    pub fn set_parent(&self, parent: Option<EventKind>) {
+        if let Some(inner) = &self.inner {
+            let cur = unpack_ctx(inner.ctx.load(Ordering::Relaxed));
+            inner.ctx.store(
+                pack_ctx(TraceContext {
+                    invocation: cur.invocation,
+                    parent,
+                }),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
     /// Records a span at an explicit position on the virtual axis.
     pub fn span_at(&self, kind: EventKind, track: u32, start_ns: u64, dur_ns: u64, arg: u64) {
         if let Some(inner) = &self.inner {
+            let ctx = unpack_ctx(inner.ctx.load(Ordering::Relaxed));
             inner.ring.push(Event {
                 kind,
                 track,
                 start_ns,
                 dur_ns,
                 arg,
+                invocation: ctx.invocation,
+                parent: ctx.parent,
             });
         }
     }
@@ -144,12 +237,15 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             let start = inner.now_ns.load(Ordering::Relaxed);
             inner.now_ns.store(start + dur_ns, Ordering::Relaxed);
+            let ctx = unpack_ctx(inner.ctx.load(Ordering::Relaxed));
             inner.ring.push(Event {
                 kind,
                 track,
                 start_ns: start,
                 dur_ns,
                 arg,
+                invocation: ctx.invocation,
+                parent: ctx.parent,
             });
         }
     }
@@ -157,12 +253,15 @@ impl Recorder {
     /// Records an instant event at the cursor (does not advance it).
     pub fn instant(&self, kind: EventKind, track: u32, arg: u64) {
         if let Some(inner) = &self.inner {
+            let ctx = unpack_ctx(inner.ctx.load(Ordering::Relaxed));
             inner.ring.push(Event {
                 kind,
                 track,
                 start_ns: inner.now_ns.load(Ordering::Relaxed),
                 dur_ns: 0,
                 arg,
+                invocation: ctx.invocation,
+                parent: ctx.parent,
             });
         }
     }
@@ -229,12 +328,14 @@ impl Recorder {
                 counters: inner.counters.snapshot_counters(),
                 gauges: inner.counters.snapshot_gauges(),
                 dropped: inner.ring.dropped(),
+                dropped_by_shard: inner.ring.dropped_by_shard(),
             },
             None => TraceSnapshot {
                 events: Vec::new(),
                 counters: Vec::new(),
                 gauges: Vec::new(),
                 dropped: 0,
+                dropped_by_shard: Vec::new(),
             },
         }
     }
@@ -296,6 +397,58 @@ mod tests {
             "cumulative"
         );
         assert!(second.events.is_empty(), "events were consumed");
+    }
+
+    #[test]
+    fn context_stamps_every_cursor_recorded_event() {
+        let rec = Recorder::enabled();
+        let inv = rec.mint_invocation();
+        assert_eq!(inv, 1, "ids start at 1; 0 means untraced");
+        rec.set_context(TraceContext::root(inv));
+        rec.span(EventKind::InvokeHorse, 0, 100, 0);
+        rec.set_parent(Some(EventKind::Resume));
+        rec.span(EventKind::ResumeSortedMerge, 0, 40, 0);
+        rec.instant(EventKind::PoolHit, 0, 0);
+        rec.span_at(EventKind::SpliceWork, 1, 100, 20, 2);
+        rec.clear_context();
+        rec.instant(EventKind::Rebalance, 0, 0);
+
+        let snap = rec.drain();
+        let by_kind = |k| snap.events.iter().find(|e| e.kind == k).unwrap();
+        assert_eq!(by_kind(EventKind::InvokeHorse).invocation, inv);
+        assert_eq!(by_kind(EventKind::InvokeHorse).parent, None);
+        assert_eq!(
+            by_kind(EventKind::ResumeSortedMerge).parent,
+            Some(EventKind::Resume)
+        );
+        assert_eq!(by_kind(EventKind::SpliceWork).invocation, inv);
+        assert_eq!(by_kind(EventKind::Rebalance).invocation, 0, "cleared");
+        assert_eq!(rec.context(), TraceContext::UNTRACED);
+    }
+
+    #[test]
+    fn minted_ids_are_unique_across_clones() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        let a = rec.mint_invocation();
+        let b = clone.mint_invocation();
+        assert_ne!(a, b);
+        assert_eq!(Recorder::disabled().mint_invocation(), 0);
+    }
+
+    #[test]
+    fn snapshot_reports_per_shard_drops() {
+        let rec = Recorder::new(TelemetryConfig {
+            shards: 2,
+            capacity_per_shard: 8,
+        });
+        for _ in 0..40 {
+            rec.instant(EventKind::PoolMiss, 0, 0);
+        }
+        let snap = rec.drain();
+        assert!(snap.is_lossy());
+        assert_eq!(snap.dropped_by_shard.len(), 2);
+        assert_eq!(snap.dropped_by_shard.iter().sum::<u64>(), snap.dropped);
     }
 
     #[test]

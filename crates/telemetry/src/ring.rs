@@ -1,11 +1,11 @@
 //! Lock-free, fixed-capacity, overwrite-oldest event rings.
 //!
 //! Recording must cost a few stores on the resume hot path, so each ring
-//! slot is a seqlock over five `AtomicU64`s and a write is:
+//! slot is a seqlock over six `AtomicU64`s and a write is:
 //!
 //! 1. claim a position with one `fetch_add` on the ring head;
 //! 2. mark the slot odd (write in progress);
-//! 3. store the four event words;
+//! 3. store the five event words;
 //! 4. mark the slot even, tagged with the claimed position.
 //!
 //! Readers ([`EventRing::drain`]) run off-path: they skip slots whose
@@ -23,13 +23,18 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// One slot: a sequence word plus the four event words.
+/// One slot: a sequence word plus the five event words.
 ///
 /// The sequence encodes both a torn-read guard and the generation: while
 /// a write is in flight it holds `2·pos + 1` (odd); a completed write of
 /// ring position `pos` leaves `2·pos + 2` (even). A reader that observes
 /// the same even value before and after reading the payload knows the
 /// payload belongs to exactly that position.
+///
+/// `kind_track` packs three fields: bits 0..32 the track, bits 32..40
+/// the [`EventKind`] discriminant, bits 40..48 the causal-parent kind as
+/// `discriminant + 1` (0 = no parent) — the parent rides in otherwise
+/// dead bits so trace-context stamping costs no extra store.
 #[derive(Debug, Default)]
 struct Slot {
     seq: AtomicU64,
@@ -37,6 +42,13 @@ struct Slot {
     start_ns: AtomicU64,
     dur_ns: AtomicU64,
     arg: AtomicU64,
+    invocation: AtomicU64,
+}
+
+/// Packs kind, track and parent into the `kind_track` word.
+fn pack_kind_track(event: &Event) -> u64 {
+    let parent = event.parent.map_or(0u64, |p| u64::from(p as u8) + 1);
+    (parent << 40) | (u64::from(event.kind as u8) << 32) | u64::from(event.track)
 }
 
 /// A fixed-capacity single-ring buffer of events.
@@ -73,18 +85,17 @@ impl EventRing {
         self.head.load(Ordering::Acquire)
     }
 
-    /// Records one event. Lock-free: one `fetch_add` plus five stores.
+    /// Records one event. Lock-free: one `fetch_add` plus six stores.
     pub fn push(&self, event: Event) {
         let pos = self.head.fetch_add(1, Ordering::AcqRel);
         let slot = &self.slots[(pos as usize) & (self.slots.len() - 1)];
         slot.seq.store(2 * pos + 1, Ordering::Release);
-        slot.kind_track.store(
-            (u64::from(event.kind as u8) << 32) | u64::from(event.track),
-            Ordering::Relaxed,
-        );
+        slot.kind_track
+            .store(pack_kind_track(&event), Ordering::Relaxed);
         slot.start_ns.store(event.start_ns, Ordering::Relaxed);
         slot.dur_ns.store(event.dur_ns, Ordering::Relaxed);
         slot.arg.store(event.arg, Ordering::Relaxed);
+        slot.invocation.store(event.invocation, Ordering::Relaxed);
         slot.seq.store(2 * pos + 2, Ordering::Release);
     }
 
@@ -107,13 +118,12 @@ impl EventRing {
             let pos = first + i as u64;
             let slot = &self.slots[(pos as usize) & (self.slots.len() - 1)];
             slot.seq.store(2 * pos + 1, Ordering::Release);
-            slot.kind_track.store(
-                (u64::from(event.kind as u8) << 32) | u64::from(event.track),
-                Ordering::Relaxed,
-            );
+            slot.kind_track
+                .store(pack_kind_track(&event), Ordering::Relaxed);
             slot.start_ns.store(event.start_ns, Ordering::Relaxed);
             slot.dur_ns.store(event.dur_ns, Ordering::Relaxed);
             slot.arg.store(event.arg, Ordering::Relaxed);
+            slot.invocation.store(event.invocation, Ordering::Relaxed);
             slot.seq.store(2 * pos + 2, Ordering::Release);
         }
     }
@@ -140,6 +150,7 @@ impl EventRing {
             let start_ns = slot.start_ns.load(Ordering::Relaxed);
             let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
             let arg = slot.arg.load(Ordering::Relaxed);
+            let invocation = slot.invocation.load(Ordering::Relaxed);
             if slot.seq.load(Ordering::Acquire) != seq1 {
                 torn += 1;
                 continue;
@@ -148,12 +159,24 @@ impl EventRing {
                 torn += 1;
                 continue;
             };
+            let parent = match (kind_track >> 40) as u8 {
+                0 => None,
+                p => match EventKind::from_u8(p - 1) {
+                    Some(parent) => Some(parent),
+                    None => {
+                        torn += 1;
+                        continue;
+                    }
+                },
+            };
             events.push(Event {
                 kind,
                 track: kind_track as u32,
                 start_ns,
                 dur_ns,
                 arg,
+                invocation,
+                parent,
             });
             // Reset so a future generation cannot alias this position.
             slot.seq.store(0, Ordering::Release);
@@ -241,6 +264,13 @@ impl ShardedRing {
         self.shards.iter().map(|s| s.dropped()).sum()
     }
 
+    /// Events lost per writer shard (index = shard = exported `tid`
+    /// namespace of the writing thread), so exports can report *which*
+    /// writer's stream is lossy rather than one anonymous total.
+    pub fn dropped_by_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.dropped()).collect()
+    }
+
     /// Total events written since the last drain, across shards.
     pub fn written(&self) -> u64 {
         self.shards.iter().map(|s| s.written()).sum()
@@ -254,10 +284,9 @@ mod tests {
     fn ev(start: u64) -> Event {
         Event {
             kind: EventKind::Resume,
-            track: 0,
             start_ns: start,
             dur_ns: 1,
-            arg: 0,
+            ..Event::default()
         }
     }
 
@@ -311,6 +340,45 @@ mod tests {
     }
 
     #[test]
+    fn context_round_trips_through_the_slot_words() {
+        let ring = EventRing::new(8);
+        ring.push(Event {
+            kind: EventKind::ResumeSortedMerge,
+            track: 3,
+            start_ns: 10,
+            dur_ns: 5,
+            arg: 2,
+            invocation: 0xDEAD_BEEF_CAFE,
+            parent: Some(EventKind::Resume),
+        });
+        ring.push(Event {
+            kind: EventKind::PoolHit,
+            ..Event::default()
+        });
+        let events = ring.drain();
+        assert_eq!(events[0].invocation, 0xDEAD_BEEF_CAFE);
+        assert_eq!(events[0].parent, Some(EventKind::Resume));
+        assert_eq!(events[0].track, 3);
+        assert_eq!(events[1].invocation, 0);
+        assert_eq!(events[1].parent, None);
+    }
+
+    #[test]
+    fn dropped_by_shard_attributes_losses() {
+        let ring = ShardedRing::new(4, 8);
+        // All pushes from this thread land on one shard; overflow it.
+        for i in 0..30 {
+            ring.push(ev(i));
+        }
+        ring.drain();
+        let by_shard = ring.dropped_by_shard();
+        assert_eq!(by_shard.len(), 4);
+        assert_eq!(by_shard.iter().sum::<u64>(), ring.dropped());
+        assert_eq!(ring.dropped(), 30 - 8);
+        assert_eq!(by_shard.iter().filter(|&&d| d > 0).count(), 1);
+    }
+
+    #[test]
     fn concurrent_writers_lose_nothing_within_capacity() {
         let ring = std::sync::Arc::new(ShardedRing::new(8, 1 << 12));
         let threads = 8;
@@ -326,6 +394,7 @@ mod tests {
                             start_ns: i,
                             dur_ns: 1,
                             arg: u64::from(t as u32),
+                            ..Event::default()
                         });
                     }
                 });

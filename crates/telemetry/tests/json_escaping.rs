@@ -1,0 +1,74 @@
+//! Property test: the JSON writer behind every Chrome-trace and bench
+//! artifact escapes *any* string losslessly.
+//!
+//! Event labels are static today, but trace args and bench artifacts
+//! carry workload names, file paths and host labels that are
+//! user-controlled — one unescaped quote and Perfetto rejects the whole
+//! trace. The property: for arbitrary Unicode strings (quotes,
+//! backslashes, control characters, non-ASCII, astral-plane), rendering
+//! a [`JsonValue`] containing the string — as a value *and* as an object
+//! key — and re-parsing it returns the identical string.
+
+use std::collections::BTreeMap;
+
+use horse_telemetry::json::{self, JsonValue};
+use proptest::prelude::*;
+
+fn round_trip(value: &JsonValue) -> JsonValue {
+    let text = value.render();
+    json::parse(&text).unwrap_or_else(|e| panic!("render produced invalid JSON: {e}\n{text}"))
+}
+
+proptest! {
+    #[test]
+    fn string_values_round_trip(s in any::<String>()) {
+        let parsed = round_trip(&JsonValue::String(s.clone()));
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn object_keys_round_trip(key in any::<String>(), n in any::<u32>()) {
+        let mut map = BTreeMap::new();
+        map.insert(key.clone(), JsonValue::Number(f64::from(n)));
+        let parsed = round_trip(&JsonValue::Object(map));
+        prop_assert_eq!(
+            parsed.get(&key).and_then(|v| v.as_f64()),
+            Some(f64::from(n))
+        );
+    }
+
+    #[test]
+    fn string_arrays_round_trip(strings in proptest::collection::vec(any::<String>(), 0..8)) {
+        let value = JsonValue::Array(
+            strings.iter().cloned().map(JsonValue::String).collect(),
+        );
+        let parsed = round_trip(&value);
+        let items = parsed.as_array().expect("array survives");
+        prop_assert_eq!(items.len(), strings.len());
+        for (item, original) in items.iter().zip(&strings) {
+            prop_assert_eq!(item.as_str(), Some(original.as_str()));
+        }
+    }
+}
+
+/// The adversarial corpus spelled out, so a failure here names the class
+/// of character the writer broke on without shrinking.
+#[test]
+fn known_hostile_strings_round_trip() {
+    for s in [
+        "plain",
+        "quote\"in\"name",
+        "back\\slash\\path",
+        "new\nline and tab\t and cr\r",
+        "null byte \u{0} and unit sep \u{1f}",
+        "del \u{7f} nbsp \u{a0}",
+        "non-ASCII: Grüße, 東京, Ω",
+        "astral: 🦀🐎",
+        "\\u0041 literal, not an escape",
+        "\"}], {\"inject\": true}",
+        "",
+    ] {
+        let parsed = round_trip(&JsonValue::String(s.to_string()));
+        assert_eq!(parsed.as_str(), Some(s), "string {s:?} did not survive");
+    }
+}

@@ -557,12 +557,18 @@ impl Vmm {
             (PauseStep::PrecomputeCoalesce, EventKind::PauseCoalesce),
         ];
         // One batched claim: the parent span plus every non-zero step.
+        // The batch is stamped with the current trace context: a
+        // keep-alive re-pause carries the invocation it served, while a
+        // provisioning pause is untraced (invocation 0).
+        let ctx = self.recorder.context();
         let mut events = [horse_telemetry::Event {
             kind: EventKind::Pause,
             track: 0,
             start_ns: start,
             dur_ns: breakdown.total_ns(),
             arg: id.as_u64(),
+            invocation: ctx.invocation,
+            parent: ctx.parent,
         }; 6];
         let mut filled = 1;
         let mut cursor = start;
@@ -575,6 +581,8 @@ impl Vmm {
                     start_ns: cursor,
                     dur_ns: ns,
                     arg: 0,
+                    invocation: ctx.invocation,
+                    parent: Some(EventKind::Pause),
                 };
                 filled += 1;
                 cursor += ns;
@@ -665,12 +673,18 @@ impl Vmm {
                 + breakdown.get(ResumeStep::AcquireLock)
                 + breakdown.get(ResumeStep::SanityChecks),
         );
+        // The context the platform installed (invocation + invoke-phase
+        // parent). Steps ④/⑤ re-parent the context around their work so
+        // scheduler instants and fault events attach to the right step;
+        // restored before returning.
+        let base_ctx = self.recorder.context();
 
         let sb = self.sandboxes.get_mut(&id.as_u64()).expect("present");
         let paused = sb.paused.take().expect("paused state present");
         let n = paused.saved_vcpus.len() as u32;
 
         // --- step ④: sorted merge ---
+        self.recorder.set_parent(Some(EventKind::ResumeSortedMerge));
         let merge_start = self.recorder.now_ns();
         let mut merge_report = None;
         let mut placements: Vec<VcpuPlacement> = Vec::with_capacity(n as usize);
@@ -850,10 +864,13 @@ impl Vmm {
                     start_ns: merge_start,
                     dur_ns: merge_dur,
                     arg: 1,
+                    invocation: base_ctx.invocation,
+                    parent: Some(EventKind::ResumeSortedMerge),
                 }));
         }
 
         // --- step ⑤: load update ---
+        self.recorder.set_parent(Some(EventKind::ResumeLoadUpdate));
         let load_ns = if mode.uses_coalescing() {
             let rq = paused.ull_rq.expect("coalescing pause assigned a queue");
             let coalesced = paused.coalesced.expect("coalescing pause precomputed");
@@ -904,6 +921,7 @@ impl Vmm {
         };
         let load_dur = load_ns.round() as u64;
         breakdown.set(ResumeStep::LoadUpdate, load_dur);
+        self.recorder.set_parent(base_ctx.parent);
 
         let finalize_dur = self.cost.finalize_ns.round() as u64;
         breakdown.set(ResumeStep::Finalize, finalize_dur);
@@ -945,6 +963,8 @@ impl Vmm {
                 start_ns: resume_start,
                 dur_ns: breakdown.total_ns(),
                 arg: id.as_u64(),
+                invocation: base_ctx.invocation,
+                parent: base_ctx.parent,
             }; 7];
             let mut cursor = resume_start;
             for (i, (step, kind)) in STEPS.iter().enumerate() {
@@ -955,6 +975,8 @@ impl Vmm {
                     start_ns: cursor,
                     dur_ns: dur,
                     arg: 0,
+                    invocation: base_ctx.invocation,
+                    parent: Some(EventKind::Resume),
                 };
                 cursor += dur;
             }

@@ -213,6 +213,33 @@ pub mod arbitrary {
             rng.gen_range(-1.0e6f32..1.0e6)
         }
     }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Weighted toward the characters serializers get wrong —
+            // quotes, backslashes, control characters — with the rest of
+            // the scalar range (including astral planes) still reachable.
+            match rng.gen_index(8) {
+                0 => '"',
+                1 => '\\',
+                2 => char::from_u32(rng.gen_range(0u32..0x20)).expect("below surrogates"),
+                3 | 4 => char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("ASCII"),
+                _ => loop {
+                    // Rejection-sample across the surrogate gap.
+                    if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x0010_FFFF)) {
+                        break c;
+                    }
+                },
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let len = rng.gen_index(33);
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
 }
 
 pub mod collection {
