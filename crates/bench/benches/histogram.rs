@@ -1,0 +1,58 @@
+//! Wall-clock micro-benchmark of `Histogram::record`, the per-sample
+//! cost on the multi-threaded load generator's hot path (one latency
+//! record per invocation per driver thread) and in the tail attributor.
+//!
+//! `record` is `#[inline]` so the cross-crate call dissolves into the
+//! caller's loop; this bench tracks the per-op cost (the throughput
+//! suite reports the same measurement as `histogram_record_ns_per_op`
+//! in `BENCH_throughput.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse_metrics::Histogram;
+
+/// A deterministic latency-shaped value stream (xorshift around a
+/// ~200ns..~2ms span) — exercises bucket 0 and the log buckets alike.
+fn values(n: usize) -> Vec<u64> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            200 + (x % 2_000_000)
+        })
+        .collect()
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_record");
+    for &n in &[1_000usize, 100_000] {
+        let vals = values(n);
+        group.bench_with_input(BenchmarkId::new("record", n), &vals, |b, vals| {
+            b.iter(|| {
+                let mut h = Histogram::new();
+                for &v in vals {
+                    h.record(black_box(v));
+                }
+                black_box(h.len())
+            });
+        });
+    }
+    // The merge path the per-thread histograms funnel through.
+    let vals = values(100_000);
+    group.bench_function("merge_100k_into_empty", |b| {
+        let mut src = Histogram::new();
+        for &v in &vals {
+            src.record(v);
+        }
+        b.iter(|| {
+            let mut dst = Histogram::new();
+            dst.merge(black_box(&src));
+            black_box(dst.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

@@ -26,15 +26,30 @@
 //!   baseline's section for this seed;
 //! * `bench_suite --slowdown-splice 2 --against ...` — scale the
 //!   splice-path cost-model terms, which MUST trip the gate (CI runs
-//!   this as the gate's negative test).
+//!   this as the gate's negative test);
+//! * `bench_suite --throughput --threads 1,4,8` — also run the
+//!   multi-threaded closed-loop load generator against a shared
+//!   `Arc<Cluster>` and emit `BENCH_throughput.json` (wall-clock
+//!   invocations/sec and latency under contention, plus — for the
+//!   single-threaded run only — deterministic virtual-latency leaves
+//!   that join the `--against` gate). When the committed baseline
+//!   carries those leaves, run `--against` together with
+//!   `--throughput --threads 1` so the run produces them;
+//! * `bench_suite --throughput --threads 1,4 --gate-speedup 2` — fail
+//!   unless the best multi-threaded run clears `2×` the
+//!   single-threaded invocations/sec (the CI smoke gate; meaningless
+//!   on a single-core machine, so it is opt-in).
 
 use std::collections::BTreeMap;
 use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use horse_bench::{paper_sched_config, policy_for};
-use horse_faas::{Cluster, DispatchPolicy, PlatformConfig, StartStrategy};
+use horse_faas::{Cluster, DispatchPolicy, FaasError, HostId, PlatformConfig, StartStrategy};
 use horse_metrics::export::write_chrome_trace;
-use horse_metrics::TailAttribution;
+use horse_metrics::{Histogram, TailAttribution};
 use horse_telemetry::json::{self, JsonValue};
 use horse_telemetry::{Recorder, TraceSnapshot};
 use horse_vmm::{CostModel, ResumeMode, ResumeStep, SandboxConfig, Vmm};
@@ -42,6 +57,7 @@ use horse_workloads::Category;
 
 const SCHEMA_RESUME: &str = "horse-bench/resume/1";
 const SCHEMA_E2E: &str = "horse-bench/e2e/1";
+const SCHEMA_THROUGHPUT: &str = "horse-bench/throughput/1";
 const SCHEMA_BASELINE: &str = "horse-bench/baseline/1";
 
 /// Relative drift tolerated per `*_ns` leaf by `--against`. The model is
@@ -58,16 +74,34 @@ const VCPUS: [u32; 3] = [1, 8, 36];
 /// horse invocation).
 const SOAK_ROUNDS: usize = 200;
 
+/// Fleet shape of the throughput runs: hosts × provisioned sandboxes
+/// per host. 8×4 = 32 warm sandboxes keeps the pool ahead of the
+/// largest supported driver count (16), so a dry pool is a transient
+/// all-in-flight window, never a steady state.
+const THROUGHPUT_HOSTS: usize = 8;
+const THROUGHPUT_PER_HOST: usize = 4;
+/// Closed-loop invocation budget shared by the driver threads of one
+/// throughput run.
+const THROUGHPUT_INVOCATIONS: u64 = 4_000;
+/// Largest supported `--threads` entry.
+const MAX_THREADS: usize = 16;
+
 struct Options {
     seed: u64,
     out: String,
     against: Option<String>,
     write_baseline: bool,
     slowdown_splice: f64,
+    throughput: bool,
+    threads: Vec<usize>,
+    invocations: u64,
+    gate_speedup: Option<f64>,
 }
 
 const USAGE: &str = "usage: bench_suite [--seed <u64>] [--out <dir>] \
-     [--against <baseline.json>] [--write-baseline] [--slowdown-splice <f64>]";
+     [--against <baseline.json>] [--write-baseline] [--slowdown-splice <f64>] \
+     [--throughput] [--threads <n,n,...>] [--invocations <u64>] \
+     [--gate-speedup <f64>]";
 
 impl Options {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
@@ -77,6 +111,10 @@ impl Options {
             against: None,
             write_baseline: false,
             slowdown_splice: 1.0,
+            throughput: false,
+            threads: vec![1, 4],
+            invocations: THROUGHPUT_INVOCATIONS,
+            gate_speedup: None,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -101,7 +139,58 @@ impl Options {
                         return Err(format!("--slowdown-splice must be positive; {USAGE}"));
                     }
                 }
+                "--throughput" => opts.throughput = true,
+                "--threads" => {
+                    let list = value()?;
+                    let mut threads = Vec::new();
+                    for part in list.split(',') {
+                        let n: usize = part
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("bad --threads entry {part:?}: {e}; {USAGE}"))?;
+                        if n == 0 || n > MAX_THREADS {
+                            return Err(format!(
+                                "--threads entries must be 1..={MAX_THREADS}, got {n}; {USAGE}"
+                            ));
+                        }
+                        if !threads.contains(&n) {
+                            threads.push(n);
+                        }
+                    }
+                    if threads.is_empty() {
+                        return Err(format!("--threads needs at least one entry; {USAGE}"));
+                    }
+                    opts.threads = threads;
+                }
+                "--invocations" => {
+                    opts.invocations = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --invocations: {e}; {USAGE}"))?;
+                    if opts.invocations == 0 {
+                        return Err(format!("--invocations must be positive; {USAGE}"));
+                    }
+                }
+                "--gate-speedup" => {
+                    let g: f64 = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --gate-speedup: {e}; {USAGE}"))?;
+                    if !g.is_finite() || g <= 0.0 {
+                        return Err(format!("--gate-speedup must be positive; {USAGE}"));
+                    }
+                    opts.gate_speedup = Some(g);
+                }
                 other => return Err(format!("unknown flag {other}; {USAGE}")),
+            }
+        }
+        if opts.gate_speedup.is_some() {
+            if !opts.throughput {
+                return Err(format!("--gate-speedup requires --throughput; {USAGE}"));
+            }
+            if !opts.threads.contains(&1) || opts.threads.iter().all(|&t| t == 1) {
+                return Err(format!(
+                    "--gate-speedup needs --threads to include 1 and at least one multi-threaded \
+                     point; {USAGE}"
+                ));
             }
         }
         Ok(opts)
@@ -255,6 +344,267 @@ fn e2e_soak(seed: u64, cost: &CostModel) -> (JsonValue, TraceSnapshot) {
     (section, snapshot)
 }
 
+/// Result of one closed-loop throughput run at a fixed driver count.
+struct ThroughputRun {
+    threads: usize,
+    invocations: u64,
+    elapsed_seconds: f64,
+    invocations_per_sec: f64,
+    /// Wall-clock per-invocation latency (slot claim → success),
+    /// including retry backoff under contention.
+    wall: Histogram,
+    /// Virtual (cost-model) init and end-to-end latency — deterministic
+    /// for a single driver thread.
+    virt_init: Histogram,
+    virt_total: Histogram,
+    retries: u64,
+    warm_hit_ratio: f64,
+    /// Invariant breaches (lost/duplicated sandboxes, stats drift,
+    /// starved drivers). Non-empty fails the suite.
+    violations: Vec<String>,
+}
+
+/// Drives a fresh seeded cluster with `threads` closed-loop workers
+/// sharing one atomic invocation budget, then audits the fleet for
+/// conservation and stats consistency.
+fn throughput_run(seed: u64, cost: &CostModel, threads: usize, budget: u64) -> ThroughputRun {
+    let config = PlatformConfig {
+        cost: *cost,
+        ..PlatformConfig::default()
+    };
+    // The recorder stays disabled: traced runs are single-driver
+    // (DESIGN.md §10), and the ring would only add contention noise to
+    // the wall-clock numbers.
+    let mut cluster =
+        Cluster::with_config(THROUGHPUT_HOSTS, DispatchPolicy::RoundRobin, seed, config);
+    let ull = SandboxConfig::builder()
+        .vcpus(2)
+        .ull(true)
+        .build()
+        .expect("static config");
+    let f = cluster.register("filter", Category::Cat3, ull);
+    cluster
+        .provision_all(f, THROUGHPUT_PER_HOST, StartStrategy::Horse)
+        .expect("provision throughput pool");
+    let provisioned = THROUGHPUT_HOSTS * THROUGHPUT_PER_HOST;
+    let cluster = Arc::new(cluster);
+
+    struct WorkerResult {
+        wall: Histogram,
+        virt_init: Histogram,
+        virt_total: Histogram,
+        successes: u64,
+        retries: u64,
+        starved: u64,
+    }
+
+    let next_slot = AtomicU64::new(0);
+    let started = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cluster = &cluster;
+                let next_slot = &next_slot;
+                scope.spawn(move || {
+                    let mut r = WorkerResult {
+                        wall: Histogram::new(),
+                        virt_init: Histogram::new(),
+                        virt_total: Histogram::new(),
+                        successes: 0,
+                        retries: 0,
+                        starved: 0,
+                    };
+                    while next_slot.fetch_add(1, Ordering::Relaxed) < budget {
+                        let t0 = Instant::now();
+                        // A dry pool under contention is a transient
+                        // all-in-flight window (the fleet holds 2×
+                        // MAX_THREADS sandboxes): retry, charging the
+                        // wait to this invocation's wall latency.
+                        let mut attempts = 0u64;
+                        loop {
+                            match cluster.invoke(f, StartStrategy::Horse) {
+                                Ok((_, record)) => {
+                                    r.wall.record(t0.elapsed().as_nanos() as u64);
+                                    r.virt_init.record(record.init_ns);
+                                    r.virt_total.record(record.total_ns());
+                                    r.successes += 1;
+                                    break;
+                                }
+                                Err(FaasError::NoWarmSandbox { .. }) if attempts < 100_000 => {
+                                    attempts += 1;
+                                    r.retries += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(_) => {
+                                    r.starved += 1;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    r
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+
+    let mut wall = Histogram::new();
+    let mut virt_init = Histogram::new();
+    let mut virt_total = Histogram::new();
+    let mut successes = 0u64;
+    let mut retries = 0u64;
+    let mut starved = 0u64;
+    for r in results {
+        wall.merge(&r.wall);
+        virt_init.merge(&r.virt_init);
+        virt_total.merge(&r.virt_total);
+        successes += r.successes;
+        retries += r.retries;
+        starved += r.starved;
+    }
+
+    let mut violations = Vec::new();
+    if starved > 0 {
+        violations.push(format!(
+            "{threads} threads: {starved} invocation(s) starved or failed outright"
+        ));
+    }
+    if successes != budget {
+        violations.push(format!(
+            "{threads} threads: {successes} successes for a budget of {budget}"
+        ));
+    }
+    // Conservation: every sandbox re-paused into its pool — nothing
+    // lost to a race, nothing duplicated.
+    let inventory: usize = (0..THROUGHPUT_HOSTS)
+        .map(|i| cluster.host(HostId(i)).pool_size(f, StartStrategy::Horse))
+        .sum();
+    if inventory != provisioned {
+        violations.push(format!(
+            "{threads} threads: warm inventory {inventory} != provisioned {provisioned}"
+        ));
+    }
+    // Stats consistency: one pool hit per success, no evictions (the
+    // keep-alive clock never advances, no faults are armed).
+    let stats = cluster.aggregate_pool_stats(f, StartStrategy::Horse);
+    if stats.hits != successes {
+        violations.push(format!(
+            "{threads} threads: {} pool hits for {successes} successes",
+            stats.hits
+        ));
+    }
+    if stats.evictions != 0 {
+        violations.push(format!(
+            "{threads} threads: {} evictions on an idle keep-alive clock",
+            stats.evictions
+        ));
+    }
+    let attempts = stats.hits + stats.misses;
+    let warm_hit_ratio = if attempts == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / attempts as f64
+    };
+
+    ThroughputRun {
+        threads,
+        invocations: successes,
+        elapsed_seconds,
+        invocations_per_sec: successes as f64 / elapsed_seconds.max(f64::MIN_POSITIVE),
+        wall,
+        virt_init,
+        virt_total,
+        retries,
+        warm_hit_ratio,
+        violations,
+    }
+}
+
+/// Wall-clock cost of `Histogram::record`, measured in-process over a
+/// deterministic latency-shaped value stream (same stream as the
+/// `histogram` criterion bench). Reported per `crates/metrics`'s
+/// `#[inline]` documentation.
+fn histogram_record_cost_ns() -> f64 {
+    const N: usize = 1_000_000;
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let values: Vec<u64> = (0..N)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            200 + (x % 2_000_000)
+        })
+        .collect();
+    let mut h = Histogram::new();
+    let t0 = Instant::now();
+    for &v in &values {
+        h.record(v);
+    }
+    let per_op = t0.elapsed().as_nanos() as f64 / h.len().max(1) as f64;
+    // The histogram itself must not be optimized away.
+    assert_eq!(h.len(), N as u64);
+    per_op
+}
+
+/// The JSON section of one throughput run. Wall-clock metrics
+/// deliberately avoid the `_ns` key suffix so the deterministic perf
+/// gate never sees them; the single-threaded run additionally carries
+/// `virtual` `*_ns` leaves, which are deterministic and gated.
+fn throughput_run_json(run: &ThroughputRun) -> JsonValue {
+    let mut entry = vec![
+        ("threads".to_string(), num(run.threads as f64)),
+        ("invocations".to_string(), num(run.invocations as f64)),
+        ("elapsed_seconds".to_string(), num(run.elapsed_seconds)),
+        (
+            "invocations_per_sec".to_string(),
+            num(run.invocations_per_sec),
+        ),
+        (
+            "wall_p50_nanos".to_string(),
+            num(run.wall.percentile(50.0) as f64),
+        ),
+        (
+            "wall_p99_nanos".to_string(),
+            num(run.wall.percentile(99.0) as f64),
+        ),
+        ("warm_hit_ratio".to_string(), num(run.warm_hit_ratio)),
+        ("retries".to_string(), num(run.retries as f64)),
+        (
+            "invariant_violations".to_string(),
+            num(run.violations.len() as f64),
+        ),
+    ];
+    if run.threads == 1 {
+        entry.push((
+            "virtual".to_string(),
+            obj(vec![
+                (
+                    "init_p50_ns".into(),
+                    num(run.virt_init.percentile(50.0) as f64),
+                ),
+                (
+                    "init_p99_ns".into(),
+                    num(run.virt_init.percentile(99.0) as f64),
+                ),
+                (
+                    "total_p50_ns".into(),
+                    num(run.virt_total.percentile(50.0) as f64),
+                ),
+                (
+                    "total_p99_ns".into(),
+                    num(run.virt_total.percentile(99.0) as f64),
+                ),
+            ]),
+        ));
+    }
+    obj(entry)
+}
+
 /// Flattens every numeric leaf whose key ends in `_ns` to
 /// `(dotted.path, value)` — the latency surface the gate compares.
 fn latency_leaves(value: &JsonValue, prefix: &str, out: &mut BTreeMap<String, f64>) {
@@ -374,11 +724,109 @@ fn main() {
     );
     println!("{trace_path}: sample Chrome trace");
 
-    // The comparable surface: both documents' *_ns leaves under one root.
-    let sections = obj(vec![
-        ("resume_doc".into(), resume_doc),
-        ("e2e_doc".into(), e2e_doc),
-    ]);
+    // The comparable surface: every document's *_ns leaves under one
+    // root (the throughput doc joins below when `--throughput` ran, so
+    // a baseline carrying its leaves must be gated with the same flag).
+    let mut section_entries = vec![
+        ("resume_doc".to_string(), resume_doc),
+        ("e2e_doc".to_string(), e2e_doc),
+    ];
+
+    let mut throughput_failures: Vec<String> = Vec::new();
+    if opts.throughput {
+        let record_cost = histogram_record_cost_ns();
+        let mut runs = BTreeMap::new();
+        let mut single_thread_ips = None;
+        let mut best_multi: Option<&ThroughputRun> = None;
+        let mut all_runs = Vec::new();
+        for &threads in &opts.threads {
+            let run = throughput_run(opts.seed, &cost, threads, opts.invocations);
+            println!(
+                "throughput: {:>2} thread(s) -> {:>10.0} inv/s \
+                 (wall p50 {} ns, p99 {} ns, {} retries, {} violation(s))",
+                threads,
+                run.invocations_per_sec,
+                run.wall.percentile(50.0),
+                run.wall.percentile(99.0),
+                run.retries,
+                run.violations.len()
+            );
+            throughput_failures.extend(run.violations.iter().cloned());
+            all_runs.push(run);
+        }
+        for run in &all_runs {
+            if run.threads == 1 {
+                single_thread_ips = Some(run.invocations_per_sec);
+            } else {
+                match best_multi {
+                    Some(b) if run.invocations_per_sec <= b.invocations_per_sec => {}
+                    _ => best_multi = Some(run),
+                }
+            }
+            runs.insert(run.threads.to_string(), throughput_run_json(run));
+        }
+        let speedup = match (single_thread_ips, best_multi) {
+            (Some(single), Some(best)) if single > 0.0 => {
+                Some((best.threads, best.invocations_per_sec / single))
+            }
+            _ => None,
+        };
+        if let Some(gate) = opts.gate_speedup {
+            match speedup {
+                Some((threads, s)) if s >= gate => println!(
+                    "throughput gate: {threads} threads reach {s:.2}x single-thread (>= {gate}x)"
+                ),
+                Some((threads, s)) => throughput_failures.push(format!(
+                    "speedup gate: best multi-threaded point ({threads} threads) reaches only \
+                     {s:.2}x single-thread, below the {gate}x gate"
+                )),
+                None => throughput_failures
+                    .push("speedup gate: no comparable single/multi thread pair ran".to_string()),
+            }
+        }
+
+        let mut throughput_entries = vec![
+            (
+                "schema".to_string(),
+                JsonValue::String(SCHEMA_THROUGHPUT.into()),
+            ),
+            ("git_sha".to_string(), JsonValue::String(sha.clone())),
+            ("seed".to_string(), num(opts.seed as f64)),
+            ("hosts".to_string(), num(THROUGHPUT_HOSTS as f64)),
+            (
+                "provisioned_per_host".to_string(),
+                num(THROUGHPUT_PER_HOST as f64),
+            ),
+            (
+                "invocation_budget".to_string(),
+                num(opts.invocations as f64),
+            ),
+            (
+                "available_parallelism".to_string(),
+                num(std::thread::available_parallelism().map_or(0, |n| n.get()) as f64),
+            ),
+            ("histogram_record_ns_per_op".to_string(), num(record_cost)),
+            ("runs".to_string(), JsonValue::Object(runs)),
+        ];
+        if let Some((threads, s)) = speedup {
+            throughput_entries.push((
+                "best_speedup".to_string(),
+                obj(vec![
+                    ("threads".into(), num(threads as f64)),
+                    ("vs_single_thread".into(), num(s)),
+                ]),
+            ));
+        }
+        let throughput_doc = obj(throughput_entries);
+        let throughput_path = format!("{}/BENCH_throughput.json", opts.out);
+        write_json(&throughput_path, &throughput_doc);
+        println!(
+            "{throughput_path}: {SCHEMA_THROUGHPUT} (Histogram::record = {record_cost:.1} ns/op)"
+        );
+        section_entries.push(("throughput_doc".to_string(), throughput_doc));
+    }
+
+    let sections = obj(section_entries);
 
     if opts.write_baseline {
         let path = format!("{}/bench_baseline.json", opts.out);
@@ -439,5 +887,16 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if !throughput_failures.is_empty() {
+        eprintln!(
+            "throughput suite FAILED: {} problem(s)",
+            throughput_failures.len()
+        );
+        for f in &throughput_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
     }
 }

@@ -58,7 +58,8 @@ fn broken_queues(cluster: &Cluster) -> u64 {
         if !cluster.is_alive(id) {
             continue;
         }
-        let sched = cluster.host(id).vmm().sched();
+        let vmm = cluster.host(id).vmm();
+        let sched = vmm.sched();
         for rq in sched.general_queues().iter().chain(sched.ull_queues()) {
             if sched
                 .queue_list(*rq)

@@ -1,8 +1,9 @@
 //! The FaaS platform: start strategies over the VMM substrate.
 
 use crate::invocation::{InvocationRecord, StartStrategy};
-use crate::pool::{KeepAlive, PoolStats, WarmPool};
+use crate::pool::{KeepAlive, PoolStats};
 use crate::registry::{FunctionId, FunctionRegistry};
+use crate::sharded_pool::ShardedWarmPool;
 use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome, RetryPolicy};
 use horse_sched::{SandboxId, SchedConfig};
 use horse_sim::rng::SeedFactory;
@@ -13,11 +14,14 @@ use horse_vmm::{
     VmmError,
 };
 use horse_workloads::Category;
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Userspace trigger overhead of the conventional warm path (request
 /// routing, API handling, sandbox wake IPC). Calibrated so that
@@ -145,18 +149,32 @@ impl From<VmmError> for FaasError {
 /// assert!(record.init_share() < 0.20);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// # Concurrency
+///
+/// Every request-path method takes `&self`: concurrent driver threads
+/// share one platform (or a fleet of them behind a [`Cluster`]) with
+/// fine-grained interior mutability — the VMM behind one mutex per
+/// host, warm pools on lock-free shards ([`ShardedWarmPool`]), the
+/// clock and counters on atomics. The lock hierarchy is
+/// `registry → warm_pool map → pool shard → vmm`: no method acquires a
+/// lock to the left while holding one to the right, and the pool and
+/// VMM locks are never held simultaneously.
+///
+/// [`Cluster`]: crate::Cluster
 #[derive(Debug)]
 pub struct FaasPlatform {
-    vmm: Vmm,
-    registry: FunctionRegistry,
+    vmm: Mutex<Vmm>,
+    registry: RwLock<FunctionRegistry>,
     boot: BootModel,
     restore: RestoreModel,
     /// Paused warm sandboxes per function and strategy kind (key includes
-    /// whether the pause was HORSE-style).
-    warm_pool: HashMap<(FunctionId, bool), WarmPool>,
-    exec_rng: StdRng,
-    /// Platform clock for keep-alive accounting.
-    now: SimTime,
+    /// whether the pause was HORSE-style). The `Arc` lets the invoke
+    /// path operate on a pool without holding the map lock.
+    warm_pool: RwLock<HashMap<(FunctionId, bool), Arc<ShardedWarmPool>>>,
+    exec_rng: Mutex<StdRng>,
+    /// Platform clock (nanoseconds) for keep-alive accounting.
+    now_ns: AtomicU64,
     /// Telemetry sink; disabled (and inert) by default.
     recorder: Recorder,
     /// Fault-injection plane, shared with the VMM; disabled by default.
@@ -170,13 +188,13 @@ impl FaasPlatform {
     pub fn new(config: PlatformConfig) -> Self {
         let seeds = SeedFactory::new(config.seed);
         Self {
-            vmm: Vmm::new(config.sched, config.cost),
-            registry: FunctionRegistry::new(),
+            vmm: Mutex::new(Vmm::new(config.sched, config.cost)),
+            registry: RwLock::new(FunctionRegistry::new()),
             boot: config.boot,
             restore: config.restore,
-            warm_pool: HashMap::new(),
-            exec_rng: seeds.stream("faas-exec"),
-            now: SimTime::ZERO,
+            warm_pool: RwLock::new(HashMap::new()),
+            exec_rng: Mutex::new(seeds.stream("faas-exec")),
+            now_ns: AtomicU64::new(0),
             recorder: Recorder::disabled(),
             injector: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
@@ -186,7 +204,7 @@ impl FaasPlatform {
     /// Installs a fault injector, shared down through the VMM (all clones
     /// of a [`FaultInjector`] feed one injection plane and one log).
     pub fn set_injector(&mut self, injector: FaultInjector) {
-        self.vmm.set_injector(injector.clone());
+        self.vmm.get_mut().set_injector(injector.clone());
         self.injector = injector;
     }
 
@@ -206,7 +224,7 @@ impl FaasPlatform {
     /// phases, pool hits/misses and the inner pause/resume pipelines all
     /// land in the same trace.
     pub fn set_recorder(&mut self, recorder: Recorder) {
-        self.vmm.set_recorder(recorder.clone());
+        self.vmm.get_mut().set_recorder(recorder.clone());
         self.recorder = recorder;
     }
 
@@ -217,43 +235,45 @@ impl FaasPlatform {
 
     /// Current platform clock.
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime::from_nanos(self.now_ns.load(Ordering::Relaxed))
     }
 
     /// Advances the platform clock, running keep-alive eviction: pooled
     /// sandboxes idle beyond their TTL are destroyed (the paper's §1
     /// "keep-alive tax" — the very reason hot sandboxes are paused).
+    /// The eviction sweep reuses one buffer across every pool — no
+    /// per-pool allocation.
     ///
     /// # Panics
     ///
     /// Panics if `to` is earlier than the current clock.
-    pub fn advance_to(&mut self, to: SimTime) {
-        assert!(to >= self.now, "platform clock cannot go backwards");
-        self.now = to;
+    pub fn advance_to(&self, to: SimTime) {
+        let prev = self.now_ns.fetch_max(to.as_nanos(), Ordering::Relaxed);
+        assert!(to.as_nanos() >= prev, "platform clock cannot go backwards");
         let mut doomed = Vec::new();
-        for pool in self.warm_pool.values_mut() {
-            doomed.extend(pool.evict_expired(to));
+        {
+            let pools = self.warm_pool.read();
+            for pool in pools.values() {
+                pool.evict_expired_into(to, &mut doomed);
+            }
         }
-        for id in doomed {
-            self.vmm
-                .destroy(id)
-                .expect("pooled sandboxes are destroyable");
+        if !doomed.is_empty() {
+            let mut vmm = self.vmm.lock();
+            for id in doomed {
+                vmm.destroy(id).expect("pooled sandboxes are destroyable");
+            }
         }
     }
 
     /// Overrides the keep-alive policy of one function's pool (e.g.
     /// applying a TTL recommended by `horse_traces::stats`). Creates the
     /// pool if absent.
-    pub fn set_keep_alive(
-        &mut self,
-        function: FunctionId,
-        strategy: StartStrategy,
-        policy: KeepAlive,
-    ) {
+    pub fn set_keep_alive(&self, function: FunctionId, strategy: StartStrategy, policy: KeepAlive) {
         let horse = strategy == StartStrategy::Horse;
         self.warm_pool
+            .write()
             .entry((function, horse))
-            .or_insert_with(|| WarmPool::new(policy))
+            .or_insert_with(|| Arc::new(ShardedWarmPool::new(policy)))
             .set_keep_alive(policy);
     }
 
@@ -261,6 +281,7 @@ impl FaasPlatform {
     pub fn pool_stats(&self, function: FunctionId, strategy: StartStrategy) -> PoolStats {
         let horse = strategy == StartStrategy::Horse;
         self.warm_pool
+            .read()
             .get(&(function, horse))
             .map(|p| p.stats())
             .unwrap_or_default()
@@ -273,17 +294,20 @@ impl FaasPlatform {
         category: Category,
         config: SandboxConfig,
     ) -> FunctionId {
-        self.registry.register(name, category, config)
+        self.registry.write().register(name, category, config)
     }
 
-    /// The registry (read access).
-    pub fn registry(&self) -> &FunctionRegistry {
-        &self.registry
+    /// The registry (shared read access; holds the registry read lock
+    /// for the guard's lifetime).
+    pub fn registry(&self) -> RwLockReadGuard<'_, FunctionRegistry> {
+        self.registry.read()
     }
 
-    /// The underlying VMM (read access, for overhead accounting).
-    pub fn vmm(&self) -> &Vmm {
-        &self.vmm
+    /// The underlying VMM (for overhead accounting). Holds the host's
+    /// VMM lock for the guard's lifetime — bind it to a local rather
+    /// than chaining calls off a temporary.
+    pub fn vmm(&self) -> MutexGuard<'_, Vmm> {
+        self.vmm.lock()
     }
 
     /// Provisioned-concurrency setup: creates, starts and pauses `count`
@@ -299,7 +323,7 @@ impl FaasPlatform {
     ///
     /// Panics if called with a non-pool strategy (`Cold`/`Restore`).
     pub fn provision(
-        &mut self,
+        &self,
         function: FunctionId,
         count: usize,
         strategy: StartStrategy,
@@ -308,24 +332,28 @@ impl FaasPlatform {
             strategy.needs_warm_pool(),
             "provisioning only applies to warm-pool strategies"
         );
-        let meta = self
+        let cfg = self
             .registry
+            .read()
             .get(function)
-            .ok_or(FaasError::UnknownFunction(function))?;
-        let cfg = meta.config();
+            .ok_or(FaasError::UnknownFunction(function))?
+            .config();
         let horse = strategy == StartStrategy::Horse;
         let policy = if horse {
             PausePolicy::horse()
         } else {
             PausePolicy::vanilla()
         };
+        let pool = self.pool_entry(function, horse, KeepAlive::Provisioned);
         for _ in 0..count {
-            let id = self.vmm.create(cfg);
-            self.vmm.start(id)?;
-            self.vmm.pause(id, policy)?;
-            let now = self.now;
-            self.pool_entry(function, horse, KeepAlive::Provisioned)
-                .put(id, now);
+            let id = {
+                let mut vmm = self.vmm.lock();
+                let id = vmm.create(cfg);
+                vmm.start(id)?;
+                vmm.pause(id, policy)?;
+                id
+            };
+            pool.put(id, self.now());
         }
         Ok(())
     }
@@ -334,23 +362,35 @@ impl FaasPlatform {
     pub fn pool_size(&self, function: FunctionId, strategy: StartStrategy) -> usize {
         let horse = strategy == StartStrategy::Horse;
         self.warm_pool
+            .read()
             .get(&(function, horse))
             .map_or(0, |p| p.len())
     }
 
     /// Pool accessor, creating the pool with the given default policy.
     /// A provisioned request upgrades an existing TTL pool (the premium
-    /// option supersedes plain keep-alive).
+    /// option supersedes plain keep-alive). Returns a clone of the
+    /// pool's `Arc` so callers operate on it without the map lock.
     fn pool_entry(
-        &mut self,
+        &self,
         function: FunctionId,
         horse: bool,
         policy: KeepAlive,
-    ) -> &mut WarmPool {
-        let pool = self
-            .warm_pool
-            .entry((function, horse))
-            .or_insert_with(|| WarmPool::new(policy));
+    ) -> Arc<ShardedWarmPool> {
+        let key = (function, horse);
+        let pool = {
+            let pools = self.warm_pool.read();
+            pools.get(&key).cloned()
+        };
+        let pool = match pool {
+            Some(p) => p,
+            None => Arc::clone(
+                self.warm_pool
+                    .write()
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(ShardedWarmPool::new(policy))),
+            ),
+        };
         if policy == KeepAlive::Provisioned && pool.keep_alive() != KeepAlive::Provisioned {
             pool.set_keep_alive(KeepAlive::Provisioned);
         }
@@ -368,16 +408,17 @@ impl FaasPlatform {
     ///   provisioned sandbox;
     /// * propagated [`FaasError::Vmm`] errors.
     pub fn invoke(
-        &mut self,
+        &self,
         function: FunctionId,
         strategy: StartStrategy,
     ) -> Result<InvocationRecord, FaasError> {
-        let meta = self
-            .registry
-            .get(function)
-            .ok_or(FaasError::UnknownFunction(function))?;
-        let cfg = meta.config();
-        let category = meta.category();
+        let (cfg, category) = {
+            let registry = self.registry.read();
+            let meta = registry
+                .get(function)
+                .ok_or(FaasError::UnknownFunction(function))?;
+            (meta.config(), meta.category())
+        };
         let exec_ns = self.sample_exec_ns(category);
 
         // Trace context: mint an invocation id here — unless the cluster
@@ -422,7 +463,7 @@ impl FaasPlatform {
         );
         self.recorder.gauge(
             Gauge::PooledSandboxes,
-            self.warm_pool.values().map(|p| p.len() as u64).sum(),
+            self.warm_pool.read().values().map(|p| p.len() as u64).sum(),
         );
 
         Ok(InvocationRecord {
@@ -447,7 +488,7 @@ impl FaasPlatform {
     /// Runs the strategy-specific initialization pipeline under the
     /// invocation's trace context, returning the init latency.
     fn dispatch_invoke(
-        &mut self,
+        &self,
         function: FunctionId,
         strategy: StartStrategy,
         cfg: SandboxConfig,
@@ -458,16 +499,24 @@ impl FaasPlatform {
             StartStrategy::Cold => {
                 // Boot a brand-new sandbox; it joins the vanilla pool
                 // afterwards (keep-alive).
-                let id = self.vmm.create(cfg);
-                self.vmm.start(id)?;
+                let id = {
+                    let mut vmm = self.vmm.lock();
+                    let id = vmm.create(cfg);
+                    vmm.start(id)?;
+                    id
+                };
                 let init = self.boot.boot_ns(cfg);
                 self.record_init_and_exec(EventKind::InvokeCold, t0, init, exec_ns);
                 self.repause_into_pool(id, function, false)?;
                 init
             }
             StartStrategy::Restore => {
-                let id = self.vmm.create(cfg);
-                self.vmm.start(id)?;
+                let id = {
+                    let mut vmm = self.vmm.lock();
+                    let id = vmm.create(cfg);
+                    vmm.start(id)?;
+                    id
+                };
                 let init = self.restore.restore_ns(cfg);
                 self.record_init_and_exec(EventKind::InvokeRestore, t0, init, exec_ns);
                 self.repause_into_pool(id, function, false)?;
@@ -517,7 +566,7 @@ impl FaasPlatform {
     /// outcome, and the extra latency (backoffs plus re-provisioning
     /// boots) charged to the invocation on top of the resume itself.
     fn warm_resume(
-        &mut self,
+        &self,
         function: FunctionId,
         strategy: StartStrategy,
         cfg: SandboxConfig,
@@ -539,9 +588,13 @@ impl FaasPlatform {
                 Ok(id) => (id, false),
                 Err(e) if attempts == 0 => return Err(e),
                 Err(_) => {
-                    let id = self.vmm.create(cfg);
-                    self.vmm.start(id)?;
-                    self.vmm.pause(id, pause_policy)?;
+                    let id = {
+                        let mut vmm = self.vmm.lock();
+                        let id = vmm.create(cfg);
+                        vmm.start(id)?;
+                        vmm.pause(id, pause_policy)?;
+                        id
+                    };
                     extra_ns += self.boot.boot_ns(cfg);
                     (id, true)
                 }
@@ -581,13 +634,13 @@ impl FaasPlatform {
                 continue;
             }
 
-            match self.vmm.resume(id, mode) {
+            match self.vmm.lock().resume(id, mode) {
                 Ok(outcome) => return Ok((id, outcome, extra_ns)),
                 Err(VmmError::ModeMismatch { .. }) if mode == ResumeMode::Horse => {
                     // A queue failure downgraded the pause to vanilla;
                     // the sandbox still resumes through the slow path —
                     // recorded as a HORSE fallback.
-                    let outcome = self.vmm.resume(id, ResumeMode::Vanilla)?;
+                    let outcome = self.vmm.lock().resume(id, ResumeMode::Vanilla)?;
                     self.recorder.count(Counter::HorseFallbacks, 1);
                     self.recorder.instant(
                         EventKind::HorseFallback,
@@ -616,11 +669,11 @@ impl FaasPlatform {
 
     /// Quarantines a warm sandbox: telemetry, then destruction (the
     /// simulated equivalent of fencing it off and reaping it).
-    fn quarantine(&mut self, id: SandboxId) -> Result<(), FaasError> {
+    fn quarantine(&self, id: SandboxId) -> Result<(), FaasError> {
         self.recorder.count(Counter::PoolQuarantined, 1);
         self.recorder
             .instant(EventKind::PoolQuarantine, 0, id.as_u64());
-        self.vmm.destroy(id)?;
+        self.vmm.lock().destroy(id)?;
         Ok(())
     }
 
@@ -629,7 +682,7 @@ impl FaasPlatform {
     /// sandbox simply does not rejoin the pool, and the completed
     /// invocation stands.
     fn repause_into_pool(
-        &mut self,
+        &self,
         id: SandboxId,
         function: FunctionId,
         horse: bool,
@@ -639,10 +692,11 @@ impl FaasPlatform {
         } else {
             (PausePolicy::vanilla(), KeepAlive::default_ttl())
         };
-        match self.vmm.pause(id, policy) {
+        let paused = self.vmm.lock().pause(id, policy);
+        match paused {
             Ok(_) => {
-                let now = self.now;
-                self.pool_entry(function, horse, keep_alive).put(id, now);
+                self.pool_entry(function, horse, keep_alive)
+                    .put(id, self.now());
                 Ok(())
             }
             Err(VmmError::Crashed { .. }) => Ok(()),
@@ -664,6 +718,7 @@ impl FaasPlatform {
     pub fn pool_inventory(&self) -> Vec<(FunctionId, StartStrategy, usize)> {
         let mut out: Vec<(FunctionId, StartStrategy, usize)> = self
             .warm_pool
+            .read()
             .iter()
             .filter(|(_, pool)| !pool.is_empty())
             .map(|(&(function, horse), pool)| {
@@ -680,22 +735,24 @@ impl FaasPlatform {
     }
 
     fn pop_pool(
-        &mut self,
+        &self,
         function: FunctionId,
         horse: bool,
         strategy: StartStrategy,
     ) -> Result<SandboxId, FaasError> {
-        let now = self.now;
-        let (taken, doomed) = match self.warm_pool.get_mut(&(function, horse)) {
+        let now = self.now();
+        let pool = self.warm_pool.read().get(&(function, horse)).cloned();
+        let (taken, doomed) = match pool {
             Some(pool) => (pool.take(now), pool.drain_doomed()),
             None => (None, Vec::new()),
         };
         // Destroy entries `take` lazily expired (the keep-alive tax is
         // paid even when eviction happens on the take path).
-        for id in doomed {
-            self.vmm
-                .destroy(id)
-                .expect("pooled sandboxes are destroyable");
+        if !doomed.is_empty() {
+            let mut vmm = self.vmm.lock();
+            for id in doomed {
+                vmm.destroy(id).expect("pooled sandboxes are destroyable");
+            }
         }
         match taken {
             Some(id) => {
@@ -713,12 +770,24 @@ impl FaasPlatform {
 
     /// Samples a service time: the category's Table 1 mean with ±10 %
     /// uniform jitter (seeded, deterministic).
-    fn sample_exec_ns(&mut self, category: Category) -> u64 {
+    fn sample_exec_ns(&self, category: Category) -> u64 {
         let mean = category.mean_exec_ns() as f64;
-        let jitter = self.exec_rng.gen_range(0.9..1.1);
+        let jitter = self.exec_rng.lock().gen_range(0.9..1.1);
         (mean * jitter).round() as u64
     }
 }
+
+// The whole request path is `&self` over interior mutability; these
+// compile-time assertions keep the platform shareable across driver
+// threads (a regression to `Rc`/`Cell` state would fail here, not at a
+// distant bench call site).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FaasPlatform>();
+    assert_send_sync::<ShardedWarmPool>();
+    assert_send_sync::<FaultInjector>();
+    assert_send_sync::<Recorder>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -869,7 +938,7 @@ mod tests {
 
     #[test]
     fn invalid_pool_entry_is_quarantined_and_the_next_one_serves() {
-        let (mut p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1));
+        let (p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1));
         p.provision(f, 2, StartStrategy::Horse).unwrap();
         let clean = {
             let mut q = platform();
@@ -903,7 +972,7 @@ mod tests {
 
     #[test]
     fn drained_pool_reprovisions_a_fresh_sandbox_mid_recovery() {
-        let (mut p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1));
+        let (p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1));
         p.provision(f, 1, StartStrategy::Horse).unwrap();
         let r = p.invoke(f, StartStrategy::Horse).unwrap();
         // The only entry was quarantined; recovery re-provisioned a fresh
@@ -923,7 +992,7 @@ mod tests {
     #[test]
     fn quarantine_retries_are_bounded_and_chain_the_cause() {
         // Every pop is invalid: recovery must give up after max_retries.
-        let (mut p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(1));
+        let (p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(1));
         p.provision(f, 4, StartStrategy::Horse).unwrap();
         let e = p.invoke(f, StartStrategy::Horse).unwrap_err();
         let FaasError::RetriesExhausted {
@@ -945,7 +1014,7 @@ mod tests {
 
     #[test]
     fn crash_mid_resume_is_retried_with_the_next_entry() {
-        let (mut p, f) = chaos_platform(FaultSite::CrashMidResume, FaultTrigger::Once(1));
+        let (p, f) = chaos_platform(FaultSite::CrashMidResume, FaultTrigger::Once(1));
         p.provision(f, 2, StartStrategy::Horse).unwrap();
         let r = p.invoke(f, StartStrategy::Horse).unwrap();
         assert!(r.init_ns > 0);

@@ -121,8 +121,11 @@ impl WarmPool {
     /// deadline passed. Lazily evicted sandboxes are surfaced through
     /// [`WarmPool::drain_doomed`] for the platform to destroy.
     pub fn take(&mut self, now: SimTime) -> Option<SandboxId> {
-        let expired = self.evict_expired(now);
-        self.doomed.extend(expired);
+        // Lazy expiry lands straight in the doomed buffer: no per-take
+        // allocation on the hot path.
+        let mut doomed = std::mem::take(&mut self.doomed);
+        self.evict_expired_into(now, &mut doomed);
+        self.doomed = doomed;
         match self.entries.pop_back() {
             Some((id, _)) => {
                 self.stats.hits += 1;
@@ -158,20 +161,27 @@ impl WarmPool {
     /// Removes every sandbox idle past the TTL, returning them for the
     /// caller to destroy. Provisioned pools never evict.
     pub fn evict_expired(&mut self, now: SimTime) -> Vec<SandboxId> {
-        let KeepAlive::Ttl(ttl) = self.keep_alive else {
-            return Vec::new();
-        };
         let mut evicted = Vec::new();
+        self.evict_expired_into(now, &mut evicted);
+        evicted
+    }
+
+    /// Like [`WarmPool::evict_expired`], but appends the evicted ids to
+    /// a caller-owned buffer instead of allocating a fresh `Vec` — the
+    /// periodic eviction sweep runs this against one reused buffer.
+    pub fn evict_expired_into(&mut self, now: SimTime, buf: &mut Vec<SandboxId>) {
+        let KeepAlive::Ttl(ttl) = self.keep_alive else {
+            return;
+        };
         while let Some(&(id, since)) = self.entries.front() {
             if now.since(since.min(now)) > ttl {
                 self.entries.pop_front();
-                evicted.push(id);
+                buf.push(id);
                 self.stats.evictions += 1;
             } else {
                 break;
             }
         }
-        evicted
     }
 }
 
@@ -231,6 +241,22 @@ mod tests {
         assert_eq!(p.evict_expired(t(101)), vec![SandboxId::new(1)]);
         assert_eq!(p.len(), 1);
         assert_eq!(p.evict_expired(t(151)), vec![SandboxId::new(2)]);
+        assert!(p.is_empty());
+        assert_eq!(p.stats().evictions, 2);
+    }
+
+    #[test]
+    fn evict_expired_into_appends_to_a_reused_buffer() {
+        let mut p = WarmPool::new(KeepAlive::Ttl(SimDuration::from_secs(100)));
+        p.put(SandboxId::new(1), t(0));
+        p.put(SandboxId::new(2), t(50));
+        let mut buf = Vec::new();
+        p.evict_expired_into(t(99), &mut buf);
+        assert!(buf.is_empty());
+        p.evict_expired_into(t(101), &mut buf);
+        assert_eq!(buf, vec![SandboxId::new(1)]);
+        p.evict_expired_into(t(151), &mut buf);
+        assert_eq!(buf, vec![SandboxId::new(1), SandboxId::new(2)], "appends");
         assert!(p.is_empty());
         assert_eq!(p.stats().evictions, 2);
     }

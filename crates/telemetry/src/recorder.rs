@@ -148,18 +148,17 @@ impl Recorder {
     /// Advances the cursor by `dur_ns` and returns the span's start (the
     /// cursor position before the advance).
     ///
-    /// The cursor is **single-writer**: one driving thread lays the
-    /// timeline while others only read it (e.g. to place instants), so
-    /// the advance is a load + store rather than an atomic RMW — the
-    /// pipeline emits a dozen spans per resume and an uncontended
-    /// `fetch_add` per span would be the recorder's largest cost.
+    /// The advance is an atomic `fetch_add`, so concurrent driver
+    /// threads never lose a cursor step and every span still claims a
+    /// distinct interval. The *causal* reading of the shared timeline —
+    /// spans laid end to end in pipeline order — only holds for a
+    /// single driving thread: multiple drivers interleave their
+    /// advances, which is safe but produces a braided timeline (the
+    /// throughput benchmark therefore runs its contended phases with
+    /// tracing off; see DESIGN.md §10).
     pub fn advance(&self, dur_ns: u64) -> u64 {
         match &self.inner {
-            Some(inner) => {
-                let start = inner.now_ns.load(Ordering::Relaxed);
-                inner.now_ns.store(start + dur_ns, Ordering::Relaxed);
-                start
-            }
+            Some(inner) => inner.now_ns.fetch_add(dur_ns, Ordering::Relaxed),
             None => 0,
         }
     }
@@ -177,9 +176,12 @@ impl Recorder {
     /// [`Recorder::span`] / [`Recorder::span_at`] / [`Recorder::instant`]
     /// is stamped with it until the next `set_context`/`clear_context`.
     ///
-    /// Like the time cursor, the context is **single-writer**: the
-    /// thread driving an invocation installs it; 𝒫²𝒮ℳ merge threads
-    /// only read it.
+    /// Like the time cursor, the context is meaningful under a
+    /// **single driving thread**: the thread driving an invocation
+    /// installs it; 𝒫²𝒮ℳ merge threads only read it. Concurrent
+    /// drivers would overwrite each other's ambient context — safe, but
+    /// the causal attribution braids, so traced runs are scoped to one
+    /// driver (DESIGN.md §10).
     pub fn set_context(&self, ctx: TraceContext) {
         if let Some(inner) = &self.inner {
             inner.ctx.store(pack_ctx(ctx), Ordering::Relaxed);
@@ -233,10 +235,11 @@ impl Recorder {
     }
 
     /// Records a span covering `dur_ns` at the cursor, advancing it.
+    /// The advance is a `fetch_add` — see [`Recorder::advance`] for the
+    /// multi-driver semantics.
     pub fn span(&self, kind: EventKind, track: u32, dur_ns: u64, arg: u64) {
         if let Some(inner) = &self.inner {
-            let start = inner.now_ns.load(Ordering::Relaxed);
-            inner.now_ns.store(start + dur_ns, Ordering::Relaxed);
+            let start = inner.now_ns.fetch_add(dur_ns, Ordering::Relaxed);
             let ctx = unpack_ctx(inner.ctx.load(Ordering::Relaxed));
             inner.ring.push(Event {
                 kind,

@@ -193,7 +193,8 @@ fn chaos_round(seed: u64) -> (Vec<horse::faults::FaultRecord>, bool) {
         if !cluster.is_alive(host) {
             continue;
         }
-        let sched = cluster.host(host).vmm().sched();
+        let vmm = cluster.host(host).vmm();
+        let sched = vmm.sched();
         for rq in sched.general_queues().iter().chain(sched.ull_queues()) {
             sound &= sched
                 .queue_list(*rq)

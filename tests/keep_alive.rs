@@ -68,7 +68,7 @@ fn eviction_releases_all_sandbox_resources() {
 
 #[test]
 fn clock_is_monotonic() {
-    let mut platform = FaasPlatform::new(PlatformConfig::default());
+    let platform = FaasPlatform::new(PlatformConfig::default());
     platform.advance_to(SimTime::ZERO + SimDuration::from_secs(10));
     assert_eq!(platform.now(), SimTime::ZERO + SimDuration::from_secs(10));
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -63,7 +63,8 @@ fn soak_single_host_mixed_strategies() {
         assert_eq!(platform.pool_size(f, StartStrategy::Horse), 2);
     }
     // The substrate is still internally consistent.
-    let sched = platform.vmm().sched();
+    let vmm = platform.vmm();
+    let sched = vmm.sched();
     for rq in sched.general_queues().iter().chain(sched.ull_queues()) {
         sched
             .queue_list(*rq)
