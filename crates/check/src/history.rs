@@ -1,0 +1,197 @@
+//! Recorded call/return histories of warm-pool operations.
+//!
+//! Concurrent workers stamp every operation with a *call* and a
+//! *return* tick drawn from one global atomic counter. The resulting
+//! partial order (`op₁` precedes `op₂` iff `ret(op₁) < call(op₂)`) is
+//! exactly what the Wing–Gong checker needs: overlapping operations are
+//! unordered and the checker may linearize them either way.
+
+use horse_faas::KeepAlive;
+use horse_sched::SandboxId;
+use horse_sim::{SimDuration, SimTime};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One warm-pool operation, with its argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolOp {
+    /// `take(now)`.
+    Take {
+        /// Virtual time passed to the take.
+        now: SimTime,
+    },
+    /// `put(id, now)`.
+    Put {
+        /// Sandbox returned to the pool.
+        id: SandboxId,
+        /// Virtual time passed to the put.
+        now: SimTime,
+    },
+}
+
+/// The observed result of a [`PoolOp`] (puts return nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolResult {
+    /// A take hit, returning this sandbox.
+    Took(SandboxId),
+    /// A take missed.
+    Missed,
+    /// A put completed.
+    Putted,
+}
+
+/// One completed operation in a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Worker thread that issued the operation.
+    pub thread: usize,
+    /// Global tick at invocation.
+    pub call: u64,
+    /// Global tick at return (`> call`).
+    pub ret: u64,
+    /// The operation.
+    pub op: PoolOp,
+    /// Its observed result.
+    pub result: PoolResult,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.op, self.result) {
+            (PoolOp::Take { now }, PoolResult::Took(id)) => write!(
+                f,
+                "[t{} {}..{}] take(now={}ns) -> Some({})",
+                self.thread,
+                self.call,
+                self.ret,
+                now.as_nanos(),
+                id.as_u64()
+            ),
+            (PoolOp::Take { now }, _) => write!(
+                f,
+                "[t{} {}..{}] take(now={}ns) -> None",
+                self.thread,
+                self.call,
+                self.ret,
+                now.as_nanos()
+            ),
+            (PoolOp::Put { id, now }, _) => write!(
+                f,
+                "[t{} {}..{}] put({}, now={}ns)",
+                self.thread,
+                self.call,
+                self.ret,
+                id.as_u64(),
+                now.as_nanos()
+            ),
+        }
+    }
+}
+
+/// A complete concurrent history: the keep-alive policy in force, the
+/// entries pooled before the workers started, and every completed
+/// operation.
+#[derive(Debug, Clone)]
+pub struct History {
+    /// Keep-alive policy of the pool under test.
+    pub keep_alive: KeepAlive,
+    /// Entries pooled before the first recorded operation.
+    pub initial: Vec<(SandboxId, SimTime)>,
+    /// Completed operations (any order; the checker sorts internally).
+    pub events: Vec<Event>,
+}
+
+impl History {
+    /// A history over a pool that started with `initial` entries.
+    pub fn new(keep_alive: KeepAlive, initial: Vec<(SandboxId, SimTime)>) -> Self {
+        Self {
+            keep_alive,
+            initial,
+            events: Vec::new(),
+        }
+    }
+
+    /// Renders the full history, one event per line — the replay payload
+    /// attached to every linearizability failure report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "history: {} initial entries, {} events, keep_alive={:?}\n",
+            self.initial.len(),
+            self.events.len(),
+            self.keep_alive,
+        ));
+        for &(id, since) in &self.initial {
+            out.push_str(&format!(
+                "  initial: id={} since={}ns\n",
+                id.as_u64(),
+                since.as_nanos()
+            ));
+        }
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|e| e.call);
+        for e in &sorted {
+            out.push_str(&format!("  {e}\n"));
+        }
+        out
+    }
+}
+
+/// Shared recorder handed to concurrent workers: a global tick source
+/// plus per-worker event buffers merged after the join.
+#[derive(Debug, Default)]
+pub struct TickSource {
+    ticks: AtomicU64,
+}
+
+impl TickSource {
+    /// A fresh tick source starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next globally unique, monotonic tick.
+    pub fn next(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A monotonically increasing virtual time derived from the current
+    /// tick (1 µs per tick), used as the `now` argument of recorded
+    /// operations so that expiry is monotone along real time.
+    pub fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(self.ticks.load(Ordering::Relaxed) * 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_unique_and_monotonic() {
+        let t = TickSource::new();
+        let a = t.next();
+        let b = t.next();
+        assert!(b > a);
+        assert!(t.now().as_nanos() >= 2_000 - 1_000);
+    }
+
+    #[test]
+    fn render_includes_every_event() {
+        let mut h = History::new(
+            KeepAlive::Provisioned,
+            vec![(SandboxId::new(1), SimTime::ZERO)],
+        );
+        h.events.push(Event {
+            thread: 0,
+            call: 0,
+            ret: 1,
+            op: PoolOp::Take { now: SimTime::ZERO },
+            result: PoolResult::Took(SandboxId::new(1)),
+        });
+        let text = h.render();
+        assert!(text.contains("take"));
+        assert!(text.contains("Some(1)"));
+        assert!(text.contains("initial: id=1"));
+    }
+}

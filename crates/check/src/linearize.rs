@@ -1,0 +1,416 @@
+//! Wing–Gong-style linearizability checking of pool histories.
+//!
+//! Given a recorded [`History`], the checker searches for a
+//! *linearization*: a total order of the operations that (a) respects
+//! the real-time partial order (`ret(op₁) < call(op₂)` ⇒ op₁ before
+//! op₂) and (b) is legal for the sequential specification
+//! ([`SpecPool`]'s relaxed set semantics — a take returns some live
+//! pooled entry, a miss is only legal when no live entry exists).
+//!
+//! The search is the classic Wing–Gong backtracking over *minimal*
+//! operations, with the Lowe-style memoization of `(linearized-set,
+//! spec-state)` pairs that makes repeated sub-searches cheap. It is
+//! **bounded**: histories beyond [`MAX_OPS`] operations or
+//! [`DEFAULT_STATE_BUDGET`] explored states are rejected up front /
+//! reported as inconclusive rather than running forever — the harness
+//! keeps histories small instead.
+
+use crate::history::{Event, History, PoolOp, PoolResult};
+use crate::spec::SpecPool;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Hard cap on history size (the linearized-set is a `u128` bitmask).
+pub const MAX_OPS: usize = 128;
+
+/// Default cap on visited `(mask, state)` pairs before the search gives
+/// up as inconclusive.
+pub const DEFAULT_STATE_BUDGET: usize = 2_000_000;
+
+/// Why a history failed the check.
+#[derive(Debug, Clone)]
+pub enum LinearizeError {
+    /// No linearization exists: the history is provably not
+    /// linearizable w.r.t. the spec. Carries the rendered history and
+    /// the longest legal prefix found (for debugging).
+    NotLinearizable {
+        /// Human-readable replay payload.
+        rendered: String,
+        /// Most operations any explored order managed to linearize.
+        best_prefix: usize,
+        /// Total operations in the history.
+        total: usize,
+    },
+    /// The bounded search exhausted its state budget.
+    Inconclusive {
+        /// States visited before giving up.
+        visited: usize,
+    },
+    /// The history is too large for the checker.
+    TooLarge {
+        /// Operations in the history.
+        ops: usize,
+    },
+}
+
+impl fmt::Display for LinearizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizeError::NotLinearizable {
+                rendered,
+                best_prefix,
+                total,
+            } => write!(
+                f,
+                "history is NOT linearizable (best legal prefix {best_prefix}/{total} ops)\n{rendered}"
+            ),
+            LinearizeError::Inconclusive { visited } => {
+                write!(f, "linearizability search inconclusive after {visited} states")
+            }
+            LinearizeError::TooLarge { ops } => {
+                write!(f, "history has {ops} ops; checker caps at {MAX_OPS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinearizeError {}
+
+/// A successful check: the witness linearization as indices into the
+/// (call-sorted) operation list.
+#[derive(Debug, Clone)]
+pub struct Linearization {
+    /// Operation indices in linearized order.
+    pub order: Vec<usize>,
+    /// `(mask, state)` pairs visited by the search.
+    pub states_visited: usize,
+}
+
+/// Checks a history against the relaxed pool spec with the default
+/// state budget. See [`check_linearizable_bounded`].
+pub fn check_linearizable(history: &History) -> Result<Linearization, LinearizeError> {
+    check_linearizable_bounded(history, DEFAULT_STATE_BUDGET)
+}
+
+/// Checks a history against the relaxed pool spec, visiting at most
+/// `state_budget` distinct `(linearized-set, spec-state)` pairs.
+///
+/// # Errors
+///
+/// [`LinearizeError::NotLinearizable`] when no valid order exists,
+/// [`LinearizeError::Inconclusive`] when the budget runs out first, and
+/// [`LinearizeError::TooLarge`] for histories over [`MAX_OPS`] ops.
+pub fn check_linearizable_bounded(
+    history: &History,
+    state_budget: usize,
+) -> Result<Linearization, LinearizeError> {
+    let mut ops: Vec<Event> = history.events.clone();
+    if ops.len() > MAX_OPS {
+        return Err(LinearizeError::TooLarge { ops: ops.len() });
+    }
+    ops.sort_by_key(|e| e.call);
+
+    let mut initial = SpecPool::new(history.keep_alive);
+    for &(id, since) in &history.initial {
+        initial.put(id, since);
+    }
+
+    let n = ops.len();
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+
+    // Iterative DFS. Each frame: (mask of linearized ops, spec state,
+    // next candidate index to try, order so far).
+    let mut seen: HashSet<(u128, Vec<(u64, u64)>)> = HashSet::new();
+    let mut best_prefix = 0usize;
+    let mut visited = 0usize;
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    // Stack of (mask, state, candidate cursor).
+    let mut stack: Vec<(u128, SpecPool, usize)> = vec![(0, initial, 0)];
+
+    while let Some((mask, state, cursor)) = stack.pop() {
+        if mask == full {
+            return Ok(Linearization {
+                order,
+                states_visited: visited,
+            });
+        }
+        // Find the next candidate >= cursor that is minimal and legal.
+        let mut advanced = false;
+        for i in cursor..n {
+            if mask & (1u128 << i) != 0 {
+                continue;
+            }
+            // Minimality: no unlinearized op returned before op i was
+            // called.
+            let minimal = (0..n)
+                .filter(|&j| mask & (1u128 << j) == 0 && j != i)
+                .all(|j| ops[j].ret >= ops[i].call);
+            if !minimal {
+                continue;
+            }
+            // Legality against the spec.
+            let mut next_state = state.clone();
+            let legal = match (ops[i].op, ops[i].result) {
+                (PoolOp::Take { now }, PoolResult::Took(id)) => {
+                    if next_state.can_take(id, now) {
+                        next_state.commit_take(id, now);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                (PoolOp::Take { now }, PoolResult::Missed) => next_state.can_miss(now),
+                (PoolOp::Put { id, now }, _) => {
+                    next_state.put(id, now);
+                    true
+                }
+                (PoolOp::Take { .. }, PoolResult::Putted) => false,
+            };
+            if !legal {
+                continue;
+            }
+            let next_mask = mask | (1u128 << i);
+            if !seen.insert((next_mask, next_state.fingerprint())) {
+                continue;
+            }
+            visited += 1;
+            if visited > state_budget {
+                return Err(LinearizeError::Inconclusive { visited });
+            }
+            // Re-push this frame with the cursor advanced, then descend.
+            stack.push((mask, state, i + 1));
+            order.push(i);
+            best_prefix = best_prefix.max(order.len());
+            stack.push((next_mask, next_state, 0));
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            // Dead end: unwind one linearized op (the parent frame we
+            // re-pushed will try its next candidate).
+            order.pop();
+        }
+    }
+
+    Err(LinearizeError::NotLinearizable {
+        rendered: history.render(),
+        best_prefix,
+        total: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_faas::KeepAlive;
+    use horse_sched::SandboxId;
+    use horse_sim::{SimDuration, SimTime};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(us * 1_000)
+    }
+
+    fn ev(thread: usize, call: u64, ret: u64, op: PoolOp, result: PoolResult) -> Event {
+        Event {
+            thread,
+            call,
+            ret,
+            op,
+            result,
+        }
+    }
+
+    #[test]
+    fn sequential_lifo_history_linearizes() {
+        let mut h = History::new(KeepAlive::Provisioned, vec![]);
+        h.events = vec![
+            ev(
+                0,
+                0,
+                1,
+                PoolOp::Put {
+                    id: SandboxId::new(1),
+                    now: t(0),
+                },
+                PoolResult::Putted,
+            ),
+            ev(
+                0,
+                2,
+                3,
+                PoolOp::Put {
+                    id: SandboxId::new(2),
+                    now: t(1),
+                },
+                PoolResult::Putted,
+            ),
+            ev(
+                0,
+                4,
+                5,
+                PoolOp::Take { now: t(2) },
+                PoolResult::Took(SandboxId::new(2)),
+            ),
+            ev(
+                0,
+                6,
+                7,
+                PoolOp::Take { now: t(2) },
+                PoolResult::Took(SandboxId::new(1)),
+            ),
+            ev(0, 8, 9, PoolOp::Take { now: t(2) }, PoolResult::Missed),
+        ];
+        let lin = check_linearizable(&h).expect("legal history");
+        assert_eq!(lin.order.len(), 5);
+    }
+
+    #[test]
+    fn overlapping_take_put_linearizes_either_way() {
+        // A take overlapping a put may see it (linearize put first) —
+        // here the take returns the id the overlapping put supplied.
+        let mut h = History::new(KeepAlive::Provisioned, vec![]);
+        h.events = vec![
+            ev(
+                0,
+                0,
+                5,
+                PoolOp::Take { now: t(1) },
+                PoolResult::Took(SandboxId::new(9)),
+            ),
+            ev(
+                1,
+                1,
+                2,
+                PoolOp::Put {
+                    id: SandboxId::new(9),
+                    now: t(1),
+                },
+                PoolResult::Putted,
+            ),
+        ];
+        check_linearizable(&h).expect("put can linearize before the overlapping take");
+    }
+
+    #[test]
+    fn double_handout_is_rejected() {
+        // Two non-overlapping takes both return id 1 with only one put:
+        // no order is legal.
+        let mut h = History::new(
+            KeepAlive::Provisioned,
+            vec![(SandboxId::new(1), SimTime::ZERO)],
+        );
+        h.events = vec![
+            ev(
+                0,
+                0,
+                1,
+                PoolOp::Take { now: t(0) },
+                PoolResult::Took(SandboxId::new(1)),
+            ),
+            ev(
+                1,
+                2,
+                3,
+                PoolOp::Take { now: t(0) },
+                PoolResult::Took(SandboxId::new(1)),
+            ),
+        ];
+        let err = check_linearizable(&h).unwrap_err();
+        assert!(
+            matches!(err, LinearizeError::NotLinearizable { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lost_sandbox_miss_is_rejected() {
+        // A miss while a live entry is pooled and no concurrent take
+        // could have removed it: not linearizable.
+        let mut h = History::new(
+            KeepAlive::Ttl(SimDuration::from_secs(1)),
+            vec![(SandboxId::new(3), SimTime::ZERO)],
+        );
+        h.events = vec![ev(0, 0, 1, PoolOp::Take { now: t(1) }, PoolResult::Missed)];
+        let err = check_linearizable(&h).unwrap_err();
+        assert!(
+            matches!(err, LinearizeError::NotLinearizable { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn expired_entry_makes_miss_legal_and_handout_illegal() {
+        let ttl = KeepAlive::Ttl(SimDuration::from_nanos(500));
+        let mut h = History::new(ttl, vec![(SandboxId::new(4), SimTime::ZERO)]);
+        h.events = vec![ev(0, 0, 1, PoolOp::Take { now: t(1) }, PoolResult::Missed)];
+        check_linearizable(&h).expect("miss over an expired entry is legal");
+
+        let mut bad = History::new(ttl, vec![(SandboxId::new(4), SimTime::ZERO)]);
+        bad.events = vec![ev(
+            0,
+            0,
+            1,
+            PoolOp::Take { now: t(1) },
+            PoolResult::Took(SandboxId::new(4)),
+        )];
+        let err = check_linearizable(&bad).unwrap_err();
+        assert!(
+            matches!(err, LinearizeError::NotLinearizable { .. }),
+            "handing out an expired entry must be rejected: {err}"
+        );
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // take returns id 5, but the put of id 5 STARTS after the take
+        // returned — no legal order.
+        let mut h = History::new(KeepAlive::Provisioned, vec![]);
+        h.events = vec![
+            ev(
+                0,
+                0,
+                1,
+                PoolOp::Take { now: t(0) },
+                PoolResult::Took(SandboxId::new(5)),
+            ),
+            ev(
+                1,
+                2,
+                3,
+                PoolOp::Put {
+                    id: SandboxId::new(5),
+                    now: t(0),
+                },
+                PoolResult::Putted,
+            ),
+        ];
+        let err = check_linearizable(&h).unwrap_err();
+        assert!(matches!(err, LinearizeError::NotLinearizable { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // A wide all-overlapping history with a tiny budget.
+        let mut h = History::new(KeepAlive::Provisioned, vec![]);
+        for i in 0..12u64 {
+            h.events.push(ev(
+                i as usize,
+                0,
+                100,
+                PoolOp::Put {
+                    id: SandboxId::new(i),
+                    now: t(0),
+                },
+                PoolResult::Putted,
+            ));
+        }
+        match check_linearizable_bounded(&h, 4) {
+            Err(LinearizeError::Inconclusive { visited }) => assert!(visited > 4),
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+    }
+}

@@ -545,6 +545,96 @@ mod tests {
         assert_eq!(p.keep_alive(), KeepAlive::Provisioned);
     }
 
+    /// Forces every shard's packed stack heads to a version just below
+    /// `u32::MAX` so the next few operations wrap the 32-bit version
+    /// counter through zero.
+    fn pin_versions_near_wraparound(p: &ShardedWarmPool) {
+        const NEAR_WRAP: u64 = (u32::MAX - 2) as u64;
+        for shard in &p.shards {
+            let wh = shard.warm_head.load(Ordering::Relaxed);
+            shard
+                .warm_head
+                .store((NEAR_WRAP << 32) | (wh & IDX_MASK), Ordering::Relaxed);
+            let fh = shard.free_head.load(Ordering::Relaxed);
+            shard
+                .free_head
+                .store((NEAR_WRAP << 32) | (fh & IDX_MASK), Ordering::Relaxed);
+        }
+    }
+
+    /// ABA-safety across version-counter wraparound. The Treiber heads
+    /// pack `version << 32 | slot` and bump the version with
+    /// `wrapping_add`; correctness must not depend on versions being
+    /// monotonic, only on them *changing* — including across the wrap
+    /// through zero. Starts every head at `u32::MAX − 2` and drives both
+    /// a single-threaded LIFO cycle and a concurrent conservation
+    /// workload across the boundary.
+    #[test]
+    fn version_counter_wraparound_is_aba_safe() {
+        // Single-threaded: exact LIFO must survive the wrap.
+        let p = ShardedWarmPool::new(KeepAlive::Provisioned);
+        pin_versions_near_wraparound(&p);
+        for i in 0..8u64 {
+            p.put(SandboxId::new(i), t(0));
+        }
+        for i in (0..8u64).rev() {
+            assert_eq!(p.take(t(1)), Some(SandboxId::new(i)), "entry {i}");
+        }
+        assert_eq!(p.take(t(1)), None);
+        // The driving thread's shard performed 16+ version bumps from
+        // u32::MAX − 2, so its warm head must have wrapped past zero.
+        let min_version = p
+            .shards
+            .iter()
+            .map(|s| s.warm_head.load(Ordering::Relaxed) >> 32)
+            .min()
+            .unwrap();
+        assert!(
+            min_version < 1_000,
+            "expected a wrapped version near zero, got {min_version}"
+        );
+
+        // Concurrent: conservation while every shard's counters cross
+        // the wrap under contention.
+        let pool = Arc::new(ShardedWarmPool::new(KeepAlive::Provisioned));
+        pin_versions_near_wraparound(&pool);
+        let initial = 48u64;
+        for i in 0..initial {
+            pool.put(SandboxId::new(i), SimTime::ZERO);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut held: Vec<SandboxId> = Vec::new();
+                    for r in 0..1_000 {
+                        if let Some(id) = pool.take(SimTime::ZERO) {
+                            held.push(id);
+                        }
+                        if r % 3 == 0 {
+                            for id in held.drain(..) {
+                                pool.put(id, SimTime::ZERO);
+                            }
+                        }
+                    }
+                    held
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = Vec::new();
+        for h in handles {
+            seen.extend(h.join().unwrap().into_iter().map(|id| id.as_u64()));
+        }
+        while let Some(id) = pool.take(SimTime::ZERO) {
+            seen.push(id.as_u64());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen.len() as u64, initial, "no sandbox lost or duplicated");
+        seen.dedup();
+        assert_eq!(seen.len() as u64, initial, "every id unique after the wrap");
+        assert_eq!(pool.len(), 0);
+    }
+
     /// Conservation under contention: N threads cycle take/put against
     /// one pool; no sandbox is ever lost, duplicated, or handed to two
     /// threads at once.

@@ -14,13 +14,32 @@
 use crate::counters::{Counter, CounterRegistry, Gauge};
 use crate::event::{Event, EventKind, TraceContext};
 use crate::ring::ShardedRing;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// The current [`TraceContext`] packed into one atomic word so readers
-/// always see a coherent (invocation, parent) pair: bits 0..56 the
-/// invocation id, bits 56..64 the parent kind as `discriminant + 1`
-/// (0 = no parent).
+thread_local! {
+    /// The *authoritative* [`TraceContext`] of the current thread, as
+    /// (recorder key, packed context). [`Recorder::context`] reads this
+    /// slot, so concurrent drivers each see the context *they*
+    /// installed and one driver's `set_context` can never bleed into
+    /// another driver's invocation records (the duplicate-invocation-id
+    /// race caught by `crates/faas/tests/concurrency.rs`). The key —
+    /// the recorder's `Arc` address — keeps distinct recorders on one
+    /// thread from reading each other's context.
+    ///
+    /// Event *stamping* deliberately does not read this slot: the
+    /// per-event hot path reads the shared [`RecorderInner::ctx`]
+    /// mirror instead (an atomic load is measurably cheaper than a TLS
+    /// access, and the telemetry overhead budget is tight), accepting
+    /// the documented single-driver scoping of causal attribution.
+    static THREAD_CTX: Cell<(usize, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// The current [`TraceContext`] packed into one word so the thread-local
+/// slot stays a simple `Cell<(usize, u64)>`: bits 0..56 the invocation
+/// id, bits 56..64 the parent kind as `discriminant + 1` (0 = no
+/// parent).
 fn pack_ctx(ctx: TraceContext) -> u64 {
     let parent = ctx.parent.map_or(0u64, |p| u64::from(p as u8) + 1);
     (parent << 56) | (ctx.invocation & ((1 << 56) - 1))
@@ -62,8 +81,9 @@ struct RecorderInner {
     counters: CounterRegistry,
     /// The virtual-time cursor, in nanoseconds.
     now_ns: AtomicU64,
-    /// The current trace context (see [`pack_ctx`]); stamped onto every
-    /// event recorded through the cursor APIs.
+    /// Shared mirror of the most recently installed trace context (see
+    /// [`pack_ctx`]); read by the per-event stamping fast path.
+    /// [`THREAD_CTX`] is authoritative for [`Recorder::context`].
     ctx: AtomicU64,
     /// Next invocation id to mint (ids start at 1; 0 = untraced).
     next_invocation: AtomicU64,
@@ -172,49 +192,74 @@ impl Recorder {
             .map_or(0, |i| i.next_invocation.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// The key identifying this recorder in the thread-local context
+    /// slot: the shared inner's address (never 0, so the slot's zeroed
+    /// initial state matches no recorder).
+    fn ctx_key(inner: &Arc<RecorderInner>) -> usize {
+        Arc::as_ptr(inner) as usize
+    }
+
     /// Installs the current trace context: every event recorded through
     /// [`Recorder::span`] / [`Recorder::span_at`] / [`Recorder::instant`]
-    /// is stamped with it until the next `set_context`/`clear_context`.
+    /// is stamped with it until the next `set_context`/`clear_context`,
+    /// and [`Recorder::context`] on *this thread* returns it.
     ///
-    /// Like the time cursor, the context is meaningful under a
-    /// **single driving thread**: the thread driving an invocation
-    /// installs it; 𝒫²𝒮ℳ merge threads only read it. Concurrent
-    /// drivers would overwrite each other's ambient context — safe, but
-    /// the causal attribution braids, so traced runs are scoped to one
-    /// driver (DESIGN.md §10).
+    /// Identity is thread-local: `context()` always returns the context
+    /// the calling thread installed, so the invocation id a concurrent
+    /// `invoke` reports is the one minted for that call — one driver's
+    /// install never bleeds into another driver's records. Event
+    /// *stamping* reads a shared mirror (last installer wins), so under
+    /// concurrent drivers causal attribution braids, exactly like the
+    /// shared time cursor (see [`Recorder::advance`]); traced
+    /// attribution runs stay scoped to one driver (DESIGN.md §10).
     pub fn set_context(&self, ctx: TraceContext) {
         if let Some(inner) = &self.inner {
-            inner.ctx.store(pack_ctx(ctx), Ordering::Relaxed);
+            let packed = pack_ctx(ctx);
+            THREAD_CTX.set((Self::ctx_key(inner), packed));
+            inner.ctx.store(packed, Ordering::Relaxed);
         }
     }
 
-    /// Resets the current context to untraced.
+    /// Resets the current thread's context to untraced.
     pub fn clear_context(&self) {
         self.set_context(TraceContext::UNTRACED);
     }
 
-    /// The current trace context ([`TraceContext::UNTRACED`] when
-    /// disabled or outside an invocation).
+    /// The current thread's trace context ([`TraceContext::UNTRACED`]
+    /// when disabled, outside an invocation, or when the thread's slot
+    /// belongs to a different recorder).
     pub fn context(&self) -> TraceContext {
-        self.inner.as_ref().map_or(TraceContext::UNTRACED, |i| {
-            unpack_ctx(i.ctx.load(Ordering::Relaxed))
-        })
+        match &self.inner {
+            Some(inner) => unpack_ctx(Self::thread_ctx(inner)),
+            None => TraceContext::UNTRACED,
+        }
     }
 
-    /// Re-parents the current context (same invocation) — called when
-    /// the pipeline descends into a child span, e.g. the vmm sets the
-    /// parent to `ResumeSortedMerge` before dispatching the scheduler
-    /// merge so the scheduler's events attach to the right step.
+    /// The packed thread-local context, 0 (untraced) if the slot was
+    /// installed by a different recorder.
+    fn thread_ctx(inner: &Arc<RecorderInner>) -> u64 {
+        let (key, packed) = THREAD_CTX.get();
+        if key == Self::ctx_key(inner) {
+            packed
+        } else {
+            0
+        }
+    }
+
+    /// Re-parents the current thread's context (same invocation) —
+    /// called when the pipeline descends into a child span, e.g. the
+    /// vmm sets the parent to `ResumeSortedMerge` before dispatching the
+    /// scheduler merge so the scheduler's events attach to the right
+    /// step.
     pub fn set_parent(&self, parent: Option<EventKind>) {
         if let Some(inner) = &self.inner {
-            let cur = unpack_ctx(inner.ctx.load(Ordering::Relaxed));
-            inner.ctx.store(
-                pack_ctx(TraceContext {
-                    invocation: cur.invocation,
-                    parent,
-                }),
-                Ordering::Relaxed,
-            );
+            let cur = unpack_ctx(Self::thread_ctx(inner));
+            let packed = pack_ctx(TraceContext {
+                invocation: cur.invocation,
+                parent,
+            });
+            THREAD_CTX.set((Self::ctx_key(inner), packed));
+            inner.ctx.store(packed, Ordering::Relaxed);
         }
     }
 
@@ -437,6 +482,49 @@ mod tests {
         let b = clone.mint_invocation();
         assert_ne!(a, b);
         assert_eq!(Recorder::disabled().mint_invocation(), 0);
+    }
+
+    #[test]
+    fn context_identity_is_per_thread() {
+        // Two drivers install different contexts on the same recorder;
+        // `context()` must keep returning the id each thread installed
+        // itself, no matter how the other thread interleaves — the
+        // shared-atomic-only version of this slot let one driver's
+        // install bleed into the other's reads (duplicate invocation
+        // ids in crates/faas/tests/concurrency.rs).
+        let rec = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for inv in [10u64, 20] {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for round in 0..200 {
+                        rec.set_context(TraceContext::root(inv));
+                        rec.instant(EventKind::InvokeWarm, 0, round);
+                        assert_eq!(rec.context().invocation, inv);
+                        rec.set_parent(Some(EventKind::InvokeWarm));
+                        assert_eq!(rec.context().invocation, inv);
+                        rec.clear_context();
+                        assert_eq!(rec.context(), TraceContext::UNTRACED);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.drain().events.len(), 400);
+    }
+
+    #[test]
+    fn context_slot_is_keyed_by_recorder() {
+        // A second recorder on the same thread must not read the first
+        // recorder's ambient context.
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        a.set_context(TraceContext::root(7));
+        assert_eq!(a.context().invocation, 7);
+        assert_eq!(b.context(), TraceContext::UNTRACED);
+        // ...and installing b's context displaces a's slot entirely.
+        b.set_context(TraceContext::root(9));
+        assert_eq!(b.context().invocation, 9);
+        assert_eq!(a.context(), TraceContext::UNTRACED);
     }
 
     #[test]

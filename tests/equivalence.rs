@@ -6,6 +6,7 @@
 use horse::prelude::*;
 use horse_sched::{CpuTopology, GovernorPolicy, Vcpu};
 use horse_vmm::CostModel;
+use proptest::prelude::*;
 
 fn build_vmm() -> Vmm {
     Vmm::new(
@@ -182,4 +183,139 @@ fn arena_stats_show_o1_vs_on_merge_work() {
         0,
         "P2SM merge performs no comparisons"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: 𝒫²𝒮ℳ splice merge vs the two vanilla references, over
+// arbitrary vCPU counts and credit vectors. Values carry per-element tags
+// so the properties check *stability* (FIFO among equal credits,
+// residents before the merged-in batch) and not just key order.
+// ---------------------------------------------------------------------------
+
+/// Builds a sorted list by per-element insertion, tagging element `i`
+/// with `tag0 + i` so provenance survives the merge.
+fn build_tagged(arena: &mut Arena<u64>, credits: &[i64], tag0: u64) -> SortedList {
+    let mut l = SortedList::new();
+    for (i, &c) in credits.iter().enumerate() {
+        l.insert_sorted(arena, c, tag0 + i as u64);
+    }
+    l
+}
+
+fn tagged_seq(arena: &Arena<u64>, l: &SortedList) -> Vec<(i64, u64)> {
+    l.iter(arena).map(|(_, k, v)| (k, *v)).collect()
+}
+
+/// The obviously-correct reference: a stable two-way merge of the
+/// already-sorted sequences, residents (`b`) first on credit ties.
+fn reference_merge(b: &[(i64, u64)], a: &[(i64, u64)]) -> Vec<(i64, u64)> {
+    let mut out = Vec::with_capacity(b.len() + a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < b.len() && j < a.len() {
+        if b[i].0 <= a[j].0 {
+            out.push(b[i]);
+            i += 1;
+        } else {
+            out.push(a[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&b[i..]);
+    out.extend_from_slice(&a[j..]);
+    out
+}
+
+/// A (credit, tag) sequence as observed by walking a queue.
+type Tagged = Vec<(i64, u64)>;
+
+/// Runs one splice-merge case and returns (fast, walk, reference).
+fn merge_three_ways(
+    b_credits: &[i64],
+    a_credits: &[i64],
+    mode: SpliceMode,
+) -> (Tagged, Tagged, Tagged) {
+    let mut fast_arena = Arena::new();
+    let mut fast_b = build_tagged(&mut fast_arena, b_credits, 0);
+    let fast_a = build_tagged(&mut fast_arena, a_credits, 1_000_000);
+    let b_seq = tagged_seq(&fast_arena, &fast_b);
+    let a_seq = tagged_seq(&fast_arena, &fast_a);
+    let plan = MergePlan::precompute(&fast_arena, &fast_b, fast_a);
+    plan.merge(&fast_arena, &mut fast_b, mode)
+        .expect("plan is fresh");
+    fast_b
+        .check_invariants(&fast_arena)
+        .expect("merged list invariants");
+
+    let mut walk_arena = Arena::new();
+    let mut walk_b = build_tagged(&mut walk_arena, b_credits, 0);
+    let walk_a = build_tagged(&mut walk_arena, a_credits, 1_000_000);
+    walk_b.merge_walk(&walk_arena, walk_a);
+    walk_b
+        .check_invariants(&walk_arena)
+        .expect("walked list invariants");
+
+    (
+        tagged_seq(&fast_arena, &fast_b),
+        tagged_seq(&walk_arena, &walk_b),
+        reference_merge(&b_seq, &a_seq),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// 𝒫²𝒮ℳ merge == merge_walk == stable reference merge for arbitrary
+    /// credit vectors. The narrow credit range forces heavy duplication
+    /// (the stability-sensitive regime); sizes start at 0 so empty-A,
+    /// empty-B and empty-both all occur.
+    #[test]
+    fn p2sm_merge_equals_both_references(
+        b_credits in proptest::collection::vec(-20i64..20, 0..48),
+        a_credits in proptest::collection::vec(-20i64..20, 0..40),
+        parallel in any::<bool>(),
+    ) {
+        let mode = if parallel { SpliceMode::Parallel } else { SpliceMode::Sequential };
+        let (fast, walk, reference) = merge_three_ways(&b_credits, &a_credits, mode);
+        prop_assert_eq!(&fast, &reference, "splice merge diverges from stable reference");
+        prop_assert_eq!(&fast, &walk, "splice merge diverges from merge_walk");
+    }
+
+    /// Degenerate splice tables: every element of A lands at one anchor
+    /// (strictly before all of B, or strictly after) — the single-splice
+    /// head/tail cases.
+    #[test]
+    fn p2sm_merge_single_splice_point(
+        b_credits in proptest::collection::vec(0i64..10, 1..24),
+        a_len in 1usize..24,
+        before_head in any::<bool>(),
+        parallel in any::<bool>(),
+    ) {
+        let a_credits: Vec<i64> = (0..a_len)
+            .map(|i| if before_head { -100 + i as i64 % 3 } else { 100 + i as i64 % 3 })
+            .collect();
+        let mode = if parallel { SpliceMode::Parallel } else { SpliceMode::Sequential };
+        let (fast, walk, reference) = merge_three_ways(&b_credits, &a_credits, mode);
+        prop_assert_eq!(&fast, &reference);
+        prop_assert_eq!(&fast, &walk);
+    }
+
+    /// All-equal credits: the pure tie-breaking case. The merged batch
+    /// must land after every resident, in batch order.
+    #[test]
+    fn p2sm_merge_all_duplicates(
+        credit in -5i64..5,
+        b_len in 0usize..24,
+        a_len in 0usize..24,
+    ) {
+        let b_credits = vec![credit; b_len];
+        let a_credits = vec![credit; a_len];
+        let (fast, walk, reference) = merge_three_ways(&b_credits, &a_credits, SpliceMode::Parallel);
+        prop_assert_eq!(&fast, &reference);
+        prop_assert_eq!(&fast, &walk);
+        let tags: Vec<u64> = fast.iter().map(|&(_, t)| t).collect();
+        let expected: Vec<u64> = (0..b_len as u64)
+            .chain((0..a_len as u64).map(|i| 1_000_000 + i))
+            .collect();
+        prop_assert_eq!(tags, expected, "residents first, both sides FIFO");
+    }
 }
