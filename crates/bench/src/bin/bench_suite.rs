@@ -627,6 +627,13 @@ fn latency_leaves(value: &JsonValue, prefix: &str, out: &mut BTreeMap<String, f6
 
 /// Compares current sections against the baseline's entry for `seed`.
 /// Returns the list of violations (empty = gate passes).
+///
+/// The comparison is *section-scoped*: only baseline sections (top-level
+/// keys of the seed entry, e.g. `resume_doc`, `throughput_doc`,
+/// `profile_doc`) that the current run also produced are compared, so a
+/// baseline carrying `profile_report`'s section does not fail a
+/// `bench_suite` run that never measures it — each binary gates the
+/// sections it owns.
 fn compare(baseline: &JsonValue, seed: u64, current: &JsonValue) -> Result<Vec<String>, String> {
     if baseline.get("schema").and_then(|v| v.as_str()) != Some(SCHEMA_BASELINE) {
         return Err(format!("baseline schema is not {SCHEMA_BASELINE}"));
@@ -635,12 +642,23 @@ fn compare(baseline: &JsonValue, seed: u64, current: &JsonValue) -> Result<Vec<S
         .get("seeds")
         .and_then(|s| s.get(&seed.to_string()))
         .ok_or_else(|| format!("baseline has no entry for seed {seed}"))?;
+    let (JsonValue::Object(entry_map), JsonValue::Object(current_map)) = (entry, current) else {
+        return Err(format!("baseline entry for seed {seed} is not an object"));
+    };
     let mut expected = BTreeMap::new();
-    latency_leaves(entry, "", &mut expected);
+    for (section, child) in entry_map {
+        if current_map.contains_key(section) {
+            latency_leaves(child, section, &mut expected);
+        } else {
+            println!("perf gate: skipping baseline section {section} (not produced by this run)");
+        }
+    }
     let mut actual = BTreeMap::new();
     latency_leaves(current, "", &mut actual);
     if expected.is_empty() {
-        return Err(format!("baseline entry for seed {seed} has no *_ns leaves"));
+        return Err(format!(
+            "baseline entry for seed {seed} has no *_ns leaves in any section this run produced"
+        ));
     }
 
     let mut violations = Vec::new();
@@ -850,7 +868,19 @@ fn main() {
             },
             Err(_) => BTreeMap::new(),
         };
-        seeds.insert(opts.seed.to_string(), sections.clone());
+        // Merge at the section level: sections other binaries own (e.g.
+        // `profile_report`'s `profile_doc`) survive a bench_suite
+        // baseline refresh, and vice versa.
+        let mut entry = match seeds.remove(&opts.seed.to_string()) {
+            Some(JsonValue::Object(existing)) => existing,
+            _ => BTreeMap::new(),
+        };
+        if let JsonValue::Object(new_sections) = &sections {
+            for (k, v) in new_sections {
+                entry.insert(k.clone(), v.clone());
+            }
+        }
+        seeds.insert(opts.seed.to_string(), JsonValue::Object(entry));
         let baseline = obj(vec![
             ("schema".into(), JsonValue::String(SCHEMA_BASELINE.into())),
             ("seeds".into(), JsonValue::Object(seeds)),

@@ -14,6 +14,7 @@ use crate::pool::PoolStats;
 use crate::registry::FunctionId;
 use horse_faults::{FaultInjector, FaultSite, RecoveryOutcome};
 use horse_sim::SimTime;
+use horse_telemetry::contention::{self, ContentionSite};
 use horse_telemetry::{Counter, EventKind, Recorder};
 use horse_vmm::SandboxConfig;
 use horse_workloads::Category;
@@ -343,11 +344,13 @@ impl Cluster {
             DispatchPolicy::RoundRobin => {
                 let n = self.hosts.len();
                 let mut cur = self.next_host.load(Ordering::Relaxed);
+                let mut retries = 0u64;
                 loop {
                     let mut h = cur;
                     while !self.alive[h].load(Ordering::Acquire) {
                         h = (h + 1) % n;
                         if h == cur {
+                            contention::cas_retry(ContentionSite::RouteCursorCas, retries);
                             return None; // every host died mid-walk
                         }
                     }
@@ -357,8 +360,14 @@ impl Cluster {
                         Ordering::Relaxed,
                         Ordering::Relaxed,
                     ) {
-                        Ok(_) => return Some(h),
-                        Err(seen) => cur = seen,
+                        Ok(_) => {
+                            contention::cas_retry(ContentionSite::RouteCursorCas, retries);
+                            return Some(h);
+                        }
+                        Err(seen) => {
+                            retries += 1;
+                            cur = seen;
+                        }
                     }
                 }
             }

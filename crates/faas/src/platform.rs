@@ -8,6 +8,8 @@ use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome, RetryPoli
 use horse_sched::{SandboxId, SchedConfig};
 use horse_sim::rng::SeedFactory;
 use horse_sim::SimTime;
+use horse_telemetry::alloc::{AllocPhase, AllocScope};
+use horse_telemetry::contention::{self, ContentionSite};
 use horse_telemetry::{Counter, EventKind, Gauge, Recorder, TraceContext};
 use horse_vmm::{
     BootModel, CostModel, PausePolicy, RestoreModel, ResumeMode, ResumeOutcome, SandboxConfig, Vmm,
@@ -258,7 +260,7 @@ impl FaasPlatform {
             }
         }
         if !doomed.is_empty() {
-            let mut vmm = self.vmm.lock();
+            let mut vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
             for id in doomed {
                 vmm.destroy(id).expect("pooled sandboxes are destroyable");
             }
@@ -307,7 +309,7 @@ impl FaasPlatform {
     /// VMM lock for the guard's lifetime — bind it to a local rather
     /// than chaining calls off a temporary.
     pub fn vmm(&self) -> MutexGuard<'_, Vmm> {
-        self.vmm.lock()
+        contention::timed(ContentionSite::VmmMutex, || self.vmm.lock())
     }
 
     /// Provisioned-concurrency setup: creates, starts and pauses `count`
@@ -347,7 +349,7 @@ impl FaasPlatform {
         let pool = self.pool_entry(function, horse, KeepAlive::Provisioned);
         for _ in 0..count {
             let id = {
-                let mut vmm = self.vmm.lock();
+                let mut vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
                 let id = vmm.create(cfg);
                 vmm.start(id)?;
                 vmm.pause(id, policy)?;
@@ -412,6 +414,10 @@ impl FaasPlatform {
         function: FunctionId,
         strategy: StartStrategy,
     ) -> Result<InvocationRecord, FaasError> {
+        // Allocation attribution: everything on the invoke path defaults
+        // to the `Invoke` phase; the pool take and the inner pause/resume
+        // pipelines re-scope themselves more precisely.
+        let _alloc = AllocScope::enter(AllocPhase::Invoke);
         let (cfg, category) = {
             let registry = self.registry.read();
             let meta = registry
@@ -461,10 +467,28 @@ impl FaasPlatform {
             },
             1,
         );
-        self.recorder.gauge(
-            Gauge::PooledSandboxes,
-            self.warm_pool.read().values().map(|p| p.len() as u64).sum(),
-        );
+        if self.recorder.is_enabled() {
+            // One pass over the pool map: the aggregate pooled gauge plus
+            // per-shard occupancy / cold-overflow depth (summed across
+            // pools — the shard axis, not the function axis, is what the
+            // contention story needs).
+            let mut pooled = 0u64;
+            let mut warm = [0u64; horse_telemetry::counters::POOL_GAUGE_SHARDS];
+            let mut cold = [0u64; horse_telemetry::counters::POOL_GAUGE_SHARDS];
+            for pool in self.warm_pool.read().values() {
+                pooled += pool.len() as u64;
+                for (i, &(w, c)) in pool.shard_occupancy().iter().enumerate() {
+                    warm[i] += w;
+                    cold[i] += c;
+                }
+            }
+            self.recorder.gauge(Gauge::PooledSandboxes, pooled);
+            for i in 0..horse_telemetry::counters::POOL_GAUGE_SHARDS {
+                self.recorder.gauge(Gauge::pool_shard_occupancy(i), warm[i]);
+                self.recorder
+                    .gauge(Gauge::pool_shard_cold_depth(i), cold[i]);
+            }
+        }
 
         Ok(InvocationRecord {
             function,
@@ -500,7 +524,7 @@ impl FaasPlatform {
                 // Boot a brand-new sandbox; it joins the vanilla pool
                 // afterwards (keep-alive).
                 let id = {
-                    let mut vmm = self.vmm.lock();
+                    let mut vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
                     let id = vmm.create(cfg);
                     vmm.start(id)?;
                     id
@@ -512,7 +536,7 @@ impl FaasPlatform {
             }
             StartStrategy::Restore => {
                 let id = {
-                    let mut vmm = self.vmm.lock();
+                    let mut vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
                     let id = vmm.create(cfg);
                     vmm.start(id)?;
                     id
@@ -589,7 +613,8 @@ impl FaasPlatform {
                 Err(e) if attempts == 0 => return Err(e),
                 Err(_) => {
                     let id = {
-                        let mut vmm = self.vmm.lock();
+                        let mut vmm =
+                            contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
                         let id = vmm.create(cfg);
                         vmm.start(id)?;
                         vmm.pause(id, pause_policy)?;
@@ -634,13 +659,14 @@ impl FaasPlatform {
                 continue;
             }
 
-            match self.vmm.lock().resume(id, mode) {
+            match contention::timed(ContentionSite::VmmMutex, || self.vmm.lock()).resume(id, mode) {
                 Ok(outcome) => return Ok((id, outcome, extra_ns)),
                 Err(VmmError::ModeMismatch { .. }) if mode == ResumeMode::Horse => {
                     // A queue failure downgraded the pause to vanilla;
                     // the sandbox still resumes through the slow path —
                     // recorded as a HORSE fallback.
-                    let outcome = self.vmm.lock().resume(id, ResumeMode::Vanilla)?;
+                    let outcome = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock())
+                        .resume(id, ResumeMode::Vanilla)?;
                     self.recorder.count(Counter::HorseFallbacks, 1);
                     self.recorder.instant(
                         EventKind::HorseFallback,
@@ -673,7 +699,7 @@ impl FaasPlatform {
         self.recorder.count(Counter::PoolQuarantined, 1);
         self.recorder
             .instant(EventKind::PoolQuarantine, 0, id.as_u64());
-        self.vmm.lock().destroy(id)?;
+        contention::timed(ContentionSite::VmmMutex, || self.vmm.lock()).destroy(id)?;
         Ok(())
     }
 
@@ -692,7 +718,8 @@ impl FaasPlatform {
         } else {
             (PausePolicy::vanilla(), KeepAlive::default_ttl())
         };
-        let paused = self.vmm.lock().pause(id, policy);
+        let paused =
+            contention::timed(ContentionSite::VmmMutex, || self.vmm.lock()).pause(id, policy);
         match paused {
             Ok(_) => {
                 self.pool_entry(function, horse, keep_alive)
@@ -740,6 +767,7 @@ impl FaasPlatform {
         horse: bool,
         strategy: StartStrategy,
     ) -> Result<SandboxId, FaasError> {
+        let _alloc = AllocScope::enter(AllocPhase::PoolTake);
         let now = self.now();
         let pool = self.warm_pool.read().get(&(function, horse)).cloned();
         let (taken, doomed) = match pool {
@@ -749,7 +777,7 @@ impl FaasPlatform {
         // Destroy entries `take` lazily expired (the keep-alive tax is
         // paid even when eviction happens on the take path).
         if !doomed.is_empty() {
-            let mut vmm = self.vmm.lock();
+            let mut vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
             for id in doomed {
                 vmm.destroy(id).expect("pooled sandboxes are destroyable");
             }
@@ -772,7 +800,8 @@ impl FaasPlatform {
     /// uniform jitter (seeded, deterministic).
     fn sample_exec_ns(&self, category: Category) -> u64 {
         let mean = category.mean_exec_ns() as f64;
-        let jitter = self.exec_rng.lock().gen_range(0.9..1.1);
+        let jitter =
+            contention::timed(ContentionSite::ExecRng, || self.exec_rng.lock()).gen_range(0.9..1.1);
         (mean * jitter).round() as u64
     }
 }

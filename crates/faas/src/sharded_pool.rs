@@ -27,6 +27,7 @@
 use crate::pool::{KeepAlive, PoolStats};
 use horse_sched::SandboxId;
 use horse_sim::{SimDuration, SimTime};
+use horse_telemetry::contention::{self, ContentionSite};
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -108,34 +109,52 @@ struct Slot {
 /// Pops the top slot off a packed Treiber stack. The version half of
 /// the head word changes on every successful push *and* pop, so a
 /// concurrent recycle of the observed top slot (ABA) fails the CAS.
-fn stack_pop(head: &AtomicU64, slots: &[Slot]) -> Option<u32> {
+/// Failed CAS iterations are attributed to `site` when the profiling
+/// plane is on ([`contention::cas_retry`] is free otherwise).
+fn stack_pop(head: &AtomicU64, slots: &[Slot], site: ContentionSite) -> Option<u32> {
     let mut cur = head.load(Ordering::Acquire);
+    let mut retries = 0u64;
     loop {
         let idx = cur & IDX_MASK;
         if idx == NIL {
+            contention::cas_retry(site, retries);
             return None;
         }
         let next = slots[idx as usize].next.load(Ordering::Relaxed);
         let bumped = ((cur >> 32).wrapping_add(1) << 32) | next;
         match head.compare_exchange_weak(cur, bumped, Ordering::AcqRel, Ordering::Acquire) {
-            Ok(_) => return Some(idx as u32),
-            Err(seen) => cur = seen,
+            Ok(_) => {
+                contention::cas_retry(site, retries);
+                return Some(idx as u32);
+            }
+            Err(seen) => {
+                retries += 1;
+                cur = seen;
+            }
         }
     }
 }
 
 /// Pushes a slot the caller exclusively owns onto a packed Treiber
 /// stack. The `Release` CAS publishes the slot's payload stores.
-fn stack_push(head: &AtomicU64, slots: &[Slot], idx: u32) {
+/// Failed CAS iterations are attributed to `site` like [`stack_pop`]'s.
+fn stack_push(head: &AtomicU64, slots: &[Slot], idx: u32, site: ContentionSite) {
     let mut cur = head.load(Ordering::Relaxed);
+    let mut retries = 0u64;
     loop {
         slots[idx as usize]
             .next
             .store(cur & IDX_MASK, Ordering::Relaxed);
         let bumped = ((cur >> 32).wrapping_add(1) << 32) | u64::from(idx);
         match head.compare_exchange_weak(cur, bumped, Ordering::Release, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(seen) => cur = seen,
+            Ok(_) => {
+                contention::cas_retry(site, retries);
+                return;
+            }
+            Err(seen) => {
+                retries += 1;
+                cur = seen;
+            }
         }
     }
 }
@@ -152,6 +171,9 @@ struct Shard {
     /// Cheap emptiness probe for `cold` so the take fast path never
     /// touches the mutex.
     cold_len: AtomicU64,
+    /// Entries currently on the warm stack (occupancy gauge; racy under
+    /// concurrency like every other probe here).
+    warm_len: AtomicU64,
     /// Entries lazily expired by `take`, awaiting destruction by the
     /// platform.
     doomed: Mutex<Vec<SandboxId>>,
@@ -177,15 +199,19 @@ impl Shard {
             slots,
             cold: Mutex::new(VecDeque::new()),
             cold_len: AtomicU64::new(0),
+            warm_len: AtomicU64::new(0),
             doomed: Mutex::new(Vec::new()),
         }
     }
 
     /// Drains the warm stack into `(slot, id, since)` triples, top
-    /// first. The caller owns the popped slots.
+    /// first. The caller owns the popped slots. `warm_len` is left
+    /// untouched: drains are transient (the caller restores survivors
+    /// and accounts removals itself).
     fn drain_stack(&self) -> Vec<(u32, u64, u64)> {
         let mut out = Vec::new();
-        while let Some(idx) = stack_pop(&self.warm_head, &self.slots) {
+        while let Some(idx) = stack_pop(&self.warm_head, &self.slots, ContentionSite::WarmStackCas)
+        {
             let slot = &self.slots[idx as usize];
             out.push((
                 idx,
@@ -200,7 +226,12 @@ impl Shard {
     /// onto the warm stack, preserving their original LIFO order.
     fn restore_stack(&self, survivors: &[(u32, u64, u64)]) {
         for &(idx, _, _) in survivors.iter().rev() {
-            stack_push(&self.warm_head, &self.slots, idx);
+            stack_push(
+                &self.warm_head,
+                &self.slots,
+                idx,
+                ContentionSite::WarmStackCas,
+            );
         }
     }
 }
@@ -309,28 +340,39 @@ impl ShardedWarmPool {
             // put only spills once its shard's slab is full), so drain
             // them first to keep single-threaded reuse LIFO.
             if shard.cold_len.load(Ordering::Relaxed) > 0 {
-                let mut cold = shard.cold.lock();
+                let mut cold =
+                    contention::timed(ContentionSite::PoolColdOverflow, || shard.cold.lock());
                 while let Some((id, since)) = cold.pop_back() {
                     shard.cold_len.fetch_sub(1, Ordering::Relaxed);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     if expired(ka, since.as_nanos(), now_ns) {
                         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                        shard.doomed.lock().push(id);
+                        contention::timed(ContentionSite::PoolDoomedList, || shard.doomed.lock())
+                            .push(id);
                         continue;
                     }
                     self.stats.hits.fetch_add(1, Ordering::Relaxed);
                     return Some(id);
                 }
             }
-            while let Some(idx) = stack_pop(&shard.warm_head, &shard.slots) {
+            while let Some(idx) =
+                stack_pop(&shard.warm_head, &shard.slots, ContentionSite::WarmStackCas)
+            {
                 let slot = &shard.slots[idx as usize];
                 let id = SandboxId::new(slot.id.load(Ordering::Relaxed));
                 let since_ns = slot.since.load(Ordering::Relaxed);
-                stack_push(&shard.free_head, &shard.slots, idx);
+                stack_push(
+                    &shard.free_head,
+                    &shard.slots,
+                    idx,
+                    ContentionSite::FreeStackCas,
+                );
+                shard.warm_len.fetch_sub(1, Ordering::Relaxed);
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 if expired(ka, since_ns, now_ns) {
                     self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                    shard.doomed.lock().push(id);
+                    contention::timed(ContentionSite::PoolDoomedList, || shard.doomed.lock())
+                        .push(id);
                     continue;
                 }
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -346,13 +388,20 @@ impl ShardedWarmPool {
     /// the shard's overflow deque only when its slab is full.
     pub fn put(&self, id: SandboxId, now: SimTime) {
         let shard = &self.shards[shard_hint()];
-        if let Some(idx) = stack_pop(&shard.free_head, &shard.slots) {
+        if let Some(idx) = stack_pop(&shard.free_head, &shard.slots, ContentionSite::FreeStackCas) {
             let slot = &shard.slots[idx as usize];
             slot.id.store(id.as_u64(), Ordering::Relaxed);
             slot.since.store(now.as_nanos(), Ordering::Relaxed);
-            stack_push(&shard.warm_head, &shard.slots, idx);
+            stack_push(
+                &shard.warm_head,
+                &shard.slots,
+                idx,
+                ContentionSite::WarmStackCas,
+            );
+            shard.warm_len.fetch_add(1, Ordering::Relaxed);
         } else {
-            shard.cold.lock().push_back((id, now));
+            contention::timed(ContentionSite::PoolColdOverflow, || shard.cold.lock())
+                .push_back((id, now));
             shard.cold_len.fetch_add(1, Ordering::Relaxed);
         }
         self.len.fetch_add(1, Ordering::Relaxed);
@@ -363,9 +412,25 @@ impl ShardedWarmPool {
     pub fn drain_doomed(&self) -> Vec<SandboxId> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.append(&mut shard.doomed.lock());
+            out.append(&mut contention::timed(
+                ContentionSite::PoolDoomedList,
+                || shard.doomed.lock(),
+            ));
         }
         out
+    }
+
+    /// Per-shard occupancy: `(warm slab entries, cold overflow depth)`
+    /// in shard order — the queue-depth signal behind the per-shard
+    /// pool gauges. A racy snapshot, like [`Self::len`].
+    pub fn shard_occupancy(&self) -> [(u64, u64); SHARD_COUNT] {
+        std::array::from_fn(|i| {
+            let shard = &self.shards[i];
+            (
+                shard.warm_len.load(Ordering::Relaxed),
+                shard.cold_len.load(Ordering::Relaxed),
+            )
+        })
     }
 
     /// Removes a specific sandbox from the pool (quarantine path),
@@ -380,7 +445,13 @@ impl ShardedWarmPool {
             for entry in drained {
                 if !found && entry.1 == raw {
                     found = true;
-                    stack_push(&shard.free_head, &shard.slots, entry.0);
+                    stack_push(
+                        &shard.free_head,
+                        &shard.slots,
+                        entry.0,
+                        ContentionSite::FreeStackCas,
+                    );
+                    shard.warm_len.fetch_sub(1, Ordering::Relaxed);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                 } else {
                     survivors.push(entry);
@@ -390,7 +461,8 @@ impl ShardedWarmPool {
             if found {
                 return true;
             }
-            let mut cold = shard.cold.lock();
+            let mut cold =
+                contention::timed(ContentionSite::PoolColdOverflow, || shard.cold.lock());
             let before = cold.len();
             cold.retain(|&(e, _)| e != id);
             let removed = before - cold.len();
@@ -418,7 +490,13 @@ impl ShardedWarmPool {
             for entry in drained {
                 if expired(ka, entry.2, now_ns) {
                     buf.push(SandboxId::new(entry.1));
-                    stack_push(&shard.free_head, &shard.slots, entry.0);
+                    stack_push(
+                        &shard.free_head,
+                        &shard.slots,
+                        entry.0,
+                        ContentionSite::FreeStackCas,
+                    );
+                    shard.warm_len.fetch_sub(1, Ordering::Relaxed);
                     self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                 } else {
@@ -426,7 +504,8 @@ impl ShardedWarmPool {
                 }
             }
             shard.restore_stack(&survivors);
-            let mut cold = shard.cold.lock();
+            let mut cold =
+                contention::timed(ContentionSite::PoolColdOverflow, || shard.cold.lock());
             let before = cold.len();
             cold.retain(|&(e, since)| {
                 let keep = !expired(ka, since.as_nanos(), now_ns);
@@ -543,6 +622,103 @@ mod tests {
         assert_eq!(p.keep_alive(), KeepAlive::default_ttl());
         p.set_keep_alive(KeepAlive::Provisioned);
         assert_eq!(p.keep_alive(), KeepAlive::Provisioned);
+    }
+
+    #[test]
+    fn shard_count_matches_the_gauge_vocabulary() {
+        // The per-shard occupancy/cold-depth gauges in horse-telemetry
+        // are a closed vocabulary sized for this pool's shard count.
+        assert_eq!(SHARD_COUNT, horse_telemetry::counters::POOL_GAUGE_SHARDS);
+    }
+
+    #[test]
+    fn shard_occupancy_tracks_slab_and_overflow() {
+        let p = ShardedWarmPool::new(KeepAlive::default_ttl());
+        let occ_sum = |p: &ShardedWarmPool| -> (u64, u64) {
+            p.shard_occupancy()
+                .iter()
+                .fold((0, 0), |(w, c), &(sw, sc)| (w + sw, c + sc))
+        };
+        assert_eq!(occ_sum(&p), (0, 0));
+        // Fill past one shard's slab so the overflow deque is exercised
+        // (single-threaded drivers stay on one shard).
+        let n = SLOTS_PER_SHARD as u64 + 5;
+        for i in 0..n {
+            p.put(SandboxId::new(i), t(0));
+        }
+        assert_eq!(occ_sum(&p), (SLOTS_PER_SHARD as u64, 5));
+        // Takes drain overflow first, then the slab.
+        for _ in 0..5 {
+            p.take(t(1)).unwrap();
+        }
+        assert_eq!(occ_sum(&p), (SLOTS_PER_SHARD as u64, 0));
+        for _ in 0..SLOTS_PER_SHARD {
+            p.take(t(1)).unwrap();
+        }
+        assert_eq!(occ_sum(&p), (0, 0));
+        // Quarantine and expiry keep the gauge honest.
+        p.put(SandboxId::new(100), t(2));
+        p.put(SandboxId::new(101), t(2));
+        assert!(p.remove(SandboxId::new(100)));
+        assert_eq!(occ_sum(&p), (1, 0));
+        p.set_keep_alive(KeepAlive::Ttl(SimDuration::from_secs(1)));
+        let mut buf = Vec::new();
+        p.evict_expired_into(t(60), &mut buf);
+        assert_eq!(buf, vec![SandboxId::new(101)]);
+        assert_eq!(occ_sum(&p), (0, 0));
+    }
+
+    #[test]
+    fn contended_treiber_stacks_count_cas_retries_when_profiled() {
+        use horse_telemetry::{contention, profiling};
+        // Process-global profiling flag: only this test (in this
+        // binary) enables it, and only around a burst of contended
+        // traffic; the counters are cumulative so >= is asserted.
+        let pool = Arc::new(ShardedWarmPool::new(KeepAlive::Provisioned));
+        for i in 0..16u64 {
+            pool.put(SandboxId::new(i), SimTime::ZERO);
+        }
+        let before: u64 = contention::snapshot().iter().map(|s| s.acquisitions).sum();
+        profiling::set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        if let Some(id) = pool.take(SimTime::ZERO) {
+                            pool.put(id, SimTime::ZERO);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let after: u64 = contention::snapshot().iter().map(|s| s.acquisitions).sum();
+        assert!(after >= before, "counters are monotonic");
+
+        // Deterministic single-threaded check: an overflow put (slab
+        // full) must take — and time — the cold mutex.
+        let cold_before = contention::snapshot()
+            .iter()
+            .find(|s| s.site == contention::ContentionSite::PoolColdOverflow)
+            .unwrap()
+            .acquisitions;
+        let p = ShardedWarmPool::new(KeepAlive::Provisioned);
+        for i in 0..=SLOTS_PER_SHARD as u64 {
+            p.put(SandboxId::new(i), SimTime::ZERO);
+        }
+        profiling::set_enabled(false);
+        let cold_after = contention::snapshot()
+            .iter()
+            .find(|s| s.site == contention::ContentionSite::PoolColdOverflow)
+            .unwrap()
+            .acquisitions;
+        assert!(
+            cold_after > cold_before,
+            "the overflow put acquired the timed cold lock"
+        );
     }
 
     /// Forces every shard's packed stack heads to a version just below

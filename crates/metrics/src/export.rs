@@ -96,6 +96,43 @@ pub fn write_folded_stacks(
     std::fs::write(path, horse_telemetry::folded::render(snapshot))
 }
 
+/// Writes the profiling plane's state — snapshot vocabulary, allocation
+/// profile, contention profile — as a Prometheus text-format page
+/// (conventionally `*.prom`, ready for `promtool check metrics` or a
+/// file-based scrape).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_prometheus_page(
+    path: impl AsRef<Path>,
+    snapshot: &horse_telemetry::TraceSnapshot,
+    alloc: &[horse_telemetry::PhaseAllocStats],
+    contention: &[horse_telemetry::SiteStats],
+) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        crate::prometheus::render_profile_page(snapshot, alloc, contention),
+    )
+}
+
+/// Writes the same profiling state as deterministic JSON (the
+/// machine-readable twin of [`write_prometheus_page`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_profile_json(
+    path: impl AsRef<Path>,
+    snapshot: &horse_telemetry::TraceSnapshot,
+    alloc: &[horse_telemetry::PhaseAllocStats],
+    contention: &[horse_telemetry::SiteStats],
+) -> std::io::Result<()> {
+    let mut text = crate::prometheus::profile_json(snapshot, alloc, contention).render();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +177,43 @@ mod tests {
         assert!(content.starts_with("bucket_upper_ns,count\n"));
         assert!(content.contains("# n=10"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn prometheus_and_json_twins_agree_on_state() {
+        let recorder = horse_telemetry::Recorder::new(horse_telemetry::TelemetryConfig {
+            shards: 1,
+            capacity_per_shard: 64,
+        });
+        recorder.count(horse_telemetry::Counter::PoolHits, 4);
+        let snap = recorder.drain();
+        let alloc = horse_telemetry::alloc::snapshot();
+        let contention = horse_telemetry::contention::snapshot();
+
+        let prom_path = tmp("profile.prom");
+        let json_path = tmp("profile.json");
+        write_prometheus_page(&prom_path, &snap, &alloc, &contention).unwrap();
+        write_profile_json(&json_path, &snap, &alloc, &contention).unwrap();
+
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("horse_pool_hits_total 4\n"));
+        assert!(prom.ends_with('\n'));
+
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        let value = horse_telemetry::json::parse(json.trim_end()).unwrap();
+        assert_eq!(
+            value
+                .get("counters")
+                .and_then(|c| c.get("pool_hits"))
+                .and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+        assert!(value
+            .get("dropped_events")
+            .and_then(|d| d.get("lossy"))
+            .is_some());
+        std::fs::remove_file(prom_path).ok();
+        std::fs::remove_file(json_path).ok();
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   ≤ 3 % for each experiment").
 //! * [`TimeSeries`] — periodically sampled series (the paper samples CPU and
 //!   memory usage every 500 ms in §5.2).
+//! * [`QuantileSketch`] — a DDSketch-style mergeable quantile sketch with a
+//!   configurable relative-error bound, for per-thread/per-shard recording
+//!   merged exactly at report time.
+//! * [`prometheus`] — Prometheus text-format exposition of the telemetry
+//!   vocabulary, the allocation/contention profiles and sketch summaries.
 //! * [`report`] — fixed-width table and CSV writers so each benchmark binary
 //!   can print the same rows/series as the paper's tables and figures.
 //!
@@ -34,11 +39,14 @@ pub mod attribution;
 pub mod chart;
 pub mod export;
 mod histogram;
+pub mod prometheus;
 pub mod report;
+mod sketch;
 mod stats;
 mod timeseries;
 
 pub use attribution::{TailAttribution, TailReport};
 pub use histogram::Histogram;
+pub use sketch::QuantileSketch;
 pub use stats::{ConfidenceInterval, RunningStats};
 pub use timeseries::{Sample, TimeSeries};

@@ -1,0 +1,207 @@
+//! Property tests: the quantile sketch against exact and histogram
+//! oracles, and the Prometheus escaping rules against arbitrary strings.
+
+use horse_metrics::prometheus::{escape_help, escape_label_value};
+use horse_metrics::{Histogram, QuantileSketch};
+use proptest::prelude::*;
+
+const ALPHA: f64 = 0.01;
+/// Comparison tolerance between the sketch and the HDR histogram: the
+/// sketch is within `ALPHA` relative error; the histogram reports the
+/// upper bound of a bucket whose relative width reaches `1/64` at the
+/// bottom of each power-of-two range (the bound its own oracle test
+/// uses); plus a unit of integer rounding on each side.
+const CROSS_TOLERANCE: f64 = ALPHA + 1.0 / 64.0;
+
+fn exact_percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn build(values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(ALPHA);
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+/// Reverses [`escape_label_value`] — only the three escape sequences the
+/// spec defines can appear in escaped output.
+fn unescape_label_value(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any sketch percentile is within `ALPHA` relative error of the
+    /// exact order statistic (plus integer rounding).
+    #[test]
+    fn sketch_percentiles_track_exact_oracle(
+        mut values in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+        pct in 0.0f64..100.0,
+    ) {
+        let s = build(&values);
+        values.sort_unstable();
+        let exact = exact_percentile(&values, pct);
+        let approx = s.percentile(pct);
+        let tolerance = (exact as f64 * ALPHA).max(2.0);
+        prop_assert!(
+            (approx as f64 - exact as f64).abs() <= tolerance,
+            "pct={pct}: approx {approx} vs exact {exact}"
+        );
+    }
+
+    /// The documented cross-check from the issue: sketch p50/p99/p99.9
+    /// agree with the HDR `Histogram` within the combined error bound
+    /// of the two quantizations.
+    #[test]
+    fn sketch_agrees_with_histogram_oracle(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+    ) {
+        let s = build(&values);
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for pct in [50.0, 99.0, 99.9] {
+            let sv = s.percentile(pct) as f64;
+            let hv = h.percentile(pct) as f64;
+            let tolerance = (hv * CROSS_TOLERANCE).max(2.0);
+            prop_assert!(
+                (sv - hv).abs() <= tolerance,
+                "p{pct}: sketch {sv} vs histogram {hv}"
+            );
+        }
+        prop_assert_eq!(s.len(), h.len());
+        prop_assert_eq!(s.min(), h.min());
+        prop_assert_eq!(s.max(), h.max());
+        prop_assert!((s.mean() - h.mean()).abs() < 1e-6 * (1.0 + h.mean()));
+    }
+
+    /// Merge is exact: merging shards in any association equals
+    /// recording the union directly, bucket for bucket.
+    #[test]
+    fn sketch_merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..120),
+        pct in 0.0f64..100.0,
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a ⊕ (b ⊕ c)
+        let mut tail = build(&b);
+        tail.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&tail);
+        // The union recorded directly.
+        let union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = build(&union);
+
+        prop_assert_eq!(left.len(), direct.len());
+        prop_assert_eq!(right.len(), direct.len());
+        prop_assert_eq!(left.min(), direct.min());
+        prop_assert_eq!(left.max(), direct.max());
+        prop_assert!((left.mean() - direct.mean()).abs() < 1e-6 * (1.0 + direct.mean()));
+        for p in [pct, 50.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(left.percentile(p), direct.percentile(p), "left vs direct at p{}", p);
+            prop_assert_eq!(right.percentile(p), direct.percentile(p), "right vs direct at p{}", p);
+        }
+    }
+
+    /// Merge is commutative: a ⊕ b and b ⊕ a answer identically.
+    #[test]
+    fn sketch_merge_is_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..150),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..150),
+    ) {
+        let mut ab = build(&a);
+        ab.merge(&build(&b));
+        let mut ba = build(&b);
+        ba.merge(&build(&a));
+        prop_assert_eq!(ab.len(), ba.len());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(ab.percentile(p), ba.percentile(p), "p{}", p);
+        }
+    }
+
+    /// Sketch percentiles are monotone in the percentile argument.
+    #[test]
+    fn sketch_percentiles_are_monotone(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..100),
+    ) {
+        let s = build(&values);
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let q = s.percentile(i as f64 * 5.0);
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+
+    /// Escaped label values never contain a raw quote or newline, every
+    /// backslash starts a legal escape, and unescaping round-trips.
+    #[test]
+    fn label_escaping_roundtrips_any_string(s in any::<String>()) {
+        let escaped = escape_label_value(&s);
+        prop_assert!(!escaped.contains('\n'), "raw newline survived: {escaped:?}");
+        let mut chars = escaped.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                let next = chars.next();
+                prop_assert!(
+                    matches!(next, Some('\\' | '"' | 'n')),
+                    "dangling or unknown escape in {escaped:?}"
+                );
+            } else {
+                prop_assert!(c != '"', "unescaped quote in {escaped:?}");
+            }
+        }
+        prop_assert_eq!(unescape_label_value(&escaped), Some(s));
+    }
+
+    /// Help escaping removes raw newlines and round-trips backslashes.
+    #[test]
+    fn help_escaping_removes_newlines(s in any::<String>()) {
+        let escaped = escape_help(&s);
+        prop_assert!(!escaped.contains('\n'));
+        // Unescaping \\ and \n recovers the original.
+        let mut out = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    other => prop_assert!(false, "bad escape {other:?} in {escaped:?}"),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        prop_assert_eq!(out, s);
+    }
+}

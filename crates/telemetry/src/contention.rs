@@ -1,0 +1,306 @@
+//! Lock-contention and CAS-retry attribution for the hot
+//! synchronization sites.
+//!
+//! The concurrent invoke plane (PR 4) put the platform behind
+//! fine-grained synchronization: one `Mutex<Vmm>` per host, a
+//! `Mutex<StdRng>` for exec sampling, lock-free Treiber stacks with a
+//! mutex-guarded cold overflow in the sharded warm pool, and a
+//! round-robin CAS cursor in the cluster router. Which of those
+//! saturates first at higher thread counts is exactly what the
+//! throughput benchmark cannot see. This module attributes it:
+//!
+//! - [`timed`] wraps a lock acquisition, recording the wall-clock
+//!   acquisition latency into a per-[`ContentionSite`] log₂ histogram
+//!   plus total-ns and acquisition counters;
+//! - [`cas_retry`] counts failed CAS iterations (retries, not
+//!   attempts) per site;
+//! - everything is a fixed table of atomics — snapshots never pause
+//!   writers — and gated on
+//!   [`profiling::is_enabled`](crate::profiling::is_enabled): disabled,
+//!   [`timed`] is one `Relaxed` load plus the acquisition itself.
+//!
+//! Wall-clock wait times are *observability* output (exported via
+//! `BENCH_profile.json` and Prometheus); they never feed the virtual
+//! time axis, so enabling the plane keeps single-driver runs
+//! bit-identical. The CI gate's `lock_wait_ns` leaf is derived from the
+//! deterministic acquisition *counts* (see `bin/profile_report`), not
+//! from these measured nanoseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Histogram buckets per site: bucket `i` holds waits with
+/// `⌊log₂ ns⌋ + 1 == i` (bucket 0 is exactly 0 ns); the last bucket
+/// absorbs everything ≥ 2²² ns (~4 ms — far beyond any sane acquisition).
+pub const WAIT_BUCKETS: usize = 24;
+
+/// The instrumented synchronization sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ContentionSite {
+    /// The per-host `Mutex<Vmm>` serializing the resume/pause pipeline.
+    VmmMutex = 0,
+    /// The exec-sampling `Mutex<StdRng>` on the invoke path.
+    ExecRng = 1,
+    /// A warm-pool shard's cold-overflow `Mutex<VecDeque>`.
+    PoolColdOverflow = 2,
+    /// A warm-pool shard's doomed-entry `Mutex<Vec>`.
+    PoolDoomedList = 3,
+    /// CAS retries on a shard's warm Treiber stack head.
+    WarmStackCas = 4,
+    /// CAS retries on a shard's free Treiber stack head.
+    FreeStackCas = 5,
+    /// CAS retries on the cluster's round-robin routing cursor.
+    RouteCursorCas = 6,
+}
+
+impl ContentionSite {
+    /// Every site, in discriminant order.
+    pub const ALL: [ContentionSite; 7] = [
+        ContentionSite::VmmMutex,
+        ContentionSite::ExecRng,
+        ContentionSite::PoolColdOverflow,
+        ContentionSite::PoolDoomedList,
+        ContentionSite::WarmStackCas,
+        ContentionSite::FreeStackCas,
+        ContentionSite::RouteCursorCas,
+    ];
+
+    /// Export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContentionSite::VmmMutex => "vmm_mutex",
+            ContentionSite::ExecRng => "exec_rng",
+            ContentionSite::PoolColdOverflow => "pool_cold_overflow",
+            ContentionSite::PoolDoomedList => "pool_doomed_list",
+            ContentionSite::WarmStackCas => "warm_stack_cas",
+            ContentionSite::FreeStackCas => "free_stack_cas",
+            ContentionSite::RouteCursorCas => "route_cursor_cas",
+        }
+    }
+}
+
+const SITES: usize = ContentionSite::ALL.len();
+
+#[derive(Debug)]
+struct SiteCounters {
+    acquisitions: AtomicU64,
+    wait_ns_total: AtomicU64,
+    cas_retries: AtomicU64,
+    wait_hist: [AtomicU64; WAIT_BUCKETS],
+}
+
+impl SiteCounters {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const fn new() -> Self {
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            acquisitions: AtomicU64::new(0),
+            wait_ns_total: AtomicU64::new(0),
+            cas_retries: AtomicU64::new(0),
+            wait_hist: [ZERO; WAIT_BUCKETS],
+        }
+    }
+}
+
+static TABLE: [SiteCounters; SITES] = [
+    SiteCounters::new(),
+    SiteCounters::new(),
+    SiteCounters::new(),
+    SiteCounters::new(),
+    SiteCounters::new(),
+    SiteCounters::new(),
+    SiteCounters::new(),
+];
+
+/// The histogram bucket a wait of `ns` lands in.
+#[inline]
+pub fn wait_bucket(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(WAIT_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the overflow
+/// bucket).
+pub fn wait_bucket_upper_ns(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= WAIT_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// Times a lock acquisition: `acquire` should perform exactly the
+/// blocking call and return the guard. Disabled, this is one `Relaxed`
+/// load plus the acquisition.
+#[inline]
+pub fn timed<R>(site: ContentionSite, acquire: impl FnOnce() -> R) -> R {
+    if !crate::profiling::is_enabled() {
+        return acquire();
+    }
+    let start = Instant::now();
+    let guard = acquire();
+    record_wait(site, start.elapsed().as_nanos() as u64);
+    guard
+}
+
+/// Records one acquisition that waited `ns` (exposed for sites that
+/// measure on their own).
+#[inline]
+pub fn record_wait(site: ContentionSite, ns: u64) {
+    let t = &TABLE[site as usize];
+    t.acquisitions.fetch_add(1, Ordering::Relaxed);
+    t.wait_ns_total.fetch_add(ns, Ordering::Relaxed);
+    t.wait_hist[wait_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts `retries` failed CAS iterations at a site. Call with the
+/// loop's retry tally (callers typically skip the call when zero).
+#[inline]
+pub fn cas_retry(site: ContentionSite, retries: u64) {
+    if retries == 0 || !crate::profiling::is_enabled() {
+        return;
+    }
+    TABLE[site as usize]
+        .cas_retries
+        .fetch_add(retries, Ordering::Relaxed);
+}
+
+/// One site's totals in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The site.
+    pub site: ContentionSite,
+    /// Timed acquisitions.
+    pub acquisitions: u64,
+    /// Total measured wall-clock wait, in nanoseconds.
+    pub wait_ns_total: u64,
+    /// Failed CAS iterations.
+    pub cas_retries: u64,
+    /// Log₂ wait histogram (see [`wait_bucket`]).
+    pub wait_hist: [u64; WAIT_BUCKETS],
+}
+
+/// Snapshots every site (writers are never paused).
+pub fn snapshot() -> Vec<SiteStats> {
+    ContentionSite::ALL
+        .iter()
+        .map(|&site| {
+            let t = &TABLE[site as usize];
+            SiteStats {
+                site,
+                acquisitions: t.acquisitions.load(Ordering::Relaxed),
+                wait_ns_total: t.wait_ns_total.load(Ordering::Relaxed),
+                cas_retries: t.cas_retries.load(Ordering::Relaxed),
+                wait_hist: std::array::from_fn(|i| t.wait_hist[i].load(Ordering::Relaxed)),
+            }
+        })
+        .collect()
+}
+
+/// Zeroes every site's counters.
+pub fn reset() {
+    for t in &TABLE {
+        t.acquisitions.store(0, Ordering::Relaxed);
+        t.wait_ns_total.store(0, Ordering::Relaxed);
+        t.cas_retries.store(0, Ordering::Relaxed);
+        for b in &t.wait_hist {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling;
+    use crate::profiling::test_gate;
+    use std::sync::Mutex;
+
+    fn stats(site: ContentionSite) -> SiteStats {
+        snapshot().into_iter().find(|s| s.site == site).unwrap()
+    }
+
+    #[test]
+    fn discriminants_match_all_order_and_names_unique() {
+        for (i, s) in ContentionSite::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+        let mut names: Vec<_> = ContentionSite::ALL.iter().map(|s| s.name()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn bucket_mapping_is_log2_with_overflow() {
+        assert_eq!(wait_bucket(0), 0);
+        assert_eq!(wait_bucket(1), 1);
+        assert_eq!(wait_bucket(2), 2);
+        assert_eq!(wait_bucket(3), 2);
+        assert_eq!(wait_bucket(4), 3);
+        assert_eq!(wait_bucket(u64::MAX), WAIT_BUCKETS - 1);
+        // Bounds are consistent with the mapping.
+        for b in 0..WAIT_BUCKETS - 1 {
+            assert_eq!(wait_bucket(wait_bucket_upper_ns(b)), b, "bucket {b}");
+        }
+        assert_eq!(wait_bucket_upper_ns(WAIT_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn timed_records_acquisitions_when_enabled() {
+        let _gate = test_gate();
+        let _on = profiling::ProfilingScope::enter();
+        let before = stats(ContentionSite::ExecRng);
+        let m = Mutex::new(7u32);
+        let v = timed(ContentionSite::ExecRng, || m.lock().unwrap());
+        assert_eq!(*v, 7);
+        drop(v);
+        let after = stats(ContentionSite::ExecRng);
+        assert_eq!(after.acquisitions, before.acquisitions + 1);
+        let hist_total: u64 = after.wait_hist.iter().sum();
+        assert!(hist_total > before.wait_hist.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn disabled_plane_records_nothing() {
+        let _gate = test_gate();
+        profiling::set_enabled(false);
+        let before = stats(ContentionSite::VmmMutex);
+        let m = Mutex::new(());
+        drop(timed(ContentionSite::VmmMutex, || m.lock().unwrap()));
+        cas_retry(ContentionSite::WarmStackCas, 3);
+        assert_eq!(stats(ContentionSite::VmmMutex), before);
+    }
+
+    #[test]
+    fn cas_retries_accumulate() {
+        let _gate = test_gate();
+        let _on = profiling::ProfilingScope::enter();
+        let before = stats(ContentionSite::RouteCursorCas).cas_retries;
+        cas_retry(ContentionSite::RouteCursorCas, 0);
+        cas_retry(ContentionSite::RouteCursorCas, 2);
+        cas_retry(ContentionSite::RouteCursorCas, 1);
+        assert_eq!(
+            stats(ContentionSite::RouteCursorCas).cas_retries,
+            before + 3
+        );
+    }
+
+    #[test]
+    fn record_wait_lands_in_the_right_bucket() {
+        let _gate = test_gate();
+        let _on = profiling::ProfilingScope::enter();
+        let before = stats(ContentionSite::PoolColdOverflow);
+        record_wait(ContentionSite::PoolColdOverflow, 5); // bucket 3: [4, 7]
+        let after = stats(ContentionSite::PoolColdOverflow);
+        assert_eq!(after.wait_hist[3], before.wait_hist[3] + 1);
+        assert_eq!(after.wait_ns_total, before.wait_ns_total + 5);
+    }
+}

@@ -123,15 +123,67 @@ pub enum Gauge {
     PooledSandboxes = 2,
     /// Last governor frequency choice, in MHz.
     LastPstateMhz = 3,
+    /// Warm (slab) entries on warm-pool shard 0, across all pools.
+    PoolShard0Occupancy = 4,
+    /// Warm (slab) entries on warm-pool shard 1, across all pools.
+    PoolShard1Occupancy = 5,
+    /// Warm (slab) entries on warm-pool shard 2, across all pools.
+    PoolShard2Occupancy = 6,
+    /// Warm (slab) entries on warm-pool shard 3, across all pools.
+    PoolShard3Occupancy = 7,
+    /// Warm (slab) entries on warm-pool shard 4, across all pools.
+    PoolShard4Occupancy = 8,
+    /// Warm (slab) entries on warm-pool shard 5, across all pools.
+    PoolShard5Occupancy = 9,
+    /// Warm (slab) entries on warm-pool shard 6, across all pools.
+    PoolShard6Occupancy = 10,
+    /// Warm (slab) entries on warm-pool shard 7, across all pools.
+    PoolShard7Occupancy = 11,
+    /// Cold-overflow queue depth on warm-pool shard 0, across all pools.
+    PoolShard0ColdDepth = 12,
+    /// Cold-overflow queue depth on warm-pool shard 1, across all pools.
+    PoolShard1ColdDepth = 13,
+    /// Cold-overflow queue depth on warm-pool shard 2, across all pools.
+    PoolShard2ColdDepth = 14,
+    /// Cold-overflow queue depth on warm-pool shard 3, across all pools.
+    PoolShard3ColdDepth = 15,
+    /// Cold-overflow queue depth on warm-pool shard 4, across all pools.
+    PoolShard4ColdDepth = 16,
+    /// Cold-overflow queue depth on warm-pool shard 5, across all pools.
+    PoolShard5ColdDepth = 17,
+    /// Cold-overflow queue depth on warm-pool shard 6, across all pools.
+    PoolShard6ColdDepth = 18,
+    /// Cold-overflow queue depth on warm-pool shard 7, across all pools.
+    PoolShard7ColdDepth = 19,
 }
+
+/// Number of warm-pool shards the per-shard gauges cover. Must match
+/// `horse_faas::sharded_pool::SHARD_COUNT` (asserted by a test there).
+pub const POOL_GAUGE_SHARDS: usize = 8;
 
 impl Gauge {
     /// Every gauge, in discriminant order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 20] = [
         Gauge::QueuedVcpus,
         Gauge::LiveSandboxes,
         Gauge::PooledSandboxes,
         Gauge::LastPstateMhz,
+        Gauge::PoolShard0Occupancy,
+        Gauge::PoolShard1Occupancy,
+        Gauge::PoolShard2Occupancy,
+        Gauge::PoolShard3Occupancy,
+        Gauge::PoolShard4Occupancy,
+        Gauge::PoolShard5Occupancy,
+        Gauge::PoolShard6Occupancy,
+        Gauge::PoolShard7Occupancy,
+        Gauge::PoolShard0ColdDepth,
+        Gauge::PoolShard1ColdDepth,
+        Gauge::PoolShard2ColdDepth,
+        Gauge::PoolShard3ColdDepth,
+        Gauge::PoolShard4ColdDepth,
+        Gauge::PoolShard5ColdDepth,
+        Gauge::PoolShard6ColdDepth,
+        Gauge::PoolShard7ColdDepth,
     ];
 
     /// Export name.
@@ -141,7 +193,43 @@ impl Gauge {
             Gauge::LiveSandboxes => "live_sandboxes",
             Gauge::PooledSandboxes => "pooled_sandboxes",
             Gauge::LastPstateMhz => "last_pstate_mhz",
+            Gauge::PoolShard0Occupancy => "pool_shard0_occupancy",
+            Gauge::PoolShard1Occupancy => "pool_shard1_occupancy",
+            Gauge::PoolShard2Occupancy => "pool_shard2_occupancy",
+            Gauge::PoolShard3Occupancy => "pool_shard3_occupancy",
+            Gauge::PoolShard4Occupancy => "pool_shard4_occupancy",
+            Gauge::PoolShard5Occupancy => "pool_shard5_occupancy",
+            Gauge::PoolShard6Occupancy => "pool_shard6_occupancy",
+            Gauge::PoolShard7Occupancy => "pool_shard7_occupancy",
+            Gauge::PoolShard0ColdDepth => "pool_shard0_cold_depth",
+            Gauge::PoolShard1ColdDepth => "pool_shard1_cold_depth",
+            Gauge::PoolShard2ColdDepth => "pool_shard2_cold_depth",
+            Gauge::PoolShard3ColdDepth => "pool_shard3_cold_depth",
+            Gauge::PoolShard4ColdDepth => "pool_shard4_cold_depth",
+            Gauge::PoolShard5ColdDepth => "pool_shard5_cold_depth",
+            Gauge::PoolShard6ColdDepth => "pool_shard6_cold_depth",
+            Gauge::PoolShard7ColdDepth => "pool_shard7_cold_depth",
         }
+    }
+
+    /// The occupancy gauge of warm-pool shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= POOL_GAUGE_SHARDS`.
+    pub fn pool_shard_occupancy(shard: usize) -> Gauge {
+        assert!(shard < POOL_GAUGE_SHARDS, "shard {shard} out of range");
+        Gauge::ALL[Gauge::PoolShard0Occupancy as usize + shard]
+    }
+
+    /// The cold-overflow depth gauge of warm-pool shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= POOL_GAUGE_SHARDS`.
+    pub fn pool_shard_cold_depth(shard: usize) -> Gauge {
+        assert!(shard < POOL_GAUGE_SHARDS, "shard {shard} out of range");
+        Gauge::ALL[Gauge::PoolShard0ColdDepth as usize + shard]
     }
 }
 
@@ -240,6 +328,16 @@ mod tests {
         assert!(snap.contains(&("splices", 7)));
         assert!(snap.contains(&("pool_hits", 1)));
         assert!(reg.snapshot_gauges().contains(&("queued_vcpus", 17)));
+    }
+
+    #[test]
+    fn per_shard_gauge_accessors_map_to_the_right_variant() {
+        for shard in 0..POOL_GAUGE_SHARDS {
+            let occ = Gauge::pool_shard_occupancy(shard);
+            let cold = Gauge::pool_shard_cold_depth(shard);
+            assert_eq!(occ.name(), format!("pool_shard{shard}_occupancy"));
+            assert_eq!(cold.name(), format!("pool_shard{shard}_cold_depth"));
+        }
     }
 
     #[test]

@@ -37,17 +37,26 @@
 //! assert!(json::parse(&trace).is_ok());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the allocation-attribution module carries the
+// one place `unsafe` is allowed — the `GlobalAlloc` forwarding wrapper
+// ([`alloc`]), which cannot be expressed in safe Rust. Everything else
+// still refuses `unsafe` at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod chrome;
+pub mod contention;
 pub mod counters;
 pub mod event;
 pub mod folded;
 pub mod json;
+pub mod profiling;
 pub mod recorder;
 pub mod ring;
 
+pub use alloc::{AllocPhase, AllocScope, CountingAlloc, PhaseAllocStats};
+pub use contention::{ContentionSite, SiteStats};
 pub use counters::{Counter, CounterRegistry, Gauge};
 pub use event::{Event, EventKind, TraceContext};
 pub use recorder::{Recorder, TelemetryConfig, TraceSnapshot};

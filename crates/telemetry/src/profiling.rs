@@ -1,0 +1,90 @@
+//! Master switch for the continuous profiling plane.
+//!
+//! The allocation-attribution ([`alloc`](crate::alloc)) and
+//! lock-contention ([`contention`](crate::contention)) layers share one
+//! process-wide runtime flag. Disabled (the default), every hook
+//! degenerates to a single `Relaxed` load and an untaken branch — the
+//! same discipline as the disabled [`Recorder`](crate::Recorder) — so
+//! uninstrumented runs stay inside the telemetry plane's <10% overhead
+//! budget with margin to spare.
+//!
+//! The flag is deliberately *runtime*, not a cargo feature: the profile
+//! gate (`bin/profile_report`) measures the same binary with the plane
+//! on and off to prove both the overhead budget and bit-identical
+//! virtual-time results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the profiling plane on or off, process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the profiling plane is currently recording.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every profiling table (allocation phases and contention
+/// sites). Call between measurement windows; concurrent writers are not
+/// paused, so reset during quiescence for exact attribution.
+pub fn reset() {
+    crate::alloc::reset();
+    crate::contention::reset();
+}
+
+/// RAII guard enabling the plane for a scope (tests, measurement
+/// windows). Restores the previous state on drop.
+#[derive(Debug)]
+pub struct ProfilingScope {
+    prev: bool,
+}
+
+impl ProfilingScope {
+    /// Enables profiling, remembering the previous state.
+    #[must_use = "profiling is disabled again when the scope drops"]
+    pub fn enter() -> Self {
+        let prev = is_enabled();
+        set_enabled(true);
+        Self { prev }
+    }
+}
+
+impl Drop for ProfilingScope {
+    fn drop(&mut self) {
+        set_enabled(self.prev);
+    }
+}
+
+/// Serializes unit tests that toggle the process-wide flag (the test
+/// binary runs tests on parallel threads).
+#[cfg(test)]
+pub(crate) fn test_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_restores_previous_state() {
+        let _gate = test_gate();
+        set_enabled(false);
+        {
+            let _on = ProfilingScope::enter();
+            assert!(is_enabled());
+            {
+                let _nested = ProfilingScope::enter();
+                assert!(is_enabled());
+            }
+            assert!(is_enabled(), "nested scope restores, not clears");
+        }
+        assert!(!is_enabled());
+    }
+}

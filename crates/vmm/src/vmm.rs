@@ -22,6 +22,7 @@ use crate::snapshot::{RestoreModel, SandboxSnapshot};
 use horse_core::{MergeReport, PlanCorruption, SortedList, SpliceMode, StalePlanError};
 use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome};
 use horse_sched::{HostScheduler, RqId, SandboxId, SchedConfig, SpliceWatchdog, Vcpu, VcpuId};
+use horse_telemetry::alloc::{AllocPhase, AllocScope};
 use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
@@ -391,6 +392,9 @@ impl Vmm {
     ///
     /// [`VmmError::InvalidState`] unless the sandbox is `Running`.
     pub fn pause(&mut self, id: SandboxId, policy: PausePolicy) -> Result<PauseReport, VmmError> {
+        // Allocation attribution: the pause pipeline defaults to `Pause`;
+        // the plan and coalesce precomputations re-scope below.
+        let _alloc = AllocScope::enter(AllocPhase::Pause);
         self.expect_state(id, SandboxState::Running)?;
         let sb = self.sandboxes.get_mut(&id.as_u64()).expect("checked above");
         let placements = std::mem::take(&mut sb.placements);
@@ -465,6 +469,7 @@ impl Vmm {
         };
 
         let plan = if policy.precompute_merge {
+            let _alloc = AllocScope::enter(AllocPhase::PlanPrecompute);
             let rq = ull_rq.expect("assigned above");
             self.sched.take_arena_stats();
             let mut merge_vcpus = SortedList::new();
@@ -491,6 +496,7 @@ impl Vmm {
         };
 
         let coalesced = if policy.precompute_coalesce {
+            let _alloc = AllocScope::enter(AllocPhase::Coalesce);
             breakdown.set(
                 PauseStep::PrecomputeCoalesce,
                 self.cost.coalesce_precompute_ns.round() as u64,
@@ -622,6 +628,10 @@ impl Vmm {
     /// * [`VmmError::Stale`] if the 𝒫²𝒮ℳ plan went stale (a bug in plan
     ///   maintenance — surfaced, never silently absorbed).
     pub fn resume(&mut self, id: SandboxId, mode: ResumeMode) -> Result<ResumeOutcome, VmmError> {
+        // Allocation attribution: resume steps ①–⑥ (splice merge
+        // included) default to `ResumeSplice`; the coalesced load update
+        // re-scopes below.
+        let _alloc = AllocScope::enter(AllocPhase::ResumeSplice);
         self.expect_state(id, SandboxState::Paused)?;
         {
             let paused = self.sandboxes[&id.as_u64()]
@@ -872,6 +882,7 @@ impl Vmm {
         // --- step ⑤: load update ---
         self.recorder.set_parent(Some(EventKind::ResumeLoadUpdate));
         let load_ns = if mode.uses_coalescing() {
+            let _alloc = AllocScope::enter(AllocPhase::Coalesce);
             let rq = paused.ull_rq.expect("coalescing pause assigned a queue");
             let coalesced = paused.coalesced.expect("coalescing pause precomputed");
             // Chaos: poisoned coalescing factors (corrupted between pause
