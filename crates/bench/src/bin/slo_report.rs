@@ -1,0 +1,727 @@
+//! SLO soak: the end-to-end reliability plane under churn, with a CI
+//! gate.
+//!
+//! Drives 12 000+ seeded requests (uLL-class HORSE starts with tight
+//! deadlines, background warm starts, periodic 64-wide background
+//! bursts) through [`Cluster::submit`] / [`Cluster::submit_batch`]
+//! against a 6-host fleet with one chronically sick host and a seeded
+//! join/leave/crash churn schedule, then emits `BENCH_slo.json` (and a
+//! Prometheus text page) with the run's reliability ledger:
+//!
+//! * per-class SLO attainment (deadline-met over *submissions*, so
+//!   sheds and failures count against it — an all-shedding fleet cannot
+//!   hide behind an empty completions denominator),
+//! * hedge rate / hedge wins, shed rate by reason, retry volume,
+//! * circuit-breaker transition counts (opened / half-opened / closed),
+//! * churn events applied and fleet size at the end.
+//!
+//! Hard gates (exit non-zero): the conservation invariant
+//! (`submissions == completions + sheds + deadline_misses + failures`),
+//! bit-identical replay (the soak runs twice; every deterministic
+//! section and the disposition-stream fingerprint must match), ≥10 000
+//! submissions, uLL attainment ≥ 99.9 % *with churn on*, and a hedge
+//! rate below 5 %.
+//!
+//! Modes:
+//!
+//! * `slo_report --seed 42 --out results` — run and write artifacts;
+//! * `slo_report --against results/bench_baseline.json` — additionally
+//!   compare the gated leaves against the committed baseline's
+//!   `slo_doc` section (±10 % band, same contract as the profile gate);
+//! * `slo_report --write-baseline` — merge this seed's `slo_doc`
+//!   section into the baseline, preserving sections other binaries own;
+//! * `slo_report --no-churn` — static fleet (used by the CI matrix to
+//!   show the plane is not *relying* on churn-driven resets);
+//! * `slo_report --force-open-breakers` — every breaker starts and
+//!   stays open; the run MUST fail the attainment gate (CI runs this as
+//!   the negative self-test).
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use horse_faas::{
+    Cluster, DispatchPolicy, Disposition, FunctionId, HostId, Request, StartStrategy,
+};
+use horse_faults::{FaultInjector, FaultPlan, FaultSite, FaultTrigger, RetryPolicy};
+use horse_reliability::{ChurnConfig, ChurnSchedule, ReliabilityConfig, RequestClass, ShedReason};
+use horse_sim::rng::SeedFactory;
+use horse_telemetry::json::{self, JsonValue};
+use horse_telemetry::Recorder;
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const SCHEMA_SLO: &str = "horse-bench/slo/1";
+const SCHEMA_BASELINE: &str = "horse-bench/baseline/1";
+
+/// Relative drift tolerated per gated leaf by `--against`.
+const NOISE_BAND: f64 = 0.10;
+
+const HOSTS: usize = 6;
+/// The soak stops at the first round boundary past this many
+/// submissions (the acceptance floor is 10 000).
+const TARGET_SUBMISSIONS: u64 = 12_000;
+/// Background burst width (vs `max_inflight` 32 / `ull_reserve` 8: the
+/// burst must overflow the background share and shed the rest).
+const BURST: usize = 64;
+/// One burst every this many single submissions.
+const BURST_EVERY: u64 = 512;
+/// Warm entries provisioned per host per function up front and restored
+/// on rejoin.
+const PROVISION: usize = 6;
+/// Top-up cadence: one entry per host per function.
+const REPLENISH_EVERY: u64 = 32;
+/// uLL-class end-to-end deadline (virtual ns). Cat3 service time is
+/// ~1 µs; the headroom absorbs cross-host retry backoffs.
+const ULL_DEADLINE_NS: u64 = 100_000;
+/// Background deadline when one is attached at all.
+const BG_DEADLINE_NS: u64 = 50_000_000;
+
+/// Gate floors/ceilings (hard, not baseline-relative).
+const ULL_ATTAINMENT_FLOOR: f64 = 0.999;
+const HEDGE_RATE_CEILING: f64 = 0.05;
+
+struct Options {
+    seed: u64,
+    out: String,
+    against: Option<String>,
+    write_baseline: bool,
+    churn: bool,
+    force_open: bool,
+}
+
+const USAGE: &str = "usage: slo_report [--seed <u64>] [--out <dir>] \
+     [--against <baseline.json>] [--write-baseline] [--no-churn] \
+     [--force-open-breakers]";
+
+impl Options {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = Options {
+            seed: 42,
+            out: "results".to_string(),
+            against: None,
+            write_baseline: false,
+            churn: true,
+            force_open: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("{flag} needs a value; {USAGE}"))
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    opts.seed = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}; {USAGE}"))?;
+                }
+                "--out" => opts.out = value()?,
+                "--against" => opts.against = Some(value()?),
+                "--write-baseline" => opts.write_baseline = true,
+                "--no-churn" => opts.churn = false,
+                "--force-open-breakers" => opts.force_open = true,
+                other => return Err(format!("unknown flag {other}; {USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn git_sha() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Per-class external ledger, built from returned dispositions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ClassTally {
+    submissions: u64,
+    completions: u64,
+    met_deadline: u64,
+    hedged: u64,
+    sheds: u64,
+    deadline_misses: u64,
+    failures: u64,
+}
+
+impl ClassTally {
+    fn observe(&mut self, d: &Disposition) {
+        self.submissions += 1;
+        match d {
+            Disposition::Completed {
+                met_deadline,
+                hedged,
+                ..
+            } => {
+                self.completions += 1;
+                if *met_deadline {
+                    self.met_deadline += 1;
+                }
+                if *hedged {
+                    self.hedged += 1;
+                }
+            }
+            Disposition::Shed { .. } => self.sheds += 1,
+            Disposition::DeadlineExceeded { .. } => self.deadline_misses += 1,
+            Disposition::Failed { .. } => self.failures += 1,
+        }
+    }
+
+    /// Deadline-met completions over *submissions*: sheds, failures and
+    /// misses all count against attainment.
+    fn attainment(&self) -> f64 {
+        if self.submissions == 0 {
+            return 1.0;
+        }
+        self.met_deadline as f64 / self.submissions as f64
+    }
+}
+
+struct SoakResult {
+    ull: ClassTally,
+    background: ClassTally,
+    sheds_by_reason: BTreeMap<&'static str, u64>,
+    internal: horse_reliability::StatsSnapshot,
+    transitions: (u64, u64, u64),
+    churn_applied: u64,
+    churn_skipped: u64,
+    hosts_alive: usize,
+    fingerprint: u64,
+    snapshot: horse_telemetry::TraceSnapshot,
+}
+
+fn fnv1a(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn fold_disposition(hash: u64, d: &Disposition) -> u64 {
+    match d {
+        Disposition::Completed {
+            host,
+            latency_ns,
+            hedged,
+            met_deadline,
+            ..
+        } => {
+            let tags = 1u64 | (u64::from(*hedged) << 8) | (u64::from(*met_deadline) << 9);
+            fnv1a(fnv1a(fnv1a(hash, tags), host.0 as u64), *latency_ns)
+        }
+        Disposition::Shed { reason } => fnv1a(hash, 2 | ((*reason as u64) << 8)),
+        Disposition::DeadlineExceeded { observed_ns, .. } => fnv1a(fnv1a(hash, 3), *observed_ns),
+        Disposition::Failed { .. } => fnv1a(hash, 4),
+    }
+}
+
+fn shed_reason(d: &Disposition) -> Option<ShedReason> {
+    match d {
+        Disposition::Shed { reason } => Some(*reason),
+        _ => None,
+    }
+}
+
+fn ull_request(f: FunctionId) -> Request {
+    Request {
+        function: f,
+        strategy: StartStrategy::Horse,
+        class: RequestClass::Ull,
+        deadline_ns: Some(ULL_DEADLINE_NS),
+    }
+}
+
+fn bg_request(f: FunctionId, rng: &mut StdRng) -> Request {
+    Request {
+        function: f,
+        strategy: StartStrategy::Warm,
+        class: RequestClass::Background,
+        deadline_ns: if rng.gen_bool(0.5) {
+            Some(BG_DEADLINE_NS)
+        } else {
+            None
+        },
+    }
+}
+
+fn soak(seed: u64, churn: bool, force_open: bool) -> SoakResult {
+    let mut cluster = Cluster::new(HOSTS, DispatchPolicy::RoundRobin, seed);
+    let recorder = Recorder::enabled();
+    cluster.set_recorder(recorder.clone());
+
+    let ull_cfg = SandboxConfig::builder().vcpus(1).ull(true).build().unwrap();
+    let bg_cfg = SandboxConfig::builder().vcpus(2).build().unwrap();
+    let ull_fn = cluster.register("filter", Category::Cat3, ull_cfg);
+    let bg_fn = cluster.register("nat", Category::Cat2, bg_cfg);
+
+    let mut rel = ReliabilityConfig::with_seed(seed);
+    rel.breaker.forced_open = force_open;
+    cluster.set_reliability(rel);
+
+    // Host 0 is chronically sick: every third pool take rots in its
+    // hands and it performs no local recovery — the breaker and the
+    // cluster-level retry own the problem.
+    cluster.set_host_injector(
+        HostId(0),
+        FaultInjector::new(
+            seed ^ 0x51C4,
+            FaultPlan::new().with(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(3)),
+        ),
+    );
+    cluster.set_host_retry_policy(
+        HostId(0),
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        },
+    );
+
+    for (f, strat) in [(ull_fn, StartStrategy::Horse), (bg_fn, StartStrategy::Warm)] {
+        cluster
+            .provision_all(f, PROVISION, strat)
+            .expect("initial provisioning on a healthy fleet");
+    }
+
+    let factory = SeedFactory::new(seed);
+    let mut rng = factory.stream("bench/slo-report");
+    let schedule = if churn {
+        ChurnSchedule::generate(
+            &factory,
+            HOSTS,
+            &ChurnConfig {
+                period: 700,
+                events: 12,
+                min_alive: 3,
+            },
+        )
+    } else {
+        ChurnSchedule::empty()
+    };
+    let rejoin_warm = [
+        (ull_fn, StartStrategy::Horse, PROVISION),
+        (bg_fn, StartStrategy::Warm, PROVISION),
+    ];
+
+    let mut ull = ClassTally::default();
+    let mut background = ClassTally::default();
+    let mut sheds_by_reason: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
+    let mut churn_applied = 0u64;
+    let mut churn_skipped = 0u64;
+    let mut churn_cursor = 0usize;
+    let mut submitted = 0u64;
+    let mut round = 0u64;
+
+    let mut observe = |class: RequestClass, d: &Disposition| {
+        match class {
+            RequestClass::Ull => ull.observe(d),
+            RequestClass::Background => background.observe(d),
+        }
+        if let Some(reason) = shed_reason(d) {
+            *sheds_by_reason.entry(reason.label()).or_default() += 1;
+        }
+        fingerprint = fold_disposition(fingerprint, d);
+    };
+
+    while submitted < TARGET_SUBMISSIONS {
+        for event in schedule.due(&mut churn_cursor, submitted) {
+            // Rebalance-on-leave can fail if a survivor's pool is at
+            // capacity; the event is then skipped, identically per seed.
+            match cluster.apply_churn(event, &rejoin_warm) {
+                Ok(true) => churn_applied += 1,
+                Ok(false) => {}
+                Err(_) => churn_skipped += 1,
+            }
+        }
+        if round % REPLENISH_EVERY == 0 {
+            for h in 0..HOSTS {
+                let _ = cluster.provision_on(HostId(h), ull_fn, 1, StartStrategy::Horse);
+                let _ = cluster.provision_on(HostId(h), bg_fn, 1, StartStrategy::Warm);
+            }
+        }
+        if round % BURST_EVERY == BURST_EVERY - 1 {
+            // A background storm: one batch admission decision across 64
+            // requests. The reserve must hold the line.
+            let batch: Vec<Request> = (0..BURST).map(|_| bg_request(bg_fn, &mut rng)).collect();
+            let dispositions = cluster.submit_batch(&batch);
+            for d in &dispositions {
+                observe(RequestClass::Background, d);
+            }
+            submitted += BURST as u64;
+        } else {
+            let req = if rng.gen_bool(0.8) {
+                ull_request(ull_fn)
+            } else {
+                bg_request(bg_fn, &mut rng)
+            };
+            let d = cluster.submit(req);
+            observe(req.class, &d);
+            submitted += 1;
+        }
+        round += 1;
+    }
+
+    SoakResult {
+        ull,
+        background,
+        sheds_by_reason,
+        internal: cluster.reliability_snapshot(),
+        transitions: cluster.breaker_transitions(),
+        churn_applied,
+        churn_skipped,
+        hosts_alive: cluster.alive_count(),
+        fingerprint,
+        snapshot: recorder.drain(),
+    }
+}
+
+fn obj(entries: Vec<(String, JsonValue)>) -> JsonValue {
+    JsonValue::Object(entries.into_iter().collect::<BTreeMap<_, _>>())
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Number(v)
+}
+
+fn class_section(t: &ClassTally) -> JsonValue {
+    obj(vec![
+        ("submissions".into(), num(t.submissions as f64)),
+        ("completions".into(), num(t.completions as f64)),
+        ("met_deadline".into(), num(t.met_deadline as f64)),
+        ("hedged".into(), num(t.hedged as f64)),
+        ("sheds".into(), num(t.sheds as f64)),
+        ("deadline_misses".into(), num(t.deadline_misses as f64)),
+        ("failures".into(), num(t.failures as f64)),
+        ("attainment".into(), num(t.attainment())),
+    ])
+}
+
+/// The deterministic sections of `BENCH_slo.json` (everything the
+/// baseline stores).
+fn deterministic_sections(r: &SoakResult) -> Vec<(String, JsonValue)> {
+    let snap = &r.internal;
+    let submissions = snap.submissions.max(1) as f64;
+    let gate = obj(vec![
+        ("ull_attainment".into(), num(r.ull.attainment())),
+        (
+            "hedge_rate".into(),
+            num(snap.hedges_launched as f64 / submissions),
+        ),
+        ("shed_rate".into(), num(snap.sheds as f64 / submissions)),
+        ("retries".into(), num(snap.retries as f64)),
+        ("breaker_opened".into(), num(r.transitions.0 as f64)),
+    ]);
+    let mut sheds = BTreeMap::new();
+    for (reason, count) in &r.sheds_by_reason {
+        sheds.insert(reason.to_string(), num(*count as f64));
+    }
+    vec![
+        ("gate".to_string(), gate),
+        ("ull".to_string(), class_section(&r.ull)),
+        ("background".to_string(), class_section(&r.background)),
+        ("sheds_by_reason".to_string(), JsonValue::Object(sheds)),
+        (
+            "plane".to_string(),
+            obj(vec![
+                ("submissions".into(), num(snap.submissions as f64)),
+                ("completions".into(), num(snap.completions as f64)),
+                ("sheds".into(), num(snap.sheds as f64)),
+                ("deadline_misses".into(), num(snap.deadline_misses as f64)),
+                ("failures".into(), num(snap.failures as f64)),
+                ("retries".into(), num(snap.retries as f64)),
+                ("hedges_launched".into(), num(snap.hedges_launched as f64)),
+                ("hedge_wins".into(), num(snap.hedge_wins as f64)),
+            ]),
+        ),
+        (
+            "breaker".to_string(),
+            obj(vec![
+                ("opened".into(), num(r.transitions.0 as f64)),
+                ("half_opened".into(), num(r.transitions.1 as f64)),
+                ("closed".into(), num(r.transitions.2 as f64)),
+            ]),
+        ),
+        (
+            "churn".to_string(),
+            obj(vec![
+                ("events_applied".into(), num(r.churn_applied as f64)),
+                ("events_skipped".into(), num(r.churn_skipped as f64)),
+                ("hosts_alive_end".into(), num(r.hosts_alive as f64)),
+            ]),
+        ),
+    ]
+}
+
+/// Flattens every numeric leaf to `(dotted.path, value)`.
+fn numeric_leaves(value: &JsonValue, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    if let JsonValue::Object(map) = value {
+        for (key, child) in map {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            match child {
+                JsonValue::Number(n) => {
+                    out.insert(path, *n);
+                }
+                _ => numeric_leaves(child, &path, out),
+            }
+        }
+    }
+}
+
+/// Compares this run's gated leaves against the baseline's
+/// `slo_doc.gate` for `seed`. Returns violations (empty = pass).
+fn compare_gate(baseline: &JsonValue, seed: u64, gate: &JsonValue) -> Result<Vec<String>, String> {
+    if baseline.get("schema").and_then(|v| v.as_str()) != Some(SCHEMA_BASELINE) {
+        return Err(format!("baseline schema is not {SCHEMA_BASELINE}"));
+    }
+    let expected_gate = baseline
+        .get("seeds")
+        .and_then(|s| s.get(&seed.to_string()))
+        .and_then(|e| e.get("slo_doc"))
+        .and_then(|d| d.get("gate"))
+        .ok_or_else(|| {
+            format!("baseline has no slo_doc.gate for seed {seed} (run --write-baseline)")
+        })?;
+    let mut expected = BTreeMap::new();
+    numeric_leaves(expected_gate, "gate", &mut expected);
+    let mut actual = BTreeMap::new();
+    numeric_leaves(gate, "gate", &mut actual);
+    if expected.is_empty() {
+        return Err(format!("baseline slo_doc.gate for seed {seed} is empty"));
+    }
+    let mut violations = Vec::new();
+    for (path, base) in &expected {
+        match actual.get(path) {
+            None => violations.push(format!("{path}: present in baseline, missing in run")),
+            Some(cur) => {
+                let drift = (cur - base).abs() / base.abs().max(1.0);
+                if drift > NOISE_BAND {
+                    violations.push(format!(
+                        "{path}: {base:.4} -> {cur:.4} ({:+.1} % > ±{:.0} % band)",
+                        100.0 * (cur - base) / base.abs().max(1.0),
+                        100.0 * NOISE_BAND
+                    ));
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+fn write_json(path: &str, value: &JsonValue) {
+    let mut text = value.render();
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&opts.out).expect("create out dir");
+    let sha = git_sha();
+    println!(
+        "slo soak: {TARGET_SUBMISSIONS}+ submissions, {HOSTS} hosts, seed {}, churn {}, \
+         forced-open {}",
+        opts.seed,
+        if opts.churn { "on" } else { "off" },
+        opts.force_open
+    );
+
+    let mut failed = false;
+
+    // The soak runs twice: the reliability plane promises bit-identical
+    // replay per seed, and the gate is only sound if it delivers.
+    let run_a = soak(opts.seed, opts.churn, opts.force_open);
+    let run_b = soak(opts.seed, opts.churn, opts.force_open);
+    let sections_a = obj(deterministic_sections(&run_a));
+    let sections_b = obj(deterministic_sections(&run_b));
+    if sections_a.render() == sections_b.render() && run_a.fingerprint == run_b.fingerprint {
+        println!(
+            "determinism: OK — two seed-{} runs, identical books and disposition fingerprint \
+             {:#018x}",
+            opts.seed, run_a.fingerprint
+        );
+    } else {
+        println!("determinism: FAILED — same-seed runs diverge");
+        failed = true;
+    }
+
+    let snap = &run_a.internal;
+    if snap.conserves() && snap.hedges_consistent() {
+        println!(
+            "conservation: OK — {} submissions == {} completions + {} sheds + {} deadline \
+             misses + {} failures",
+            snap.submissions, snap.completions, snap.sheds, snap.deadline_misses, snap.failures
+        );
+    } else {
+        println!(
+            "conservation: FAILED — {} submissions vs {} + {} + {} + {} (hedges {} wins / {} \
+             launched)",
+            snap.submissions,
+            snap.completions,
+            snap.sheds,
+            snap.deadline_misses,
+            snap.failures,
+            snap.hedge_wins,
+            snap.hedges_launched
+        );
+        failed = true;
+    }
+    if snap.submissions < 10_000 {
+        println!(
+            "volume: FAILED — only {} submissions (<10k)",
+            snap.submissions
+        );
+        failed = true;
+    }
+
+    let ull_attainment = run_a.ull.attainment();
+    if ull_attainment >= ULL_ATTAINMENT_FLOOR {
+        println!(
+            "uLL SLO: OK — {:.4} % attainment over {} submissions (floor {:.1} %)",
+            100.0 * ull_attainment,
+            run_a.ull.submissions,
+            100.0 * ULL_ATTAINMENT_FLOOR
+        );
+    } else {
+        println!(
+            "uLL SLO: FAILED — {:.4} % attainment over {} submissions (floor {:.1} %)",
+            100.0 * ull_attainment,
+            run_a.ull.submissions,
+            100.0 * ULL_ATTAINMENT_FLOOR
+        );
+        failed = true;
+    }
+
+    let hedge_rate = snap.hedges_launched as f64 / snap.submissions.max(1) as f64;
+    if hedge_rate < HEDGE_RATE_CEILING {
+        println!(
+            "hedging: OK — {:.2} % of submissions hedged ({} launched, {} won), below the \
+             {:.0} % ceiling",
+            100.0 * hedge_rate,
+            snap.hedges_launched,
+            snap.hedge_wins,
+            100.0 * HEDGE_RATE_CEILING
+        );
+    } else {
+        println!(
+            "hedging: FAILED — {:.2} % of submissions hedged (ceiling {:.0} %)",
+            100.0 * hedge_rate,
+            100.0 * HEDGE_RATE_CEILING
+        );
+        failed = true;
+    }
+
+    let (opened, half_opened, closed) = run_a.transitions;
+    println!(
+        "breakers: {opened} opened, {half_opened} half-opened, {closed} closed; churn: {} \
+         applied / {} skipped, {}/{HOSTS} hosts alive at the end; sheds by reason: {:?}",
+        run_a.churn_applied, run_a.churn_skipped, run_a.hosts_alive, run_a.sheds_by_reason
+    );
+
+    let mut doc_entries = vec![
+        ("schema".to_string(), JsonValue::String(SCHEMA_SLO.into())),
+        ("git_sha".to_string(), JsonValue::String(sha.clone())),
+        ("seed".to_string(), num(opts.seed as f64)),
+        ("churn_enabled".to_string(), JsonValue::Bool(opts.churn)),
+        (
+            "force_open_breakers".to_string(),
+            JsonValue::Bool(opts.force_open),
+        ),
+        (
+            "checks".to_string(),
+            obj(vec![
+                ("deterministic".into(), JsonValue::Bool(true)),
+                ("conservation".into(), JsonValue::Bool(snap.conserves())),
+            ]),
+        ),
+    ];
+    doc_entries.extend(deterministic_sections(&run_a));
+    let doc = obj(doc_entries);
+
+    let json_path = format!("{}/BENCH_slo.json", opts.out);
+    write_json(&json_path, &doc);
+    let prom_path = format!("{}/BENCH_slo.prom", opts.out);
+    horse_metrics::export::write_prometheus_page(
+        &prom_path,
+        &run_a.snapshot,
+        &horse_telemetry::alloc::snapshot(),
+        &horse_telemetry::contention::snapshot(),
+    )
+    .expect("write prometheus page");
+    println!("{json_path}: {SCHEMA_SLO} (sha {sha}, seed {})", opts.seed);
+    println!("{prom_path}: Prometheus text-format page");
+
+    if opts.write_baseline {
+        let path = format!("{}/bench_baseline.json", opts.out);
+        let mut seeds = match std::fs::read_to_string(&path) {
+            Ok(text) => match json::parse(&text).expect("existing baseline parses") {
+                JsonValue::Object(mut map) => match map.remove("seeds") {
+                    Some(JsonValue::Object(seeds)) => seeds,
+                    _ => BTreeMap::new(),
+                },
+                _ => BTreeMap::new(),
+            },
+            Err(_) => BTreeMap::new(),
+        };
+        // Merge at the section level: other binaries' sections survive
+        // an SLO baseline refresh, and vice versa.
+        let mut entry = match seeds.remove(&opts.seed.to_string()) {
+            Some(JsonValue::Object(existing)) => existing,
+            _ => BTreeMap::new(),
+        };
+        entry.insert("slo_doc".to_string(), obj(deterministic_sections(&run_a)));
+        seeds.insert(opts.seed.to_string(), JsonValue::Object(entry));
+        let baseline = obj(vec![
+            ("schema".into(), JsonValue::String(SCHEMA_BASELINE.into())),
+            ("seeds".into(), JsonValue::Object(seeds)),
+        ]);
+        write_json(&path, &baseline);
+        println!("{path}: slo_doc baseline updated for seed {}", opts.seed);
+    }
+
+    if let Some(baseline_path) = &opts.against {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let baseline = json::parse(&text).expect("baseline is valid JSON");
+        let gate = doc.get("gate").expect("doc carries gate").clone();
+        match compare_gate(&baseline, opts.seed, &gate) {
+            Ok(violations) if violations.is_empty() => {
+                println!("baseline gate: OK — every slo_doc.gate leaf within ±10 %");
+            }
+            Ok(violations) => {
+                println!("baseline gate: FAILED");
+                for v in &violations {
+                    println!("  {v}");
+                }
+                failed = true;
+            }
+            Err(e) => {
+                println!("baseline gate: ERROR — {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

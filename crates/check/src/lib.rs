@@ -16,7 +16,11 @@
 //! * [`differential`] — randomized differential oracles driving the
 //!   HORSE fast paths (𝒫²𝒮ℳ splice merge, coalesced load updates,
 //!   `ResumeMode::Horse`) and the vanilla paths through identical
-//!   scenarios, demanding identical observables.
+//!   scenarios, demanding identical observables;
+//! * [`reliability_oracle`] — an external-vs-internal ledger oracle for
+//!   the cluster reliability plane: the dispositions handed back to the
+//!   caller must balance the plane's own conservation books line by
+//!   line, so hedged or retried invocations can never double-apply.
 //!
 //! The harness distrusts itself too: [`mutate`] defines four known bugs
 //! (`check_suite --mutate <name>`) that are planted into the system
@@ -34,6 +38,7 @@ pub mod explore;
 pub mod history;
 pub mod linearize;
 pub mod mutate;
+pub mod reliability_oracle;
 pub mod spec;
 
 pub use differential::{
@@ -45,4 +50,7 @@ pub use linearize::{
     check_linearizable, check_linearizable_bounded, Linearization, LinearizeError,
 };
 pub use mutate::Mutation;
+pub use reliability_oracle::{
+    check_ledgers, run_reliability_scenario, DispositionTally, OracleReport, ReliabilityScenario,
+};
 pub use spec::{spec_expired, SpecLoad, SpecPool, SpecRunQueue};

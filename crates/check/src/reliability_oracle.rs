@@ -1,0 +1,337 @@
+//! Differential oracle for the cluster reliability plane.
+//!
+//! The reliability plane keeps its own books ([`StatsSnapshot`]): every
+//! submission is promised to land in exactly one of {completion, shed,
+//! deadline miss, failure}, hedged pairs are promised to count exactly
+//! once, and the whole run is promised to replay bit-identically from
+//! its seed. This oracle distrusts the internal books: it drives a
+//! seeded randomized request mix (classes, deadlines, a sick host,
+//! membership churn) through [`Cluster::submit`] and keeps an
+//! *external* tally from the returned [`Disposition`]s alone, then
+//! demands the two ledgers agree line by line.
+//!
+//! A disagreement means a request was double-counted (a hedge or retry
+//! applied its side effects twice) or dropped (an exit path released no
+//! disposition) — precisely the bugs retries and hedging invite.
+
+use horse_faas::{
+    Cluster, DispatchPolicy, Disposition, FunctionId, HostId, Request, StartStrategy,
+};
+use horse_faults::{FaultInjector, FaultPlan, FaultSite, FaultTrigger, RetryPolicy};
+use horse_reliability::{
+    ChurnConfig, ChurnSchedule, ReliabilityConfig, RequestClass, StatsSnapshot,
+};
+use horse_sim::rng::SeedFactory;
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Scenario knobs for one oracle run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityScenario {
+    /// Master seed — the entire run (request mix, faults, churn) derives
+    /// from it.
+    pub seed: u64,
+    /// Fleet size.
+    pub hosts: usize,
+    /// Number of requests to submit.
+    pub submissions: u64,
+    /// Warm sandboxes provisioned per host up front.
+    pub provision: usize,
+    /// Arm host 0 with a pool-rot injector (exercises breakers and
+    /// cross-host retries).
+    pub sick_host: bool,
+    /// Drive a seeded join/leave/crash churn schedule alongside the
+    /// request stream.
+    pub churn: bool,
+}
+
+impl Default for ReliabilityScenario {
+    /// 4 hosts, 2 000 submissions, sick host and churn both on.
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            hosts: 4,
+            submissions: 2_000,
+            provision: 4,
+            sick_host: true,
+            churn: true,
+        }
+    }
+}
+
+/// The external ledger, built purely from returned [`Disposition`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispositionTally {
+    /// `Disposition::Completed` count.
+    pub completions: u64,
+    /// Completions that met their deadline.
+    pub met_deadline: u64,
+    /// Completions flagged as hedged.
+    pub hedged: u64,
+    /// `Disposition::Shed` count.
+    pub sheds: u64,
+    /// `Disposition::DeadlineExceeded` count.
+    pub deadline_misses: u64,
+    /// `Disposition::Failed` count.
+    pub failures: u64,
+}
+
+impl DispositionTally {
+    /// Folds one disposition into the tally.
+    pub fn observe(&mut self, d: &Disposition) {
+        match d {
+            Disposition::Completed {
+                hedged,
+                met_deadline,
+                ..
+            } => {
+                self.completions += 1;
+                if *met_deadline {
+                    self.met_deadline += 1;
+                }
+                if *hedged {
+                    self.hedged += 1;
+                }
+            }
+            Disposition::Shed { .. } => self.sheds += 1,
+            Disposition::DeadlineExceeded { .. } => self.deadline_misses += 1,
+            Disposition::Failed { .. } => self.failures += 1,
+        }
+    }
+
+    /// Total dispositions observed.
+    pub fn total(&self) -> u64 {
+        self.completions + self.sheds + self.deadline_misses + self.failures
+    }
+}
+
+/// Everything one oracle run produced: both ledgers plus a replay
+/// fingerprint over the exact disposition sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleReport {
+    /// The external ledger (from dispositions).
+    pub external: DispositionTally,
+    /// The internal ledger (from the plane's own atomics).
+    pub internal: StatsSnapshot,
+    /// FNV-1a over every disposition's kind and latency, in submission
+    /// order — two runs of the same scenario must produce the same
+    /// fingerprint.
+    pub fingerprint: u64,
+    /// Churn events actually applied.
+    pub churn_events: u64,
+}
+
+fn fnv1a(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn fingerprint_disposition(hash: u64, d: &Disposition) -> u64 {
+    match d {
+        Disposition::Completed {
+            host,
+            latency_ns,
+            hedged,
+            met_deadline,
+            ..
+        } => {
+            let tags = 1u64 | (u64::from(*hedged) << 8) | (u64::from(*met_deadline) << 9);
+            fnv1a(fnv1a(fnv1a(hash, tags), host.0 as u64), *latency_ns)
+        }
+        Disposition::Shed { reason } => fnv1a(hash, 2 | ((*reason as u64) << 8)),
+        Disposition::DeadlineExceeded { observed_ns, .. } => fnv1a(fnv1a(hash, 3), *observed_ns),
+        Disposition::Failed { .. } => fnv1a(hash, 4),
+    }
+}
+
+fn build_cluster(scn: &ReliabilityScenario) -> (Cluster, FunctionId) {
+    let mut c = Cluster::new(scn.hosts, DispatchPolicy::RoundRobin, scn.seed);
+    let cfg = SandboxConfig::builder().ull(true).build().unwrap();
+    let f = c.register("oracle", Category::Cat2, cfg);
+    let mut rel = ReliabilityConfig::with_seed(scn.seed);
+    // Small windows so breakers actually transition within the run.
+    rel.breaker.min_samples = 4;
+    rel.breaker.window = 16;
+    rel.hedge.min_samples = 64;
+    c.set_reliability(rel);
+    if scn.sick_host {
+        c.set_host_injector(
+            HostId(0),
+            FaultInjector::new(
+                scn.seed ^ 0xD15E,
+                FaultPlan::new().with(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(3)),
+            ),
+        );
+        c.set_host_retry_policy(
+            HostId(0),
+            RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+        );
+    }
+    c.provision_all(f, scn.provision, StartStrategy::Horse)
+        .expect("initial provisioning");
+    (c, f)
+}
+
+fn draw_request(rng: &mut StdRng, f: FunctionId) -> Request {
+    let class = if rng.gen_bool(0.7) {
+        RequestClass::Ull
+    } else {
+        RequestClass::Background
+    };
+    // Deadline mix: mostly generous, some absent, a few hopeless —
+    // the hopeless ones exercise the typed boundary aborts.
+    let deadline_ns = match rng.gen_range(0u32..10) {
+        0..=5 => Some(rng.gen_range(200_000u64..2_000_000)),
+        6..=7 => None,
+        8 => Some(rng.gen_range(20_000u64..200_000)),
+        _ => Some(rng.gen_range(1u64..400)),
+    };
+    Request {
+        function: f,
+        strategy: StartStrategy::Horse,
+        class,
+        deadline_ns,
+    }
+}
+
+/// Runs one scenario end to end and cross-checks the two ledgers.
+///
+/// Returns the report for further gating (determinism, SLO floors);
+/// errors describe the first ledger line that disagreed.
+pub fn run_reliability_scenario(scn: &ReliabilityScenario) -> Result<OracleReport, String> {
+    let (c, f) = build_cluster(scn);
+    let factory = SeedFactory::new(scn.seed);
+    let mut rng = factory.stream("check/reliability-oracle");
+    let schedule = if scn.churn {
+        ChurnSchedule::generate(
+            &factory,
+            scn.hosts,
+            &ChurnConfig {
+                period: (scn.submissions / 16).max(1),
+                events: 12,
+                min_alive: 2,
+            },
+        )
+    } else {
+        ChurnSchedule::empty()
+    };
+    let rejoin_warm = [(f, StartStrategy::Horse, scn.provision)];
+
+    let mut external = DispositionTally::default();
+    let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
+    let mut churn_cursor = 0usize;
+    let mut churn_events = 0u64;
+
+    for i in 0..scn.submissions {
+        for event in schedule.due(&mut churn_cursor, i) {
+            if c.apply_churn(event, &rejoin_warm)
+                .map_err(|e| format!("churn event {event:?} at submission {i}: {e}"))?
+            {
+                churn_events += 1;
+            }
+        }
+        // Keep the fleet stocked so breakers/hedges see live traffic
+        // rather than pure pool-dry failures, and keep the sick host
+        // tempting enough to keep biting.
+        if i % 32 == 0 {
+            for h in 0..scn.hosts {
+                let _ = c.provision_on(HostId(h), f, 1, StartStrategy::Horse);
+            }
+        }
+        let d = c.submit(draw_request(&mut rng, f));
+        external.observe(&d);
+        fingerprint = fingerprint_disposition(fingerprint, &d);
+    }
+
+    let internal = c.reliability_snapshot();
+    let report = OracleReport {
+        external,
+        internal,
+        fingerprint,
+        churn_events,
+    };
+    check_ledgers(&report)?;
+    Ok(report)
+}
+
+/// Cross-checks the external (disposition) ledger against the internal
+/// (plane) ledger, plus the conservation and hedge invariants.
+pub fn check_ledgers(report: &OracleReport) -> Result<(), String> {
+    let ext = &report.external;
+    let int = &report.internal;
+    let line = |name: &str, e: u64, i: u64| -> Result<(), String> {
+        if e == i {
+            Ok(())
+        } else {
+            Err(format!(
+                "ledger mismatch on {name}: external {e} vs internal {i} — \
+                 a request was double-applied or dropped"
+            ))
+        }
+    };
+    line("submissions", ext.total(), int.submissions)?;
+    line("completions", ext.completions, int.completions)?;
+    line("sheds", ext.sheds, int.sheds)?;
+    line("deadline_misses", ext.deadline_misses, int.deadline_misses)?;
+    line("failures", ext.failures, int.failures)?;
+    line("met_deadline", ext.met_deadline, int.deadline_met)?;
+    // Hedges launch only inside a completion, at most once each: the
+    // external count of hedged completions IS the launch count.
+    line("hedges", ext.hedged, int.hedges_launched)?;
+    if !int.conserves() {
+        return Err(format!(
+            "conservation violated: {} submissions vs {} + {} + {} + {}",
+            int.submissions, int.completions, int.sheds, int.deadline_misses, int.failures
+        ));
+    }
+    if !int.hedges_consistent() {
+        return Err(format!(
+            "hedge books inconsistent: {} wins vs {} launches",
+            int.hedge_wins, int.hedges_launched
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_scenario_balances_trivially() {
+        let report = run_reliability_scenario(&ReliabilityScenario {
+            submissions: 200,
+            sick_host: false,
+            churn: false,
+            ..ReliabilityScenario::default()
+        })
+        .unwrap();
+        assert!(report.external.completions > 0);
+        assert_eq!(report.churn_events, 0);
+    }
+
+    #[test]
+    fn ledger_checker_rejects_a_doctored_book() {
+        let mut report = run_reliability_scenario(&ReliabilityScenario {
+            submissions: 100,
+            sick_host: false,
+            churn: false,
+            ..ReliabilityScenario::default()
+        })
+        .unwrap();
+        // Cook the external ledger the way a double-applied hedge would:
+        // one extra completion.
+        report.external.completions += 1;
+        let err = check_ledgers(&report).unwrap_err();
+        assert!(err.contains("ledger mismatch"), "{err}");
+    }
+}

@@ -12,14 +12,21 @@ use crate::invocation::{InvocationRecord, StartStrategy};
 use crate::platform::{FaasError, FaasPlatform, PlatformConfig};
 use crate::pool::PoolStats;
 use crate::registry::FunctionId;
-use horse_faults::{FaultInjector, FaultSite, RecoveryOutcome};
+use horse_faults::{FaultInjector, FaultSite, RecoveryOutcome, RetryPolicy};
+use horse_reliability::{
+    AdmissionController, BreakerRegistry, BreakerState, BreakerTransition, ChurnEvent, Deadline,
+    DeadlineBoundary, LatencyProfiles, ReliabilityConfig, ReliabilityStats, RequestClass,
+    ShedReason, StatsSnapshot,
+};
 use horse_sim::SimTime;
-use horse_telemetry::contention::{self, ContentionSite};
 use horse_telemetry::{Counter, EventKind, Recorder};
 use horse_vmm::SandboxConfig;
 use horse_workloads::Category;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// How invocations are routed across hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -39,6 +46,95 @@ pub struct HostId(pub usize);
 impl std::fmt::Display for HostId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "host{}", self.0)
+    }
+}
+
+/// One request entering the cluster through the reliability plane
+/// ([`Cluster::submit`] / [`Cluster::submit_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The function to invoke.
+    pub function: FunctionId,
+    /// The start strategy.
+    pub strategy: StartStrategy,
+    /// Traffic class — drives admission reserve and shedding order.
+    pub class: RequestClass,
+    /// End-to-end deadline budget in virtual ns (`None` = best effort).
+    pub deadline_ns: Option<u64>,
+}
+
+/// The single, typed outcome of one submitted request. Exactly one
+/// disposition exists per submission — the conservation invariant
+/// (`submissions == completions + sheds + deadline_misses + failures`)
+/// is literally this enum's totality.
+#[derive(Debug)]
+pub enum Disposition {
+    /// The request completed (possibly via a hedge winner).
+    Completed {
+        /// The host whose attempt was counted.
+        host: HostId,
+        /// The counted invocation record.
+        record: InvocationRecord,
+        /// Whether a hedge was launched for this request.
+        hedged: bool,
+        /// Effective end-to-end latency (virtual ns), including routing
+        /// backoffs and first-wins hedge resolution.
+        latency_ns: u64,
+        /// Whether the effective latency fit the deadline budget.
+        met_deadline: bool,
+    },
+    /// Admission control (or all-breakers-open routing) shed the
+    /// request before any host attempt.
+    Shed {
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// A deadline boundary caught the blown budget mid-flight.
+    DeadlineExceeded {
+        /// The boundary that caught it.
+        boundary: DeadlineBoundary,
+        /// Virtual ns consumed when it was caught.
+        observed_ns: u64,
+    },
+    /// Every retry avenue was exhausted.
+    Failed {
+        /// The terminal error.
+        error: FaasError,
+    },
+}
+
+/// The cluster-resident half of the reliability plane: admission,
+/// breakers, latency profiles for hedging, and the conservation stats.
+#[derive(Debug)]
+struct ReliabilityPlane {
+    cfg: ReliabilityConfig,
+    admission: AdmissionController,
+    breakers: BreakerRegistry,
+    profiles: LatencyProfiles,
+    stats: ReliabilityStats,
+    /// Monotone submission counter — the virtual "tick" axis breakers
+    /// cool down on.
+    ticks: AtomicU64,
+    /// Per-function cheapest-possible service time (ns), the admission
+    /// feasibility gate's floor.
+    floors: RwLock<HashMap<u64, u64>>,
+}
+
+impl ReliabilityPlane {
+    fn new(cfg: ReliabilityConfig) -> Self {
+        Self {
+            cfg,
+            admission: AdmissionController::new(cfg.admission),
+            breakers: BreakerRegistry::new(),
+            profiles: LatencyProfiles::new(),
+            stats: ReliabilityStats::new(),
+            ticks: AtomicU64::new(0),
+            floors: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn floor_ns(&self, function: u64) -> u64 {
+        self.floors.read().get(&function).copied().unwrap_or(0)
     }
 }
 
@@ -74,6 +170,11 @@ pub struct Cluster {
     hosts: Vec<FaasPlatform>,
     /// Liveness per host; dead hosts are skipped by routing.
     alive: Vec<AtomicBool>,
+    /// Routing snapshot: the indices of alive hosts, rebuilt on every
+    /// membership change so the per-invoke hot path is O(1) — a
+    /// `fetch_add` cursor into an immutable `Arc`'d list instead of a
+    /// walk over dead hosts.
+    alive_list: RwLock<Arc<Vec<usize>>>,
     policy: DispatchPolicy,
     next_host: AtomicUsize,
     /// Cluster-level fault plane (whole-host failures); disabled by
@@ -81,6 +182,9 @@ pub struct Cluster {
     injector: FaultInjector,
     /// Telemetry sink; disabled (and inert) by default.
     recorder: Recorder,
+    /// Reliability plane (deadlines, hedging, breakers, admission);
+    /// absent until [`Cluster::set_reliability`] installs it.
+    reliability: Option<ReliabilityPlane>,
 }
 
 impl Cluster {
@@ -118,14 +222,26 @@ impl Cluster {
             })
             .collect();
         let alive = (0..hosts.len()).map(|_| AtomicBool::new(true)).collect();
+        let alive_list = RwLock::new(Arc::new((0..hosts.len()).collect()));
         Self {
             hosts,
             alive,
+            alive_list,
             policy,
             next_host: AtomicUsize::new(0),
             injector: FaultInjector::disabled(),
             recorder: Recorder::disabled(),
+            reliability: None,
         }
+    }
+
+    /// Rebuilds the routing snapshot from the liveness flags. Called on
+    /// every membership change; the hot path only clones the `Arc`.
+    fn rebuild_alive_list(&self) {
+        let fresh: Vec<usize> = (0..self.hosts.len())
+            .filter(|&i| self.alive[i].load(Ordering::Acquire))
+            .collect();
+        *self.alive_list.write() = Arc::new(fresh);
     }
 
     /// Installs a fault injector on the cluster (whole-host failures) and
@@ -243,6 +359,7 @@ impl Cluster {
         if !self.alive[id.0].swap(false, Ordering::AcqRel) {
             return Ok(0);
         }
+        self.rebuild_alive_list();
         let survivors: Vec<usize> = (0..self.hosts.len())
             .filter(|&i| self.alive[i].load(Ordering::Acquire))
             .collect();
@@ -259,6 +376,125 @@ impl Cluster {
             }
         }
         Ok(rebalanced)
+    }
+
+    // ---- membership plane -----------------------------------------------
+
+    /// Graceful departure: the host's warm inventory is rebalanced onto
+    /// survivors (exactly like [`Cluster::fail_host`]) and its local
+    /// pools are then drained — the host leaves empty. Returns the
+    /// number of warm entries rebalanced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provisioning errors from the surviving hosts; a
+    /// departure of an already-dead host is a no-op returning 0.
+    pub fn leave_host(&self, id: HostId) -> Result<usize, FaasError> {
+        let rebalanced = self.fail_host(id)?;
+        // Drain what the (now unreachable) host still held. After
+        // `fail_host` the host is dead either way; purging frees its
+        // sandboxes instead of leaking them until rejoin.
+        self.hosts[id.0].purge_pools();
+        Ok(rebalanced)
+    }
+
+    /// Abrupt host death: the host vanishes and its warm inventory is
+    /// *lost* — nothing is rebalanced; survivors re-provision on demand.
+    /// Returns the number of warm entries destroyed with the host.
+    pub fn crash_host(&self, id: HostId) -> usize {
+        if !self.alive[id.0].swap(false, Ordering::AcqRel) {
+            return 0;
+        }
+        self.rebuild_alive_list();
+        self.hosts[id.0].purge_pools()
+    }
+
+    /// Re-admits a departed host. It returns *empty* (any stale pools
+    /// are scrubbed) and — when the reliability plane is installed —
+    /// *probation­ed*: every circuit breaker targeting it resets to
+    /// half-open, so traffic returns via probes rather than a
+    /// thundering herd. Returns false if the host was already alive.
+    pub fn join_host(&self, id: HostId) -> bool {
+        if self.alive[id.0].swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        // Scrub anything left from the previous incarnation: a rejoined
+        // host's old snapshots are stale by definition.
+        self.hosts[id.0].purge_pools();
+        self.rebuild_alive_list();
+        if let Some(plane) = &self.reliability {
+            plane.breakers.on_host_join(id.0);
+        }
+        true
+    }
+
+    /// Provisions `count` warm sandboxes on one specific host (e.g.
+    /// restoring capacity on a freshly rejoined host).
+    ///
+    /// # Errors
+    ///
+    /// Propagates host provisioning errors.
+    pub fn provision_on(
+        &self,
+        id: HostId,
+        function: FunctionId,
+        count: usize,
+        strategy: StartStrategy,
+    ) -> Result<(), FaasError> {
+        self.hosts[id.0].provision(function, count, strategy)
+    }
+
+    /// Applies one churn-schedule event to the cluster, re-provisioning
+    /// `rejoin_warm` sandboxes per `(function, strategy)` pair on a
+    /// joining host. Returns whether the event changed membership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provisioning errors (rebalancing on leave, warm-up on
+    /// join).
+    pub fn apply_churn(
+        &self,
+        event: ChurnEvent,
+        rejoin_warm: &[(FunctionId, StartStrategy, usize)],
+    ) -> Result<bool, FaasError> {
+        match event {
+            ChurnEvent::Leave(h) => {
+                self.leave_host(HostId(h))?;
+                Ok(true)
+            }
+            ChurnEvent::Crash(h) => {
+                self.crash_host(HostId(h));
+                Ok(true)
+            }
+            ChurnEvent::Join(h) => {
+                if !self.join_host(HostId(h)) {
+                    return Ok(false);
+                }
+                for &(function, strategy, count) in rejoin_warm {
+                    self.provision_on(HostId(h), function, count, strategy)?;
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Installs a fault injector on one host only (e.g. a single sick
+    /// host whose pool entries rot — the scenario circuit breakers
+    /// exist for).
+    pub fn set_host_injector(&mut self, id: HostId, injector: FaultInjector) {
+        self.hosts[id.0].set_injector(injector);
+    }
+
+    /// Replaces the warm-path retry budget on one host.
+    pub fn set_host_retry_policy(&mut self, id: HostId, retry: RetryPolicy) {
+        self.hosts[id.0].set_retry_policy(retry);
+    }
+
+    /// Replaces the warm-path retry budget on every host.
+    pub fn set_retry_policy_all(&mut self, retry: RetryPolicy) {
+        for h in &mut self.hosts {
+            h.set_retry_policy(retry);
+        }
     }
 
     /// Routes one invocation per the dispatch policy, failing over to the
@@ -331,45 +567,386 @@ impl Cluster {
         Err(last_err.expect("at least one attempt"))
     }
 
-    /// The alive host the dispatch policy picks first, or `None` when the
-    /// whole fleet is dead. Round-robin advances its cursor past dead
-    /// hosts with a lock-free CAS loop: a single-threaded driver sees
-    /// exactly the old walk-then-store behaviour, while concurrent
-    /// drivers each claim a distinct cursor step.
-    fn route_start(&self, function: FunctionId, strategy: StartStrategy) -> Option<usize> {
-        if !self.alive.iter().any(|a| a.load(Ordering::Acquire)) {
-            return None;
-        }
-        match self.policy {
-            DispatchPolicy::RoundRobin => {
-                let n = self.hosts.len();
-                let mut cur = self.next_host.load(Ordering::Relaxed);
-                let mut retries = 0u64;
-                loop {
-                    let mut h = cur;
-                    while !self.alive[h].load(Ordering::Acquire) {
-                        h = (h + 1) % n;
-                        if h == cur {
-                            contention::cas_retry(ContentionSite::RouteCursorCas, retries);
-                            return None; // every host died mid-walk
-                        }
+    // ---- reliability plane ----------------------------------------------
+
+    /// Installs the reliability plane (deadlines, hedging, breakers,
+    /// admission). Required before [`Cluster::submit`] /
+    /// [`Cluster::submit_batch`]; the plain [`Cluster::invoke`] path is
+    /// unaffected.
+    pub fn set_reliability(&mut self, cfg: ReliabilityConfig) {
+        self.reliability = Some(ReliabilityPlane::new(cfg));
+    }
+
+    fn plane(&self) -> &ReliabilityPlane {
+        self.reliability
+            .as_ref()
+            .expect("install the reliability plane with set_reliability before submitting")
+    }
+
+    /// Sets the admission feasibility floor for a function: the
+    /// cheapest possible service time (virtual ns). Requests whose
+    /// deadline budget is below it are shed at the door.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn set_feasibility_floor(&self, function: FunctionId, floor_ns: u64) {
+        self.plane()
+            .floors
+            .write()
+            .insert(function.as_u64(), floor_ns);
+    }
+
+    /// Point-in-time reliability tallies (conservation inputs, hedge and
+    /// shed rates, SLO attainment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn reliability_snapshot(&self) -> StatsSnapshot {
+        self.plane().stats.snapshot()
+    }
+
+    /// Breaker transition tallies so far: (opened, half_opened, closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn breaker_transitions(&self) -> (u64, u64, u64) {
+        self.plane().breakers.transition_counts()
+    }
+
+    /// Current breaker state of a (function, host) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn breaker_state(&self, function: FunctionId, host: HostId) -> BreakerState {
+        self.plane().breakers.state(function.as_u64(), host.0)
+    }
+
+    /// The armed hedge threshold for a function (`None` while its
+    /// latency profile is warming up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn hedge_threshold_ns(&self, function: FunctionId) -> Option<u64> {
+        let plane = self.plane();
+        plane
+            .profiles
+            .threshold_ns(function.as_u64(), &plane.cfg.hedge)
+    }
+
+    /// Submits one request through the reliability plane: admission,
+    /// breaker-gated routing, deadline enforcement, budget-aware retries
+    /// and hedging. Exactly one [`Disposition`] comes back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn submit(&self, request: Request) -> Disposition {
+        self.submit_batch(std::slice::from_ref(&request))
+            .pop()
+            .expect("one disposition per request")
+    }
+
+    /// Submits a batch: the whole batch passes admission *first* (slots
+    /// are held while the rest of the batch is admitted, so capacity
+    /// pressure and reserved-uLL shedding are observable even from a
+    /// sequential driver), then the admitted requests are served in
+    /// order, each releasing its slot at disposition time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn submit_batch(&self, requests: &[Request]) -> Vec<Disposition> {
+        let plane = self.plane();
+        let admissions: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                plane.stats.on_submission();
+                let submission = plane.ticks.fetch_add(1, Ordering::Relaxed);
+                let outcome = plane.admission.admit(
+                    req.class,
+                    req.deadline_ns,
+                    plane.floor_ns(req.function.as_u64()),
+                );
+                (submission, outcome)
+            })
+            .collect();
+        admissions
+            .into_iter()
+            .zip(requests)
+            .map(|((submission, outcome), req)| match outcome {
+                Err(reason) => {
+                    plane.stats.on_shed();
+                    self.recorder.count(Counter::AdmissionSheds, 1);
+                    Disposition::Shed { reason }
+                }
+                Ok(slot) => {
+                    let disposition = self.serve_admitted(plane, req, submission);
+                    drop(slot);
+                    disposition
+                }
+            })
+            .collect()
+    }
+
+    /// Serves one admitted request under its own trace context (routing,
+    /// retries and the hedge all share the invocation id).
+    fn serve_admitted(
+        &self,
+        plane: &ReliabilityPlane,
+        req: &Request,
+        submission: u64,
+    ) -> Disposition {
+        let invocation = self.recorder.mint_invocation();
+        self.recorder
+            .set_context(horse_telemetry::TraceContext::root(invocation));
+        let disposition = self.serve_routed(plane, req, submission);
+        self.recorder.clear_context();
+        disposition
+    }
+
+    /// The reliability routing loop: breaker-gated host choice, deadline
+    /// checks at the routing boundary, jittered budget-consuming
+    /// backoffs between attempts.
+    fn serve_routed(
+        &self,
+        plane: &ReliabilityPlane,
+        req: &Request,
+        submission: u64,
+    ) -> Disposition {
+        let fkey = req.function.as_u64();
+        let deadline = req.deadline_ns.map(Deadline::from_nanos);
+        let tick = submission;
+        let mut elapsed_ns = 0u64;
+        let mut attempt: u32 = 0;
+        loop {
+            // Routing-boundary deadline check: accumulated backoff waits
+            // must leave budget for another attempt.
+            if let Some(d) = deadline {
+                if d.exceeded(elapsed_ns) {
+                    plane.stats.on_deadline_miss();
+                    self.recorder.count(Counter::DeadlineMisses, 1);
+                    return Disposition::DeadlineExceeded {
+                        boundary: DeadlineBoundary::Routing,
+                        observed_ns: elapsed_ns,
+                    };
+                }
+            }
+            let Some(host) = self.route_allowed(plane, fkey, tick, None) else {
+                // Fleet dead or every alive pair's breaker open: a typed
+                // shed. Traffic returns via half-open probes after the
+                // cooldown — never by hammering open breakers.
+                plane.stats.on_shed();
+                self.recorder.count(Counter::AdmissionSheds, 1);
+                return Disposition::Shed {
+                    reason: ShedReason::BreakersOpen,
+                };
+            };
+            let remaining = deadline.map(|d| {
+                d.remaining_ns(elapsed_ns)
+                    .expect("routing boundary checked above")
+            });
+            match self.hosts[host].invoke_with_budget(req.function, req.strategy, remaining) {
+                Ok(record) => {
+                    self.note_transition(plane.breakers.record(
+                        fkey,
+                        host,
+                        true,
+                        tick,
+                        &plane.cfg.breaker,
+                    ));
+                    return self
+                        .resolve_completion(plane, req, host, record, elapsed_ns, deadline, tick);
+                }
+                Err(FaasError::DeadlineExceeded {
+                    boundary,
+                    observed_ns,
+                    ..
+                }) => {
+                    // The host boundary already bumped the telemetry
+                    // counter; count the disposition once here. Deadline
+                    // pressure is not host sickness — the breaker window
+                    // is untouched.
+                    plane.stats.on_deadline_miss();
+                    return Disposition::DeadlineExceeded {
+                        boundary,
+                        observed_ns: elapsed_ns.saturating_add(observed_ns),
+                    };
+                }
+                Err(error) => {
+                    self.note_transition(plane.breakers.record(
+                        fkey,
+                        host,
+                        false,
+                        tick,
+                        &plane.cfg.breaker,
+                    ));
+                    attempt += 1;
+                    if attempt > plane.cfg.retry.inner.max_retries {
+                        plane.stats.on_failure();
+                        return Disposition::Failed { error };
                     }
-                    match self.next_host.compare_exchange_weak(
-                        cur,
-                        (h + 1) % n,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
+                    plane.stats.on_retries(1);
+                    self.recorder.count(Counter::RetriesAttempted, 1);
+                    elapsed_ns =
+                        elapsed_ns.saturating_add(plane.cfg.retry.backoff_ns(submission, attempt));
+                }
+            }
+        }
+    }
+
+    /// First-wins hedge resolution for a completed primary: if the
+    /// primary ran past the p99-derived threshold, a hedge fires on a
+    /// *different* breaker-admitted host; exactly one of the pair is
+    /// counted (the loser is cancelled and only accounted).
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_completion(
+        &self,
+        plane: &ReliabilityPlane,
+        req: &Request,
+        host: usize,
+        record: InvocationRecord,
+        elapsed_ns: u64,
+        deadline: Option<Deadline>,
+        tick: u64,
+    ) -> Disposition {
+        let fkey = req.function.as_u64();
+        let primary_ns = record.total_ns();
+        let mut counted_host = host;
+        let mut counted_record = record;
+        let mut effective_ns = primary_ns;
+        let mut hedged = false;
+        let threshold = plane.profiles.threshold_ns(fkey, &plane.cfg.hedge);
+        if let Some(threshold_ns) = threshold {
+            // Budget left at the instant the hedge would fire; a blown
+            // budget means hedging could only waste a second host.
+            let hedge_budget = deadline
+                .map(|d| d.remaining_ns(elapsed_ns.saturating_add(threshold_ns)))
+                .map_or(Some(None), |r| r.map(Some));
+            if primary_ns > threshold_ns {
+                if let (Some(budget), Some(hedge_host)) = (
+                    hedge_budget,
+                    self.route_allowed(plane, fkey, tick, Some(host)),
+                ) {
+                    hedged = true;
+                    plane.stats.on_hedge_launched();
+                    self.recorder.count(Counter::HedgesLaunched, 1);
+                    match self.hosts[hedge_host].invoke_with_budget(
+                        req.function,
+                        req.strategy,
+                        budget,
                     ) {
-                        Ok(_) => {
-                            contention::cas_retry(ContentionSite::RouteCursorCas, retries);
-                            return Some(h);
+                        Ok(hedge_record) => {
+                            self.note_transition(plane.breakers.record(
+                                fkey,
+                                hedge_host,
+                                true,
+                                tick,
+                                &plane.cfg.breaker,
+                            ));
+                            let resolution = horse_reliability::resolve_first_wins(
+                                primary_ns,
+                                threshold_ns,
+                                hedge_record.total_ns(),
+                            );
+                            if resolution.hedge_won {
+                                plane.stats.on_hedge_win();
+                                self.recorder.count(Counter::HedgeWins, 1);
+                                counted_host = hedge_host;
+                                counted_record = hedge_record;
+                            }
+                            effective_ns = resolution.effective_ns;
                         }
-                        Err(seen) => {
-                            retries += 1;
-                            cur = seen;
+                        // A hedge that blew its own budget is simply a
+                        // losing hedge; the primary result stands and the
+                        // breaker window is untouched.
+                        Err(FaasError::DeadlineExceeded { .. }) => {}
+                        Err(_) => {
+                            self.note_transition(plane.breakers.record(
+                                fkey,
+                                hedge_host,
+                                false,
+                                tick,
+                                &plane.cfg.breaker,
+                            ));
                         }
                     }
                 }
+            }
+        }
+        plane.profiles.observe(fkey, effective_ns);
+        let latency_ns = elapsed_ns.saturating_add(effective_ns);
+        let met_deadline = deadline.map_or(true, |d| !d.exceeded(latency_ns));
+        plane.stats.on_completion(met_deadline);
+        Disposition::Completed {
+            host: HostId(counted_host),
+            record: counted_record,
+            hedged,
+            latency_ns,
+            met_deadline,
+        }
+    }
+
+    /// Breaker-gated round-robin over the alive snapshot: the first host
+    /// (starting at the shared cursor) whose (function, host) breaker
+    /// admits traffic at `tick`, skipping `exclude` (a hedge's primary).
+    /// `None` when the fleet is dead or every pair refuses.
+    fn route_allowed(
+        &self,
+        plane: &ReliabilityPlane,
+        fkey: u64,
+        tick: u64,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        let snapshot = Arc::clone(&self.alive_list.read());
+        if snapshot.is_empty() {
+            return None;
+        }
+        let start = self.next_host.fetch_add(1, Ordering::Relaxed);
+        for off in 0..snapshot.len() {
+            let host = snapshot[(start + off) % snapshot.len()];
+            if Some(host) == exclude {
+                continue;
+            }
+            let (allowed, transition) = plane.breakers.allow(fkey, host, tick, &plane.cfg.breaker);
+            self.note_transition(transition);
+            if allowed {
+                return Some(host);
+            }
+        }
+        None
+    }
+
+    /// Bumps the telemetry counter matching a breaker transition (the
+    /// registry already keeps its own tallies).
+    fn note_transition(&self, transition: Option<BreakerTransition>) {
+        let Some(t) = transition else { return };
+        let counter = match t {
+            BreakerTransition::Opened => Counter::BreakerOpened,
+            BreakerTransition::HalfOpened => Counter::BreakerHalfOpened,
+            BreakerTransition::Closed => Counter::BreakerClosed,
+        };
+        self.recorder.count(counter, 1);
+    }
+
+    /// The alive host the dispatch policy picks first, or `None` when
+    /// the whole fleet is dead. Round-robin is O(1) amortized: one
+    /// `fetch_add` into the membership snapshot — no per-invoke walk
+    /// over dead hosts, no CAS retry loop. Dead-host skipping moved to
+    /// the snapshot rebuild on membership changes, which are rare.
+    fn route_start(&self, function: FunctionId, strategy: StartStrategy) -> Option<usize> {
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let snapshot = Arc::clone(&self.alive_list.read());
+                if snapshot.is_empty() {
+                    return None;
+                }
+                let step = self.next_host.fetch_add(1, Ordering::Relaxed);
+                Some(snapshot[step % snapshot.len()])
             }
             DispatchPolicy::WarmestPool => (0..self.hosts.len())
                 .filter(|&i| self.alive[i].load(Ordering::Acquire))
@@ -547,6 +1124,312 @@ mod tests {
             RecoveryOutcome::HostEvacuated { rebalanced: 2 }
         );
         assert_eq!(c.injector().unresolved(), 0);
+    }
+
+    // ---- reliability plane ----------------------------------------------
+
+    use horse_reliability::ReliabilityConfig;
+
+    fn reliable_cluster(n: usize) -> (Cluster, FunctionId) {
+        let (mut c, f) = cluster(n, DispatchPolicy::RoundRobin);
+        c.set_reliability(ReliabilityConfig::with_seed(7));
+        (c, f)
+    }
+
+    fn req(f: FunctionId, class: RequestClass, deadline_ns: Option<u64>) -> Request {
+        Request {
+            function: f,
+            strategy: StartStrategy::Horse,
+            class,
+            deadline_ns,
+        }
+    }
+
+    #[test]
+    fn submit_completes_and_conserves() {
+        let (c, f) = reliable_cluster(2);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        for _ in 0..10 {
+            let d = c.submit(req(f, RequestClass::Ull, Some(1_000_000)));
+            let Disposition::Completed {
+                latency_ns,
+                met_deadline,
+                hedged,
+                ..
+            } = d
+            else {
+                panic!("expected completion, got {d:?}");
+            };
+            assert!(met_deadline, "1 ms budget fits a HORSE start");
+            assert!(!hedged, "profile still below hedge warmup");
+            assert!(latency_ns < 1_000_000);
+        }
+        let snap = c.reliability_snapshot();
+        assert_eq!(snap.submissions, 10);
+        assert_eq!(snap.completions, 10);
+        assert!(snap.conserves());
+        assert!(snap.hedges_consistent());
+        assert!((snap.slo_attainment() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn infeasible_deadlines_shed_at_the_door() {
+        let (c, f) = reliable_cluster(2);
+        c.provision_all(f, 1, StartStrategy::Horse).unwrap();
+        c.set_feasibility_floor(f, 10_000);
+        let d = c.submit(req(f, RequestClass::Ull, Some(5_000)));
+        assert!(
+            matches!(
+                d,
+                Disposition::Shed {
+                    reason: ShedReason::DeadlineInfeasible
+                }
+            ),
+            "{d:?}"
+        );
+        let snap = c.reliability_snapshot();
+        assert_eq!(snap.sheds, 1);
+        assert!(snap.conserves());
+    }
+
+    #[test]
+    fn batch_admission_sheds_background_but_reserves_ull() {
+        let (mut c, f) = cluster(1, DispatchPolicy::RoundRobin);
+        let mut cfg = ReliabilityConfig::with_seed(7);
+        cfg.admission.max_inflight = 4;
+        cfg.admission.ull_reserve = 2;
+        c.set_reliability(cfg);
+        c.provision_all(f, 8, StartStrategy::Horse).unwrap();
+        // 8 background requests admitted as a batch: slots are held
+        // across the batch, so only max_inflight − reserve = 2 pass.
+        let batch: Vec<Request> = (0..8)
+            .map(|_| req(f, RequestClass::Background, None))
+            .collect();
+        let dispositions = c.submit_batch(&batch);
+        let completed = dispositions
+            .iter()
+            .filter(|d| matches!(d, Disposition::Completed { .. }))
+            .count();
+        let shed = dispositions
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d,
+                    Disposition::Shed {
+                        reason: ShedReason::ReservedForUll
+                    }
+                )
+            })
+            .count();
+        assert_eq!(completed, 2);
+        assert_eq!(shed, 6);
+        // The reserve is still claimable by uLL traffic afterwards.
+        assert!(matches!(
+            c.submit(req(f, RequestClass::Ull, None)),
+            Disposition::Completed { .. }
+        ));
+        let snap = c.reliability_snapshot();
+        assert_eq!(snap.submissions, 9);
+        assert!(snap.conserves());
+    }
+
+    #[test]
+    fn breaker_opens_on_a_sick_host_and_routing_avoids_it() {
+        let (mut c, f) = reliable_cluster(2);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        // Host 0's pool entries always rot; no host-level retries, so
+        // every attempt on it fails fast.
+        c.set_host_injector(
+            HostId(0),
+            FaultInjector::new(
+                13,
+                FaultPlan::new().with(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(1)),
+            ),
+        );
+        c.set_host_retry_policy(
+            HostId(0),
+            horse_faults::RetryPolicy {
+                max_retries: 0,
+                ..horse_faults::RetryPolicy::default()
+            },
+        );
+        // Keep host 0's pool stocked so every attempt there actually
+        // exercises the fault (and the cluster retry re-routes).
+        let mut completions = 0;
+        for _ in 0..40 {
+            c.provision_on(HostId(0), f, 1, StartStrategy::Horse).ok();
+            if matches!(
+                c.submit(req(f, RequestClass::Ull, None)),
+                Disposition::Completed { .. }
+            ) {
+                completions += 1;
+            }
+        }
+        assert_eq!(
+            c.breaker_state(f, HostId(0)),
+            BreakerState::Open,
+            "the sick pair tripped open"
+        );
+        assert_eq!(c.breaker_state(f, HostId(1)), BreakerState::Closed);
+        let (opened, _, _) = c.breaker_transitions();
+        assert!(opened >= 1);
+        assert!(completions >= 30, "healthy host carried the traffic");
+        let snap = c.reliability_snapshot();
+        assert!(snap.retries > 0, "failures were retried across hosts");
+        assert!(snap.conserves());
+    }
+
+    #[test]
+    fn forced_open_breakers_shed_everything() {
+        let (mut c, f) = cluster(2, DispatchPolicy::RoundRobin);
+        let mut cfg = ReliabilityConfig::with_seed(7);
+        cfg.breaker.forced_open = true;
+        c.set_reliability(cfg);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        for _ in 0..5 {
+            let d = c.submit(req(f, RequestClass::Ull, Some(1_000_000)));
+            assert!(
+                matches!(
+                    d,
+                    Disposition::Shed {
+                        reason: ShedReason::BreakersOpen
+                    }
+                ),
+                "{d:?}"
+            );
+        }
+        let snap = c.reliability_snapshot();
+        assert_eq!(snap.sheds, 5);
+        assert_eq!(snap.completions, 0);
+        assert!(snap.conserves());
+    }
+
+    #[test]
+    fn slow_primary_triggers_a_winning_hedge() {
+        let (mut c, f) = reliable_cluster(2);
+        let mut cfg = ReliabilityConfig::with_seed(7);
+        cfg.hedge.min_samples = 8;
+        c.set_reliability(cfg);
+        c.provision_all(f, 4, StartStrategy::Horse).unwrap();
+        // Warm the latency profile past the hedge warmup.
+        for _ in 0..10 {
+            assert!(matches!(
+                c.submit(req(f, RequestClass::Ull, None)),
+                Disposition::Completed { .. }
+            ));
+        }
+        let threshold = c.hedge_threshold_ns(f).expect("profile armed");
+        // Now poison ONE pool entry on each host's next take: whichever
+        // host serves the primary eats a 10 µs recovery backoff, blowing
+        // far past the ~1 µs threshold — the hedge (on the other,
+        // healthy host) wins.
+        c.set_injector(FaultInjector::new(
+            17,
+            FaultPlan::new().with(FaultSite::PoolEntryInvalid, FaultTrigger::Once(1)),
+        ));
+        let d = c.submit(req(f, RequestClass::Ull, None));
+        let Disposition::Completed {
+            hedged, latency_ns, ..
+        } = d
+        else {
+            panic!("expected completion, got {d:?}");
+        };
+        assert!(hedged, "the slow primary should have hedged");
+        let snap = c.reliability_snapshot();
+        assert_eq!(snap.hedges_launched, 1);
+        assert_eq!(snap.hedge_wins, 1, "the healthy host's hedge won");
+        assert_eq!(
+            snap.completions, 11,
+            "a hedged pair still counts exactly once"
+        );
+        assert!(snap.conserves());
+        assert!(
+            latency_ns < threshold + 5_000,
+            "first-wins latency {latency_ns} ≈ threshold {threshold} + hedge"
+        );
+    }
+
+    #[test]
+    fn crash_loses_inventory_but_leave_rebalances_it() {
+        let (c, f) = reliable_cluster(3);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        // Graceful leave: inventory moves to survivors.
+        assert_eq!(c.leave_host(HostId(1)).unwrap(), 2);
+        assert_eq!(c.host(HostId(1)).pool_size(f, StartStrategy::Horse), 0);
+        let after_leave: usize = [0, 2]
+            .iter()
+            .map(|&i| c.host(HostId(i)).pool_size(f, StartStrategy::Horse))
+            .sum();
+        assert_eq!(after_leave, 6, "leave preserved fleet capacity");
+        // Crash: inventory is destroyed with the host.
+        assert_eq!(c.crash_host(HostId(2)), 3);
+        assert_eq!(c.host(HostId(2)).pool_size(f, StartStrategy::Horse), 0);
+        assert_eq!(c.alive_count(), 1);
+        // Double-crash is a no-op.
+        assert_eq!(c.crash_host(HostId(2)), 0);
+    }
+
+    #[test]
+    fn join_readmits_a_host_on_probation() {
+        let (mut c, f) = reliable_cluster(2);
+        let mut cfg = ReliabilityConfig::with_seed(7);
+        cfg.breaker.min_samples = 2;
+        cfg.breaker.window = 4;
+        c.set_reliability(cfg);
+        c.provision_all(f, 2, StartStrategy::Horse).unwrap();
+        // Open host 0's breaker the honest way: make it sick, drive
+        // traffic.
+        c.set_host_injector(
+            HostId(0),
+            FaultInjector::new(
+                13,
+                FaultPlan::new().with(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(1)),
+            ),
+        );
+        c.set_host_retry_policy(
+            HostId(0),
+            horse_faults::RetryPolicy {
+                max_retries: 0,
+                ..horse_faults::RetryPolicy::default()
+            },
+        );
+        for _ in 0..10 {
+            c.provision_on(HostId(0), f, 1, StartStrategy::Horse).ok();
+            let _ = c.submit(req(f, RequestClass::Ull, None));
+        }
+        assert_eq!(c.breaker_state(f, HostId(0)), BreakerState::Open);
+        // The host crashes out, then rejoins healthy (injector cleared).
+        c.crash_host(HostId(0));
+        c.set_host_injector(HostId(0), FaultInjector::disabled());
+        assert!(c.join_host(HostId(0)));
+        assert!(!c.join_host(HostId(0)), "double-join is a no-op");
+        assert_eq!(
+            c.breaker_state(f, HostId(0)),
+            BreakerState::HalfOpen,
+            "a rejoined host earns trust through probes"
+        );
+        assert_eq!(
+            c.host(HostId(0)).pool_size(f, StartStrategy::Horse),
+            0,
+            "it returns empty"
+        );
+        // Restock it and let probes close the breaker.
+        c.provision_on(HostId(0), f, 4, StartStrategy::Horse)
+            .unwrap();
+        for _ in 0..20 {
+            let _ = c.submit(req(f, RequestClass::Ull, None));
+        }
+        assert_eq!(
+            c.breaker_state(f, HostId(0)),
+            BreakerState::Closed,
+            "probe successes closed it"
+        );
+        let (_, half_opened, closed) = c.breaker_transitions();
+        assert!(
+            half_opened == 0,
+            "join resets state without a tallied transition"
+        );
+        assert!(closed >= 1);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod replay;
 mod sharded_pool;
 mod ull_scaler;
 
-pub use cluster::{Cluster, DispatchPolicy, HostId};
+pub use cluster::{Cluster, DispatchPolicy, Disposition, HostId, Request};
 pub use invocation::{InvocationRecord, StartStrategy};
 pub use platform::{FaasError, FaasPlatform, PlatformConfig, WARM_TRIGGER_NS};
 pub use pool::{KeepAlive, PoolStats, WarmPool};

@@ -5,6 +5,7 @@ use crate::pool::{KeepAlive, PoolStats};
 use crate::registry::{FunctionId, FunctionRegistry};
 use crate::sharded_pool::ShardedWarmPool;
 use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome, RetryPolicy};
+use horse_reliability::{Deadline, DeadlineBoundary};
 use horse_sched::{SandboxId, SchedConfig};
 use horse_sim::rng::SeedFactory;
 use horse_sim::SimTime;
@@ -91,6 +92,18 @@ pub enum FaasError {
     },
     /// Every host in the cluster is dead.
     NoHealthyHost,
+    /// The invocation's deadline budget was exhausted at an enforcement
+    /// boundary before the work could complete.
+    DeadlineExceeded {
+        /// The function being invoked.
+        function: FunctionId,
+        /// The full deadline budget the request carried (virtual ns).
+        budget_ns: u64,
+        /// Virtual ns actually consumed when the boundary caught it.
+        observed_ns: u64,
+        /// The enforcement boundary that caught the blown budget.
+        boundary: DeadlineBoundary,
+    },
 }
 
 impl fmt::Display for FaasError {
@@ -113,6 +126,16 @@ impl fmt::Display for FaasError {
                 "gave up invoking {function} after {attempts} attempts: {cause}"
             ),
             FaasError::NoHealthyHost => write!(f, "no healthy host left in the cluster"),
+            FaasError::DeadlineExceeded {
+                function,
+                budget_ns,
+                observed_ns,
+                boundary,
+            } => write!(
+                f,
+                "deadline of {budget_ns}ns blown at the {boundary} boundary \
+                 invoking {function} ({observed_ns}ns consumed)"
+            ),
         }
     }
 }
@@ -414,6 +437,26 @@ impl FaasPlatform {
         function: FunctionId,
         strategy: StartStrategy,
     ) -> Result<InvocationRecord, FaasError> {
+        self.invoke_with_budget(function, strategy, None)
+    }
+
+    /// [`Self::invoke`] carrying a deadline budget (virtual ns). The
+    /// budget is enforced at the pool-take boundary (recovery backoffs
+    /// and re-provisioning boots must not eat it) and at the resume
+    /// boundary (initialization itself must fit); a blown budget
+    /// surfaces as [`FaasError::DeadlineExceeded`] naming the boundary.
+    /// `None` disables enforcement — identical to [`Self::invoke`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::invoke`] returns, plus
+    /// [`FaasError::DeadlineExceeded`].
+    pub fn invoke_with_budget(
+        &self,
+        function: FunctionId,
+        strategy: StartStrategy,
+        budget_ns: Option<u64>,
+    ) -> Result<InvocationRecord, FaasError> {
         // Allocation attribution: everything on the invoke path defaults
         // to the `Invoke` phase; the pool take and the inner pause/resume
         // pipelines re-scope themselves more precisely.
@@ -449,7 +492,7 @@ impl FaasPlatform {
         // after execution — the pipeline order an operator expects to see
         // in the trace.
         let t0 = self.recorder.now_ns();
-        let dispatched = self.dispatch_invoke(function, strategy, cfg, exec_ns, t0);
+        let dispatched = self.dispatch_invoke(function, strategy, cfg, exec_ns, t0, budget_ns);
         // Restore the caller's context before propagating any error so a
         // failed invocation cannot leak its id onto unrelated work.
         if outer.is_traced() {
@@ -518,6 +561,7 @@ impl FaasPlatform {
         cfg: SandboxConfig,
         exec_ns: u64,
         t0: u64,
+        budget_ns: Option<u64>,
     ) -> Result<u64, FaasError> {
         Ok(match strategy {
             StartStrategy::Cold => {
@@ -530,6 +574,7 @@ impl FaasPlatform {
                     id
                 };
                 let init = self.boot.boot_ns(cfg);
+                self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
                 self.record_init_and_exec(EventKind::InvokeCold, t0, init, exec_ns);
                 self.repause_into_pool(id, function, false)?;
                 init
@@ -542,6 +587,7 @@ impl FaasPlatform {
                     id
                 };
                 let init = self.restore.restore_ns(cfg);
+                self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
                 self.record_init_and_exec(EventKind::InvokeRestore, t0, init, exec_ns);
                 self.repause_into_pool(id, function, false)?;
                 init
@@ -550,19 +596,51 @@ impl FaasPlatform {
                 // The userspace trigger precedes the resume on the
                 // critical path.
                 self.recorder.advance(WARM_TRIGGER_NS);
-                let (id, outcome, extra_ns) = self.warm_resume(function, strategy, cfg)?;
+                let (id, outcome, extra_ns) =
+                    self.warm_resume(function, strategy, cfg, budget_ns)?;
                 let init = WARM_TRIGGER_NS + extra_ns + outcome.breakdown.total_ns();
+                self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
                 self.record_init_and_exec(EventKind::InvokeWarm, t0, init, exec_ns);
                 self.repause_into_pool(id, function, false)?;
                 init
             }
             StartStrategy::Horse => {
-                let (id, outcome, extra_ns) = self.warm_resume(function, strategy, cfg)?;
+                let (id, outcome, extra_ns) =
+                    self.warm_resume(function, strategy, cfg, budget_ns)?;
                 let init = extra_ns + outcome.breakdown.total_ns();
+                self.enforce_resume_deadline(function, id, true, init, budget_ns)?;
                 self.record_init_and_exec(EventKind::InvokeHorse, t0, init, exec_ns);
                 self.repause_into_pool(id, function, true)?;
                 init
             }
+        })
+    }
+
+    /// The resume-boundary deadline check: if initialization alone
+    /// exhausted the budget, the sandbox is re-pooled (its state is
+    /// intact — only this request's budget is gone) and the miss
+    /// surfaces typed. A `None` budget disables the check.
+    fn enforce_resume_deadline(
+        &self,
+        function: FunctionId,
+        id: SandboxId,
+        horse: bool,
+        init_ns: u64,
+        budget_ns: Option<u64>,
+    ) -> Result<(), FaasError> {
+        let Some(budget) = budget_ns else {
+            return Ok(());
+        };
+        if !Deadline::from_nanos(budget).exceeded(init_ns) {
+            return Ok(());
+        }
+        self.repause_into_pool(id, function, horse)?;
+        self.recorder.count(Counter::DeadlineMisses, 1);
+        Err(FaasError::DeadlineExceeded {
+            function,
+            budget_ns: budget,
+            observed_ns: init_ns,
+            boundary: DeadlineBoundary::Resume,
         })
     }
 
@@ -594,6 +672,7 @@ impl FaasPlatform {
         function: FunctionId,
         strategy: StartStrategy,
         cfg: SandboxConfig,
+        budget_ns: Option<u64>,
     ) -> Result<(SandboxId, ResumeOutcome, u64), FaasError> {
         let horse = strategy == StartStrategy::Horse;
         let (mode, pause_policy) = if horse {
@@ -605,6 +684,21 @@ impl FaasPlatform {
         let mut attempts: u32 = 0;
         let mut pending: Option<FaultId> = None;
         loop {
+            // Pool-take deadline boundary: recovery detours (backoffs,
+            // re-provisioning boots) accumulate in `extra_ns`; once they
+            // alone exhaust the budget, stop retrying — another attempt
+            // could only deepen the miss.
+            if let Some(budget) = budget_ns {
+                if Deadline::from_nanos(budget).exceeded(extra_ns) {
+                    self.recorder.count(Counter::DeadlineMisses, 1);
+                    return Err(FaasError::DeadlineExceeded {
+                        function,
+                        budget_ns: budget,
+                        observed_ns: extra_ns,
+                        boundary: DeadlineBoundary::PoolTake,
+                    });
+                }
+            }
             // Acquire an entry: from the pool, or — once recovery is
             // under way and the pool has drained — by re-provisioning a
             // fresh sandbox (a full boot, charged to the invocation).
@@ -737,6 +831,38 @@ impl FaasPlatform {
         self.recorder.count(Counter::FaultsInjected, 1);
         self.recorder
             .instant(EventKind::FaultInjected, 0, site.index() as u64);
+    }
+
+    /// Destroys every pooled sandbox on this host, leaving all pools
+    /// empty (policies intact). The cluster layer uses it for abrupt
+    /// host death — the inventory is *lost*, not rebalanced — and to
+    /// scrub stale state when a departed host rejoins. Returns the
+    /// number of sandboxes purged.
+    ///
+    /// Implementation note: purging goes through the eviction path (a
+    /// momentary zero TTL + far-future eviction sweep), not `take`, so
+    /// pool hit/miss statistics are untouched — a purge shows up as
+    /// evictions, which is what a host teardown semantically is.
+    pub fn purge_pools(&self) -> usize {
+        let mut doomed = Vec::new();
+        {
+            let pools = self.warm_pool.read();
+            for pool in pools.values() {
+                let policy = pool.keep_alive();
+                pool.set_keep_alive(KeepAlive::Ttl(horse_sim::SimDuration::from_nanos(0)));
+                pool.evict_expired_into(SimTime::from_nanos(u64::MAX), &mut doomed);
+                pool.set_keep_alive(policy);
+                doomed.extend(pool.drain_doomed());
+            }
+        }
+        let purged = doomed.len();
+        if !doomed.is_empty() {
+            let mut vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
+            for id in doomed {
+                vmm.destroy(id).expect("pooled sandboxes are destroyable");
+            }
+        }
+        purged
     }
 
     /// The current warm-pool inventory: `(function, strategy, size)` per
@@ -1081,6 +1207,79 @@ mod tests {
             RecoveryOutcome::CrashContained { mid_resume: false }
         );
         assert_eq!(p.injector().unresolved(), 0);
+    }
+
+    // ---- reliability plane ----------------------------------------------
+
+    #[test]
+    fn resume_boundary_catches_a_budget_too_small_for_init() {
+        let mut p = platform();
+        let f = p.register("nat", Category::Cat2, ull_cfg(2));
+        p.provision(f, 1, StartStrategy::Horse).unwrap();
+        p.set_recorder(Recorder::enabled());
+        // HORSE init is ~200 ns; a 10 ns budget cannot fit it.
+        let e = p
+            .invoke_with_budget(f, StartStrategy::Horse, Some(10))
+            .unwrap_err();
+        let FaasError::DeadlineExceeded {
+            budget_ns,
+            observed_ns,
+            boundary,
+            ..
+        } = e
+        else {
+            panic!("expected DeadlineExceeded, got {e}");
+        };
+        assert_eq!(boundary, DeadlineBoundary::Resume);
+        assert_eq!(budget_ns, 10);
+        assert!(observed_ns >= 10, "init consumed the budget: {observed_ns}");
+        assert_eq!(
+            p.pool_size(f, StartStrategy::Horse),
+            1,
+            "the sandbox is re-pooled — only the request's budget is gone"
+        );
+        assert_eq!(p.recorder().counter_value(Counter::DeadlineMisses), 1);
+        // A generous budget sails through unchanged.
+        let r = p
+            .invoke_with_budget(f, StartStrategy::Horse, Some(1_000_000))
+            .unwrap();
+        assert!(r.init_ns < 1_000);
+    }
+
+    #[test]
+    fn pool_take_boundary_stops_recovery_backoffs_from_overrunning() {
+        // Every pop is invalid: recovery backoffs accumulate until the
+        // pool-take boundary cuts the loop — before retries exhaust.
+        let (p, f) = chaos_platform(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(1));
+        p.provision(f, 4, StartStrategy::Horse).unwrap();
+        // First backoff is 10 µs (base × 2⁰): a 5 µs budget dies at the
+        // boundary on the second loop iteration.
+        let e = p
+            .invoke_with_budget(f, StartStrategy::Horse, Some(5_000))
+            .unwrap_err();
+        let FaasError::DeadlineExceeded { boundary, .. } = e else {
+            panic!("expected DeadlineExceeded, got {e}");
+        };
+        assert_eq!(boundary, DeadlineBoundary::PoolTake);
+    }
+
+    #[test]
+    fn purge_pools_destroys_inventory_without_touching_take_stats() {
+        let mut p = platform();
+        let f = p.register("nat", Category::Cat2, ull_cfg(2));
+        p.provision(f, 3, StartStrategy::Horse).unwrap();
+        p.provision(f, 2, StartStrategy::Warm).unwrap();
+        let destroyed_before = p.vmm().stats().destroyed;
+        assert_eq!(p.purge_pools(), 5);
+        assert_eq!(p.pool_size(f, StartStrategy::Horse), 0);
+        assert_eq!(p.pool_size(f, StartStrategy::Warm), 0);
+        assert_eq!(p.vmm().stats().destroyed, destroyed_before + 5);
+        let stats = p.pool_stats(f, StartStrategy::Horse);
+        assert_eq!(stats.hits + stats.misses, 0, "purge is not a take");
+        assert_eq!(stats.evictions, 3, "purge shows up as evictions");
+        // Policies survive the purge: re-provisioning works as before.
+        p.provision(f, 1, StartStrategy::Horse).unwrap();
+        assert_eq!(p.pool_size(f, StartStrategy::Horse), 1);
     }
 
     #[test]

@@ -53,21 +53,37 @@ impl RetryPolicy {
         }
     }
 
+    /// Doubling stops after this many shifts. `base · 2^32` already
+    /// saturates any meaningful `max_backoff_ns` (a 1 ns base reaches
+    /// ~4.3 s), and clamping the exponent well below 63 keeps the
+    /// multiplier itself representable for every `attempt` up to
+    /// `u32::MAX` — the overflow is confined to `saturating_mul`, never
+    /// to the shift.
+    pub const MAX_BACKOFF_SHIFT: u32 = 32;
+
     /// Backoff before attempt `attempt` (0-based; the first attempt is
     /// immediate, retry `k` waits `base · 2^(k−1)`, capped).
+    ///
+    /// Total-ordering guarantee: the result is monotone non-decreasing
+    /// in `attempt` and never exceeds `max_backoff_ns`, for *any*
+    /// attempt count — the exponent clamps at
+    /// [`Self::MAX_BACKOFF_SHIFT`] and the multiply saturates instead
+    /// of wrapping.
     pub fn backoff_ns(&self, attempt: u32) -> u64 {
         if attempt == 0 {
             return 0;
         }
-        let shift = (attempt - 1).min(63);
+        let shift = (attempt - 1).min(Self::MAX_BACKOFF_SHIFT);
         self.base_backoff_ns
             .saturating_mul(1u64 << shift)
             .min(self.max_backoff_ns)
     }
 
-    /// Total virtual time spent backing off across `attempts` attempts.
+    /// Total virtual time spent backing off across `attempts` attempts,
+    /// saturating at `u64::MAX` instead of wrapping when the per-attempt
+    /// cap is set astronomically high.
     pub fn total_backoff_ns(&self, attempts: u32) -> u64 {
-        (0..attempts).map(|a| self.backoff_ns(a)).sum()
+        (0..attempts).fold(0u64, |acc, a| acc.saturating_add(self.backoff_ns(a)))
     }
 
     /// Maximum number of attempts (initial + retries).
@@ -95,6 +111,57 @@ mod tests {
         assert_eq!(p.backoff_ns(63), 450, "no overflow at large attempts");
         assert_eq!(p.total_backoff_ns(3), 300);
         assert_eq!(p.max_attempts(), 11);
+    }
+
+    #[test]
+    fn backoff_is_safe_and_monotone_at_extreme_attempts() {
+        // Regression: an uncapped shift (`1u64 << (attempt - 1)`) or a
+        // plain multiply would overflow long before these attempt
+        // counts; the clamped exponent + saturating multiply must not.
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff_ns: u64::MAX,
+            max_backoff_ns: u64::MAX,
+        };
+        assert_eq!(p.backoff_ns(1), u64::MAX);
+        assert_eq!(p.backoff_ns(u32::MAX), u64::MAX);
+
+        // A tiny base with an uncapped ceiling saturates the doubling at
+        // exactly `base << MAX_BACKOFF_SHIFT`.
+        let q = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff_ns: 3,
+            max_backoff_ns: u64::MAX,
+        };
+        assert_eq!(
+            q.backoff_ns(RetryPolicy::MAX_BACKOFF_SHIFT + 1),
+            3u64 << RetryPolicy::MAX_BACKOFF_SHIFT
+        );
+        assert_eq!(
+            q.backoff_ns(u32::MAX),
+            3u64 << RetryPolicy::MAX_BACKOFF_SHIFT
+        );
+        // Monotone non-decreasing across the clamp boundary.
+        let mut prev = 0;
+        for attempt in 0..=(RetryPolicy::MAX_BACKOFF_SHIFT + 4) {
+            let b = q.backoff_ns(attempt);
+            assert!(b >= prev, "backoff regressed at attempt {attempt}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn total_backoff_saturates_instead_of_wrapping() {
+        // Regression: `Iterator::sum` would panic (debug) or wrap
+        // (release) once two near-MAX backoffs are added.
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ns: u64::MAX,
+            max_backoff_ns: u64::MAX,
+        };
+        assert_eq!(p.total_backoff_ns(4), u64::MAX);
+        // And the saturated total is still monotone in attempts.
+        assert!(p.total_backoff_ns(2) <= p.total_backoff_ns(3));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Per-invocation deadline budgets on the virtual-time axis.
+//!
+//! A deadline is a *budget in virtual nanoseconds* attached to a request
+//! at ingress. Every layer the request crosses consumes budget (routing
+//! backoffs, pool-take retries, the resume pipeline itself), and three
+//! boundaries enforce it: routing, pool-take, and resume. Enforcement is
+//! typed — a blown budget surfaces as a `DeadlineExceeded` outcome
+//! naming the boundary that caught it, never as a generic error.
+
+use serde::{Deserialize, Serialize};
+
+/// Traffic class of a request — what its deadline means operationally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// Ultra-low-latency traffic: the HORSE path the paper exists for.
+    /// Admission control reserves capacity for this class so background
+    /// storms cannot starve it.
+    Ull,
+    /// Everything else (batch, bulk, best-effort). Shed first under
+    /// pressure.
+    Background,
+}
+
+impl RequestClass {
+    /// Both classes, uLL first.
+    pub const ALL: [RequestClass; 2] = [RequestClass::Ull, RequestClass::Background];
+
+    /// Export label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Ull => "ull",
+            RequestClass::Background => "background",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which enforcement point caught a blown deadline budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadlineBoundary {
+    /// The cluster's routing loop: accumulated backoff/hedge waits ate
+    /// the budget before another attempt could start.
+    Routing,
+    /// The host's warm-pool take: recovery backoffs inside the host
+    /// exceeded the remaining budget before a sandbox was secured.
+    PoolTake,
+    /// The resume pipeline: initialization itself (resume steps, boot,
+    /// or restore) overran the remaining budget.
+    Resume,
+}
+
+impl DeadlineBoundary {
+    /// Every boundary, in pipeline order.
+    pub const ALL: [DeadlineBoundary; 3] = [
+        DeadlineBoundary::Routing,
+        DeadlineBoundary::PoolTake,
+        DeadlineBoundary::Resume,
+    ];
+
+    /// Export label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadlineBoundary::Routing => "routing",
+            DeadlineBoundary::PoolTake => "pool_take",
+            DeadlineBoundary::Resume => "resume",
+        }
+    }
+}
+
+impl std::fmt::Display for DeadlineBoundary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A deadline budget: total virtual nanoseconds the request may spend
+/// end to end (initialization + execution + every recovery detour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deadline {
+    /// The budget, in virtual ns.
+    pub budget_ns: u64,
+}
+
+impl Deadline {
+    /// A deadline with the given budget.
+    pub const fn from_nanos(budget_ns: u64) -> Self {
+        Self { budget_ns }
+    }
+
+    /// Budget left after `elapsed_ns` has been consumed (`None` once the
+    /// deadline is blown).
+    pub fn remaining_ns(&self, elapsed_ns: u64) -> Option<u64> {
+        self.budget_ns.checked_sub(elapsed_ns).filter(|&r| r > 0)
+    }
+
+    /// Whether `elapsed_ns` has exhausted the budget.
+    pub fn exceeded(&self, elapsed_ns: u64) -> bool {
+        self.remaining_ns(elapsed_ns).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_counts_down_and_hits_none() {
+        let d = Deadline::from_nanos(100);
+        assert_eq!(d.remaining_ns(0), Some(100));
+        assert_eq!(d.remaining_ns(99), Some(1));
+        assert_eq!(d.remaining_ns(100), None, "an exactly-spent budget is gone");
+        assert_eq!(d.remaining_ns(101), None);
+        assert!(!d.exceeded(99));
+        assert!(d.exceeded(100));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RequestClass::Ull.to_string(), "ull");
+        assert_eq!(RequestClass::Background.to_string(), "background");
+        assert_eq!(DeadlineBoundary::PoolTake.to_string(), "pool_take");
+        assert_eq!(DeadlineBoundary::ALL.len(), 3);
+        assert_eq!(RequestClass::ALL.len(), 2);
+    }
+}

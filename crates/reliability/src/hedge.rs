@@ -1,0 +1,193 @@
+//! Hedged requests: speculative duplicates with first-wins resolution.
+//!
+//! A hedge fires when the primary attempt runs past a p99-derived
+//! threshold: at that instant a duplicate is dispatched to a *different*
+//! host, and whichever attempt finishes first wins. On the virtual-time
+//! axis the lifecycle is resolved analytically — the hedge starts at the
+//! threshold, so its completion lands at `threshold + hedge latency`,
+//! and the effective latency is the minimum of the two completion
+//! times. The loser is cancelled, and cancellation is *accounted*: one
+//! submission yields exactly one counted completion (the
+//! duplicate-suppression invariant the `crates/check` oracle audits).
+
+use horse_metrics::QuantileSketch;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hedging configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Latency percentile (0–100) the hedge threshold derives from.
+    pub threshold_percentile: f64,
+    /// Observations required per function before hedging arms — a cold
+    /// sketch would hedge on noise.
+    pub min_samples: u64,
+    /// Floor on the hedge threshold (ns): never hedge earlier than
+    /// this, however tight the distribution.
+    pub min_threshold_ns: u64,
+}
+
+impl Default for HedgeConfig {
+    /// p99 threshold, 256-sample warmup, 1 µs floor.
+    fn default() -> Self {
+        Self {
+            threshold_percentile: 99.0,
+            min_samples: 256,
+            min_threshold_ns: 1_000,
+        }
+    }
+}
+
+/// Per-function end-to-end latency profiles feeding the hedge threshold
+/// (DDSketch-style quantile sketches; keys are raw function ids so this
+/// crate stays independent of the platform layer).
+#[derive(Debug, Default)]
+pub struct LatencyProfiles {
+    profiles: RwLock<HashMap<u64, Arc<Mutex<QuantileSketch>>>>,
+}
+
+/// Relative error of the hedge-threshold sketches.
+const SKETCH_ALPHA: f64 = 0.01;
+
+impl LatencyProfiles {
+    /// An empty profile set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn profile(&self, function: u64) -> Arc<Mutex<QuantileSketch>> {
+        if let Some(p) = self.profiles.read().get(&function) {
+            return Arc::clone(p);
+        }
+        Arc::clone(
+            self.profiles
+                .write()
+                .entry(function)
+                .or_insert_with(|| Arc::new(Mutex::new(QuantileSketch::new(SKETCH_ALPHA)))),
+        )
+    }
+
+    /// Records one completed attempt's latency.
+    pub fn observe(&self, function: u64, latency_ns: u64) {
+        self.profile(function).lock().record(latency_ns);
+    }
+
+    /// Samples recorded for a function so far.
+    pub fn samples(&self, function: u64) -> u64 {
+        self.profiles
+            .read()
+            .get(&function)
+            .map_or(0, |p| p.lock().len())
+    }
+
+    /// The armed hedge threshold for a function, or `None` while the
+    /// profile is still warming up.
+    pub fn threshold_ns(&self, function: u64, cfg: &HedgeConfig) -> Option<u64> {
+        let profile = self.profiles.read().get(&function).cloned()?;
+        let sketch = profile.lock();
+        if sketch.len() < cfg.min_samples {
+            return None;
+        }
+        Some(
+            sketch
+                .percentile(cfg.threshold_percentile)
+                .max(cfg.min_threshold_ns),
+        )
+    }
+}
+
+/// Resolution of a hedged pair on the virtual-time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgeResolution {
+    /// Whether the hedge (started at the threshold) beat the primary.
+    pub hedge_won: bool,
+    /// Effective end-to-end latency: `min(primary, threshold + hedge)`.
+    pub effective_ns: u64,
+    /// Completion time of the cancelled loser (its work is suppressed,
+    /// but its cost is what cancellation accounting reports).
+    pub cancelled_ns: u64,
+}
+
+/// First-wins resolution: the primary completes at `primary_ns`; the
+/// hedge was dispatched at `threshold_ns` and completes at
+/// `threshold_ns + hedge_ns`. Exactly one of them is counted.
+pub fn resolve_first_wins(primary_ns: u64, threshold_ns: u64, hedge_ns: u64) -> HedgeResolution {
+    let hedge_completion = threshold_ns.saturating_add(hedge_ns);
+    if hedge_completion < primary_ns {
+        HedgeResolution {
+            hedge_won: true,
+            effective_ns: hedge_completion,
+            cancelled_ns: primary_ns,
+        }
+    } else {
+        HedgeResolution {
+            hedge_won: false,
+            effective_ns: primary_ns,
+            cancelled_ns: hedge_completion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_arms_only_after_warmup() {
+        let profiles = LatencyProfiles::new();
+        let cfg = HedgeConfig {
+            min_samples: 10,
+            ..HedgeConfig::default()
+        };
+        for i in 0..9 {
+            profiles.observe(7, 1_000 + i);
+            assert_eq!(profiles.threshold_ns(7, &cfg), None, "still warming up");
+        }
+        profiles.observe(7, 100_000);
+        let t = profiles.threshold_ns(7, &cfg).expect("armed");
+        assert!(t >= 1_000, "threshold respects the floor");
+        assert_eq!(profiles.samples(7), 10);
+        assert_eq!(profiles.threshold_ns(8, &cfg), None, "unknown function");
+    }
+
+    #[test]
+    fn threshold_tracks_the_tail() {
+        let profiles = LatencyProfiles::new();
+        let cfg = HedgeConfig {
+            min_samples: 100,
+            min_threshold_ns: 1,
+            ..HedgeConfig::default()
+        };
+        for _ in 0..990 {
+            profiles.observe(1, 10_000);
+        }
+        for _ in 0..10 {
+            profiles.observe(1, 500_000);
+        }
+        let t = profiles.threshold_ns(1, &cfg).unwrap();
+        assert!(
+            (9_000..=520_000).contains(&t),
+            "p99 sits between body and tail: {t}"
+        );
+        assert!(t > 9_000, "threshold is above the body");
+    }
+
+    #[test]
+    fn first_wins_picks_the_earlier_completion() {
+        // Primary slow, hedge fast: hedge wins at threshold + hedge.
+        let r = resolve_first_wins(100_000, 10_000, 2_000);
+        assert!(r.hedge_won);
+        assert_eq!(r.effective_ns, 12_000);
+        assert_eq!(r.cancelled_ns, 100_000);
+        // Primary finishes before the hedge does: primary wins.
+        let r = resolve_first_wins(11_000, 10_000, 2_000);
+        assert!(!r.hedge_won);
+        assert_eq!(r.effective_ns, 11_000);
+        assert_eq!(r.cancelled_ns, 12_000);
+        // Tie goes to the primary (no pointless duplicate accounting).
+        let r = resolve_first_wins(12_000, 10_000, 2_000);
+        assert!(!r.hedge_won);
+        assert_eq!(r.effective_ns, 12_000);
+    }
+}

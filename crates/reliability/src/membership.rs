@@ -1,0 +1,197 @@
+//! Seeded host-membership churn: join / leave / crash schedules.
+//!
+//! A churn schedule is generated up-front from the experiment's
+//! [`SeedFactory`], so a soak replays the exact same membership history
+//! under the same seed. Events are spaced one per `period` submissions
+//! and respect a `min_alive` floor: the generator never lets the alive
+//! count drop below it (when at the floor, only joins are emitted), so a
+//! schedule can churn aggressively without ever marooning the cluster.
+
+use horse_sim::rng::SeedFactory;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One membership event applied to a host index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// Graceful departure: the host drains and its warm inventory is
+    /// rebalanced onto survivors before it goes dark.
+    Leave(usize),
+    /// Abrupt death: the host vanishes, warm inventory and all. Nothing
+    /// is rebalanced; survivors must re-provision on demand.
+    Crash(usize),
+    /// A departed host returns empty: stale pools purged, breakers
+    /// half-open until it earns trust.
+    Join(usize),
+}
+
+impl ChurnEvent {
+    /// The host the event applies to.
+    pub fn host(self) -> usize {
+        match self {
+            ChurnEvent::Leave(h) | ChurnEvent::Crash(h) | ChurnEvent::Join(h) => h,
+        }
+    }
+
+    /// Export label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChurnEvent::Leave(_) => "leave",
+            ChurnEvent::Crash(_) => "crash",
+            ChurnEvent::Join(_) => "join",
+        }
+    }
+}
+
+/// Churn-schedule tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// Submissions between consecutive membership events.
+    pub period: u64,
+    /// Total events to schedule.
+    pub events: usize,
+    /// Alive-host floor the generator never crosses.
+    pub min_alive: usize,
+}
+
+impl Default for ChurnConfig {
+    /// One event every 512 submissions, 12 events, keep ≥2 hosts alive.
+    fn default() -> Self {
+        Self {
+            period: 512,
+            events: 12,
+            min_alive: 2,
+        }
+    }
+}
+
+/// A pre-generated churn schedule: `(submission index, event)` pairs in
+/// ascending submission order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnSchedule {
+    events: Vec<(u64, ChurnEvent)>,
+}
+
+impl ChurnSchedule {
+    /// An empty (churn-off) schedule.
+    pub fn empty() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// Generates a schedule for a cluster of `hosts` hosts. Same
+    /// `(factory master, hosts, cfg)` → same schedule, bit for bit.
+    pub fn generate(factory: &SeedFactory, hosts: usize, cfg: &ChurnConfig) -> Self {
+        let mut rng = factory.stream("reliability/churn");
+        let mut alive: Vec<bool> = vec![true; hosts];
+        let mut events = Vec::with_capacity(cfg.events);
+        let min_alive = cfg.min_alive.min(hosts);
+        for i in 0..cfg.events {
+            let at = cfg.period.saturating_mul(i as u64 + 1);
+            let alive_count = alive.iter().filter(|&&a| a).count();
+            let down: Vec<usize> = (0..hosts).filter(|&h| !alive[h]).collect();
+            let up: Vec<usize> = (0..hosts).filter(|&h| alive[h]).collect();
+            // At the floor (or with nothing down and nothing to spare)
+            // the only legal moves are joins; with nothing down, only
+            // departures. Otherwise draw the kind uniformly.
+            let event = if alive_count <= min_alive && !down.is_empty() {
+                ChurnEvent::Join(down[rng.gen_range(0..down.len())])
+            } else if down.is_empty() || rng.gen_range(0u32..3) < 2 {
+                if alive_count <= min_alive || up.is_empty() {
+                    // Nothing down to rejoin and nothing safe to remove:
+                    // skip this slot.
+                    continue;
+                }
+                let host = up[rng.gen_range(0..up.len())];
+                alive[host] = false;
+                if rng.gen_bool(0.5) {
+                    ChurnEvent::Crash(host)
+                } else {
+                    ChurnEvent::Leave(host)
+                }
+            } else {
+                ChurnEvent::Join(down[rng.gen_range(0..down.len())])
+            };
+            if let ChurnEvent::Join(h) = event {
+                alive[h] = true;
+            }
+            events.push((at, event));
+        }
+        Self { events }
+    }
+
+    /// The scheduled events, ascending by submission index.
+    pub fn events(&self) -> &[(u64, ChurnEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty (churn off).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drains every event due at or before `submission`, starting from
+    /// cursor `next` (the caller owns the cursor so the schedule itself
+    /// stays immutable and shareable).
+    pub fn due(&self, next: &mut usize, submission: u64) -> Vec<ChurnEvent> {
+        let mut fired = Vec::new();
+        while *next < self.events.len() && self.events[*next].0 <= submission {
+            fired.push(self.events[*next].1);
+            *next += 1;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_per_seed_and_respect_the_floor() {
+        let cfg = ChurnConfig {
+            period: 100,
+            events: 40,
+            min_alive: 2,
+        };
+        let a = ChurnSchedule::generate(&SeedFactory::new(42), 4, &cfg);
+        let b = ChurnSchedule::generate(&SeedFactory::new(42), 4, &cfg);
+        assert_eq!(a, b, "same seed → same schedule");
+        let c = ChurnSchedule::generate(&SeedFactory::new(43), 4, &cfg);
+        assert_ne!(a, c, "different seed → different schedule");
+
+        // Replaying the schedule never drops the alive count below the
+        // floor.
+        let mut alive = [true; 4];
+        for &(_, ev) in a.events() {
+            match ev {
+                ChurnEvent::Crash(h) | ChurnEvent::Leave(h) => alive[h] = false,
+                ChurnEvent::Join(h) => alive[h] = true,
+            }
+            assert!(
+                alive.iter().filter(|&&x| x).count() >= 2,
+                "floor violated after {ev:?}"
+            );
+        }
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn due_drains_in_order() {
+        let cfg = ChurnConfig {
+            period: 10,
+            events: 5,
+            min_alive: 1,
+        };
+        let s = ChurnSchedule::generate(&SeedFactory::new(7), 3, &cfg);
+        let mut cursor = 0usize;
+        assert!(s.due(&mut cursor, 9).is_empty(), "nothing due before t=10");
+        let total: usize = (1..=6).map(|i| s.due(&mut cursor, i * 10).len()).sum();
+        assert_eq!(total, s.len(), "every event fires exactly once");
+        assert!(s.due(&mut cursor, u64::MAX).is_empty(), "drained");
+    }
+}

@@ -1,0 +1,199 @@
+//! Budget-aware retries with deterministic seeded jitter.
+//!
+//! Generalizes [`horse_faults::RetryPolicy`] (plain capped exponential
+//! backoff) in two directions a cluster-level reliability plane needs:
+//!
+//! * **Jitter** — concurrent retries against a recovering host must not
+//!   synchronize into waves. The jitter is *deterministic*: it is a pure
+//!   function of `(seed, submission index, attempt)`, so a soak replays
+//!   bit-identically under the same seed regardless of thread
+//!   interleaving — no shared RNG state, no ordering sensitivity.
+//! * **Budget awareness** — every backoff consumes from the request's
+//!   deadline budget; a retry never sleeps past the deadline, and the
+//!   caller can observe exactly how much budget each wait consumed.
+
+use horse_faults::RetryPolicy;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer (the same mixer `horse-sim` seeds streams with):
+/// a fast, well-distributed 64-bit hash used to derive per-(submission,
+/// attempt) jitter without any shared state.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff with deterministic multiplicative jitter.
+///
+/// The unjittered schedule is exactly [`RetryPolicy::backoff_ns`]
+/// (capped doubling); the jittered wait multiplies it by a factor drawn
+/// uniformly from `[1 − jitter_frac, 1 + jitter_frac]` and re-clamps to
+/// the policy's cap.
+///
+/// # Example
+///
+/// ```
+/// use horse_reliability::JitteredRetryPolicy;
+///
+/// let p = JitteredRetryPolicy::default_with_seed(42);
+/// let a = p.backoff_ns(7, 1);
+/// assert_eq!(a, p.backoff_ns(7, 1), "same (seed, submission, attempt) replays");
+/// assert!(a <= p.inner.max_backoff_ns);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitteredRetryPolicy {
+    /// The underlying capped-exponential schedule.
+    pub inner: RetryPolicy,
+    /// Half-width of the multiplicative jitter band (0 = no jitter,
+    /// 0.2 = ±20 %). Values are clamped to `[0, 1]` at draw time.
+    pub jitter_frac: f64,
+    /// Seed the per-(submission, attempt) jitter derives from.
+    pub seed: u64,
+}
+
+impl JitteredRetryPolicy {
+    /// The default schedule (3 retries, 10 µs base, 1 ms cap) with ±20 %
+    /// jitter under the given seed.
+    pub fn default_with_seed(seed: u64) -> Self {
+        Self {
+            inner: RetryPolicy::default(),
+            jitter_frac: 0.2,
+            seed,
+        }
+    }
+
+    /// The jitter factor for one `(submission, attempt)` pair, in
+    /// `[1 − jitter_frac, 1 + jitter_frac]`. Pure and deterministic.
+    pub fn jitter_factor(&self, submission: u64, attempt: u32) -> f64 {
+        let j = self.jitter_frac.clamp(0.0, 1.0);
+        if j == 0.0 {
+            return 1.0;
+        }
+        let h = splitmix64(splitmix64(self.seed ^ submission.rotate_left(17)) ^ u64::from(attempt));
+        // 53 high bits → uniform in [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 - j + 2.0 * j * unit
+    }
+
+    /// Jittered backoff before `attempt` (0-based, like
+    /// [`RetryPolicy::backoff_ns`]): the capped exponential wait scaled
+    /// by [`Self::jitter_factor`], re-clamped to the policy cap.
+    pub fn backoff_ns(&self, submission: u64, attempt: u32) -> u64 {
+        let base = self.inner.backoff_ns(attempt);
+        if base == 0 {
+            return 0;
+        }
+        let jittered = (base as f64 * self.jitter_factor(submission, attempt)).round();
+        (jittered as u64).min(self.inner.max_backoff_ns)
+    }
+
+    /// Maximum number of attempts (initial + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.inner.max_attempts()
+    }
+}
+
+/// A request's remaining deadline budget, consumed monotonically by
+/// backoffs and attempt latencies. Once drained it never refills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffBudget {
+    remaining_ns: u64,
+}
+
+impl BackoffBudget {
+    /// A fresh budget.
+    pub const fn new(budget_ns: u64) -> Self {
+        Self {
+            remaining_ns: budget_ns,
+        }
+    }
+
+    /// Budget left.
+    pub fn remaining_ns(&self) -> u64 {
+        self.remaining_ns
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining_ns == 0
+    }
+
+    /// Consumes up to `amount_ns`, returning what was actually consumed
+    /// (never more than the remaining budget — consumption is monotone
+    /// and bounded).
+    pub fn consume(&mut self, amount_ns: u64) -> u64 {
+        let consumed = amount_ns.min(self.remaining_ns);
+        self.remaining_ns -= consumed;
+        consumed
+    }
+
+    /// Consumes a jittered backoff wait, clamped to the remaining
+    /// budget. Returns the consumed wait.
+    pub fn consume_backoff(
+        &mut self,
+        policy: &JitteredRetryPolicy,
+        submission: u64,
+        attempt: u32,
+    ) -> u64 {
+        self.consume(policy.backoff_ns(submission, attempt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_in_band_and_replays() {
+        let p = JitteredRetryPolicy {
+            inner: RetryPolicy {
+                max_retries: 8,
+                base_backoff_ns: 10_000,
+                max_backoff_ns: 1_000_000,
+            },
+            jitter_frac: 0.2,
+            seed: 99,
+        };
+        for sub in 0..50u64 {
+            for attempt in 1..=8u32 {
+                let f = p.jitter_factor(sub, attempt);
+                assert!((0.8..=1.2).contains(&f), "factor {f} out of band");
+                assert_eq!(p.backoff_ns(sub, attempt), p.backoff_ns(sub, attempt));
+                assert!(p.backoff_ns(sub, attempt) <= p.inner.max_backoff_ns);
+            }
+        }
+        // Different submissions actually draw different factors.
+        let factors: Vec<u64> = (0..16).map(|s| p.backoff_ns(s, 2)).collect();
+        assert!(factors.iter().any(|&f| f != factors[0]));
+    }
+
+    #[test]
+    fn zero_jitter_is_the_plain_schedule() {
+        let p = JitteredRetryPolicy {
+            inner: RetryPolicy::default(),
+            jitter_frac: 0.0,
+            seed: 1,
+        };
+        for attempt in 0..6 {
+            assert_eq!(p.backoff_ns(123, attempt), p.inner.backoff_ns(attempt));
+        }
+    }
+
+    #[test]
+    fn budget_consumption_is_monotone_and_bounded() {
+        let p = JitteredRetryPolicy::default_with_seed(7);
+        let mut b = BackoffBudget::new(25_000);
+        let mut consumed_total = 0u64;
+        for attempt in 1..10 {
+            let before = b.remaining_ns();
+            let consumed = b.consume_backoff(&p, 0, attempt);
+            assert!(b.remaining_ns() <= before, "budget must never grow");
+            consumed_total += consumed;
+        }
+        assert_eq!(consumed_total, 25_000, "eventually drains exactly");
+        assert!(b.is_exhausted());
+        assert_eq!(b.consume(100), 0, "an exhausted budget consumes nothing");
+    }
+}

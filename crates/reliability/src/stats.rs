@@ -1,0 +1,216 @@
+//! Plane-wide reliability accounting and the conservation invariant.
+//!
+//! Every submission must end in exactly one disposition:
+//!
+//! ```text
+//! submissions == completions + sheds + deadline_misses + failures
+//! ```
+//!
+//! Hedges complicate this: a hedged request launches two attempts but is
+//! still *one* submission with *one* counted completion (first wins, the
+//! loser is cancelled). The stats therefore track hedge launches and
+//! wins separately from dispositions, and the `crates/check` oracle
+//! audits both the identity above and winner-only hedge accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic tallies for one reliability plane instance.
+#[derive(Debug, Default)]
+pub struct ReliabilityStats {
+    /// Requests submitted at ingress (admitted or not).
+    pub submissions: AtomicU64,
+    /// Requests that completed successfully (hedged or not — a hedged
+    /// pair counts once).
+    pub completions: AtomicU64,
+    /// Requests shed by admission control or all-breakers-open routing.
+    pub sheds: AtomicU64,
+    /// Requests that blew their deadline budget at an enforcement
+    /// boundary.
+    pub deadline_misses: AtomicU64,
+    /// Requests that exhausted every retry/failover avenue and failed.
+    pub failures: AtomicU64,
+    /// Retry attempts beyond each request's first attempt.
+    pub retries: AtomicU64,
+    /// Hedge attempts launched (speculative duplicates).
+    pub hedges_launched: AtomicU64,
+    /// Hedges that beat their primary (the duplicate that got counted).
+    pub hedge_wins: AtomicU64,
+    /// Completions that met their deadline (for SLO attainment).
+    pub deadline_met: AtomicU64,
+}
+
+/// A plain-value snapshot of [`ReliabilityStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// See [`ReliabilityStats::submissions`].
+    pub submissions: u64,
+    /// See [`ReliabilityStats::completions`].
+    pub completions: u64,
+    /// See [`ReliabilityStats::sheds`].
+    pub sheds: u64,
+    /// See [`ReliabilityStats::deadline_misses`].
+    pub deadline_misses: u64,
+    /// See [`ReliabilityStats::failures`].
+    pub failures: u64,
+    /// See [`ReliabilityStats::retries`].
+    pub retries: u64,
+    /// See [`ReliabilityStats::hedges_launched`].
+    pub hedges_launched: u64,
+    /// See [`ReliabilityStats::hedge_wins`].
+    pub hedge_wins: u64,
+    /// See [`ReliabilityStats::deadline_met`].
+    pub deadline_met: u64,
+}
+
+impl ReliabilityStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a tally (all tallies use relaxed ordering — they are
+    /// monotone counters, never synchronization points).
+    fn bump(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One submission arrived at ingress.
+    pub fn on_submission(&self) {
+        Self::bump(&self.submissions, 1);
+    }
+
+    /// One request completed; `met_deadline` records SLO attainment.
+    pub fn on_completion(&self, met_deadline: bool) {
+        Self::bump(&self.completions, 1);
+        if met_deadline {
+            Self::bump(&self.deadline_met, 1);
+        }
+    }
+
+    /// One request was shed.
+    pub fn on_shed(&self) {
+        Self::bump(&self.sheds, 1);
+    }
+
+    /// One request blew its deadline budget.
+    pub fn on_deadline_miss(&self) {
+        Self::bump(&self.deadline_misses, 1);
+    }
+
+    /// One request failed terminally.
+    pub fn on_failure(&self) {
+        Self::bump(&self.failures, 1);
+    }
+
+    /// `n` retry attempts were made.
+    pub fn on_retries(&self, n: u64) {
+        Self::bump(&self.retries, n);
+    }
+
+    /// A hedge was launched; later, [`Self::on_hedge_win`] if it won.
+    pub fn on_hedge_launched(&self) {
+        Self::bump(&self.hedges_launched, 1);
+    }
+
+    /// A hedge beat its primary.
+    pub fn on_hedge_win(&self) {
+        Self::bump(&self.hedge_wins, 1);
+    }
+
+    /// A consistent point-in-time copy of every tally.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submissions: self.submissions.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            deadline_met: self.deadline_met.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// The conservation identity: every submission ended in exactly one
+    /// disposition.
+    pub fn conserves(&self) -> bool {
+        self.submissions == self.completions + self.sheds + self.deadline_misses + self.failures
+    }
+
+    /// Winner-only hedge accounting: wins can never exceed launches, and
+    /// completions can never exceed submissions (a hedged pair counts
+    /// once).
+    pub fn hedges_consistent(&self) -> bool {
+        self.hedge_wins <= self.hedges_launched && self.completions <= self.submissions
+    }
+
+    /// SLO attainment across completions (1.0 when nothing completed, so
+    /// an idle run trivially attains).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completions == 0 {
+            return 1.0;
+        }
+        self.deadline_met as f64 / self.completions as f64
+    }
+
+    /// Hedge rate: hedges launched per submission.
+    pub fn hedge_rate(&self) -> f64 {
+        if self.submissions == 0 {
+            return 0.0;
+        }
+        self.hedges_launched as f64 / self.submissions as f64
+    }
+
+    /// Shed rate: sheds per submission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submissions == 0 {
+            return 0.0;
+        }
+        self.sheds as f64 / self.submissions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_holds_when_dispositions_partition_submissions() {
+        let s = ReliabilityStats::new();
+        for _ in 0..10 {
+            s.on_submission();
+        }
+        for _ in 0..6 {
+            s.on_completion(true);
+        }
+        for _ in 0..2 {
+            s.on_shed();
+        }
+        s.on_deadline_miss();
+        s.on_failure();
+        let snap = s.snapshot();
+        assert!(snap.conserves());
+        assert!((snap.slo_attainment() - 1.0).abs() < f64::EPSILON);
+        assert!((snap.shed_rate() - 0.2).abs() < 1e-12);
+
+        // One more submission with no disposition breaks it.
+        s.on_submission();
+        assert!(!s.snapshot().conserves());
+    }
+
+    #[test]
+    fn hedge_accounting_is_winner_only() {
+        let s = ReliabilityStats::new();
+        s.on_submission();
+        s.on_hedge_launched();
+        s.on_hedge_win();
+        s.on_completion(true);
+        let snap = s.snapshot();
+        assert!(snap.hedges_consistent());
+        assert_eq!(snap.completions, 1, "a hedged pair counts once");
+        assert!((snap.hedge_rate() - 1.0).abs() < f64::EPSILON);
+    }
+}

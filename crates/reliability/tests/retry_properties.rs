@@ -1,0 +1,124 @@
+//! Property tests for the jittered-backoff schedule and deadline
+//! budgets (ISSUE 7, satellite 3).
+//!
+//! Three families of invariants:
+//! 1. Jittered backoffs stay inside `[base·(1−j), cap]` and never exceed
+//!    the policy cap, for any (seed, submission, attempt).
+//! 2. The schedule is a pure function of `(seed, submission, attempt)` —
+//!    replays are bit-identical, and different seeds actually diverge.
+//! 3. Budget consumption is monotone and bounded: a budget never grows,
+//!    never goes negative, and total consumption equals exactly
+//!    `min(requested, initial)`.
+
+use horse_faults::RetryPolicy;
+use horse_reliability::{BackoffBudget, JitteredRetryPolicy};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = JitteredRetryPolicy> {
+    (
+        0u32..=16,
+        1u64..=1_000_000,
+        1u64..=100_000_000,
+        0.0f64..=1.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(max_retries, base, cap, jitter_frac, seed)| JitteredRetryPolicy {
+                inner: RetryPolicy {
+                    max_retries,
+                    base_backoff_ns: base,
+                    max_backoff_ns: base.max(cap),
+                },
+                jitter_frac,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    /// Jittered waits respect the band and the cap at every attempt.
+    #[test]
+    fn jitter_stays_in_band(policy in arb_policy(), submission in any::<u64>(), attempt in 0u32..=64) {
+        let wait = policy.backoff_ns(submission, attempt);
+        prop_assert!(wait <= policy.inner.max_backoff_ns, "wait {wait} exceeds cap");
+        if attempt == 0 {
+            prop_assert_eq!(wait, 0, "no wait before the first attempt");
+        } else {
+            let base = policy.inner.backoff_ns(attempt);
+            let j = policy.jitter_frac.clamp(0.0, 1.0);
+            // Lower bound with a 1-ns rounding allowance.
+            let floor = (base as f64 * (1.0 - j)).floor() as u64;
+            prop_assert!(
+                wait + 1 >= floor.min(policy.inner.max_backoff_ns),
+                "wait {wait} below band floor {floor}"
+            );
+        }
+    }
+
+    /// The schedule replays bit-identically for the same key.
+    #[test]
+    fn schedule_is_deterministic_per_seed(policy in arb_policy(), submission in any::<u64>()) {
+        for attempt in 0..=policy.max_attempts() {
+            prop_assert_eq!(
+                policy.backoff_ns(submission, attempt),
+                policy.backoff_ns(submission, attempt)
+            );
+            let f = policy.jitter_factor(submission, attempt);
+            prop_assert_eq!(f.to_bits(), policy.jitter_factor(submission, attempt).to_bits());
+        }
+    }
+
+    /// Different seeds actually perturb the schedule (when jitter is on
+    /// and the base wait is big enough for the factor to matter).
+    #[test]
+    fn seeds_diverge(seed_a in any::<u64>(), delta in 1u64..=1_000_000) {
+        let seed_b = seed_a.wrapping_add(delta);
+        let mk = |seed| JitteredRetryPolicy {
+            inner: RetryPolicy { max_retries: 8, base_backoff_ns: 1_000_000, max_backoff_ns: u64::MAX },
+            jitter_frac: 0.5,
+            seed,
+        };
+        let (a, b) = (mk(seed_a), mk(seed_b));
+        let diverged = (0..64u64).any(|sub| {
+            (1..=8u32).any(|att| a.backoff_ns(sub, att) != b.backoff_ns(sub, att))
+        });
+        prop_assert!(diverged, "512 draws identical across different seeds");
+    }
+
+    /// Budget consumption is monotone, bounded, and exact.
+    #[test]
+    fn budget_consumption_is_monotone(
+        initial in 0u64..=10_000_000,
+        amounts in proptest::collection::vec(0u64..=5_000_000, 0..32),
+    ) {
+        let mut budget = BackoffBudget::new(initial);
+        let mut last_remaining = initial;
+        let mut consumed_total = 0u64;
+        for &amount in &amounts {
+            let consumed = budget.consume(amount);
+            prop_assert!(consumed <= amount, "consumed more than requested");
+            prop_assert!(budget.remaining_ns() <= last_remaining, "budget grew");
+            prop_assert_eq!(last_remaining - budget.remaining_ns(), consumed);
+            last_remaining = budget.remaining_ns();
+            consumed_total += consumed;
+        }
+        let requested: u64 = amounts.iter().sum();
+        prop_assert_eq!(consumed_total, requested.min(initial));
+        prop_assert_eq!(budget.is_exhausted(), budget.remaining_ns() == 0);
+    }
+
+    /// Draining a budget through jittered backoffs also stays monotone
+    /// and the drained total matches the schedule exactly.
+    #[test]
+    fn backoff_draining_matches_schedule(policy in arb_policy(), submission in any::<u64>(), initial in 0u64..=50_000_000) {
+        let mut budget = BackoffBudget::new(initial);
+        let mut drained = 0u64;
+        let mut scheduled = 0u64;
+        for attempt in 0..=policy.max_attempts() {
+            scheduled = scheduled.saturating_add(policy.backoff_ns(submission, attempt));
+            drained += budget.consume_backoff(&policy, submission, attempt);
+        }
+        prop_assert_eq!(drained, scheduled.min(initial));
+        prop_assert_eq!(budget.remaining_ns(), initial - drained);
+    }
+}

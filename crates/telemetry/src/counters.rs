@@ -55,11 +55,32 @@ pub enum Counter {
     /// Parallel merges rescued from a splice-thread straggler or death
     /// by sequential completion under the watchdog budget.
     StragglerRescues = 20,
+    /// Cluster-level retry attempts taken by the reliability plane
+    /// (failover to another host after a failed attempt).
+    RetriesAttempted = 21,
+    /// Hedged (speculative duplicate) requests launched after the
+    /// primary exceeded its p99-derived hedge threshold.
+    HedgesLaunched = 22,
+    /// Hedged requests where the hedge beat the primary (first-wins).
+    HedgeWins = 23,
+    /// Circuit-breaker transitions into `Open` (host quarantined for a
+    /// function).
+    BreakerOpened = 24,
+    /// Circuit-breaker transitions into `HalfOpen` (probing resumed).
+    BreakerHalfOpened = 25,
+    /// Circuit-breaker transitions into `Closed` (host re-admitted).
+    BreakerClosed = 26,
+    /// Requests shed by admission control (queue full, uLL reserve, or
+    /// an infeasible deadline).
+    AdmissionSheds = 27,
+    /// Invocations that blew their deadline budget at a routing,
+    /// pool-take, or resume boundary.
+    DeadlineMisses = 28,
 }
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 29] = [
         Counter::ResumesVanil,
         Counter::ResumesPpsm,
         Counter::ResumesCoal,
@@ -81,6 +102,14 @@ impl Counter {
         Counter::HorseFallbacks,
         Counter::PoolQuarantined,
         Counter::StragglerRescues,
+        Counter::RetriesAttempted,
+        Counter::HedgesLaunched,
+        Counter::HedgeWins,
+        Counter::BreakerOpened,
+        Counter::BreakerHalfOpened,
+        Counter::BreakerClosed,
+        Counter::AdmissionSheds,
+        Counter::DeadlineMisses,
     ];
 
     /// Export name.
@@ -107,6 +136,14 @@ impl Counter {
             Counter::HorseFallbacks => "horse_fallback",
             Counter::PoolQuarantined => "pool_quarantined",
             Counter::StragglerRescues => "merge_straggler_rescue",
+            Counter::RetriesAttempted => "retry_attempted",
+            Counter::HedgesLaunched => "hedge_launched",
+            Counter::HedgeWins => "hedge_win",
+            Counter::BreakerOpened => "breaker_opened",
+            Counter::BreakerHalfOpened => "breaker_half_opened",
+            Counter::BreakerClosed => "breaker_closed",
+            Counter::AdmissionSheds => "admission_shed",
+            Counter::DeadlineMisses => "deadline_missed",
         }
     }
 }
