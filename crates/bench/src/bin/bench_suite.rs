@@ -50,6 +50,7 @@ use horse_bench::{paper_sched_config, policy_for};
 use horse_faas::{Cluster, DispatchPolicy, FaasError, HostId, PlatformConfig, StartStrategy};
 use horse_metrics::export::write_chrome_trace;
 use horse_metrics::{Histogram, TailAttribution};
+use horse_telemetry::forensics::{chrome_trace_with_flows, ForensicIndex, SpanTree};
 use horse_telemetry::json::{self, JsonValue};
 use horse_telemetry::{Recorder, TraceSnapshot};
 use horse_vmm::{CostModel, ResumeMode, ResumeStep, SandboxConfig, Vmm};
@@ -57,6 +58,9 @@ use horse_workloads::Category;
 
 const SCHEMA_RESUME: &str = "horse-bench/resume/1";
 const SCHEMA_E2E: &str = "horse-bench/e2e/1";
+const SCHEMA_E2E_FORENSICS: &str = "horse-bench/e2e-forensics/1";
+/// Slowest stitched trees kept in the e2e postmortem artifact.
+const WORST_TREES: usize = 16;
 const SCHEMA_THROUGHPUT: &str = "horse-bench/throughput/1";
 const SCHEMA_BASELINE: &str = "horse-bench/baseline/1";
 
@@ -732,6 +736,70 @@ fn main() {
             snapshot.dropped
         );
     }
+
+    // Postmortem stitch of the same soak: the slowest invoke trees as a
+    // Chrome trace with flow arrows plus the stitch ledger, so a perf
+    // gate failure uploads the causal trees that explain it (the soak
+    // has no reliability plane; these are invoke-rooted trees, not
+    // submission trees).
+    let forensics = ForensicIndex::stitch(&snapshot);
+    let mut worst: Vec<&SpanTree> = forensics.trees.iter().collect();
+    worst.sort_by(|a, b| {
+        b.duration_ns()
+            .cmp(&a.duration_ns())
+            .then(a.invocation.cmp(&b.invocation))
+    });
+    worst.truncate(WORST_TREES);
+    let forensics_doc = obj(vec![
+        (
+            "schema".into(),
+            JsonValue::String(SCHEMA_E2E_FORENSICS.into()),
+        ),
+        ("git_sha".into(), JsonValue::String(sha.clone())),
+        ("seed".into(), num(opts.seed as f64)),
+        ("trees".into(), num(forensics.trees.len() as f64)),
+        ("orphan_events".into(), num(forensics.orphan_events as f64)),
+        ("extra_roots".into(), num(forensics.extra_roots as f64)),
+        (
+            "dropped_events".into(),
+            num(forensics.dropped_events as f64),
+        ),
+        (
+            "fingerprint".into(),
+            JsonValue::String(format!("{:016x}", forensics.fingerprint())),
+        ),
+        (
+            "worst".into(),
+            JsonValue::Array(
+                worst
+                    .iter()
+                    .map(|t| {
+                        obj(vec![
+                            ("invocation".into(), num(t.invocation as f64)),
+                            ("dur_ns".into(), num(t.duration_ns() as f64)),
+                            ("nodes".into(), num(t.len() as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let forensics_path = format!("{}/BENCH_e2e.forensics.json", opts.out);
+    write_json(&forensics_path, &forensics_doc);
+    let forensics_trace_path = format!("{}/BENCH_e2e.forensics.trace.json", opts.out);
+    let mut forensics_trace = chrome_trace_with_flows(worst.iter().copied());
+    forensics_trace.push('\n');
+    std::fs::write(&forensics_trace_path, forensics_trace)
+        .unwrap_or_else(|e| panic!("write {forensics_trace_path}: {e}"));
+    println!(
+        "{forensics_path}: {SCHEMA_E2E_FORENSICS} ({} trees, {} orphans)",
+        forensics.trees.len(),
+        forensics.orphan_events
+    );
+    println!(
+        "{forensics_trace_path}: worst {} invoke trees with flow events",
+        worst.len()
+    );
     println!(
         "{resume_path}: {SCHEMA_RESUME} (sha {sha}, seed {})",
         opts.seed

@@ -18,9 +18,18 @@
 //! Hard gates (exit non-zero): the conservation invariant
 //! (`submissions == completions + sheds + deadline_misses + failures`),
 //! bit-identical replay (the soak runs twice; every deterministic
-//! section and the disposition-stream fingerprint must match), ≥10 000
-//! submissions, uLL attainment ≥ 99.9 % *with churn on*, and a hedge
-//! rate below 5 %.
+//! section, the disposition-stream fingerprint and the stitched
+//! forensic-forest fingerprint must match), ≥10 000 submissions, uLL
+//! attainment ≥ 99.9 % *with churn on*, a hedge rate below 5 %,
+//! forensic completeness (every submission stitches into exactly one
+//! orphan-free span tree whose root stamp tallies reconcile with the
+//! reliability ledger) and a quiet multi-window SLO burn-rate monitor.
+//!
+//! Forensic artifacts (always written): `BENCH_forensics.json` (stitch
+//! ledger, burn-rate windows, flight-recorder summary) and
+//! `BENCH_forensics.trace.json` (the worst span trees per class as
+//! Chrome trace events with flow arrows, loadable in Perfetto). The
+//! worst uLL tree is also printed as an ASCII postmortem outline.
 //!
 //! Modes:
 //!
@@ -34,25 +43,36 @@
 //!   show the plane is not *relying* on churn-driven resets);
 //! * `slo_report --force-open-breakers` — every breaker starts and
 //!   stays open; the run MUST fail the attainment gate (CI runs this as
-//!   the negative self-test).
+//!   the negative self-test);
+//! * `slo_report --slowdown-splice <factor>` — scale the 𝒫²𝒮ℳ splice
+//!   path by `factor`; at CI's factor 2000 the injected latency
+//!   regression MUST trip both the attainment gate and the burn-rate
+//!   monitor (the forensics negative self-test).
 
 use std::collections::BTreeMap;
 use std::process::Command;
 
 use horse_faas::{
-    Cluster, DispatchPolicy, Disposition, FunctionId, HostId, Request, StartStrategy,
+    Cluster, DispatchPolicy, Disposition, FunctionId, HostId, PlatformConfig, Request,
+    StartStrategy,
 };
 use horse_faults::{FaultInjector, FaultPlan, FaultSite, FaultTrigger, RetryPolicy};
-use horse_reliability::{ChurnConfig, ChurnSchedule, ReliabilityConfig, RequestClass, ShedReason};
+use horse_metrics::prometheus::TextExporter;
+use horse_metrics::{BurnRateMonitor, FlightRecorder, Objective};
+use horse_reliability::{
+    BreakerState, ChurnConfig, ChurnSchedule, ReliabilityConfig, RequestClass, ShedReason,
+};
 use horse_sim::rng::SeedFactory;
+use horse_telemetry::forensics::{outcome, ForensicIndex};
 use horse_telemetry::json::{self, JsonValue};
-use horse_telemetry::Recorder;
-use horse_vmm::SandboxConfig;
+use horse_telemetry::{Recorder, TelemetryConfig};
+use horse_vmm::{CostModel, SandboxConfig};
 use horse_workloads::Category;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 const SCHEMA_SLO: &str = "horse-bench/slo/1";
+const SCHEMA_FORENSICS: &str = "horse-bench/forensics/1";
 const SCHEMA_BASELINE: &str = "horse-bench/baseline/1";
 
 /// Relative drift tolerated per gated leaf by `--against`.
@@ -82,6 +102,19 @@ const BG_DEADLINE_NS: u64 = 50_000_000;
 const ULL_ATTAINMENT_FLOOR: f64 = 0.999;
 const HEDGE_RATE_CEILING: f64 = 0.05;
 
+/// SLO targets the burn-rate monitor alerts on (uLL mirrors the
+/// attainment floor; background is looser, matching its soft deadline).
+const OBJECTIVES: [Objective; 2] = [
+    Objective {
+        class: "ull",
+        target: 0.999,
+    },
+    Objective {
+        class: "background",
+        target: 0.95,
+    },
+];
+
 struct Options {
     seed: u64,
     out: String,
@@ -89,11 +122,12 @@ struct Options {
     write_baseline: bool,
     churn: bool,
     force_open: bool,
+    slowdown_splice: f64,
 }
 
 const USAGE: &str = "usage: slo_report [--seed <u64>] [--out <dir>] \
      [--against <baseline.json>] [--write-baseline] [--no-churn] \
-     [--force-open-breakers]";
+     [--force-open-breakers] [--slowdown-splice <factor>]";
 
 impl Options {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
@@ -104,6 +138,7 @@ impl Options {
             write_baseline: false,
             churn: true,
             force_open: false,
+            slowdown_splice: 1.0,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -122,6 +157,11 @@ impl Options {
                 "--write-baseline" => opts.write_baseline = true,
                 "--no-churn" => opts.churn = false,
                 "--force-open-breakers" => opts.force_open = true,
+                "--slowdown-splice" => {
+                    opts.slowdown_splice = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --slowdown-splice: {e}; {USAGE}"))?;
+                }
                 other => return Err(format!("unknown flag {other}; {USAGE}")),
             }
         }
@@ -191,6 +231,7 @@ struct SoakResult {
     sheds_by_reason: BTreeMap<&'static str, u64>,
     internal: horse_reliability::StatsSnapshot,
     transitions: (u64, u64, u64),
+    breaker_states: Vec<((u64, usize), BreakerState)>,
     churn_applied: u64,
     churn_skipped: u64,
     hosts_alive: usize,
@@ -254,9 +295,34 @@ fn bg_request(f: FunctionId, rng: &mut StdRng) -> Request {
     }
 }
 
-fn soak(seed: u64, churn: bool, force_open: bool) -> SoakResult {
-    let mut cluster = Cluster::new(HOSTS, DispatchPolicy::RoundRobin, seed);
-    let recorder = Recorder::enabled();
+/// The calibrated cost model with the 𝒫²𝒮ℳ splice path scaled by
+/// `factor` (1.0 = faithful) — the burn-rate monitor's negative
+/// self-test injects a latency regression exactly where the paper's
+/// resume path is most sensitive.
+fn cost_model(factor: f64) -> CostModel {
+    let mut cost = CostModel::calibrated();
+    cost.horse_merge_base_ns *= factor;
+    cost.splice_thread_ns *= factor;
+    cost
+}
+
+fn soak(seed: u64, churn: bool, force_open: bool, slowdown_splice: f64) -> SoakResult {
+    let mut cluster = Cluster::with_config(
+        HOSTS,
+        DispatchPolicy::RoundRobin,
+        seed,
+        PlatformConfig {
+            cost: cost_model(slowdown_splice),
+            seed,
+            ..PlatformConfig::default()
+        },
+    );
+    // One shard so the single-threaded soak cannot overflow a ring
+    // shard: forensic stitching gates on a lossless stream.
+    let recorder = Recorder::new(TelemetryConfig {
+        shards: 1,
+        capacity_per_shard: 1 << 20,
+    });
     cluster.set_recorder(recorder.clone());
 
     let ull_cfg = SandboxConfig::builder().vcpus(1).ull(true).build().unwrap();
@@ -377,6 +443,7 @@ fn soak(seed: u64, churn: bool, force_open: bool) -> SoakResult {
         sheds_by_reason,
         internal: cluster.reliability_snapshot(),
         transitions: cluster.breaker_transitions(),
+        breaker_states: cluster.breaker_states(),
         churn_applied,
         churn_skipped,
         hosts_alive: cluster.alive_count(),
@@ -549,15 +616,22 @@ fn main() {
 
     // The soak runs twice: the reliability plane promises bit-identical
     // replay per seed, and the gate is only sound if it delivers.
-    let run_a = soak(opts.seed, opts.churn, opts.force_open);
-    let run_b = soak(opts.seed, opts.churn, opts.force_open);
+    let run_a = soak(opts.seed, opts.churn, opts.force_open, opts.slowdown_splice);
+    let run_b = soak(opts.seed, opts.churn, opts.force_open, opts.slowdown_splice);
+    let forensics_a = ForensicIndex::stitch(&run_a.snapshot);
+    let forensics_b = ForensicIndex::stitch(&run_b.snapshot);
     let sections_a = obj(deterministic_sections(&run_a));
     let sections_b = obj(deterministic_sections(&run_b));
-    if sections_a.render() == sections_b.render() && run_a.fingerprint == run_b.fingerprint {
+    if sections_a.render() == sections_b.render()
+        && run_a.fingerprint == run_b.fingerprint
+        && forensics_a.fingerprint() == forensics_b.fingerprint()
+    {
         println!(
-            "determinism: OK — two seed-{} runs, identical books and disposition fingerprint \
-             {:#018x}",
-            opts.seed, run_a.fingerprint
+            "determinism: OK — two seed-{} runs, identical books, disposition fingerprint \
+             {:#018x}, forensic fingerprint {:#018x}",
+            opts.seed,
+            run_a.fingerprint,
+            forensics_a.fingerprint()
         );
     } else {
         println!("determinism: FAILED — same-seed runs diverge");
@@ -591,6 +665,88 @@ fn main() {
             snap.submissions
         );
         failed = true;
+    }
+
+    // Forensic completeness: every submission (sheds included) must
+    // stitch into exactly one orphan-free Submit-rooted span tree, and
+    // the root stamps must retell the ledger exactly.
+    let tree_count = forensics_a.submission_trees().count() as u64;
+    let mut stamp_tally = [0u64; 4]; // completed / shed / deadline / failed
+    let mut stamp_violations = 0u64;
+    for tree in forensics_a.submission_trees() {
+        let stamp = tree.stamp().expect("submission trees carry a stamp");
+        if usize::from(stamp.outcome) < stamp_tally.len() {
+            stamp_tally[usize::from(stamp.outcome)] += 1;
+        }
+        stamp_violations += tree.check().len() as u64;
+    }
+    let ledger_consistent = stamp_tally[usize::from(outcome::COMPLETED)] == snap.completions
+        && stamp_tally[usize::from(outcome::SHED)] == snap.sheds
+        && stamp_tally[usize::from(outcome::DEADLINE)] == snap.deadline_misses
+        && stamp_tally[usize::from(outcome::FAILED)] == snap.failures;
+    let forensics_complete = forensics_a.is_complete()
+        && tree_count == snap.submissions
+        && forensics_a.trees.len() as u64 == tree_count
+        && stamp_violations == 0
+        && ledger_consistent;
+    if forensics_complete {
+        println!(
+            "forensics: OK — {tree_count} span trees (one per submission), 0 orphans, 0 extra \
+             roots, 0 ring drops; stamp tallies match the ledger"
+        );
+    } else {
+        println!(
+            "forensics: FAILED — {tree_count} trees for {} submissions, {} orphans, {} extra \
+             roots, {} drops, {stamp_violations} structural violations, ledger consistent: \
+             {ledger_consistent}",
+            snap.submissions,
+            forensics_a.orphan_events,
+            forensics_a.extra_roots,
+            forensics_a.dropped_events
+        );
+        failed = true;
+    }
+
+    // Multi-window SLO burn rate, replayed from the stitched trees in
+    // arrival order on the virtual clock. Sheds are admission policy,
+    // not latency, and are excluded — they already gate attainment.
+    let mut monitor = BurnRateMonitor::new(&OBJECTIVES);
+    for tree in forensics_a.submission_trees() {
+        let stamp = tree.stamp().expect("submission trees carry a stamp");
+        if stamp.outcome == outcome::SHED {
+            continue;
+        }
+        let good = stamp.outcome == outcome::COMPLETED && stamp.met_deadline;
+        monitor.observe(
+            stamp.class_label(),
+            good,
+            tree.invocation,
+            tree.duration_ns(),
+        );
+    }
+    let alerts = monitor.alerts();
+    if alerts.is_empty() {
+        let rates: Vec<String> = monitor
+            .burn_rates()
+            .iter()
+            .map(|(class, short, long, _)| format!("{class} {short:.2}x/{long:.2}x"))
+            .collect();
+        println!(
+            "burn-rate: OK — quiet on both windows ({})",
+            rates.join(", ")
+        );
+    } else {
+        for alert in &alerts {
+            println!("{}", alert.render());
+        }
+        failed = true;
+    }
+
+    // Flight recorder: the worst trees per class, kept for the
+    // postmortem artifacts below.
+    let mut flight = FlightRecorder::new();
+    for tree in forensics_a.submission_trees() {
+        flight.record(tree);
     }
 
     let ull_attainment = run_a.ull.attainment();
@@ -651,6 +807,11 @@ fn main() {
             obj(vec![
                 ("deterministic".into(), JsonValue::Bool(true)),
                 ("conservation".into(), JsonValue::Bool(snap.conserves())),
+                (
+                    "forensics_complete".into(),
+                    JsonValue::Bool(forensics_complete),
+                ),
+                ("burn_quiet".into(), JsonValue::Bool(alerts.is_empty())),
             ]),
         ),
     ];
@@ -667,8 +828,86 @@ fn main() {
         &horse_telemetry::contention::snapshot(),
     )
     .expect("write prometheus page");
+    // Append the per-(function, host) circuit state as a labeled gauge:
+    // 0 = closed, 1 = half-open, 2 = open.
+    let breaker_samples: Vec<(String, u64)> = run_a
+        .breaker_states
+        .iter()
+        .map(|((function, host), state)| {
+            (
+                format!("function=\"{function}\",host=\"{host}\""),
+                state.gauge_value(),
+            )
+        })
+        .collect();
+    let mut breaker_page = TextExporter::new();
+    breaker_page.labeled_pairs(
+        "horse_breaker_state",
+        "Circuit-breaker state per (function, host): 0 closed, 1 half-open, 2 open.",
+        "gauge",
+        &breaker_samples,
+    );
+    let mut prom_text = std::fs::read_to_string(&prom_path).expect("read prometheus page back");
+    prom_text.push_str(&breaker_page.finish());
+    std::fs::write(&prom_path, prom_text).expect("append breaker gauge");
     println!("{json_path}: {SCHEMA_SLO} (sha {sha}, seed {})", opts.seed);
-    println!("{prom_path}: Prometheus text-format page");
+    println!("{prom_path}: Prometheus text-format page (+ horse_breaker_state gauge)");
+
+    // Postmortem artifacts: the stitch ledger + burn windows + flight
+    // recorder as JSON, and the retained worst trees as a Chrome trace
+    // with flow arrows (open in Perfetto).
+    let forensics_doc = obj(vec![
+        (
+            "schema".to_string(),
+            JsonValue::String(SCHEMA_FORENSICS.into()),
+        ),
+        ("git_sha".to_string(), JsonValue::String(sha.clone())),
+        ("seed".to_string(), num(opts.seed as f64)),
+        ("slowdown_splice".to_string(), num(opts.slowdown_splice)),
+        (
+            "stitch".to_string(),
+            obj(vec![
+                ("trees".into(), num(forensics_a.trees.len() as f64)),
+                (
+                    "orphan_events".into(),
+                    num(forensics_a.orphan_events as f64),
+                ),
+                ("extra_roots".into(), num(forensics_a.extra_roots as f64)),
+                (
+                    "untraced_events".into(),
+                    num(forensics_a.untraced_events as f64),
+                ),
+                (
+                    "dropped_events".into(),
+                    num(forensics_a.dropped_events as f64),
+                ),
+                (
+                    "fingerprint".into(),
+                    JsonValue::String(format!("{:016x}", forensics_a.fingerprint())),
+                ),
+            ]),
+        ),
+        ("burn".to_string(), monitor.to_json()),
+        ("flight_recorder".to_string(), flight.to_json()),
+    ]);
+    let forensics_path = format!("{}/BENCH_forensics.json", opts.out);
+    write_json(&forensics_path, &forensics_doc);
+    let trace_path = format!("{}/BENCH_forensics.trace.json", opts.out);
+    let mut trace_text = flight.to_chrome_trace();
+    trace_text.push('\n');
+    std::fs::write(&trace_path, trace_text).unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
+    println!("{forensics_path}: {SCHEMA_FORENSICS}");
+    println!(
+        "{trace_path}: Chrome trace with flow events ({} trees)",
+        flight.len()
+    );
+    if let Some(worst_ull) = flight
+        .trees()
+        .find(|t| t.stamp().is_some_and(|s| s.class_label() == "ull"))
+    {
+        println!("postmortem: worst uLL span tree —");
+        print!("{}", worst_ull.render_ascii());
+    }
 
     if opts.write_baseline {
         let path = format!("{}/bench_baseline.json", opts.out);

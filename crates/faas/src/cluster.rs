@@ -16,9 +16,10 @@ use horse_faults::{FaultInjector, FaultSite, RecoveryOutcome, RetryPolicy};
 use horse_reliability::{
     AdmissionController, BreakerRegistry, BreakerState, BreakerTransition, ChurnEvent, Deadline,
     DeadlineBoundary, LatencyProfiles, ReliabilityConfig, ReliabilityStats, RequestClass,
-    ShedReason, StatsSnapshot,
+    ShedReason, StatsSnapshot, SubmissionId,
 };
 use horse_sim::SimTime;
+use horse_telemetry::forensics::{self, outcome, RootStamp};
 use horse_telemetry::{Counter, EventKind, Recorder};
 use horse_vmm::SandboxConfig;
 use horse_workloads::Category;
@@ -101,6 +102,36 @@ pub enum Disposition {
         /// The terminal error.
         error: FaasError,
     },
+}
+
+/// Forensic wire code of a shed reason (offset by 1 in the
+/// `admission` instant's arg; 0 means admitted).
+fn shed_code(reason: ShedReason) -> u64 {
+    ShedReason::ALL
+        .iter()
+        .position(|&r| r == reason)
+        .expect("every reason is in ALL") as u64
+}
+
+/// Forensic class code matching `RootStamp::class_label`.
+fn class_code(class: RequestClass) -> u8 {
+    match class {
+        RequestClass::Ull => 0,
+        RequestClass::Background => 1,
+    }
+}
+
+impl Disposition {
+    /// The forensic outcome code stamped into the submission's root
+    /// span.
+    fn outcome_code(&self) -> u8 {
+        match self {
+            Disposition::Completed { .. } => outcome::COMPLETED,
+            Disposition::Shed { .. } => outcome::SHED,
+            Disposition::DeadlineExceeded { .. } => outcome::DEADLINE,
+            Disposition::Failed { .. } => outcome::FAILED,
+        }
+    }
 }
 
 /// The cluster-resident half of the reliability plane: admission,
@@ -625,6 +656,16 @@ impl Cluster {
         self.plane().breakers.state(function.as_u64(), host.0)
     }
 
+    /// Every tracked (function, host) breaker's current state, sorted —
+    /// the `horse_breaker_state` Prometheus gauge's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn breaker_states(&self) -> Vec<((u64, usize), BreakerState)> {
+        self.plane().breakers.states()
+    }
+
     /// The armed hedge threshold for a function (`None` while its
     /// latency profile is warming up).
     ///
@@ -678,10 +719,30 @@ impl Cluster {
         admissions
             .into_iter()
             .zip(requests)
-            .map(|((submission, outcome), req)| match outcome {
+            .map(|((submission, admitted), req)| match admitted {
                 Err(reason) => {
                     plane.stats.on_shed();
                     self.recorder.count(Counter::AdmissionSheds, 1);
+                    // Even a door-shed submission gets a (two-node)
+                    // forensic tree: the admission instant naming the
+                    // reason under a zero-duration root.
+                    let invocation = self.recorder.mint_invocation();
+                    self.recorder
+                        .set_context(forensics::submit_child_context(invocation));
+                    let t0 = self.recorder.now_ns();
+                    self.recorder
+                        .instant(EventKind::AdmissionGate, 0, shed_code(reason) + 1);
+                    let stamp = RootStamp {
+                        submission: SubmissionId::new(submission).stamp_bits(),
+                        class: class_code(req.class),
+                        outcome: outcome::SHED,
+                        hedged: false,
+                        met_deadline: false,
+                    };
+                    self.recorder.set_parent(None);
+                    self.recorder
+                        .span_at(EventKind::Submit, 0, t0, 0, stamp.encode());
+                    self.recorder.clear_context();
                     Disposition::Shed { reason }
                 }
                 Ok(slot) => {
@@ -702,9 +763,35 @@ impl Cluster {
         submission: u64,
     ) -> Disposition {
         let invocation = self.recorder.mint_invocation();
+        // Everything the routing loop emits (admission instant, breaker
+        // denials, attempt spans, backoffs) parents under the Submit
+        // root span recorded at the end, closing the causal tree.
         self.recorder
-            .set_context(horse_telemetry::TraceContext::root(invocation));
+            .set_context(forensics::submit_child_context(invocation));
+        let t0 = self.recorder.now_ns();
+        self.recorder.instant(EventKind::AdmissionGate, 0, 0);
         let disposition = self.serve_routed(plane, req, submission);
+        let stamp = RootStamp {
+            submission: SubmissionId::new(submission).stamp_bits(),
+            class: class_code(req.class),
+            outcome: disposition.outcome_code(),
+            hedged: matches!(disposition, Disposition::Completed { hedged: true, .. }),
+            met_deadline: matches!(
+                disposition,
+                Disposition::Completed {
+                    met_deadline: true,
+                    ..
+                }
+            ),
+        };
+        self.recorder.set_parent(None);
+        self.recorder.span_at(
+            EventKind::Submit,
+            0,
+            t0,
+            self.recorder.now_ns().saturating_sub(t0),
+            stamp.encode(),
+        );
         self.recorder.clear_context();
         disposition
     }
@@ -750,7 +837,23 @@ impl Cluster {
                 d.remaining_ns(elapsed_ns)
                     .expect("routing boundary checked above")
             });
-            match self.hosts[host].invoke_with_budget(req.function, req.strategy, remaining) {
+            // The attempt span brackets the host invoke: the platform
+            // parents its invoke span under RouteAttempt, and the span
+            // itself (recorded after the attempt, covering it) parents
+            // under the Submit root.
+            let attempt_t0 = self.recorder.now_ns();
+            self.recorder.set_parent(Some(EventKind::RouteAttempt));
+            let attempted =
+                self.hosts[host].invoke_with_budget(req.function, req.strategy, remaining);
+            self.recorder.set_parent(Some(EventKind::Submit));
+            self.recorder.span_at(
+                EventKind::RouteAttempt,
+                0,
+                attempt_t0,
+                self.recorder.now_ns().saturating_sub(attempt_t0),
+                host as u64,
+            );
+            match attempted {
                 Ok(record) => {
                     self.note_transition(plane.breakers.record(
                         fkey,
@@ -792,8 +895,14 @@ impl Cluster {
                     }
                     plane.stats.on_retries(1);
                     self.recorder.count(Counter::RetriesAttempted, 1);
-                    elapsed_ns =
-                        elapsed_ns.saturating_add(plane.cfg.retry.backoff_ns(submission, attempt));
+                    let backoff_ns = plane.cfg.retry.backoff_ns(submission, attempt);
+                    elapsed_ns = elapsed_ns.saturating_add(backoff_ns);
+                    // The backoff span *advances* the trace cursor so
+                    // the next attempt starts after the wait — the
+                    // stitched timeline shows the budget the backoff
+                    // ate. (Ambient parent here is the Submit root.)
+                    self.recorder
+                        .span(EventKind::RetryBackoff, 0, backoff_ns, u64::from(attempt));
                 }
             }
         }
@@ -835,11 +944,22 @@ impl Cluster {
                     hedged = true;
                     plane.stats.on_hedge_launched();
                     self.recorder.count(Counter::HedgesLaunched, 1);
-                    match self.hosts[hedge_host].invoke_with_budget(
+                    let hedge_t0 = self.recorder.now_ns();
+                    self.recorder.set_parent(Some(EventKind::HedgeAttempt));
+                    let hedge_attempt = self.hosts[hedge_host].invoke_with_budget(
                         req.function,
                         req.strategy,
                         budget,
-                    ) {
+                    );
+                    self.recorder.set_parent(Some(EventKind::Submit));
+                    self.recorder.span_at(
+                        EventKind::HedgeAttempt,
+                        0,
+                        hedge_t0,
+                        self.recorder.now_ns().saturating_sub(hedge_t0),
+                        hedge_host as u64,
+                    );
+                    match hedge_attempt {
                         Ok(hedge_record) => {
                             self.note_transition(plane.breakers.record(
                                 fkey,
@@ -917,6 +1037,10 @@ impl Cluster {
             if allowed {
                 return Some(host);
             }
+            // A denied pair is a routing decision worth seeing in the
+            // tree: the instant names the host the breaker fenced off.
+            self.recorder
+                .instant(EventKind::BreakerDenied, 0, host as u64);
         }
         None
     }

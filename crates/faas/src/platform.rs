@@ -491,8 +491,39 @@ impl FaasPlatform {
         // follows it, and the keep-alive re-pause (its own spans) comes
         // after execution — the pipeline order an operator expects to see
         // in the trace.
+        // When the cluster routing layer installed an outer context, its
+        // parent kind (a routing or hedge attempt span) becomes the
+        // invoke span's causal parent, so stitched submission trees run
+        // submit → attempt → invoke → resume steps. On the plain invoke
+        // path the invoke span stays the trace root.
+        let outer_parent = if outer.is_traced() {
+            outer.parent
+        } else {
+            None
+        };
         let t0 = self.recorder.now_ns();
-        let dispatched = self.dispatch_invoke(function, strategy, cfg, exec_ns, t0, budget_ns);
+        let dispatched = self.dispatch_invoke(
+            function,
+            strategy,
+            cfg,
+            exec_ns,
+            t0,
+            budget_ns,
+            outer_parent,
+        );
+        if dispatched.is_err() && outer.is_traced() && self.recorder.is_enabled() {
+            // Under the cluster plane a failed attempt still emitted
+            // children (pool takes, fault recovery, deadline re-pooling)
+            // parented to the invoke kind; a synthetic invoke span
+            // covering the attempt keeps them stitchable instead of
+            // orphaned. The plain path keeps its contract: a failed
+            // invoke records no invoke span.
+            let now = self.recorder.now_ns();
+            self.recorder.set_parent(outer_parent);
+            let dur = now.saturating_sub(t0);
+            self.recorder
+                .span_at(Self::invoke_kind(strategy), 0, t0, dur, dur);
+        }
         // Restore the caller's context before propagating any error so a
         // failed invocation cannot leak its id onto unrelated work.
         if outer.is_traced() {
@@ -554,6 +585,7 @@ impl FaasPlatform {
 
     /// Runs the strategy-specific initialization pipeline under the
     /// invocation's trace context, returning the init latency.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_invoke(
         &self,
         function: FunctionId,
@@ -562,6 +594,7 @@ impl FaasPlatform {
         exec_ns: u64,
         t0: u64,
         budget_ns: Option<u64>,
+        outer_parent: Option<EventKind>,
     ) -> Result<u64, FaasError> {
         Ok(match strategy {
             StartStrategy::Cold => {
@@ -575,7 +608,7 @@ impl FaasPlatform {
                 };
                 let init = self.boot.boot_ns(cfg);
                 self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
-                self.record_init_and_exec(EventKind::InvokeCold, t0, init, exec_ns);
+                self.record_init_and_exec(EventKind::InvokeCold, t0, init, exec_ns, outer_parent);
                 self.repause_into_pool(id, function, false)?;
                 init
             }
@@ -588,7 +621,13 @@ impl FaasPlatform {
                 };
                 let init = self.restore.restore_ns(cfg);
                 self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
-                self.record_init_and_exec(EventKind::InvokeRestore, t0, init, exec_ns);
+                self.record_init_and_exec(
+                    EventKind::InvokeRestore,
+                    t0,
+                    init,
+                    exec_ns,
+                    outer_parent,
+                );
                 self.repause_into_pool(id, function, false)?;
                 init
             }
@@ -600,7 +639,7 @@ impl FaasPlatform {
                     self.warm_resume(function, strategy, cfg, budget_ns)?;
                 let init = WARM_TRIGGER_NS + extra_ns + outcome.breakdown.total_ns();
                 self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
-                self.record_init_and_exec(EventKind::InvokeWarm, t0, init, exec_ns);
+                self.record_init_and_exec(EventKind::InvokeWarm, t0, init, exec_ns, outer_parent);
                 self.repause_into_pool(id, function, false)?;
                 init
             }
@@ -609,7 +648,7 @@ impl FaasPlatform {
                     self.warm_resume(function, strategy, cfg, budget_ns)?;
                 let init = extra_ns + outcome.breakdown.total_ns();
                 self.enforce_resume_deadline(function, id, true, init, budget_ns)?;
-                self.record_init_and_exec(EventKind::InvokeHorse, t0, init, exec_ns);
+                self.record_init_and_exec(EventKind::InvokeHorse, t0, init, exec_ns, outer_parent);
                 self.repause_into_pool(id, function, true)?;
                 init
             }
@@ -647,14 +686,24 @@ impl FaasPlatform {
     /// Emits the invoke-phase span `[t0, t0+init]` and the exec span that
     /// follows it, leaving the cursor at the end of execution.
     ///
-    /// The invoke span is the invocation's root (parent `None`); the exec
-    /// span is its causal child. The ambient parent — the invoke kind —
-    /// is restored afterwards for the keep-alive re-pause.
-    fn record_init_and_exec(&self, kind: EventKind, t0: u64, init_ns: u64, exec_ns: u64) {
+    /// The invoke span carries `outer_parent` — the routing/hedge
+    /// attempt that launched it when the cluster plane is driving, or
+    /// `None` on the plain invoke path (where it is the trace root).
+    /// The exec span is its causal child. The ambient parent — the
+    /// invoke kind — is restored afterwards for the keep-alive
+    /// re-pause.
+    fn record_init_and_exec(
+        &self,
+        kind: EventKind,
+        t0: u64,
+        init_ns: u64,
+        exec_ns: u64,
+        outer_parent: Option<EventKind>,
+    ) {
         if !self.recorder.is_enabled() {
             return;
         }
-        self.recorder.set_parent(None);
+        self.recorder.set_parent(outer_parent);
         self.recorder.span_at(kind, 0, t0, init_ns, init_ns);
         self.recorder.set_parent(Some(kind));
         self.recorder.set_now(t0 + init_ns);

@@ -1,0 +1,294 @@
+//! End-to-end forensics: a seeded churn soak through the reliability
+//! plane must stitch into one complete span tree per submission.
+//!
+//! This is the integration half of the forensics acceptance: the unit
+//! and property tests in `horse-telemetry` exercise the stitcher on
+//! synthetic streams; here the *real* emission pipeline — `Cluster::
+//! submit` / `submit_batch` over admission control, breakers, retries,
+//! hedging and host churn — produces the events, and the stitched
+//! result must be orphan-free, ledger-consistent and bit-identical
+//! across same-seed replays.
+
+use std::collections::BTreeMap;
+
+use horse_faas::{
+    Cluster, DispatchPolicy, Disposition, FunctionId, HostId, Request, StartStrategy,
+};
+use horse_faults::{FaultInjector, FaultPlan, FaultSite, FaultTrigger, RetryPolicy};
+use horse_reliability::{ChurnConfig, ChurnSchedule, ReliabilityConfig, RequestClass};
+use horse_sim::rng::SeedFactory;
+use horse_telemetry::forensics::{outcome, ForensicIndex};
+use horse_telemetry::{EventKind, Recorder, TelemetryConfig};
+use horse_vmm::SandboxConfig;
+use horse_workloads::Category;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const HOSTS: usize = 6;
+const TARGET_SUBMISSIONS: u64 = 3_000;
+const BURST: usize = 64;
+const BURST_EVERY: u64 = 512;
+const PROVISION: usize = 6;
+const REPLENISH_EVERY: u64 = 32;
+const ULL_DEADLINE_NS: u64 = 100_000;
+const BG_DEADLINE_NS: u64 = 50_000_000;
+
+/// Disposition tallies kept outside the plane, from returned values.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Tally {
+    submissions: u64,
+    completions: u64,
+    sheds: u64,
+    deadline_misses: u64,
+    failures: u64,
+    hedged_completions: u64,
+    met_deadline: u64,
+}
+
+struct Soak {
+    index: ForensicIndex,
+    tally: Tally,
+    internal: horse_reliability::StatsSnapshot,
+}
+
+fn ull_request(f: FunctionId) -> Request {
+    Request {
+        function: f,
+        strategy: StartStrategy::Horse,
+        class: RequestClass::Ull,
+        deadline_ns: Some(ULL_DEADLINE_NS),
+    }
+}
+
+fn bg_request(f: FunctionId, rng: &mut StdRng) -> Request {
+    Request {
+        function: f,
+        strategy: StartStrategy::Warm,
+        class: RequestClass::Background,
+        deadline_ns: if rng.gen_bool(0.5) {
+            Some(BG_DEADLINE_NS)
+        } else {
+            None
+        },
+    }
+}
+
+/// The `slo_report` soak, shrunk to test scale: 6 hosts, one chronically
+/// sick host, 80/20 uLL/background, periodic background bursts, seeded
+/// join/leave/crash churn.
+fn soak(seed: u64) -> Soak {
+    let mut cluster = Cluster::new(HOSTS, DispatchPolicy::RoundRobin, seed);
+    // One shard so the single-threaded soak cannot overflow a ring
+    // (stitching demands a lossless stream).
+    let recorder = Recorder::new(TelemetryConfig {
+        shards: 1,
+        capacity_per_shard: 1 << 19,
+    });
+    cluster.set_recorder(recorder.clone());
+
+    let ull_cfg = SandboxConfig::builder().vcpus(1).ull(true).build().unwrap();
+    let bg_cfg = SandboxConfig::builder().vcpus(2).build().unwrap();
+    let ull_fn = cluster.register("filter", Category::Cat3, ull_cfg);
+    let bg_fn = cluster.register("nat", Category::Cat2, bg_cfg);
+    cluster.set_reliability(ReliabilityConfig::with_seed(seed));
+
+    cluster.set_host_injector(
+        HostId(0),
+        FaultInjector::new(
+            seed ^ 0x51C4,
+            FaultPlan::new().with(FaultSite::PoolEntryInvalid, FaultTrigger::Nth(3)),
+        ),
+    );
+    cluster.set_host_retry_policy(
+        HostId(0),
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        },
+    );
+
+    for (f, strat) in [(ull_fn, StartStrategy::Horse), (bg_fn, StartStrategy::Warm)] {
+        cluster
+            .provision_all(f, PROVISION, strat)
+            .expect("initial provisioning on a healthy fleet");
+    }
+
+    let factory = SeedFactory::new(seed);
+    let mut rng = factory.stream("faas/forensics-soak");
+    let schedule = ChurnSchedule::generate(
+        &factory,
+        HOSTS,
+        &ChurnConfig {
+            period: 250,
+            events: 10,
+            min_alive: 3,
+        },
+    );
+    let rejoin_warm = [
+        (ull_fn, StartStrategy::Horse, PROVISION),
+        (bg_fn, StartStrategy::Warm, PROVISION),
+    ];
+
+    let mut tally = Tally::default();
+    let mut observe = |d: &Disposition| {
+        tally.submissions += 1;
+        match d {
+            Disposition::Completed {
+                hedged,
+                met_deadline,
+                ..
+            } => {
+                tally.completions += 1;
+                if *hedged {
+                    tally.hedged_completions += 1;
+                }
+                if *met_deadline {
+                    tally.met_deadline += 1;
+                }
+            }
+            Disposition::Shed { .. } => tally.sheds += 1,
+            Disposition::DeadlineExceeded { .. } => tally.deadline_misses += 1,
+            Disposition::Failed { .. } => tally.failures += 1,
+        }
+    };
+
+    let mut churn_cursor = 0usize;
+    let mut submitted = 0u64;
+    let mut round = 0u64;
+    while submitted < TARGET_SUBMISSIONS {
+        for event in schedule.due(&mut churn_cursor, submitted) {
+            let _ = cluster.apply_churn(event, &rejoin_warm);
+        }
+        if round % REPLENISH_EVERY == 0 {
+            for h in 0..HOSTS {
+                let _ = cluster.provision_on(HostId(h), ull_fn, 1, StartStrategy::Horse);
+                let _ = cluster.provision_on(HostId(h), bg_fn, 1, StartStrategy::Warm);
+            }
+        }
+        if round % BURST_EVERY == BURST_EVERY - 1 {
+            let batch: Vec<Request> = (0..BURST).map(|_| bg_request(bg_fn, &mut rng)).collect();
+            for d in cluster.submit_batch(&batch) {
+                observe(&d);
+            }
+            submitted += BURST as u64;
+        } else {
+            let req = if rng.gen_bool(0.8) {
+                ull_request(ull_fn)
+            } else {
+                bg_request(bg_fn, &mut rng)
+            };
+            let d = cluster.submit(req);
+            observe(&d);
+            submitted += 1;
+        }
+        round += 1;
+    }
+
+    Soak {
+        index: ForensicIndex::stitch(&recorder.drain()),
+        tally,
+        internal: cluster.reliability_snapshot(),
+    }
+}
+
+#[test]
+fn churn_soak_stitches_one_complete_tree_per_submission() {
+    let run = soak(42);
+    let index = &run.index;
+
+    // Completeness: a lossless, correctly threaded emission pipeline
+    // leaves nothing unattached.
+    assert_eq!(index.dropped_events, 0, "ring overflowed; grow the shard");
+    assert_eq!(index.orphan_events, 0, "orphaned events");
+    assert_eq!(index.extra_roots, 0, "multi-root invocations");
+    assert!(index.is_complete());
+
+    // One Submit-rooted tree per submission — sheds included.
+    let trees: Vec<_> = index.submission_trees().collect();
+    assert_eq!(trees.len() as u64, run.tally.submissions);
+    assert_eq!(
+        index.trees.len(),
+        trees.len(),
+        "non-submission trees leaked"
+    );
+
+    // Every tree is structurally sound and its stamp joins back to the
+    // reliability ledger.
+    let mut by_outcome: BTreeMap<u8, u64> = BTreeMap::new();
+    let mut hedged = 0u64;
+    let mut met = 0u64;
+    for tree in &trees {
+        let violations = tree.check();
+        assert!(violations.is_empty(), "{violations:?}");
+        let stamp = tree.stamp().expect("submission trees carry a stamp");
+        *by_outcome.entry(stamp.outcome).or_default() += 1;
+        if stamp.hedged {
+            hedged += 1;
+            // A hedged submission's tree must actually show the hedge
+            // branch.
+            assert!(
+                tree.contains_kind(EventKind::HedgeAttempt),
+                "hedged stamp without a hedge_attempt span:\n{}",
+                tree.render_ascii()
+            );
+        }
+        if stamp.met_deadline {
+            met += 1;
+        }
+        match stamp.outcome {
+            outcome::SHED => {
+                // Shed trees stop at the gate: an admission instant,
+                // no routing.
+                assert!(tree.contains_kind(EventKind::AdmissionGate));
+                assert!(!tree.contains_kind(EventKind::RouteAttempt));
+            }
+            _ => {
+                // Everything admitted must show at least one routing
+                // attempt (deadline misses and failures included —
+                // that is what makes the tree a usable postmortem).
+                assert!(
+                    tree.contains_kind(EventKind::RouteAttempt),
+                    "admitted submission with no route_attempt:\n{}",
+                    tree.render_ascii()
+                );
+            }
+        }
+    }
+
+    // Stamp tallies == external disposition tallies == plane ledger.
+    let count = |code: u8| by_outcome.get(&code).copied().unwrap_or(0);
+    assert_eq!(count(outcome::COMPLETED), run.tally.completions);
+    assert_eq!(count(outcome::SHED), run.tally.sheds);
+    assert_eq!(count(outcome::DEADLINE), run.tally.deadline_misses);
+    assert_eq!(count(outcome::FAILED), run.tally.failures);
+    assert_eq!(hedged, run.tally.hedged_completions);
+    assert_eq!(met, run.tally.met_deadline);
+    assert_eq!(run.internal.submissions, run.tally.submissions);
+    assert_eq!(run.internal.completions, run.tally.completions);
+    assert_eq!(run.internal.sheds, run.tally.sheds);
+    assert_eq!(run.internal.deadline_misses, run.tally.deadline_misses);
+    assert_eq!(run.internal.failures, run.tally.failures);
+
+    // The soak must actually exercise the interesting paths, or the
+    // assertions above are vacuous.
+    assert!(run.tally.sheds > 0, "no sheds — soak too gentle");
+    assert!(run.internal.retries > 0, "no retries — sick host never bit");
+}
+
+#[test]
+fn forensic_index_is_bit_identical_across_same_seed_runs() {
+    let a = soak(1337);
+    let b = soak(1337);
+    assert_eq!(a.tally, b.tally);
+    assert_eq!(a.index.trees.len(), b.index.trees.len());
+    assert_eq!(
+        a.index.fingerprint(),
+        b.index.fingerprint(),
+        "same-seed soaks stitched to different forests"
+    );
+
+    // A different seed must not collide (sanity: the fingerprint sees
+    // content, not just shape counts).
+    let c = soak(20_260_807);
+    assert_ne!(a.index.fingerprint(), c.index.fingerprint());
+}

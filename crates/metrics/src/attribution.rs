@@ -92,7 +92,11 @@ impl ClassAttribution {
             for (i, ns) in inv.step_ns.iter().enumerate() {
                 bucket.step_ns[i] += ns;
             }
-            if bucket.exemplars.len() < EXEMPLARS_PER_BUCKET {
+            // A hedged or retried submission observes once per attempt
+            // under one trace id; the bucket's exemplar list is a join
+            // key, so the same id must not appear twice.
+            if bucket.exemplars.len() < EXEMPLARS_PER_BUCKET && !bucket.exemplars.contains(&inv.id)
+            {
                 bucket.exemplars.push(inv.id);
             }
         }
@@ -150,50 +154,92 @@ impl TailAttribution {
     ///
     /// Untraced events (invocation 0 — provisioning and other
     /// out-of-invocation work) are ignored. Traced events are grouped by
-    /// invocation; a group without an invoke-phase span counts its spans
-    /// as orphans.
+    /// invocation and then split into **attempts** — one per invoke-phase
+    /// span — because the reliability plane reuses one trace id across a
+    /// submission's retries and hedges. Each non-invoke event is charged
+    /// to the latest attempt starting at or before it, so a hedged
+    /// submission contributes two honest observations instead of one
+    /// with the two attempts' init times summed. A group without any
+    /// invoke-phase span counts its spans as orphans.
     pub fn from_snapshot(snapshot: &TraceSnapshot) -> Self {
-        let mut by_invocation: BTreeMap<u64, (InvocationSpans, u64)> = BTreeMap::new();
+        let mut by_invocation: BTreeMap<u64, Vec<&horse_telemetry::Event>> = BTreeMap::new();
         for event in &snapshot.events {
             if event.invocation == 0 {
                 continue;
             }
-            let (inv, span_count) = by_invocation
+            by_invocation
                 .entry(event.invocation)
-                .or_insert_with(|| (InvocationSpans::default(), 0));
-            inv.id = event.invocation;
-            *span_count += 1;
-            match event.kind {
-                EventKind::InvokeCold
-                | EventKind::InvokeRestore
-                | EventKind::InvokeWarm
-                | EventKind::InvokeHorse => {
-                    inv.class = Some(event.kind);
-                    inv.init_ns += event.dur_ns;
-                }
-                EventKind::Exec => inv.exec_ns += event.dur_ns,
-                EventKind::Resume => {
-                    *inv.resume_ns.get_or_insert(0) += event.dur_ns;
-                }
-                kind => {
-                    // Only the resume pipeline's own step spans count:
-                    // pause-side steps share no kinds with them.
-                    if event.parent == Some(EventKind::Resume) {
-                        if let Some(i) = step_index(kind) {
-                            inv.step_ns[i] += event.dur_ns;
-                        }
-                    }
-                }
-            }
+                .or_default()
+                .push(event);
         }
         let mut out = TailAttribution {
             dropped_events: snapshot.dropped,
             ..TailAttribution::default()
         };
-        for (inv, span_count) in by_invocation.values() {
-            match inv.class {
-                Some(kind) => out.classes.entry(kind.label()).or_default().observe(inv),
-                None => out.orphan_spans += *span_count,
+        for (&id, events) in &by_invocation {
+            let mut attempts: Vec<(u64, InvocationSpans)> = events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        EventKind::InvokeCold
+                            | EventKind::InvokeRestore
+                            | EventKind::InvokeWarm
+                            | EventKind::InvokeHorse
+                    )
+                })
+                .map(|e| {
+                    let inv = InvocationSpans {
+                        id,
+                        class: Some(e.kind),
+                        init_ns: e.dur_ns,
+                        ..InvocationSpans::default()
+                    };
+                    (e.start_ns, inv)
+                })
+                .collect();
+            if attempts.is_empty() {
+                out.orphan_spans += events.len() as u64;
+                continue;
+            }
+            attempts.sort_by_key(|&(start, _)| start);
+            for event in events {
+                if matches!(
+                    event.kind,
+                    EventKind::InvokeCold
+                        | EventKind::InvokeRestore
+                        | EventKind::InvokeWarm
+                        | EventKind::InvokeHorse
+                ) {
+                    continue;
+                }
+                // Latest attempt starting at or before the event; work
+                // preceding the first attempt (a pool-hit instant)
+                // belongs to it.
+                let slot = attempts
+                    .iter()
+                    .rposition(|&(start, _)| start <= event.start_ns)
+                    .unwrap_or(0);
+                let inv = &mut attempts[slot].1;
+                match event.kind {
+                    EventKind::Exec => inv.exec_ns += event.dur_ns,
+                    EventKind::Resume => {
+                        *inv.resume_ns.get_or_insert(0) += event.dur_ns;
+                    }
+                    kind => {
+                        // Only the resume pipeline's own step spans count:
+                        // pause-side steps share no kinds with them.
+                        if event.parent == Some(EventKind::Resume) {
+                            if let Some(i) = step_index(kind) {
+                                inv.step_ns[i] += event.dur_ns;
+                            }
+                        }
+                    }
+                }
+            }
+            for (_, inv) in &attempts {
+                let kind = inv.class.expect("attempts are built from invoke spans");
+                out.classes.entry(kind.label()).or_default().observe(inv);
             }
         }
         out
@@ -494,6 +540,78 @@ mod tests {
             })
             .sum();
         assert!((sum - 1.0).abs() < 1e-9, "shares sum to 1: {sum}");
+    }
+
+    fn span_at(
+        kind: EventKind,
+        inv: u64,
+        parent: Option<EventKind>,
+        start: u64,
+        dur: u64,
+    ) -> Event {
+        Event {
+            kind,
+            start_ns: start,
+            dur_ns: dur,
+            invocation: inv,
+            parent,
+            ..Event::default()
+        }
+    }
+
+    /// Regression (hedged-submission exemplar duplication): one trace id
+    /// with two invoke attempts whose resume totals land in the same
+    /// histogram bucket must appear in that bucket's exemplars exactly
+    /// once, and each attempt's init/exec must be charged to itself —
+    /// not summed across attempts.
+    #[test]
+    fn hedged_attempts_split_and_exemplars_dedupe() {
+        let inv = 42u64;
+        let events = vec![
+            // Primary attempt at t=0: init 700 (resume 700), exec 500.
+            span_at(EventKind::InvokeHorse, inv, None, 0, 700),
+            span_at(EventKind::Resume, inv, Some(EventKind::InvokeHorse), 0, 700),
+            span_at(
+                EventKind::ResumeSortedMerge,
+                inv,
+                Some(EventKind::Resume),
+                0,
+                700,
+            ),
+            span_at(EventKind::Exec, inv, Some(EventKind::InvokeHorse), 700, 500),
+            // Hedge attempt at t=2000: same shape, same bucket.
+            span_at(EventKind::InvokeHorse, inv, None, 2_000, 700),
+            span_at(
+                EventKind::Resume,
+                inv,
+                Some(EventKind::InvokeHorse),
+                2_000,
+                700,
+            ),
+            span_at(
+                EventKind::ResumeSortedMerge,
+                inv,
+                Some(EventKind::Resume),
+                2_000,
+                700,
+            ),
+            span_at(
+                EventKind::Exec,
+                inv,
+                Some(EventKind::InvokeHorse),
+                2_700,
+                500,
+            ),
+        ];
+        let attr = TailAttribution::from_snapshot(&snapshot(events, 0));
+        let horse = &attr.classes["horse"];
+        // Two attempts → two observations, each with its own init+exec
+        // (1200), never the 1400+1000 a cross-attempt fold would give.
+        assert_eq!(horse.e2e.len(), 2);
+        assert_eq!(horse.e2e.percentile(99.0), 1_200);
+        // Same bucket, one exemplar entry for the shared trace id.
+        let p99 = horse.at_percentile(99.0).unwrap();
+        assert_eq!(p99.exemplars, vec![inv]);
     }
 
     #[test]

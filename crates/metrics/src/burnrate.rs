@@ -1,0 +1,464 @@
+//! Multi-window SLO burn-rate monitoring on the virtual-time axis.
+//!
+//! An SLO like "99.9 % of uLL submissions meet their deadline" defines
+//! an **error budget** (0.1 % of traffic). The *burn rate* over a
+//! window is the fraction of bad requests in the window divided by the
+//! budget: burn 1 means the budget exactly lasts the SLO period, burn
+//! 14.4 means it is gone in 1/14.4 of it. Following the multi-window
+//! practice (Google SRE workbook, ch. 5), an alert fires only when
+//! **both** a short (5-minute) and a long (1-hour) window burn above
+//! the threshold: the long window proves it is sustained, the short
+//! window proves it is *still* happening — so a recovered incident
+//! stops alerting immediately while a single bad burst never pages.
+//!
+//! Everything here runs on the soak's **virtual** arrival clock (each
+//! submission advances it by a fixed stride), so a 12k-submission soak
+//! spans ~100 virtual minutes and the windows behave exactly as they
+//! would against wall-clock production traffic — deterministically.
+//!
+//! Observations carry the trace id of their submission's stitched span
+//! tree; an alert quotes the worst (slowest) bad exemplars inside the
+//! firing window, which is precisely the set of trees the flight
+//! recorder retains — the alert names its own postmortem.
+
+use crate::sketch::QuantileSketch;
+use horse_telemetry::json::JsonValue;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Virtual nanoseconds between submission arrivals: 500 ms, i.e. two
+/// submissions per virtual second — a 12 000-submission soak covers
+/// 100 virtual minutes, so the short window holds 600 submissions and
+/// the long window 7 200, comfortably exercising both.
+pub const ARRIVAL_STRIDE_NS: u64 = 500_000_000;
+
+/// The short alert window: 5 virtual minutes.
+pub const SHORT_WINDOW_NS: u64 = 5 * 60 * 1_000_000_000;
+
+/// The long alert window: 1 virtual hour.
+pub const LONG_WINDOW_NS: u64 = 60 * 60 * 1_000_000_000;
+
+/// Default burn-rate threshold: budget consumed 14.4× faster than
+/// sustainable — the classic "2 % of a 30-day budget in one hour" page.
+pub const DEFAULT_BURN_THRESHOLD: f64 = 14.4;
+
+/// Minimum observations in the short window before it may vote — a
+/// handful of early bad requests must not page.
+pub const MIN_SHORT_SAMPLES: u64 = 100;
+
+/// Minimum observations in the long window before it may vote.
+pub const MIN_LONG_SAMPLES: u64 = 1_000;
+
+/// Exemplar trace ids quoted per alert.
+pub const EXEMPLARS_PER_ALERT: usize = 4;
+
+/// One request-class's objective: e.g. "0.999 of submissions good".
+#[derive(Debug, Clone, Copy)]
+pub struct Objective {
+    /// Class label ("ull" / "background").
+    pub class: &'static str,
+    /// Target good fraction in `(0, 1)`.
+    pub target: f64,
+}
+
+impl Objective {
+    /// The error budget (bad fraction the SLO tolerates).
+    pub fn budget(&self) -> f64 {
+        1.0 - self.target
+    }
+}
+
+/// One observed submission outcome on the virtual arrival clock.
+#[derive(Debug, Clone, Copy)]
+struct Observation {
+    t_ns: u64,
+    good: bool,
+    trace_id: u64,
+    latency_ns: u64,
+}
+
+/// A fired alert: both windows burned above threshold at `t_ns`.
+#[derive(Debug, Clone)]
+pub struct BurnAlert {
+    /// Class label.
+    pub class: &'static str,
+    /// Virtual time of the observation that tripped the alert.
+    pub t_ns: u64,
+    /// Short-window burn rate at that instant.
+    pub short_burn: f64,
+    /// Long-window burn rate at that instant.
+    pub long_burn: f64,
+    /// Threshold both exceeded.
+    pub threshold: f64,
+    /// Worst (slowest) bad submissions inside the short window — the
+    /// trace ids to pull from the flight recorder.
+    pub exemplar_trace_ids: Vec<u64>,
+    /// p99 latency (virtual ns) across the short window at fire time.
+    pub window_p99_ns: u64,
+}
+
+impl BurnAlert {
+    /// One-line operator rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "burn-rate: FAILED class={} t={}s short={:.1}x long={:.1}x (threshold {:.1}x) window_p99={}ns exemplars={:?}",
+            self.class,
+            self.t_ns / 1_000_000_000,
+            self.short_burn,
+            self.long_burn,
+            self.threshold,
+            self.window_p99_ns,
+            self.exemplar_trace_ids,
+        )
+    }
+}
+
+/// Per-class multi-window burn-rate state.
+#[derive(Debug)]
+struct ClassMonitor {
+    objective: Objective,
+    short: WindowState,
+    long: WindowState,
+    alerts: Vec<BurnAlert>,
+    /// While true, the pair of windows is already above threshold —
+    /// dedupe to one alert per excursion instead of one per bad
+    /// observation.
+    firing: bool,
+    observed: u64,
+}
+
+/// One sliding window: a deque of observations with bad counting.
+#[derive(Debug, Default)]
+struct WindowState {
+    span_ns: u64,
+    entries: VecDeque<Observation>,
+    bad: u64,
+}
+
+impl WindowState {
+    fn new(span_ns: u64) -> Self {
+        Self {
+            span_ns,
+            entries: VecDeque::new(),
+            bad: 0,
+        }
+    }
+
+    fn push(&mut self, obs: Observation) {
+        if !obs.good {
+            self.bad += 1;
+        }
+        self.entries.push_back(obs);
+        let cutoff = obs.t_ns.saturating_sub(self.span_ns);
+        while let Some(front) = self.entries.front() {
+            if front.t_ns >= cutoff {
+                break;
+            }
+            if !front.good {
+                self.bad -= 1;
+            }
+            self.entries.pop_front();
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn bad_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.bad as f64 / self.entries.len() as f64
+    }
+
+    /// Burn rate = bad fraction over the error budget.
+    fn burn(&self, budget: f64) -> f64 {
+        self.bad_fraction() / budget.max(f64::EPSILON)
+    }
+}
+
+impl ClassMonitor {
+    fn new(objective: Objective) -> Self {
+        Self {
+            objective,
+            short: WindowState::new(SHORT_WINDOW_NS),
+            long: WindowState::new(LONG_WINDOW_NS),
+            alerts: Vec::new(),
+            firing: false,
+            observed: 0,
+        }
+    }
+
+    fn observe(&mut self, obs: Observation, threshold: f64) {
+        self.observed += 1;
+        self.short.push(obs);
+        self.long.push(obs);
+        let budget = self.objective.budget();
+        let short_burn = self.short.burn(budget);
+        let long_burn = self.long.burn(budget);
+        let armed = self.short.len() >= MIN_SHORT_SAMPLES && self.long.len() >= MIN_LONG_SAMPLES;
+        let above = armed && short_burn > threshold && long_burn > threshold;
+        if above && !self.firing {
+            // Worst bad submissions in the short window, slowest first,
+            // deduped by trace id.
+            let mut bad: Vec<&Observation> =
+                self.short.entries.iter().filter(|o| !o.good).collect();
+            bad.sort_by(|a, b| b.latency_ns.cmp(&a.latency_ns).then(a.t_ns.cmp(&b.t_ns)));
+            let mut exemplars = Vec::new();
+            for o in bad {
+                if !exemplars.contains(&o.trace_id) {
+                    exemplars.push(o.trace_id);
+                }
+                if exemplars.len() == EXEMPLARS_PER_ALERT {
+                    break;
+                }
+            }
+            let mut sketch = QuantileSketch::new(0.01);
+            for o in &self.short.entries {
+                sketch.record(o.latency_ns);
+            }
+            self.alerts.push(BurnAlert {
+                class: self.objective.class,
+                t_ns: obs.t_ns,
+                short_burn,
+                long_burn,
+                threshold,
+                exemplar_trace_ids: exemplars,
+                window_p99_ns: sketch.percentile(99.0),
+            });
+        }
+        self.firing = above;
+    }
+}
+
+/// The multi-window, multi-class SLO burn-rate monitor.
+///
+/// Feed it one `(class, good, trace_id, latency)` tuple per submission
+/// in arrival order; it advances the virtual clock by
+/// [`ARRIVAL_STRIDE_NS`] per observation and evaluates both windows at
+/// every step (sweep evaluation — alerts fire at the exact submission
+/// that tripped them, deterministically).
+#[derive(Debug)]
+pub struct BurnRateMonitor {
+    classes: BTreeMap<&'static str, ClassMonitor>,
+    threshold: f64,
+    clock_ns: u64,
+}
+
+impl BurnRateMonitor {
+    /// A monitor over the given per-class objectives at the default
+    /// 14.4× threshold.
+    pub fn new(objectives: &[Objective]) -> Self {
+        Self::with_threshold(objectives, DEFAULT_BURN_THRESHOLD)
+    }
+
+    /// A monitor with an explicit burn threshold.
+    pub fn with_threshold(objectives: &[Objective], threshold: f64) -> Self {
+        Self {
+            classes: objectives
+                .iter()
+                .map(|&o| (o.class, ClassMonitor::new(o)))
+                .collect(),
+            threshold,
+            clock_ns: 0,
+        }
+    }
+
+    /// Records one submission outcome for `class`. Unknown classes are
+    /// ignored (the caller decides which classes carry objectives).
+    /// `good` is SLO attainment (deadline met); `latency_ns` the
+    /// effective virtual latency; `trace_id` the submission's span-tree
+    /// id for exemplar joins.
+    pub fn observe(&mut self, class: &str, good: bool, trace_id: u64, latency_ns: u64) {
+        self.clock_ns += ARRIVAL_STRIDE_NS;
+        let t_ns = self.clock_ns;
+        let threshold = self.threshold;
+        if let Some(monitor) = self.classes.get_mut(class) {
+            monitor.observe(
+                Observation {
+                    t_ns,
+                    good,
+                    trace_id,
+                    latency_ns,
+                },
+                threshold,
+            );
+        }
+    }
+
+    /// Every alert fired so far, across classes, in firing order.
+    pub fn alerts(&self) -> Vec<&BurnAlert> {
+        let mut all: Vec<&BurnAlert> = self
+            .classes
+            .values()
+            .flat_map(|m| m.alerts.iter())
+            .collect();
+        all.sort_by(|a, b| a.t_ns.cmp(&b.t_ns).then(a.class.cmp(b.class)));
+        all
+    }
+
+    /// Current burn rates per class: `(class, short, long, observed)`.
+    pub fn burn_rates(&self) -> Vec<(&'static str, f64, f64, u64)> {
+        self.classes
+            .values()
+            .map(|m| {
+                let budget = m.objective.budget();
+                (
+                    m.objective.class,
+                    m.short.burn(budget),
+                    m.long.burn(budget),
+                    m.observed,
+                )
+            })
+            .collect()
+    }
+
+    /// JSON section for benchmark documents: per-class final burns and
+    /// the alert log.
+    pub fn to_json(&self) -> JsonValue {
+        let mut root = BTreeMap::new();
+        root.insert("threshold".into(), JsonValue::Number(self.threshold));
+        let mut classes = BTreeMap::new();
+        for monitor in self.classes.values() {
+            let budget = monitor.objective.budget();
+            let mut c = BTreeMap::new();
+            c.insert(
+                "objective".into(),
+                JsonValue::Number(monitor.objective.target),
+            );
+            c.insert(
+                "short_burn".into(),
+                JsonValue::Number(monitor.short.burn(budget)),
+            );
+            c.insert(
+                "long_burn".into(),
+                JsonValue::Number(monitor.long.burn(budget)),
+            );
+            c.insert(
+                "observed".into(),
+                JsonValue::Number(monitor.observed as f64),
+            );
+            c.insert(
+                "alerts".into(),
+                JsonValue::Number(monitor.alerts.len() as f64),
+            );
+            classes.insert(monitor.objective.class.to_string(), JsonValue::Object(c));
+        }
+        root.insert("classes".into(), JsonValue::Object(classes));
+        root.insert(
+            "alerts".into(),
+            JsonValue::Array(
+                self.alerts()
+                    .iter()
+                    .map(|a| {
+                        let mut obj = BTreeMap::new();
+                        obj.insert("class".into(), JsonValue::String(a.class.into()));
+                        obj.insert("t_ns".into(), JsonValue::Number(a.t_ns as f64));
+                        obj.insert("short_burn".into(), JsonValue::Number(a.short_burn));
+                        obj.insert("long_burn".into(), JsonValue::Number(a.long_burn));
+                        obj.insert(
+                            "window_p99_ns".into(),
+                            JsonValue::Number(a.window_p99_ns as f64),
+                        );
+                        obj.insert(
+                            "exemplar_trace_ids".into(),
+                            JsonValue::Array(
+                                a.exemplar_trace_ids
+                                    .iter()
+                                    .map(|&id| JsonValue::Number(id as f64))
+                                    .collect(),
+                            ),
+                        );
+                        JsonValue::Object(obj)
+                    })
+                    .collect(),
+            ),
+        );
+        JsonValue::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ull() -> Objective {
+        Objective {
+            class: "ull",
+            target: 0.999,
+        }
+    }
+
+    #[test]
+    fn quiet_on_healthy_traffic() {
+        let mut m = BurnRateMonitor::new(&[ull()]);
+        for i in 0..12_000u64 {
+            // 0.05% bad — well inside a 0.1% budget.
+            m.observe("ull", i % 2_000 != 0, i, 50_000);
+        }
+        assert!(m.alerts().is_empty(), "{:?}", m.alerts());
+    }
+
+    #[test]
+    fn fires_on_sustained_regression_with_exemplars() {
+        let mut m = BurnRateMonitor::new(&[ull()]);
+        // Healthy hour first, then a sustained 10% failure rate.
+        for i in 0..8_000u64 {
+            m.observe("ull", true, i, 50_000);
+        }
+        for i in 8_000..12_000u64 {
+            m.observe("ull", i % 10 != 0, i, 400_000);
+        }
+        let alerts = m.alerts();
+        assert!(!alerts.is_empty(), "sustained 100x burn must page");
+        let a = alerts[0];
+        assert!(a.short_burn > DEFAULT_BURN_THRESHOLD);
+        assert!(a.long_burn > DEFAULT_BURN_THRESHOLD);
+        assert!(!a.exemplar_trace_ids.is_empty());
+        // Exemplars are bad submissions from the regression region.
+        for id in &a.exemplar_trace_ids {
+            assert!(*id >= 8_000 && id % 10 == 0, "exemplar {id}");
+        }
+        assert!(a.render().contains("burn-rate: FAILED"));
+    }
+
+    #[test]
+    fn single_burst_does_not_page() {
+        let mut m = BurnRateMonitor::new(&[ull()]);
+        for i in 0..12_000u64 {
+            // A single 50-submission bad burst 75 minutes in: the short
+            // window spikes but the long window keeps it below
+            // threshold (50/7200 / 0.001 ≈ 6.9 < 14.4).
+            let bad = (9_000..9_050).contains(&i);
+            m.observe("ull", !bad, i, 50_000);
+        }
+        assert!(m.alerts().is_empty(), "{:?}", m.alerts());
+    }
+
+    #[test]
+    fn one_alert_per_excursion_not_per_observation() {
+        let mut m = BurnRateMonitor::new(&[ull()]);
+        for i in 0..8_000u64 {
+            m.observe("ull", true, i, 50_000);
+        }
+        for i in 8_000..12_000u64 {
+            m.observe("ull", i % 5 != 0, i, 300_000);
+        }
+        assert_eq!(m.alerts().len(), 1, "{:?}", m.alerts());
+    }
+
+    #[test]
+    fn unknown_class_is_ignored_and_json_renders() {
+        let mut m = BurnRateMonitor::new(&[ull()]);
+        m.observe("background", false, 1, 10);
+        m.observe("ull", true, 2, 10);
+        let text = m.to_json().render();
+        let doc = horse_telemetry::json::parse(&text).expect("valid JSON");
+        assert!(doc.get("classes").and_then(|c| c.get("ull")).is_some());
+        assert!(doc
+            .get("classes")
+            .and_then(|c| c.get("background"))
+            .is_none());
+    }
+}

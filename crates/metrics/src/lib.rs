@@ -14,6 +14,10 @@
 //! * [`QuantileSketch`] — a DDSketch-style mergeable quantile sketch with a
 //!   configurable relative-error bound, for per-thread/per-shard recording
 //!   merged exactly at report time.
+//! * [`burnrate`] — multi-window (5-min/1-hr) SLO burn-rate monitoring on
+//!   the virtual-time axis, with exemplar trace ids per alert.
+//! * [`forensics`] — the flight recorder: bounded worst-span-tree retention
+//!   per request class, dumped as Chrome-trace-with-flow-events JSON.
 //! * [`prometheus`] — Prometheus text-format exposition of the telemetry
 //!   vocabulary, the allocation/contention profiles and sketch summaries.
 //! * [`report`] — fixed-width table and CSV writers so each benchmark binary
@@ -36,8 +40,10 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod burnrate;
 pub mod chart;
 pub mod export;
+pub mod forensics;
 mod histogram;
 pub mod prometheus;
 pub mod report;
@@ -46,6 +52,8 @@ mod stats;
 mod timeseries;
 
 pub use attribution::{TailAttribution, TailReport};
+pub use burnrate::{BurnAlert, BurnRateMonitor, Objective};
+pub use forensics::FlightRecorder;
 pub use histogram::Histogram;
 pub use sketch::QuantileSketch;
 pub use stats::{ConfidenceInterval, RunningStats};

@@ -119,6 +119,19 @@ impl TextExporter {
         }
     }
 
+    /// Emits a family of `kind` with one sample per `(label_pairs,
+    /// value)` entry, where each `label_pairs` string is a full
+    /// pre-rendered label set (e.g. `function="f1",host="0"`) whose
+    /// values the caller already escaped with [`escape_label_value`].
+    /// This is the multi-label sibling of [`Self::labeled`], used by
+    /// per-(function, host) families like `horse_breaker_state`.
+    pub fn labeled_pairs(&mut self, name: &str, help: &str, kind: &str, samples: &[(String, u64)]) {
+        self.header(name, help, kind);
+        for (labels, value) in samples {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {value}");
+        }
+    }
+
     /// Emits a Prometheus `histogram` family from explicit cumulative
     /// bucket counts: `buckets` holds `(upper_bound, cumulative_count)`
     /// in ascending bound order; the `+Inf` bucket, `_sum` and `_count`
@@ -428,6 +441,24 @@ mod tests {
         assert!(text.contains("horse_x_total 3\n"));
         assert!(text.contains("# TYPE horse_y gauge\n"));
         assert!(text.contains("horse_y 9\n"));
+    }
+
+    #[test]
+    fn labeled_pairs_render_multi_label_samples() {
+        let mut page = TextExporter::new();
+        page.labeled_pairs(
+            "horse_breaker_state",
+            "Breaker state per (function, host).",
+            "gauge",
+            &[
+                (r#"function="f1",host="0""#.to_string(), 2),
+                (r#"function="f1",host="1""#.to_string(), 0),
+            ],
+        );
+        let text = page.finish();
+        assert!(text.contains("# TYPE horse_breaker_state gauge\n"));
+        assert!(text.contains("horse_breaker_state{function=\"f1\",host=\"0\"} 2\n"));
+        assert!(text.contains("horse_breaker_state{function=\"f1\",host=\"1\"} 0\n"));
     }
 
     #[test]

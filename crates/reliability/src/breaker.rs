@@ -84,6 +84,15 @@ impl BreakerState {
             BreakerState::HalfOpen => "half_open",
         }
     }
+
+    /// Prometheus gauge encoding: 0 = closed, 1 = half-open, 2 = open.
+    pub fn gauge_value(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
 }
 
 impl std::fmt::Display for BreakerState {
@@ -355,6 +364,19 @@ impl BreakerRegistry {
                 b.force_half_open();
             }
         }
+    }
+
+    /// Snapshot of every tracked pair's current state, sorted by
+    /// (function, host) so exposition order is deterministic.
+    pub fn states(&self) -> Vec<((u64, usize), BreakerState)> {
+        let mut states: Vec<_> = self
+            .breakers
+            .read()
+            .iter()
+            .map(|(&key, b)| (key, b.state()))
+            .collect();
+        states.sort_by_key(|&(key, _)| key);
+        states
     }
 
     /// Transition tallies so far: (opened, half_opened, closed).

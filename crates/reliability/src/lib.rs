@@ -35,6 +35,7 @@ pub mod hedge;
 pub mod membership;
 pub mod retry;
 pub mod stats;
+pub mod submission;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionSlot, ShedReason};
 pub use breaker::{Breaker, BreakerConfig, BreakerRegistry, BreakerState, BreakerTransition};
@@ -43,6 +44,7 @@ pub use hedge::{resolve_first_wins, HedgeConfig, HedgeResolution, LatencyProfile
 pub use membership::{ChurnConfig, ChurnEvent, ChurnSchedule};
 pub use retry::{BackoffBudget, JitteredRetryPolicy};
 pub use stats::{ReliabilityStats, StatsSnapshot};
+pub use submission::SubmissionId;
 
 /// Everything the cluster needs to run the reliability plane, bundled.
 #[derive(Debug, Clone, Copy, PartialEq)]

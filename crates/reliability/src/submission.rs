@@ -1,0 +1,68 @@
+//! Submission-scoped root identity for request forensics.
+//!
+//! The reliability plane already numbers submissions (the `ticks`
+//! counter that seeds retry jitter and breaker cooldowns); forensics
+//! promotes that number to a first-class id so a stitched span tree, a
+//! `Disposition`, and a burn-rate exemplar all name the same request.
+//! The id travels inside the root span's `RootStamp`
+//! (`horse_telemetry::forensics`), which packs it into 48 bits — enough
+//! for ~280 trillion submissions per run, far beyond any soak.
+
+/// A submission's plane-wide root id: the value of the reliability
+/// plane's submission counter when the request entered `submit`.
+///
+/// Distinct from the telemetry invocation id: the invocation id is
+/// minted per *trace* (and reused across a submission's retry and hedge
+/// attempts so they stitch into one tree), while the `SubmissionId` is
+/// the reliability plane's own numbering — the same one that keys retry
+/// jitter, so a forensic tree names exactly which jitter stream and
+/// breaker ticks the request saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubmissionId(u64);
+
+impl SubmissionId {
+    /// Number of bits of the id preserved by the packed `RootStamp`.
+    pub const STAMP_BITS: u32 = 48;
+
+    /// Wraps a raw submission counter value.
+    pub fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw counter value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The value as stamped into a root span (low 48 bits). Lossless
+    /// for any realistic run length.
+    pub fn stamp_bits(self) -> u64 {
+        self.0 & ((1 << Self::STAMP_BITS) - 1)
+    }
+}
+
+impl std::fmt::Display for SubmissionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_masks() {
+        let id = SubmissionId::new(12_345);
+        assert_eq!(id.as_u64(), 12_345);
+        assert_eq!(id.stamp_bits(), 12_345);
+        let big = SubmissionId::new(u64::MAX);
+        assert_eq!(big.stamp_bits(), (1 << 48) - 1);
+    }
+
+    #[test]
+    fn orders_by_raw_value() {
+        assert!(SubmissionId::new(1) < SubmissionId::new(2));
+        assert_eq!(SubmissionId::new(7).to_string(), "7");
+    }
+}

@@ -81,11 +81,33 @@ pub enum EventKind {
     StragglerRescue = 28,
     /// A sandbox was quarantined out of a warm pool (arg = sandbox id).
     PoolQuarantine = 29,
+
+    // --- reliability plane (cluster submit path, PR 8 forensics) ---
+    /// Whole submission through the reliability plane, root of the
+    /// submission's span tree (arg = the packed
+    /// [`RootStamp`](crate::forensics::RootStamp)).
+    Submit = 30,
+    /// Admission decision for a submission (arg = 0 admitted, else the
+    /// shed-reason discriminant + 1).
+    AdmissionGate = 31,
+    /// A circuit breaker refused a (function, host) pair during routing
+    /// (arg = host index). Emitted only on denial — grants are implied
+    /// by the routing attempt that follows.
+    BreakerDenied = 32,
+    /// One breaker-admitted invocation attempt against a host (arg =
+    /// host index). Retries and the hedge each get their own attempt.
+    RouteAttempt = 33,
+    /// Jittered backoff between cross-host retries (arg = attempt
+    /// number, 1-based).
+    RetryBackoff = 34,
+    /// The hedge branch: a second attempt on a different host after the
+    /// primary ran past the p99 threshold (arg = hedge host index).
+    HedgeAttempt = 35,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 30] = [
+    pub const ALL: [EventKind; 36] = [
         EventKind::Pause,
         EventKind::PauseDequeue,
         EventKind::PauseBuildList,
@@ -116,6 +138,12 @@ impl EventKind {
         EventKind::HorseFallback,
         EventKind::StragglerRescue,
         EventKind::PoolQuarantine,
+        EventKind::Submit,
+        EventKind::AdmissionGate,
+        EventKind::BreakerDenied,
+        EventKind::RouteAttempt,
+        EventKind::RetryBackoff,
+        EventKind::HedgeAttempt,
     ];
 
     /// Decodes a stored discriminant (drain path).
@@ -156,6 +184,12 @@ impl EventKind {
             EventKind::HorseFallback => "horse_fallback",
             EventKind::StragglerRescue => "straggler_rescue",
             EventKind::PoolQuarantine => "pool_quarantine",
+            EventKind::Submit => "submit",
+            EventKind::AdmissionGate => "admission",
+            EventKind::BreakerDenied => "breaker_denied",
+            EventKind::RouteAttempt => "route_attempt",
+            EventKind::RetryBackoff => "retry_backoff",
+            EventKind::HedgeAttempt => "hedge_attempt",
         }
     }
 
@@ -191,6 +225,12 @@ impl EventKind {
             | EventKind::HorseFallback
             | EventKind::StragglerRescue
             | EventKind::PoolQuarantine => "fault",
+            EventKind::Submit
+            | EventKind::AdmissionGate
+            | EventKind::BreakerDenied
+            | EventKind::RouteAttempt
+            | EventKind::RetryBackoff
+            | EventKind::HedgeAttempt => "submit",
         }
     }
 
@@ -211,6 +251,12 @@ impl EventKind {
             EventKind::HorseFallback => Some("penalty_ns"),
             EventKind::StragglerRescue => Some("splices"),
             EventKind::PoolQuarantine => Some("sandbox"),
+            EventKind::Submit => Some("stamp"),
+            EventKind::AdmissionGate => Some("shed_reason"),
+            EventKind::BreakerDenied | EventKind::RouteAttempt | EventKind::HedgeAttempt => {
+                Some("host")
+            }
+            EventKind::RetryBackoff => Some("attempt"),
             _ => None,
         }
     }
@@ -248,6 +294,12 @@ impl EventKind {
             EventKind::HorseFallback => &["fault", "horse_fallback"],
             EventKind::StragglerRescue => &["fault", "straggler_rescue"],
             EventKind::PoolQuarantine => &["fault", "pool_quarantine"],
+            EventKind::Submit => &["submit"],
+            EventKind::AdmissionGate => &["submit", "admission"],
+            EventKind::BreakerDenied => &["submit", "breaker_denied"],
+            EventKind::RouteAttempt => &["submit", "route_attempt"],
+            EventKind::RetryBackoff => &["submit", "retry_backoff"],
+            EventKind::HedgeAttempt => &["submit", "hedge_attempt"],
         }
     }
 }

@@ -50,6 +50,7 @@ pub mod contention;
 pub mod counters;
 pub mod event;
 pub mod folded;
+pub mod forensics;
 pub mod json;
 pub mod profiling;
 pub mod recorder;
@@ -59,5 +60,6 @@ pub use alloc::{AllocPhase, AllocScope, CountingAlloc, PhaseAllocStats};
 pub use contention::{ContentionSite, SiteStats};
 pub use counters::{Counter, CounterRegistry, Gauge};
 pub use event::{Event, EventKind, TraceContext};
+pub use forensics::{ForensicIndex, RootStamp, SpanNode, SpanTree};
 pub use recorder::{Recorder, TelemetryConfig, TraceSnapshot};
 pub use ring::{EventRing, ShardedRing};
