@@ -100,12 +100,14 @@ struct Options {
     threads: Vec<usize>,
     invocations: u64,
     gate_speedup: Option<f64>,
+    gate_min_ips: Option<f64>,
+    disable_batching: bool,
 }
 
 const USAGE: &str = "usage: bench_suite [--seed <u64>] [--out <dir>] \
      [--against <baseline.json>] [--write-baseline] [--slowdown-splice <f64>] \
      [--throughput] [--threads <n,n,...>] [--invocations <u64>] \
-     [--gate-speedup <f64>]";
+     [--gate-speedup <f64>] [--gate-min-ips <f64>] [--disable-batching]";
 
 impl Options {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
@@ -119,6 +121,8 @@ impl Options {
             threads: vec![1, 4],
             invocations: THROUGHPUT_INVOCATIONS,
             gate_speedup: None,
+            gate_min_ips: None,
+            disable_batching: false,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -183,7 +187,28 @@ impl Options {
                     }
                     opts.gate_speedup = Some(g);
                 }
+                "--gate-min-ips" => {
+                    let g: f64 = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --gate-min-ips: {e}; {USAGE}"))?;
+                    if !g.is_finite() || g <= 0.0 {
+                        return Err(format!("--gate-min-ips must be positive; {USAGE}"));
+                    }
+                    opts.gate_min_ips = Some(g);
+                }
+                "--disable-batching" => opts.disable_batching = true,
                 other => return Err(format!("unknown flag {other}; {USAGE}")),
+            }
+        }
+        if opts.gate_min_ips.is_some() {
+            if !opts.throughput {
+                return Err(format!("--gate-min-ips requires --throughput; {USAGE}"));
+            }
+            if !opts.threads.contains(&1) {
+                return Err(format!(
+                    "--gate-min-ips gates the single-threaded run; --threads must include 1; \
+                     {USAGE}"
+                ));
             }
         }
         if opts.gate_speedup.is_some() {
@@ -368,10 +393,29 @@ struct ThroughputRun {
     violations: Vec<String>,
 }
 
+/// Requests each driver claims from the shared budget per batched
+/// submission ([`Cluster::invoke_batch`]). Matches the fleet's warm
+/// inventory, so one single-threaded batch exercises every host.
+const DRIVER_BATCH: u64 = 32;
+
 /// Drives a fresh seeded cluster with `threads` closed-loop workers
 /// sharing one atomic invocation budget, then audits the fleet for
 /// conservation and stats consistency.
-fn throughput_run(seed: u64, cost: &CostModel, threads: usize, budget: u64) -> ThroughputRun {
+///
+/// With `batching`, workers claim [`DRIVER_BATCH`] slots at a time and
+/// submit them through the ring-fed [`Cluster::invoke_batch`] path —
+/// the default, and what the `--gate-min-ips` floor measures. Without
+/// it (`--disable-batching`) each slot goes through the sequential
+/// [`Cluster::invoke`] path; CI uses that as the floor gate's negative
+/// test. Virtual-latency leaves are identical either way at one driver
+/// thread (the equivalence `crates/faas/tests/batch.rs` pins).
+fn throughput_run(
+    seed: u64,
+    cost: &CostModel,
+    threads: usize,
+    budget: u64,
+    batching: bool,
+) -> ThroughputRun {
     let config = PlatformConfig {
         cost: *cost,
         ..PlatformConfig::default()
@@ -418,6 +462,62 @@ fn throughput_run(seed: u64, cost: &CostModel, threads: usize, budget: u64) -> T
                         retries: 0,
                         starved: 0,
                     };
+                    if batching {
+                        // Batched driver: claim a run of slots, submit
+                        // them through the per-host rings, and keep
+                        // draining until the call returns clean. The
+                        // drains are cooperative, so a worker's batch
+                        // may serve requests another worker enqueued —
+                        // successes count records *received*, which is
+                        // conserved across workers.
+                        let mut got: Vec<(HostId, horse_faas::InvocationRecord)> =
+                            Vec::with_capacity(2 * DRIVER_BATCH as usize);
+                        let mut drain = |r: &mut WorkerResult, enqueue: usize| loop {
+                            let t0 = Instant::now();
+                            got.clear();
+                            let result =
+                                cluster.invoke_batch(f, StartStrategy::Horse, enqueue, &mut got);
+                            if !got.is_empty() {
+                                // Amortized wall share: the batch is the
+                                // unit of work, each record gets its
+                                // slice.
+                                let share = (t0.elapsed().as_nanos() / got.len() as u128) as u64;
+                                for (_, record) in &got {
+                                    r.wall.record(share);
+                                    r.virt_init.record(record.init_ns);
+                                    r.virt_total.record(record.total_ns());
+                                }
+                                r.successes += got.len() as u64;
+                            }
+                            match result {
+                                Ok(_) => return true,
+                                // Transient dry pool: the unserved tail
+                                // went back into the rings — mop up.
+                                Err(FaasError::NoWarmSandbox { .. }) => {
+                                    r.retries += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(_) => {
+                                    r.starved += 1;
+                                    return false;
+                                }
+                            }
+                        };
+                        loop {
+                            let start = next_slot.fetch_add(DRIVER_BATCH, Ordering::Relaxed);
+                            if start >= budget {
+                                break;
+                            }
+                            let want = DRIVER_BATCH.min(budget - start) as usize;
+                            if !drain(&mut r, want) {
+                                break;
+                            }
+                        }
+                        // Final mop-up: leftovers another worker's error
+                        // returned to the rings after our last drain.
+                        drain(&mut r, 0);
+                        return r;
+                    }
                     while next_slot.fetch_add(1, Ordering::Relaxed) < budget {
                         let t0 = Instant::now();
                         // A dry pool under contention is a transient
@@ -826,7 +926,13 @@ fn main() {
         let mut best_multi: Option<&ThroughputRun> = None;
         let mut all_runs = Vec::new();
         for &threads in &opts.threads {
-            let run = throughput_run(opts.seed, &cost, threads, opts.invocations);
+            let run = throughput_run(
+                opts.seed,
+                &cost,
+                threads,
+                opts.invocations,
+                !opts.disable_batching,
+            );
             println!(
                 "throughput: {:>2} thread(s) -> {:>10.0} inv/s \
                  (wall p50 {} ns, p99 {} ns, {} retries, {} violation(s))",
@@ -857,6 +963,19 @@ fn main() {
             }
             _ => None,
         };
+        if let Some(floor) = opts.gate_min_ips {
+            match single_thread_ips {
+                Some(ips) if ips >= floor => println!(
+                    "throughput gate: single-thread reaches {ips:.0} inv/s (>= {floor:.0} floor)"
+                ),
+                Some(ips) => throughput_failures.push(format!(
+                    "min-ips gate: single-thread reaches only {ips:.0} inv/s, \
+                     below the {floor:.0} floor"
+                )),
+                None => throughput_failures
+                    .push("min-ips gate: no single-threaded run measured".to_string()),
+            }
+        }
         if let Some(gate) = opts.gate_speedup {
             match speedup {
                 Some((threads, s)) if s >= gate => println!(
@@ -892,6 +1011,10 @@ fn main() {
                 num(std::thread::available_parallelism().map_or(0, |n| n.get()) as f64),
             ),
             ("histogram_record_ns_per_op".to_string(), num(record_cost)),
+            (
+                "batching".to_string(),
+                JsonValue::Bool(!opts.disable_batching),
+            ),
             ("runs".to_string(), JsonValue::Object(runs)),
         ];
         if let Some((threads, s)) = speedup {

@@ -169,8 +169,10 @@ struct WorkerReply {
     held: Option<Vec<SandboxId>>, // populated on Stop
 }
 
-/// The seeded scheduler over runnable workers.
-struct Scheduler {
+/// The seeded scheduler over runnable workers. Shared with the ring
+/// explorer ([`crate::ring_explore`]), which steps a different system
+/// under the same policies.
+pub(crate) struct Scheduler {
     policy: SchedulePolicy,
     rng: StdRng,
     rr_next: usize,
@@ -179,7 +181,12 @@ struct Scheduler {
 }
 
 impl Scheduler {
-    fn new(policy: SchedulePolicy, seed: u64, threads: usize, total_steps: usize) -> Self {
+    pub(crate) fn new(
+        policy: SchedulePolicy,
+        seed: u64,
+        threads: usize,
+        total_steps: usize,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut priorities: Vec<u64> = (0..threads as u64).map(|i| (i + 1) * 1_000).collect();
         // Shuffle initial priorities (Fisher–Yates on the seeded rng).
@@ -204,7 +211,7 @@ impl Scheduler {
 
     /// Picks the next worker among `runnable` (non-empty) for step
     /// index `step`.
-    fn pick(&mut self, runnable: &[usize], step: usize) -> usize {
+    pub(crate) fn pick(&mut self, runnable: &[usize], step: usize) -> usize {
         debug_assert!(!runnable.is_empty());
         match self.policy {
             SchedulePolicy::RoundRobin => {

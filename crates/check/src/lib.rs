@@ -39,6 +39,7 @@ pub mod history;
 pub mod linearize;
 pub mod mutate;
 pub mod reliability_oracle;
+pub mod ring_explore;
 pub mod spec;
 
 pub use differential::{
@@ -53,4 +54,5 @@ pub use mutate::Mutation;
 pub use reliability_oracle::{
     check_ledgers, run_reliability_scenario, DispositionTally, OracleReport, ReliabilityScenario,
 };
+pub use ring_explore::{explore_ring, RingExploration, RingExploreConfig};
 pub use spec::{spec_expired, SpecLoad, SpecPool, SpecRunQueue};

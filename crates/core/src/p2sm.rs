@@ -138,6 +138,37 @@ impl PlanCorruption {
     }
 }
 
+/// Recyclable backing buffers of a [`MergePlan`] (`arrayB` plus the
+/// splice table), for allocation-free steady-state pause/resume loops.
+///
+/// The fields are opaque: a consumer obtains buffers from
+/// [`MergePlan::merge_recycling`] / [`MergePlan::into_list_recycling`]
+/// (or starts from [`PlanBuffers::default`]) and hands them back to
+/// [`MergePlan::precompute_in`], which clears and reuses the backing
+/// capacity instead of allocating fresh vectors.
+#[derive(Debug, Default)]
+pub struct PlanBuffers {
+    array_b: Vec<NodeRef>,
+    splices: Vec<Splice>,
+}
+
+impl PlanBuffers {
+    /// Buffers pre-sized for a plan over `b_len` queue elements and up
+    /// to `splices` splice points.
+    pub fn with_capacity(b_len: usize, splices: usize) -> Self {
+        Self {
+            array_b: Vec::with_capacity(b_len),
+            splices: Vec::with_capacity(splices),
+        }
+    }
+
+    /// Whether the buffers carry any reusable capacity (a freshly
+    /// defaulted pair has none — recycling it is a no-op).
+    pub fn has_capacity(&self) -> bool {
+        self.array_b.capacity() > 0 || self.splices.capacity() > 0
+    }
+}
+
 /// The precomputed state enabling an O(1) sorted merge of *A* into *B*.
 ///
 /// A `MergePlan` takes ownership of *A*'s nodes at construction: while the
@@ -182,8 +213,26 @@ impl MergePlan {
     /// Cost: O(|A| + |B|) — run while the sandbox is paused, off the
     /// resume critical path (paper §4.1.3).
     pub fn precompute<T>(arena: &Arena<T>, b: &SortedList, a: SortedList) -> Self {
-        let array_b: Vec<NodeRef> = b.iter(arena).map(|(n, _, _)| n).collect();
-        let mut splices: Vec<Splice> = Vec::new();
+        Self::precompute_in(arena, b, a, PlanBuffers::default())
+    }
+
+    /// [`Self::precompute`] reusing recycled [`PlanBuffers`]: the
+    /// buffers are cleared and their capacity reused, so a steady-state
+    /// pause that recycles its previous plan's buffers performs no heap
+    /// allocation. Semantically identical to `precompute`.
+    pub fn precompute_in<T>(
+        arena: &Arena<T>,
+        b: &SortedList,
+        a: SortedList,
+        buffers: PlanBuffers,
+    ) -> Self {
+        let PlanBuffers {
+            mut array_b,
+            mut splices,
+        } = buffers;
+        array_b.clear();
+        splices.clear();
+        array_b.extend(b.iter(arena).map(|(n, _, _)| n));
         let mut b_idx: usize = 0; // number of B elements with key <= current a key
         let mut cur = a.head();
         while let Some(node) = cur {
@@ -265,6 +314,21 @@ impl MergePlan {
         b: &mut SortedList,
         mode: SpliceMode,
     ) -> Result<MergeReport, StalePlanError> {
+        self.merge_recycling(arena, b, mode)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Self::merge`] that also hands the plan's backing buffers back
+    /// to the caller for recycling into a future
+    /// [`Self::precompute_in`]. Identical merge semantics; a stale plan
+    /// surrenders its buffers with the error's context (they are simply
+    /// dropped — staleness is the cold path).
+    pub fn merge_recycling<T: Sync>(
+        self,
+        arena: &Arena<T>,
+        b: &mut SortedList,
+        mode: SpliceMode,
+    ) -> Result<(MergeReport, PlanBuffers), StalePlanError> {
         if b.head() != self.b_head {
             return Err(StalePlanError {
                 reason: format!(
@@ -284,7 +348,10 @@ impl MergePlan {
             });
         }
         if self.a_len == 0 {
-            return Ok(MergeReport::default());
+            let Self {
+                array_b, splices, ..
+            } = self;
+            return Ok((MergeReport::default(), PlanBuffers { array_b, splices }));
         }
 
         let mut pointer_writes = 0usize;
@@ -373,11 +440,15 @@ impl MergePlan {
 
         b.add_len_for_splice(self.a_len);
 
-        Ok(MergeReport {
+        let report = MergeReport {
             splices: self.splices.len(),
             merged: self.a_len,
             pointer_writes,
-        })
+        };
+        let Self {
+            array_b, splices, ..
+        } = self;
+        Ok((report, PlanBuffers { array_b, splices }))
     }
 
     /// Inserts a new element into *A* keeping the plan consistent
@@ -590,6 +661,12 @@ impl MergePlan {
     /// migrates to a different ull_runqueue and the plan must be rebuilt
     /// against the new *B*.
     pub fn into_list<T>(self, arena: &Arena<T>) -> SortedList {
+        self.into_list_recycling(arena).0
+    }
+
+    /// [`Self::into_list`] that also hands the plan's backing buffers
+    /// back for recycling into a future [`Self::precompute_in`].
+    pub fn into_list_recycling<T>(self, arena: &Arena<T>) -> (SortedList, PlanBuffers) {
         let mut head: Option<NodeRef> = None;
         let mut tail: Option<NodeRef> = None;
         for s in &self.splices {
@@ -600,7 +677,11 @@ impl MergePlan {
             arena.set_next(s.sub.tail, None);
             tail = Some(s.sub.tail);
         }
-        SortedList::from_raw_parts(head, tail, self.a_len)
+        let list = SortedList::from_raw_parts(head, tail, self.a_len);
+        let Self {
+            array_b, splices, ..
+        } = self;
+        (list, PlanBuffers { array_b, splices })
     }
 
     /// Applies a metadata-only corruption to the plan, returning whether

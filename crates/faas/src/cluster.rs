@@ -12,6 +12,7 @@ use crate::invocation::{InvocationRecord, StartStrategy};
 use crate::platform::{FaasError, FaasPlatform, PlatformConfig};
 use crate::pool::PoolStats;
 use crate::registry::FunctionId;
+use crate::ring::{RingFull, SubmissionRing};
 use horse_faults::{FaultInjector, FaultSite, RecoveryOutcome, RetryPolicy};
 use horse_reliability::{
     AdmissionController, BreakerRegistry, BreakerState, BreakerTransition, ChurnEvent, Deadline,
@@ -216,7 +217,17 @@ pub struct Cluster {
     /// Reliability plane (deadlines, hedging, breakers, admission);
     /// absent until [`Cluster::set_reliability`] installs it.
     reliability: Option<ReliabilityPlane>,
+    /// One fixed-capacity submission ring per host, feeding the batched
+    /// invoke path ([`Cluster::invoke_batch`]): producers route and
+    /// enqueue, drainers serve whole per-host runs through
+    /// [`FaasPlatform::invoke_batch`].
+    batch_rings: Vec<SubmissionRing>,
 }
+
+/// Capacity of each host's batch submission ring. Rounded to a power
+/// of two by the ring; sized so a full per-host batch of any sane
+/// driver fits without inline drains.
+const BATCH_RING_CAPACITY: usize = 1024;
 
 impl Cluster {
     /// Builds a cluster of `hosts` identical hosts with per-host derived
@@ -254,6 +265,9 @@ impl Cluster {
             .collect();
         let alive = (0..hosts.len()).map(|_| AtomicBool::new(true)).collect();
         let alive_list = RwLock::new(Arc::new((0..hosts.len()).collect()));
+        let batch_rings = (0..hosts.len())
+            .map(|_| SubmissionRing::with_capacity(BATCH_RING_CAPACITY))
+            .collect();
         Self {
             hosts,
             alive,
@@ -263,6 +277,7 @@ impl Cluster {
             injector: FaultInjector::disabled(),
             recorder: Recorder::disabled(),
             reliability: None,
+            batch_rings,
         }
     }
 
@@ -552,11 +567,10 @@ impl Cluster {
         result
     }
 
-    fn invoke_routed(
-        &self,
-        function: FunctionId,
-        strategy: StartStrategy,
-    ) -> Result<(HostId, InvocationRecord), FaasError> {
+    /// One routing decision: the chaos-plane host-failure check (the
+    /// victim is the host the policy would have picked), then the
+    /// dispatch policy's choice among the survivors.
+    fn route_one(&self, function: FunctionId, strategy: StartStrategy) -> Result<usize, FaasError> {
         // Chaos: a whole host dies as the request arrives. The victim is
         // the host the policy would have routed to; its warm capacity is
         // rebalanced onto the survivors before routing resumes.
@@ -578,10 +592,16 @@ impl Cluster {
                 },
             );
         }
+        self.route_start(function, strategy)
+            .ok_or(FaasError::NoHealthyHost)
+    }
 
-        let Some(start) = self.route_start(function, strategy) else {
-            return Err(FaasError::NoHealthyHost);
-        };
+    fn invoke_routed(
+        &self,
+        function: FunctionId,
+        strategy: StartStrategy,
+    ) -> Result<(HostId, InvocationRecord), FaasError> {
+        let start = self.route_one(function, strategy)?;
         let n = self.hosts.len();
         let mut last_err = None;
         for off in 0..n {
@@ -596,6 +616,142 @@ impl Cluster {
             }
         }
         Err(last_err.expect("at least one attempt"))
+    }
+
+    // ---- batched invoke path --------------------------------------------
+
+    /// Invokes a function `count` times through the **batched** path:
+    /// every request is routed (the same policy, cursor and chaos
+    /// checks as [`Cluster::invoke`]) and enqueued onto its host's
+    /// fixed-capacity MPSC [`SubmissionRing`]; the rings then drain in
+    /// submission order, each per-host run served by one amortized
+    /// [`FaasPlatform::invoke_batch`] call. Appends `(host, record)`
+    /// pairs to `out` and returns how many invocations this call
+    /// served.
+    ///
+    /// At one driver thread the per-host record sequences are
+    /// bit-identical to `count` sequential [`Cluster::invoke`] calls
+    /// under [`DispatchPolicy::RoundRobin`] — only the interleaving
+    /// across hosts differs (batch output is grouped by host). Under
+    /// [`DispatchPolicy::WarmestPool`] the batched path routes the
+    /// whole batch before any request is served, so routing sees pool
+    /// sizes frozen at batch entry.
+    ///
+    /// Concurrent callers cooperate: requests another thread enqueued
+    /// may be served (and returned) by this call's drain, so a caller's
+    /// `out` can hold more or fewer records than it enqueued — totals
+    /// across callers are conserved. A full ring drains inline and the
+    /// push retries; nothing spins.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors ([`FaasError::NoHealthyHost`]) and host errors
+    /// from the batch serve. On error, records completed so far remain
+    /// in `out` and every unserved request stays in (or is returned to)
+    /// its host's ring, so the next batched call serves it — `count: 0`
+    /// is the mop-up call: it enqueues nothing and just drains.
+    pub fn invoke_batch(
+        &self,
+        function: FunctionId,
+        strategy: StartStrategy,
+        count: usize,
+        out: &mut Vec<(HostId, InvocationRecord)>,
+    ) -> Result<usize, FaasError> {
+        let mut served = 0usize;
+        let mut records: Vec<InvocationRecord> = Vec::new();
+        for _ in 0..count {
+            let host = self.route_one(function, strategy)?;
+            let mut pending = Request {
+                function,
+                strategy,
+                class: RequestClass::Ull,
+                deadline_ns: None,
+            };
+            while let Err(RingFull(back)) = self.batch_rings[host].push(pending) {
+                pending = back;
+                served += self.drain_host_ring(host, &mut records, out)?;
+            }
+        }
+        for host in 0..self.hosts.len() {
+            served += self.drain_host_ring(host, &mut records, out)?;
+        }
+        Ok(served)
+    }
+
+    /// Drains one host's submission ring, serving maximal runs of equal
+    /// `(function, strategy)` through the host's amortized batch path.
+    /// Returns the number of invocations served. `records` is reusable
+    /// scratch (drained into `out` between runs).
+    ///
+    /// Conservation on error: a host error mid-run leaves the run's
+    /// unserved tail popped but not invoked — those requests (and the
+    /// already-popped request that triggered the flush) are pushed back
+    /// onto the ring before the error propagates, so a later batched
+    /// call serves them. Plain-path requests within a run are
+    /// interchangeable (identical `(function, strategy)` payloads), so
+    /// the re-enqueue position does not change what is served.
+    fn drain_host_ring(
+        &self,
+        host: usize,
+        records: &mut Vec<InvocationRecord>,
+        out: &mut Vec<(HostId, InvocationRecord)>,
+    ) -> Result<usize, FaasError> {
+        let ring = &self.batch_rings[host];
+        let mut served = 0usize;
+        let mut run: Option<(FunctionId, StartStrategy, usize)> = None;
+        loop {
+            let next = ring.pop();
+            let flush = match (&run, &next) {
+                (Some((f, s, _)), Some(r)) => r.function != *f || r.strategy != *s,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if flush {
+                let (f, s, n) = run.take().expect("flush implies a pending run");
+                let result = self.hosts[host].invoke_batch(f, s, n, records);
+                let completed = records.len();
+                for r in records.drain(..) {
+                    out.push((HostId(host), r));
+                    served += 1;
+                }
+                if let Err(e) = result {
+                    for _ in completed..n {
+                        self.requeue(ring, f, s);
+                    }
+                    if let Some(r) = next {
+                        self.requeue(ring, r.function, r.strategy);
+                    }
+                    return Err(e);
+                }
+            }
+            match next {
+                Some(r) => {
+                    run = Some(match run.take() {
+                        Some((f, s, n)) => (f, s, n + 1),
+                        None => (r.function, r.strategy, 1),
+                    });
+                }
+                None => return Ok(served),
+            }
+        }
+    }
+
+    /// Pushes one reconstructed plain-path request back onto `ring`
+    /// (the error-path conservation step of [`Self::drain_host_ring`]).
+    /// Spins with yields on a full ring: any concurrent producer that
+    /// filled it drains every ring before returning, so the wait is
+    /// bounded by one batch serve.
+    fn requeue(&self, ring: &SubmissionRing, function: FunctionId, strategy: StartStrategy) {
+        let mut pending = Request {
+            function,
+            strategy,
+            class: RequestClass::Ull,
+            deadline_ns: None,
+        };
+        while let Err(RingFull(back)) = ring.push(pending) {
+            pending = back;
+            std::thread::yield_now();
+        }
     }
 
     // ---- reliability plane ----------------------------------------------
@@ -752,6 +908,27 @@ impl Cluster {
                 }
             })
             .collect()
+    }
+
+    /// Drains a [`SubmissionRing`] and submits everything it held as
+    /// one batch, in ring (submission) order. This is the ring-fed
+    /// reliability entry point: producers on any number of threads
+    /// `push` requests; a drainer calls `submit_ring`. With one
+    /// producer the drained order is the push order, so dispositions,
+    /// ledger tallies and forensic trees are **bit-identical** to
+    /// pushing each request through [`Cluster::submit`] one at a time —
+    /// the equivalence the batch tests pin (provided admission capacity
+    /// is not binding: [`Cluster::submit_batch`] holds the whole
+    /// batch's slots while admitting, where the sequential path
+    /// releases each before the next).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability plane is not installed.
+    pub fn submit_ring(&self, ring: &SubmissionRing) -> Vec<Disposition> {
+        let mut requests = Vec::with_capacity(ring.len());
+        ring.drain_into(&mut requests);
+        self.submit_batch(&requests)
     }
 
     /// Serves one admitted request under its own trace context (routing,

@@ -18,8 +18,6 @@ use horse_vmm::{
 };
 use horse_workloads::Category;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -197,7 +195,12 @@ pub struct FaasPlatform {
     /// whether the pause was HORSE-style). The `Arc` lets the invoke
     /// path operate on a pool without holding the map lock.
     warm_pool: RwLock<HashMap<(FunctionId, bool), Arc<ShardedWarmPool>>>,
-    exec_rng: Mutex<StdRng>,
+    /// Seed of the exec-sampling stream (derived from the host's master
+    /// seed). Sampling is a pure splitmix64 draw keyed by
+    /// `(exec_seed, exec_samples index)` — no lock, no shared RNG state.
+    exec_seed: u64,
+    /// Monotone exec-sample index; each invocation takes the next draw.
+    exec_samples: AtomicU64,
     /// Platform clock (nanoseconds) for keep-alive accounting.
     now_ns: AtomicU64,
     /// Telemetry sink; disabled (and inert) by default.
@@ -218,7 +221,8 @@ impl FaasPlatform {
             boot: config.boot,
             restore: config.restore,
             warm_pool: RwLock::new(HashMap::new()),
-            exec_rng: Mutex::new(seeds.stream("faas-exec")),
+            exec_seed: seeds.stream_seed("faas-exec"),
+            exec_samples: AtomicU64::new(0),
             now_ns: AtomicU64::new(0),
             recorder: Recorder::disabled(),
             injector: FaultInjector::disabled(),
@@ -502,6 +506,7 @@ impl FaasPlatform {
             None
         };
         let t0 = self.recorder.now_ns();
+        let mut pool = None;
         let dispatched = self.dispatch_invoke(
             function,
             strategy,
@@ -510,6 +515,7 @@ impl FaasPlatform {
             t0,
             budget_ns,
             outer_parent,
+            &mut pool,
         );
         if dispatched.is_err() && outer.is_traced() && self.recorder.is_enabled() {
             // Under the cluster plane a failed attempt still emitted
@@ -532,36 +538,9 @@ impl FaasPlatform {
             self.recorder.clear_context();
         }
         let init_ns = dispatched?;
-        self.recorder.count(
-            match strategy {
-                StartStrategy::Cold => Counter::InvokesCold,
-                StartStrategy::Restore => Counter::InvokesRestore,
-                StartStrategy::Warm => Counter::InvokesWarm,
-                StartStrategy::Horse => Counter::InvokesHorse,
-            },
-            1,
-        );
+        self.recorder.count(Self::invoke_counter(strategy), 1);
         if self.recorder.is_enabled() {
-            // One pass over the pool map: the aggregate pooled gauge plus
-            // per-shard occupancy / cold-overflow depth (summed across
-            // pools — the shard axis, not the function axis, is what the
-            // contention story needs).
-            let mut pooled = 0u64;
-            let mut warm = [0u64; horse_telemetry::counters::POOL_GAUGE_SHARDS];
-            let mut cold = [0u64; horse_telemetry::counters::POOL_GAUGE_SHARDS];
-            for pool in self.warm_pool.read().values() {
-                pooled += pool.len() as u64;
-                for (i, &(w, c)) in pool.shard_occupancy().iter().enumerate() {
-                    warm[i] += w;
-                    cold[i] += c;
-                }
-            }
-            self.recorder.gauge(Gauge::PooledSandboxes, pooled);
-            for i in 0..horse_telemetry::counters::POOL_GAUGE_SHARDS {
-                self.recorder.gauge(Gauge::pool_shard_occupancy(i), warm[i]);
-                self.recorder
-                    .gauge(Gauge::pool_shard_cold_depth(i), cold[i]);
-            }
+            self.emit_pool_gauges();
         }
 
         Ok(InvocationRecord {
@@ -571,6 +550,95 @@ impl FaasPlatform {
             exec_ns,
             invocation,
         })
+    }
+
+    /// Invokes a function `count` times with one strategy through the
+    /// **batched** path, appending each completed record to `out`.
+    ///
+    /// The per-invocation work (exec sampling, resume → exec → re-pause
+    /// under one VMM lock window, per-invocation spans and instants) is
+    /// identical to [`Self::invoke`]; what the batch amortizes is the
+    /// bookkeeping *around* it:
+    ///
+    /// * one registry read for the whole batch instead of one per call;
+    /// * one warm-pool map lookup — the pool `Arc` is resolved once and
+    ///   reused by every take and re-pause in the batch;
+    /// * one invoke-counter update (`count(strategy, n)`) at the end;
+    /// * one recorder pool-gauge scan at the end instead of after every
+    ///   invocation.
+    ///
+    /// Counter totals, gauge values after the batch, per-invocation
+    /// spans and the records themselves are bit-identical to `count`
+    /// sequential [`Self::invoke`] calls from the same state — the
+    /// equivalence the batch tests pin.
+    ///
+    /// Requests are best-effort (no deadline budget). On an error the
+    /// records completed so far remain in `out` and the error is
+    /// returned; remaining invocations are not attempted.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::invoke`] returns.
+    pub fn invoke_batch(
+        &self,
+        function: FunctionId,
+        strategy: StartStrategy,
+        count: usize,
+        out: &mut Vec<InvocationRecord>,
+    ) -> Result<(), FaasError> {
+        let _alloc = AllocScope::enter(AllocPhase::Invoke);
+        if count == 0 {
+            return Ok(());
+        }
+        let (cfg, category) = {
+            let registry = self.registry.read();
+            let meta = registry
+                .get(function)
+                .ok_or(FaasError::UnknownFunction(function))?;
+            (meta.config(), meta.category())
+        };
+        let mut pool = None;
+        let mut completed = 0u64;
+        let mut first_err = None;
+        for _ in 0..count {
+            let exec_ns = self.sample_exec_ns(category);
+            let invocation = self.recorder.mint_invocation();
+            self.recorder.set_context(TraceContext {
+                invocation,
+                parent: Some(Self::invoke_kind(strategy)),
+            });
+            let t0 = self.recorder.now_ns();
+            let dispatched =
+                self.dispatch_invoke(function, strategy, cfg, exec_ns, t0, None, None, &mut pool);
+            self.recorder.clear_context();
+            match dispatched {
+                Ok(init_ns) => {
+                    completed += 1;
+                    out.push(InvocationRecord {
+                        function,
+                        strategy,
+                        init_ns,
+                        exec_ns,
+                        invocation,
+                    });
+                }
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if completed > 0 {
+            self.recorder
+                .count(Self::invoke_counter(strategy), completed);
+        }
+        if self.recorder.is_enabled() {
+            self.emit_pool_gauges();
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// The invoke-phase span kind for a strategy.
@@ -583,8 +651,49 @@ impl FaasPlatform {
         }
     }
 
+    /// The completed-invocations counter for a strategy.
+    fn invoke_counter(strategy: StartStrategy) -> Counter {
+        match strategy {
+            StartStrategy::Cold => Counter::InvokesCold,
+            StartStrategy::Restore => Counter::InvokesRestore,
+            StartStrategy::Warm => Counter::InvokesWarm,
+            StartStrategy::Horse => Counter::InvokesHorse,
+        }
+    }
+
+    /// One pass over the pool map: the aggregate pooled gauge plus
+    /// per-shard occupancy / cold-overflow depth (summed across pools —
+    /// the shard axis, not the function axis, is what the contention
+    /// story needs). The sequential path runs it after every invoke;
+    /// the batched path once per batch — gauges are
+    /// latest-value-wins, so both leave the identical reading.
+    fn emit_pool_gauges(&self) {
+        let mut pooled = 0u64;
+        let mut warm = [0u64; horse_telemetry::counters::POOL_GAUGE_SHARDS];
+        let mut cold = [0u64; horse_telemetry::counters::POOL_GAUGE_SHARDS];
+        for pool in self.warm_pool.read().values() {
+            pooled += pool.len() as u64;
+            for (i, &(w, c)) in pool.shard_occupancy().iter().enumerate() {
+                warm[i] += w;
+                cold[i] += c;
+            }
+        }
+        self.recorder.gauge(Gauge::PooledSandboxes, pooled);
+        for i in 0..horse_telemetry::counters::POOL_GAUGE_SHARDS {
+            self.recorder.gauge(Gauge::pool_shard_occupancy(i), warm[i]);
+            self.recorder
+                .gauge(Gauge::pool_shard_cold_depth(i), cold[i]);
+        }
+    }
+
     /// Runs the strategy-specific initialization pipeline under the
     /// invocation's trace context, returning the init latency.
+    ///
+    /// `pool` caches the function's warm-pool `Arc` across the pool
+    /// take and the keep-alive re-pause (and, on the batched path,
+    /// across the whole batch): the map lookup runs once, then every
+    /// take/put reuses the resolved shard set. An empty cache is always
+    /// re-resolved, so a pool created mid-flight is still found.
     #[allow(clippy::too_many_arguments)]
     fn dispatch_invoke(
         &self,
@@ -595,6 +704,7 @@ impl FaasPlatform {
         t0: u64,
         budget_ns: Option<u64>,
         outer_parent: Option<EventKind>,
+        pool: &mut Option<Arc<ShardedWarmPool>>,
     ) -> Result<u64, FaasError> {
         Ok(match strategy {
             StartStrategy::Cold => {
@@ -607,9 +717,9 @@ impl FaasPlatform {
                     id
                 };
                 let init = self.boot.boot_ns(cfg);
-                self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
+                self.enforce_resume_deadline(function, id, false, init, budget_ns, pool)?;
                 self.record_init_and_exec(EventKind::InvokeCold, t0, init, exec_ns, outer_parent);
-                self.repause_into_pool(id, function, false)?;
+                self.repause_into_pool(id, function, false, pool)?;
                 init
             }
             StartStrategy::Restore => {
@@ -620,7 +730,7 @@ impl FaasPlatform {
                     id
                 };
                 let init = self.restore.restore_ns(cfg);
-                self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
+                self.enforce_resume_deadline(function, id, false, init, budget_ns, pool)?;
                 self.record_init_and_exec(
                     EventKind::InvokeRestore,
                     t0,
@@ -628,31 +738,92 @@ impl FaasPlatform {
                     exec_ns,
                     outer_parent,
                 );
-                self.repause_into_pool(id, function, false)?;
+                self.repause_into_pool(id, function, false, pool)?;
                 init
             }
             StartStrategy::Warm => {
                 // The userspace trigger precedes the resume on the
                 // critical path.
                 self.recorder.advance(WARM_TRIGGER_NS);
-                let (id, outcome, extra_ns) =
-                    self.warm_resume(function, strategy, cfg, budget_ns)?;
+                let (id, outcome, extra_ns, vmm) =
+                    self.warm_resume(function, strategy, cfg, budget_ns, pool)?;
                 let init = WARM_TRIGGER_NS + extra_ns + outcome.breakdown.total_ns();
-                self.enforce_resume_deadline(function, id, false, init, budget_ns)?;
-                self.record_init_and_exec(EventKind::InvokeWarm, t0, init, exec_ns, outer_parent);
-                self.repause_into_pool(id, function, false)?;
-                init
+                self.finish_warm_invoke(
+                    vmm,
+                    EventKind::InvokeWarm,
+                    function,
+                    id,
+                    false,
+                    init,
+                    exec_ns,
+                    t0,
+                    budget_ns,
+                    outer_parent,
+                    pool,
+                )?
             }
             StartStrategy::Horse => {
-                let (id, outcome, extra_ns) =
-                    self.warm_resume(function, strategy, cfg, budget_ns)?;
+                let (id, outcome, extra_ns, vmm) =
+                    self.warm_resume(function, strategy, cfg, budget_ns, pool)?;
                 let init = extra_ns + outcome.breakdown.total_ns();
-                self.enforce_resume_deadline(function, id, true, init, budget_ns)?;
-                self.record_init_and_exec(EventKind::InvokeHorse, t0, init, exec_ns, outer_parent);
-                self.repause_into_pool(id, function, true)?;
-                init
+                self.finish_warm_invoke(
+                    vmm,
+                    EventKind::InvokeHorse,
+                    function,
+                    id,
+                    true,
+                    init,
+                    exec_ns,
+                    t0,
+                    budget_ns,
+                    outer_parent,
+                    pool,
+                )?
             }
         })
+    }
+
+    /// Completes a warm-path invocation inside the **single** VMM lock
+    /// window opened by the resume: the resume-boundary deadline check,
+    /// the init/exec telemetry (lock-free recorder traffic) and the
+    /// keep-alive re-pause all run under the guard the resume acquired,
+    /// so the mutation-heavy resume→repause round trip costs one
+    /// [`ContentionSite::VmmMutex`] acquisition instead of two (three on
+    /// a deadline miss). The pool insert happens strictly after the
+    /// guard drops, preserving the `pool shard ∦ vmm` lock hierarchy.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_warm_invoke(
+        &self,
+        vmm: MutexGuard<'_, Vmm>,
+        kind: EventKind,
+        function: FunctionId,
+        id: SandboxId,
+        horse: bool,
+        init_ns: u64,
+        exec_ns: u64,
+        t0: u64,
+        budget_ns: Option<u64>,
+        outer_parent: Option<EventKind>,
+        pool: &mut Option<Arc<ShardedWarmPool>>,
+    ) -> Result<u64, FaasError> {
+        if let Some(budget) = budget_ns {
+            if Deadline::from_nanos(budget).exceeded(init_ns) {
+                // Initialization alone blew the budget: re-pool the
+                // sandbox (its state is intact — only this request's
+                // budget is gone) and surface the miss typed.
+                self.repause_into_pool_locked(vmm, id, function, horse, pool)?;
+                self.recorder.count(Counter::DeadlineMisses, 1);
+                return Err(FaasError::DeadlineExceeded {
+                    function,
+                    budget_ns: budget,
+                    observed_ns: init_ns,
+                    boundary: DeadlineBoundary::Resume,
+                });
+            }
+        }
+        self.record_init_and_exec(kind, t0, init_ns, exec_ns, outer_parent);
+        self.repause_into_pool_locked(vmm, id, function, horse, pool)?;
+        Ok(init_ns)
     }
 
     /// The resume-boundary deadline check: if initialization alone
@@ -666,6 +837,7 @@ impl FaasPlatform {
         horse: bool,
         init_ns: u64,
         budget_ns: Option<u64>,
+        pool: &mut Option<Arc<ShardedWarmPool>>,
     ) -> Result<(), FaasError> {
         let Some(budget) = budget_ns else {
             return Ok(());
@@ -673,7 +845,7 @@ impl FaasPlatform {
         if !Deadline::from_nanos(budget).exceeded(init_ns) {
             return Ok(());
         }
-        self.repause_into_pool(id, function, horse)?;
+        self.repause_into_pool(id, function, horse, pool)?;
         self.recorder.count(Counter::DeadlineMisses, 1);
         Err(FaasError::DeadlineExceeded {
             function,
@@ -714,15 +886,19 @@ impl FaasPlatform {
     /// entries and mid-resume crashes with bounded, exponentially
     /// backed-off retries, and degraded (downgraded) pauses with a
     /// vanilla-path fallback. Returns the running sandbox, the resume
-    /// outcome, and the extra latency (backoffs plus re-provisioning
-    /// boots) charged to the invocation on top of the resume itself.
+    /// outcome, the extra latency (backoffs plus re-provisioning boots)
+    /// charged to the invocation on top of the resume itself — and the
+    /// **still-held** VMM guard the resume ran under, so the caller's
+    /// keep-alive re-pause reuses the same lock window instead of
+    /// re-acquiring (see [`Self::finish_warm_invoke`]).
     fn warm_resume(
         &self,
         function: FunctionId,
         strategy: StartStrategy,
         cfg: SandboxConfig,
         budget_ns: Option<u64>,
-    ) -> Result<(SandboxId, ResumeOutcome, u64), FaasError> {
+        pool: &mut Option<Arc<ShardedWarmPool>>,
+    ) -> Result<(SandboxId, ResumeOutcome, u64, MutexGuard<'_, Vmm>), FaasError> {
         let horse = strategy == StartStrategy::Horse;
         let (mode, pause_policy) = if horse {
             (ResumeMode::Horse, PausePolicy::horse())
@@ -751,7 +927,7 @@ impl FaasPlatform {
             // Acquire an entry: from the pool, or — once recovery is
             // under way and the pool has drained — by re-provisioning a
             // fresh sandbox (a full boot, charged to the invocation).
-            let (id, reprovisioned) = match self.pop_pool(function, horse, strategy) {
+            let (id, reprovisioned) = match self.pop_pool(function, horse, strategy, pool) {
                 Ok(id) => (id, false),
                 Err(e) if attempts == 0 => return Err(e),
                 Err(_) => {
@@ -802,25 +978,27 @@ impl FaasPlatform {
                 continue;
             }
 
-            match contention::timed(ContentionSite::VmmMutex, || self.vmm.lock()).resume(id, mode) {
-                Ok(outcome) => return Ok((id, outcome, extra_ns)),
+            let mut vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
+            match vmm.resume(id, mode) {
+                Ok(outcome) => return Ok((id, outcome, extra_ns, vmm)),
                 Err(VmmError::ModeMismatch { .. }) if mode == ResumeMode::Horse => {
                     // A queue failure downgraded the pause to vanilla;
                     // the sandbox still resumes through the slow path —
-                    // recorded as a HORSE fallback.
-                    let outcome = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock())
-                        .resume(id, ResumeMode::Vanilla)?;
+                    // recorded as a HORSE fallback. Same lock window: the
+                    // guard is already held.
+                    let outcome = vmm.resume(id, ResumeMode::Vanilla)?;
                     self.recorder.count(Counter::HorseFallbacks, 1);
                     self.recorder.instant(
                         EventKind::HorseFallback,
                         0,
                         outcome.breakdown.total_ns(),
                     );
-                    return Ok((id, outcome, extra_ns));
+                    return Ok((id, outcome, extra_ns, vmm));
                 }
                 Err(e @ VmmError::Crashed { .. }) => {
                     // The VMM contained the crash (and resolved its
                     // fault); the platform's recovery is a bounded retry.
+                    drop(vmm);
                     attempts += 1;
                     if attempts > self.retry.max_retries {
                         return Err(FaasError::RetriesExhausted {
@@ -855,18 +1033,52 @@ impl FaasPlatform {
         id: SandboxId,
         function: FunctionId,
         horse: bool,
+        pool: &mut Option<Arc<ShardedWarmPool>>,
+    ) -> Result<(), FaasError> {
+        let vmm = contention::timed(ContentionSite::VmmMutex, || self.vmm.lock());
+        self.repause_into_pool_locked(vmm, id, function, horse, pool)
+    }
+
+    /// [`Self::repause_into_pool`] under a VMM guard the caller already
+    /// holds (the warm path's consolidated lock window). The guard is
+    /// consumed: the pause runs under it, then it drops **before** the
+    /// pool insert takes its shard lock — the pool and VMM locks are
+    /// never held simultaneously. A populated `pool` cache skips the
+    /// map lookup while keeping [`Self::pool_entry`]'s policy-upgrade
+    /// semantics (a provisioned put still supersedes plain keep-alive).
+    fn repause_into_pool_locked(
+        &self,
+        mut vmm: MutexGuard<'_, Vmm>,
+        id: SandboxId,
+        function: FunctionId,
+        horse: bool,
+        pool: &mut Option<Arc<ShardedWarmPool>>,
     ) -> Result<(), FaasError> {
         let (policy, keep_alive) = if horse {
             (PausePolicy::horse(), KeepAlive::Provisioned)
         } else {
             (PausePolicy::vanilla(), KeepAlive::default_ttl())
         };
-        let paused =
-            contention::timed(ContentionSite::VmmMutex, || self.vmm.lock()).pause(id, policy);
+        let paused = vmm.pause(id, policy);
+        drop(vmm);
         match paused {
             Ok(_) => {
-                self.pool_entry(function, horse, keep_alive)
-                    .put(id, self.now());
+                let pool = match pool {
+                    Some(pool) => {
+                        if keep_alive == KeepAlive::Provisioned
+                            && pool.keep_alive() != KeepAlive::Provisioned
+                        {
+                            pool.set_keep_alive(KeepAlive::Provisioned);
+                        }
+                        Arc::clone(pool)
+                    }
+                    None => {
+                        let fresh = self.pool_entry(function, horse, keep_alive);
+                        *pool = Some(Arc::clone(&fresh));
+                        fresh
+                    }
+                };
+                pool.put(id, self.now());
                 Ok(())
             }
             Err(VmmError::Crashed { .. }) => Ok(()),
@@ -941,10 +1153,17 @@ impl FaasPlatform {
         function: FunctionId,
         horse: bool,
         strategy: StartStrategy,
+        pool: &mut Option<Arc<ShardedWarmPool>>,
     ) -> Result<SandboxId, FaasError> {
         let _alloc = AllocScope::enter(AllocPhase::PoolTake);
         let now = self.now();
-        let pool = self.warm_pool.read().get(&(function, horse)).cloned();
+        if pool.is_none() {
+            // Cache miss: resolve the pool once; every later take and
+            // re-pause in this invocation (or batch) reuses the Arc. An
+            // absent pool leaves the cache empty so the next take
+            // re-resolves (the pool may be created mid-recovery).
+            *pool = self.warm_pool.read().get(&(function, horse)).cloned();
+        }
         let (taken, doomed) = match pool {
             Some(pool) => (pool.take(now), pool.drain_doomed()),
             None => (None, Vec::new()),
@@ -973,12 +1192,28 @@ impl FaasPlatform {
 
     /// Samples a service time: the category's Table 1 mean with ±10 %
     /// uniform jitter (seeded, deterministic).
+    ///
+    /// The draw is a pure splitmix64 stream keyed by the host's exec
+    /// seed and a monotone per-invocation index — the reliability
+    /// plane's jitter idiom — replacing the former `Mutex<StdRng>` hot
+    /// spot. Bit-stable for a fixed (seed, host, invocation) triple and
+    /// free of cross-thread contention (the old
+    /// [`ContentionSite::ExecRng`] now records zero acquisitions).
     fn sample_exec_ns(&self, category: Category) -> u64 {
+        let index = self.exec_samples.fetch_add(1, Ordering::Relaxed);
         let mean = category.mean_exec_ns() as f64;
-        let jitter =
-            contention::timed(ContentionSite::ExecRng, || self.exec_rng.lock()).gen_range(0.9..1.1);
-        (mean * jitter).round() as u64
+        (mean * exec_jitter(self.exec_seed, index)).round() as u64
     }
+}
+
+/// The ±10 % jitter factor for exec-sample `index` under `seed`: two
+/// rounds of splitmix64 over the (seed, index) pair, top 53 bits mapped
+/// onto `[0.9, 1.1)`. Pure — same inputs, same factor, on any thread.
+fn exec_jitter(seed: u64, index: u64) -> f64 {
+    use horse_sim::rng::splitmix64;
+    let h = splitmix64(splitmix64(seed ^ index.rotate_left(17)) ^ index);
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    0.9 + 0.2 * unit
 }
 
 // The whole request path is `&self` over interior mutability; these
@@ -1126,6 +1361,38 @@ mod tests {
         for &x in &ra {
             assert!((630..=770).contains(&x), "±10% around 700ns: {x}");
         }
+    }
+
+    #[test]
+    fn exec_sampling_pins_the_splitmix_stream() {
+        // Regression canary for the lock-free exec sampler: the draw
+        // for a fixed (master seed, host stream, invocation index)
+        // triple is part of the platform's determinism contract — these
+        // constants may only change alongside an explicit perf-baseline
+        // regeneration.
+        let mut p = platform();
+        let f = p.register("filter", Category::Cat3, ull_cfg(1));
+        assert_eq!(p.invoke(f, StartStrategy::Cold).unwrap().exec_ns, 754);
+        assert_eq!(p.invoke(f, StartStrategy::Cold).unwrap().exec_ns, 749);
+        assert_eq!(p.invoke(f, StartStrategy::Cold).unwrap().exec_ns, 719);
+        // A sibling host (cluster-style seed+1) draws a distinct stream.
+        let mut q = FaasPlatform::new(PlatformConfig {
+            seed: 43,
+            sched: SchedConfig {
+                topology: horse_sched::CpuTopology::new(1, 8, false),
+                ull_queues: 1,
+                governor_policy: horse_sched::GovernorPolicy::Performance,
+                flavor: Default::default(),
+            },
+            ..PlatformConfig::default()
+        });
+        let g = q.register("filter", Category::Cat3, ull_cfg(1));
+        assert_eq!(q.invoke(g, StartStrategy::Cold).unwrap().exec_ns, 673);
+        // The raw jitter factor is pure: same triple, same bits.
+        assert_eq!(
+            exec_jitter(0xffdc_ffd4_6652_2f6a, 0).to_bits(),
+            exec_jitter(0xffdc_ffd4_6652_2f6a, 0).to_bits()
+        );
     }
 
     // ---- fault plane ----------------------------------------------------

@@ -1,0 +1,387 @@
+//! Bounded MPSC submission rings for the batched invoke path.
+//!
+//! A [`SubmissionRing`] is a fixed-capacity multi-producer ring of
+//! [`Request`]s in the style of Vyukov's bounded MPMC queue: every slot
+//! carries its own sequence word, producers claim slots with one CAS on
+//! the tail cursor, and the slot's sequence store is the publication
+//! barrier. The crate forbids `unsafe`, so the payload itself lives in
+//! three `AtomicU64` words per slot (function id, packed
+//! strategy/class/deadline-present bits, deadline value) written and
+//! read with `Relaxed` ordering *inside* the acquire/release window the
+//! sequence word establishes — the protocol, not the payload atomics,
+//! provides the exclusion.
+//!
+//! The ring never allocates after construction: `push` is one CAS plus
+//! four atomic stores, `pop` one CAS plus four atomic loads. Capacity
+//! is rounded up to a power of two so cursor-to-slot mapping is a mask.
+//!
+//! Ordering guarantees (checked by the `horse-check` interleaving
+//! explorer):
+//!
+//! * **No loss, no duplication** — every successfully pushed request is
+//!   popped exactly once.
+//! * **Per-producer FIFO** — two requests pushed by the same thread are
+//!   popped in push order (the tail CAS totally orders claims, and a
+//!   producer's second claim necessarily follows its first).
+//! * **Global FIFO at one producer** — with a single producer the pop
+//!   order is exactly the push order, which is what makes the batched
+//!   submission path bit-identical to the sequential one at `threads=1`.
+
+use crate::cluster::Request;
+use crate::invocation::StartStrategy;
+use crate::registry::FunctionId;
+use horse_reliability::RequestClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `push` found every slot occupied; the request is handed back so the
+/// producer can drain or serve it directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull(pub Request);
+
+impl std::fmt::Display for RingFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "submission ring full")
+    }
+}
+
+impl std::error::Error for RingFull {}
+
+/// One ring slot: the Vyukov sequence word plus the encoded payload.
+#[derive(Debug)]
+struct Slot {
+    /// Protocol state. `seq == pos` ⇒ free for the producer claiming
+    /// `pos`; `seq == pos + 1` ⇒ published, ready for the consumer at
+    /// `pos`; `seq == pos + capacity` ⇒ consumed, free for the producer
+    /// claiming `pos + capacity`.
+    seq: AtomicU64,
+    /// [`FunctionId::as_u64`] of the request's function.
+    func: AtomicU64,
+    /// Packed strategy index (bits 0–1), class bit (bit 2) and
+    /// deadline-present bit (bit 3).
+    meta: AtomicU64,
+    /// Deadline budget in virtual ns (meaningful iff bit 3 of `meta`).
+    deadline: AtomicU64,
+}
+
+/// Packs the copyable request fields into the slot's two payload words
+/// (plus the function word).
+fn encode(req: &Request) -> (u64, u64, u64) {
+    let strategy = StartStrategy::ALL
+        .iter()
+        .position(|&s| s == req.strategy)
+        .expect("every strategy is in ALL") as u64;
+    let class = match req.class {
+        RequestClass::Ull => 0u64,
+        RequestClass::Background => 1,
+    };
+    let (present, deadline) = match req.deadline_ns {
+        Some(ns) => (1u64, ns),
+        None => (0, 0),
+    };
+    (
+        req.function.as_u64(),
+        strategy | (class << 2) | (present << 3),
+        deadline,
+    )
+}
+
+/// Inverse of [`encode`].
+fn decode(func: u64, meta: u64, deadline: u64) -> Request {
+    Request {
+        function: FunctionId::from_raw(func),
+        strategy: StartStrategy::ALL[(meta & 0b11) as usize],
+        class: if meta & 0b100 == 0 {
+            RequestClass::Ull
+        } else {
+            RequestClass::Background
+        },
+        deadline_ns: (meta & 0b1000 != 0).then_some(deadline),
+    }
+}
+
+/// A fixed-capacity multi-producer submission ring (see module docs).
+///
+/// `push` is safe from any number of threads. `pop` is also thread-safe
+/// (the head cursor is CAS-claimed), but the intended shape is MPSC:
+/// many producers enqueue, one drainer at a time feeds
+/// [`FaasPlatform::invoke_batch`](crate::FaasPlatform::invoke_batch).
+#[derive(Debug)]
+pub struct SubmissionRing {
+    slots: Box<[Slot]>,
+    /// Producer cursor: the next position to claim.
+    tail: AtomicU64,
+    /// Consumer cursor: the next position to read.
+    head: AtomicU64,
+    /// `slots.len() - 1`; the length is a power of two.
+    mask: u64,
+}
+
+impl SubmissionRing {
+    /// Builds a ring holding at least `capacity` requests (rounded up
+    /// to the next power of two, minimum 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a ring needs at least one slot");
+        let cap = capacity.next_power_of_two().max(2) as u64;
+        let slots: Box<[Slot]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                func: AtomicU64::new(0),
+                meta: AtomicU64::new(0),
+                deadline: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            slots,
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate occupancy (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Whether the ring is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a request, returning its global submission sequence —
+    /// the total order the consumer will observe. Fails with
+    /// [`RingFull`] (handing the request back) when every slot is
+    /// occupied; the producer should drain or serve directly, never
+    /// spin.
+    pub fn push(&self, request: Request) -> Result<u64, RingFull> {
+        let (func, meta, deadline) = encode(&request);
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.cmp(&pos) {
+                std::cmp::Ordering::Equal => {
+                    // The slot is free for exactly this position; the CAS
+                    // on the tail makes the claim exclusive.
+                    match self.tail.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            slot.func.store(func, Ordering::Relaxed);
+                            slot.meta.store(meta, Ordering::Relaxed);
+                            slot.deadline.store(deadline, Ordering::Relaxed);
+                            // Publication: the consumer's acquire load of
+                            // `seq` orders the payload reads after these
+                            // stores.
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return Ok(pos);
+                        }
+                        Err(current) => pos = current,
+                    }
+                }
+                std::cmp::Ordering::Less => {
+                    // seq < pos: the slot still holds an unconsumed entry
+                    // from one lap ago — the ring is full.
+                    return Err(RingFull(request));
+                }
+                std::cmp::Ordering::Greater => {
+                    // Another producer claimed this position; reload.
+                    pos = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Dequeues the oldest request, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<Request> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.cmp(&(pos + 1)) {
+                std::cmp::Ordering::Equal => {
+                    match self.head.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let func = slot.func.load(Ordering::Relaxed);
+                            let meta = slot.meta.load(Ordering::Relaxed);
+                            let deadline = slot.deadline.load(Ordering::Relaxed);
+                            // Hand the slot to the producer one lap ahead
+                            // only after the payload is out.
+                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(decode(func, meta, deadline));
+                        }
+                        Err(current) => pos = current,
+                    }
+                }
+                std::cmp::Ordering::Less => {
+                    // seq == pos: the slot is free — nothing published at
+                    // this position yet.
+                    return None;
+                }
+                std::cmp::Ordering::Greater => {
+                    // Another consumer took this position; reload.
+                    pos = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Drains everything currently published into `out`, in submission
+    /// order, returning how many were moved.
+    pub fn drain_into(&self, out: &mut Vec<Request>) -> usize {
+        let before = out.len();
+        while let Some(req) = self.pop() {
+            out.push(req);
+        }
+        out.len() - before
+    }
+}
+
+// Producers on many threads share one ring behind an `Arc`.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SubmissionRing>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(function: u64, strategy: StartStrategy, deadline_ns: Option<u64>) -> Request {
+        Request {
+            function: FunctionId::from_raw(function),
+            strategy,
+            class: if deadline_ns.is_some() {
+                RequestClass::Background
+            } else {
+                RequestClass::Ull
+            },
+            deadline_ns,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_every_field() {
+        for strategy in StartStrategy::ALL {
+            for deadline in [None, Some(0u64), Some(1), Some(u64::MAX)] {
+                for class in [RequestClass::Ull, RequestClass::Background] {
+                    let r = Request {
+                        function: FunctionId::from_raw(u64::MAX),
+                        strategy,
+                        class,
+                        deadline_ns: deadline,
+                    };
+                    let (f, m, d) = encode(&r);
+                    assert_eq!(decode(f, m, d), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let ring = SubmissionRing::with_capacity(8);
+        for i in 0..5u64 {
+            let seq = ring.push(req(i, StartStrategy::Horse, Some(i))).unwrap();
+            assert_eq!(seq, i, "push returns the global sequence");
+        }
+        assert_eq!(ring.len(), 5);
+        for i in 0..5u64 {
+            assert_eq!(ring.pop().unwrap().function.as_u64(), i);
+        }
+        assert!(ring.pop().is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn full_ring_hands_the_request_back() {
+        let ring = SubmissionRing::with_capacity(2);
+        ring.push(req(0, StartStrategy::Warm, None)).unwrap();
+        ring.push(req(1, StartStrategy::Warm, None)).unwrap();
+        let err = ring.push(req(2, StartStrategy::Warm, None)).unwrap_err();
+        assert_eq!(err.0.function.as_u64(), 2, "the rejected request");
+        assert_eq!(err.to_string(), "submission ring full");
+        // Freeing one slot re-admits one push.
+        assert_eq!(ring.pop().unwrap().function.as_u64(), 0);
+        ring.push(req(2, StartStrategy::Warm, None)).unwrap();
+        assert_eq!(ring.pop().unwrap().function.as_u64(), 1);
+        assert_eq!(ring.pop().unwrap().function.as_u64(), 2);
+    }
+
+    #[test]
+    fn wraparound_survives_many_laps() {
+        let ring = SubmissionRing::with_capacity(4);
+        let mut out = Vec::new();
+        for lap in 0..100u64 {
+            for i in 0..3 {
+                ring.push(req(lap * 3 + i, StartStrategy::Horse, None))
+                    .unwrap();
+            }
+            ring.drain_into(&mut out);
+        }
+        assert_eq!(out.len(), 300);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.function.as_u64(), i as u64, "global FIFO across laps");
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(SubmissionRing::with_capacity(1).capacity(), 2);
+        assert_eq!(SubmissionRing::with_capacity(3).capacity(), 4);
+        assert_eq!(SubmissionRing::with_capacity(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        use std::sync::Arc;
+        let ring = Arc::new(SubmissionRing::with_capacity(1024));
+        let producers = 4;
+        let per = 200u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let id = (p as u64) * 1_000 + i;
+                        ring.push(req(id, StartStrategy::Horse, None)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(ring.drain_into(&mut out), producers * per as usize);
+        // No duplication, per-producer FIFO.
+        let mut seen: Vec<u64> = out.iter().map(|r| r.function.as_u64()).collect();
+        for p in 0..producers as u64 {
+            let mine: Vec<u64> = seen.iter().copied().filter(|id| id / 1_000 == p).collect();
+            let expected: Vec<u64> = (0..per).map(|i| p * 1_000 + i).collect();
+            assert_eq!(mine, expected, "producer {p} stays FIFO");
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), producers * per as usize, "no duplicates");
+    }
+}

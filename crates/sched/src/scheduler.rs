@@ -7,7 +7,8 @@ use crate::runqueue::{RqId, RqKind, RunQueue};
 use crate::topology::{CpuId, CpuTopology};
 use crate::vcpu::Vcpu;
 use horse_core::{
-    Arena, ArenaStats, MergePlan, MergeReport, NodeRef, SortedList, SpliceMode, StalePlanError,
+    Arena, ArenaStats, MergePlan, MergeReport, NodeRef, PlanBuffers, SortedList, SpliceMode,
+    StalePlanError,
 };
 use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 
@@ -306,12 +307,30 @@ impl HostScheduler {
     /// queues would have to be maintained for every queue, which is the
     /// cost explosion §4.1.3 explicitly avoids.
     pub fn ull_precompute(&self, rq: RqId, merge_vcpus: SortedList) -> MergePlan {
+        self.ull_precompute_in(rq, merge_vcpus, PlanBuffers::default())
+    }
+
+    /// [`Self::ull_precompute`] reusing recycled plan buffers (from
+    /// [`Self::ull_merge_recycling`] or
+    /// `MergePlan::into_list_recycling`), so steady-state pause loops
+    /// build plans without heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rq` is not a reserved uLL queue (same contract as
+    /// [`Self::ull_precompute`]).
+    pub fn ull_precompute_in(
+        &self,
+        rq: RqId,
+        merge_vcpus: SortedList,
+        buffers: PlanBuffers,
+    ) -> MergePlan {
         assert_eq!(
             self.queues[rq.0].kind(),
             RqKind::Ull,
             "P2SM plans are only maintained for reserved uLL queues"
         );
-        MergePlan::precompute(&self.arena, &self.queues[rq.0].list, merge_vcpus)
+        MergePlan::precompute_in(&self.arena, &self.queues[rq.0].list, merge_vcpus, buffers)
     }
 
     /// Executes a 𝒫²𝒮ℳ merge into the given uLL queue (resume-time
@@ -327,12 +346,30 @@ impl HostScheduler {
         plan: MergePlan,
         mode: SpliceMode,
     ) -> Result<MergeReport, StalePlanError> {
+        self.ull_merge_recycling(rq, plan, mode)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Self::ull_merge`] that hands back the plan's buffers for reuse
+    /// in a future [`Self::ull_precompute_in`]. Telemetry and merge
+    /// semantics are identical to [`Self::ull_merge`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StalePlanError`] if the plan no longer matches the
+    /// queue (the stale plan's buffers are dropped — the cold path).
+    pub fn ull_merge_recycling(
+        &mut self,
+        rq: RqId,
+        plan: MergePlan,
+        mode: SpliceMode,
+    ) -> Result<(MergeReport, PlanBuffers), StalePlanError> {
         let q = &mut self.queues[rq.0];
-        let report = plan.merge(&self.arena, &mut q.list, mode)?;
+        let (report, buffers) = plan.merge_recycling(&self.arena, &mut q.list, mode)?;
         self.recorder
             .instant(EventKind::RunqueueMerge, 0, report.splices as u64);
         self.recorder.count(Counter::Splices, report.splices as u64);
-        Ok(report)
+        Ok((report, buffers))
     }
 
     /// Vanilla sorted merge of a standalone list into a queue — the

@@ -58,7 +58,12 @@ impl SeedFactory {
         StdRng::seed_from_u64(splitmix64(base ^ splitmix64(index)))
     }
 
-    fn stream_seed(&self, label: &str) -> u64 {
+    /// The 64-bit seed behind [`Self::stream`] for `label` — for
+    /// consumers that run their own counter-based generator (e.g. a
+    /// pure splitmix64 stream indexed by invocation) instead of a
+    /// stateful [`StdRng`]. Stable across runs for a fixed
+    /// `(master, label)` pair.
+    pub fn stream_seed(&self, label: &str) -> u64 {
         // FNV-1a over the label, mixed with the master seed.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in label.as_bytes() {
@@ -69,8 +74,10 @@ impl SeedFactory {
     }
 }
 
-/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer. Public
+/// so lock-free consumers (e.g. the platform's per-invocation exec
+/// jitter) can derive counter-indexed draws without a shared RNG.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

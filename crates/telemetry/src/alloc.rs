@@ -92,6 +92,7 @@ struct PhaseCounters {
     deallocs: AtomicU64,
     bytes_allocated: AtomicU64,
     bytes_freed: AtomicU64,
+    recycles: AtomicU64,
 }
 
 impl PhaseCounters {
@@ -101,6 +102,7 @@ impl PhaseCounters {
             deallocs: AtomicU64::new(0),
             bytes_allocated: AtomicU64::new(0),
             bytes_freed: AtomicU64::new(0),
+            recycles: AtomicU64::new(0),
         }
     }
 }
@@ -149,6 +151,26 @@ fn note_dealloc(bytes: usize) {
     t.deallocs.fetch_add(1, Ordering::Relaxed);
     t.bytes_freed.fetch_add(bytes as u64, Ordering::Relaxed);
     let _ = THREAD_DEALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Notes that the current phase satisfied a would-be allocation from a
+/// recycled buffer (object pool, slab arena free list, `Vec` capacity
+/// reuse) instead of the heap.
+///
+/// The allocator hooks only fire on real `malloc`/`free` traffic, so a
+/// recycled buffer never inflates `allocs` — this counter is the
+/// *positive* signal that the zero-allocation steady state is actually
+/// recycling rather than simply idle. `bin/profile_report` exports it
+/// next to `allocs` per phase, and the warm-invoke gate checks
+/// `allocs == 0 && recycles > 0` for a pooled steady state.
+#[inline]
+pub fn note_buffer_recycled() {
+    if !crate::profiling::is_enabled() {
+        return;
+    }
+    TABLE[current_phase_index()]
+        .recycles
+        .fetch_add(1, Ordering::Relaxed);
 }
 
 /// A counting wrapper over the system allocator. Install it in a
@@ -253,6 +275,9 @@ pub struct PhaseAllocStats {
     pub bytes_allocated: u64,
     /// Bytes freed.
     pub bytes_freed: u64,
+    /// Would-be allocations served from recycled buffers instead of the
+    /// heap (see [`note_buffer_recycled`]).
+    pub recycles: u64,
 }
 
 /// Snapshots every phase's counters (writers are never paused; the
@@ -269,9 +294,17 @@ pub fn snapshot() -> Vec<PhaseAllocStats> {
                 deallocs: t.deallocs.load(Ordering::Relaxed),
                 bytes_allocated: t.bytes_allocated.load(Ordering::Relaxed),
                 bytes_freed: t.bytes_freed.load(Ordering::Relaxed),
+                recycles: t.recycles.load(Ordering::Relaxed),
             }
         })
         .collect()
+}
+
+/// Total allocations across every phase, read without allocating —
+/// safe to call *inside* a measured window (a [`snapshot`] call builds
+/// a `Vec` and would count itself).
+pub fn total_allocs() -> u64 {
+    TABLE.iter().map(|t| t.allocs.load(Ordering::Relaxed)).sum()
 }
 
 /// Zeroes the global phase table.
@@ -281,6 +314,7 @@ pub fn reset() {
         t.deallocs.store(0, Ordering::Relaxed);
         t.bytes_allocated.store(0, Ordering::Relaxed);
         t.bytes_freed.store(0, Ordering::Relaxed);
+        t.recycles.store(0, Ordering::Relaxed);
     }
 }
 
@@ -400,9 +434,44 @@ mod tests {
         reset();
         for s in snapshot() {
             assert_eq!(
-                (s.allocs, s.deallocs, s.bytes_allocated, s.bytes_freed),
-                (0, 0, 0, 0)
+                (
+                    s.allocs,
+                    s.deallocs,
+                    s.bytes_allocated,
+                    s.bytes_freed,
+                    s.recycles
+                ),
+                (0, 0, 0, 0, 0)
             );
         }
+    }
+
+    #[test]
+    fn recycles_attribute_to_phase_without_counting_as_allocs() {
+        let _gate = test_gate();
+        let _on = profiling::ProfilingScope::enter();
+        let before = phase_stats(AllocPhase::Pause);
+        {
+            let _scope = AllocScope::enter(AllocPhase::Pause);
+            // A recycled buffer re-serves existing capacity: no malloc.
+            note_buffer_recycled();
+            note_buffer_recycled();
+        }
+        let after = phase_stats(AllocPhase::Pause);
+        assert_eq!(after.recycles, before.recycles + 2);
+        assert_eq!(
+            after.allocs, before.allocs,
+            "a recycle must not count as a fresh allocation"
+        );
+    }
+
+    #[test]
+    fn disabled_plane_counts_no_recycles() {
+        let _gate = test_gate();
+        profiling::set_enabled(false);
+        let before = phase_stats(AllocPhase::Pause);
+        note_buffer_recycled();
+        let after = phase_stats(AllocPhase::Pause);
+        assert_eq!(before, after);
     }
 }

@@ -19,10 +19,12 @@ use crate::pause::{PauseBreakdown, PauseStep};
 use crate::resume::{ResumeBreakdown, ResumeMode, ResumeStep};
 use crate::sandbox::{PausePolicy, PausedState, Sandbox, SandboxState, VcpuPlacement};
 use crate::snapshot::{RestoreModel, SandboxSnapshot};
-use horse_core::{MergeReport, PlanCorruption, SortedList, SpliceMode, StalePlanError};
+use horse_core::{
+    MergeReport, PlanBuffers, PlanCorruption, SortedList, SpliceMode, StalePlanError,
+};
 use horse_faults::{FaultId, FaultInjector, FaultSite, RecoveryOutcome};
 use horse_sched::{HostScheduler, RqId, SandboxId, SchedConfig, SpliceWatchdog, Vcpu, VcpuId};
-use horse_telemetry::alloc::{AllocPhase, AllocScope};
+use horse_telemetry::alloc::{note_buffer_recycled, AllocPhase, AllocScope};
 use horse_telemetry::{Counter, EventKind, Gauge, Recorder};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
@@ -219,6 +221,48 @@ impl VmmStats {
     }
 }
 
+/// Recycled buffers for the steady-state pause/resume loop.
+///
+/// A warm invocation pauses and resumes the same sandbox over and over;
+/// without recycling, every cycle re-allocates the save-buffer, the
+/// placement vector, the 𝒫²𝒮ℳ plan buffers and the per-queue load-update
+/// scratch. The scratch pools close that loop: a pause recycles what the
+/// previous resume (or `start`) allocated and vice versa, so after the
+/// first cycle the hot path performs **zero heap allocations**
+/// (`gate.allocs_per_warm_invoke == 0`). Reuses are attributed via
+/// [`note_buffer_recycled`] so the profiling plane can distinguish a
+/// pooled steady state from an idle one.
+///
+/// Pools are bounded by the number of concurrently paused sandboxes on
+/// the host; buffers are stored cleared.
+#[derive(Debug, Default)]
+struct HotScratch {
+    /// Free `(credit, vcpu)` save-buffers (pause fills, resume returns).
+    saved: Vec<Vec<(i64, Vcpu)>>,
+    /// Free placement buffers (resume fills, pause returns).
+    placements: Vec<Vec<VcpuPlacement>>,
+    /// Recycled 𝒫²𝒮ℳ plan buffers (merge/teardown returns, precompute
+    /// takes).
+    plans: Vec<PlanBuffers>,
+    /// Pause-path scratch: uLL queues touched by the dequeues.
+    touched_ull: Vec<RqId>,
+    /// Resume-path scratch: per-queue vCPU counts for the vanilla load
+    /// update (find-or-push over a handful of queues — no tree nodes).
+    per_rq: Vec<(RqId, u32)>,
+}
+
+impl HotScratch {
+    /// Pops a pooled buffer (or a fresh empty one), noting the recycle
+    /// when the buffer actually carries reusable capacity.
+    fn take_buf<T>(pool: &mut Vec<Vec<T>>) -> Vec<T> {
+        let buf = pool.pop().unwrap_or_default();
+        if buf.capacity() > 0 {
+            note_buffer_recycled();
+        }
+        buf
+    }
+}
+
 /// The virtual machine monitor.
 ///
 /// # Example
@@ -251,6 +295,8 @@ pub struct Vmm {
     injector: FaultInjector,
     /// Straggler budget for the parallel splice.
     watchdog: SpliceWatchdog,
+    /// Recycled hot-path buffers (see [`HotScratch`]).
+    scratch: HotScratch,
 }
 
 impl Vmm {
@@ -267,6 +313,7 @@ impl Vmm {
             recorder: Recorder::disabled(),
             injector: FaultInjector::disabled(),
             watchdog: SpliceWatchdog::default(),
+            scratch: HotScratch::default(),
         }
     }
 
@@ -397,22 +444,29 @@ impl Vmm {
         let _alloc = AllocScope::enter(AllocPhase::Pause);
         self.expect_state(id, SandboxState::Running)?;
         let sb = self.sandboxes.get_mut(&id.as_u64()).expect("checked above");
-        let placements = std::mem::take(&mut sb.placements);
+        let mut placements = std::mem::take(&mut sb.placements);
         let n = placements.len() as u32;
 
         // Dequeue every vCPU, remembering credits for re-insertion. If the
         // vCPUs sit on an ull_runqueue, other paused sandboxes' plans
         // against that queue go stale and must be rebuilt afterwards.
-        let mut saved: Vec<(i64, Vcpu)> = Vec::with_capacity(placements.len());
-        let mut touched_ull: Vec<RqId> = Vec::new();
-        for p in placements {
+        // The save-buffer comes from the scratch pool (filled by earlier
+        // resumes); the drained placement buffer goes back for the next
+        // resume — a warm pause/resume cycle allocates nothing.
+        let mut saved: Vec<(i64, Vcpu)> = HotScratch::take_buf(&mut self.scratch.saved);
+        let mut touched_ull = std::mem::take(&mut self.scratch.touched_ull);
+        for p in placements.drain(..) {
             let (credit, vcpu) = self.sched.dequeue_vcpu(p.rq, p.node);
             if self.sched.ull_queues().contains(&p.rq) {
                 touched_ull.push(p.rq);
             }
             saved.push((credit, vcpu));
         }
-        saved.sort_by_key(|(credit, vcpu)| (*credit, vcpu.id));
+        self.scratch.placements.push(placements);
+        // Unstable sort: `(credit, vcpu.id)` keys are unique, so the
+        // order is identical to the stable sort — without its temporary
+        // merge buffer.
+        saved.sort_unstable_by_key(|(credit, vcpu)| (*credit, vcpu.id));
         let mut breakdown = PauseBreakdown::default();
         breakdown.set(
             PauseStep::DequeueVcpus,
@@ -432,11 +486,15 @@ impl Vmm {
             self.recorder.gauge_add(Gauge::QueuedVcpus, -i64::from(n));
             self.recorder
                 .gauge(Gauge::LiveSandboxes, self.sandboxes.len() as u64);
-            touched_ull.sort_by_key(|r| r.as_usize());
+            touched_ull.sort_unstable_by_key(|r| r.as_usize());
             touched_ull.dedup();
-            for rq in touched_ull {
+            for &rq in &touched_ull {
                 self.rebuild_plans_on(rq, None);
             }
+            touched_ull.clear();
+            self.scratch.touched_ull = touched_ull;
+            saved.clear();
+            self.scratch.saved.push(saved);
             self.injector
                 .resolve(fault, RecoveryOutcome::CrashContained { mid_resume: false });
             return Err(VmmError::Crashed {
@@ -484,7 +542,14 @@ impl Vmm {
                     + ops.pointer_writes as f64 * self.cost.ptr_write_ns)
                     .round() as u64,
             );
-            let plan = self.sched.ull_precompute(rq, merge_vcpus);
+            // Plan buffers recycle from earlier merges/teardowns; the
+            // merge-list nodes themselves reuse the arena slots the
+            // dequeues above just freed.
+            let bufs = self.scratch.plans.pop().unwrap_or_default();
+            if bufs.has_capacity() {
+                note_buffer_recycled();
+            }
+            let plan = self.sched.ull_precompute_in(rq, merge_vcpus, bufs);
             breakdown.set(
                 PauseStep::PrecomputePlan,
                 ((plan.a_len() + plan.b_len()) as f64 * self.cost.plan_precompute_per_elem_ns)
@@ -525,11 +590,13 @@ impl Vmm {
             }
         }
         // Rebuild plans of other paused sandboxes whose B we mutated.
-        touched_ull.sort_by_key(|r| r.as_usize());
+        touched_ull.sort_unstable_by_key(|r| r.as_usize());
         touched_ull.dedup();
-        for rq in touched_ull {
+        for &rq in &touched_ull {
             self.rebuild_plans_on(rq, Some(id));
         }
+        touched_ull.clear();
+        self.scratch.touched_ull = touched_ull;
 
         self.stats.pauses += 1;
         self.record_pause(id, policy, &breakdown, n);
@@ -697,7 +764,8 @@ impl Vmm {
         self.recorder.set_parent(Some(EventKind::ResumeSortedMerge));
         let merge_start = self.recorder.now_ns();
         let mut merge_report = None;
-        let mut placements: Vec<VcpuPlacement> = Vec::with_capacity(n as usize);
+        // Placement buffer recycled from the previous pause (or `start`).
+        let mut placements: Vec<VcpuPlacement> = HotScratch::take_buf(&mut self.scratch.placements);
         self.sched.take_arena_stats(); // reset op counters
         let merge_ns = if mode.uses_ppsm() {
             let rq = paused.ull_rq.expect("ppsm pause assigned a queue");
@@ -798,7 +866,8 @@ impl Vmm {
                         rescue.rescued_splices as u64,
                     );
                 }
-                let report = self.sched.ull_merge(rq, plan, splice_mode)?;
+                let (report, bufs) = self.sched.ull_merge_recycling(rq, plan, splice_mode)?;
+                self.scratch.plans.push(bufs);
                 merge_report = Some(report);
                 self.cost.horse_merge_ns(splices, true) + rescue_penalty as f64
             } else {
@@ -806,7 +875,8 @@ impl Vmm {
                 // `into_list` ignores the corruptible metadata) and run
                 // the vanilla sorted merge into the queue. Same queue
                 // contents as a successful splice, vanilla latency.
-                let list = plan.into_list(self.sched.arena());
+                let (list, bufs) = plan.into_list_recycling(self.sched.arena());
+                self.scratch.plans.push(bufs);
                 self.sched.take_arena_stats(); // time only the fallback walk
                 let merged = self.sched.fallback_merge(rq, list);
                 assert_eq!(merged as u32, n, "fallback must merge all of A");
@@ -921,13 +991,26 @@ impl Vmm {
             }
         } else {
             // One lock-protected update per vCPU, on each vCPU's queue.
-            let mut per_rq: BTreeMap<RqId, u32> = BTreeMap::new();
-            for p in &placements {
-                *per_rq.entry(p.rq).or_default() += 1;
+            // Persistent find-or-push scratch instead of a BTreeMap: a
+            // sandbox lands on a handful of queues, and the map's node
+            // allocations were the last heap traffic on the warm path.
+            // Sorting by queue id preserves the map's update order.
+            let mut per_rq = std::mem::take(&mut self.scratch.per_rq);
+            if per_rq.capacity() > 0 {
+                note_buffer_recycled();
             }
-            for (&rq, &count) in &per_rq {
+            for p in &placements {
+                match per_rq.iter_mut().find(|(rq, _)| *rq == p.rq) {
+                    Some((_, count)) => *count += 1,
+                    None => per_rq.push((p.rq, 1)),
+                }
+            }
+            per_rq.sort_unstable_by_key(|(rq, _)| rq.as_usize());
+            for &(rq, count) in &per_rq {
                 self.sched.load_update_per_vcpu(rq, count);
             }
+            per_rq.clear();
+            self.scratch.per_rq = per_rq;
             self.cost.vanilla_load_ns(u64::from(n), u64::from(n))
         };
         let load_dur = load_ns.round() as u64;
@@ -946,6 +1029,10 @@ impl Vmm {
             // The queue changed: other paused plans on it must be rebuilt.
             self.rebuild_plans_on(rq, Some(id));
         }
+        // Recycle the save-buffer for the next pause.
+        let mut saved = paused.saved_vcpus;
+        saved.clear();
+        self.scratch.saved.push(saved);
         let sb = self.sandboxes.get_mut(&id.as_u64()).expect("present");
         sb.placements = placements;
         sb.set_state(SandboxState::Running);
@@ -1048,7 +1135,7 @@ impl Vmm {
                 }
             }
         }
-        touched.sort_by_key(|r| r.as_usize());
+        touched.sort_unstable_by_key(|r| r.as_usize());
         touched.dedup();
         for rq in touched {
             self.rebuild_plans_on(rq, None);
@@ -1362,8 +1449,10 @@ impl Vmm {
         let Some(plan) = state.plan.take() else {
             return;
         };
-        let list = plan.into_list(self.sched.arena());
-        let rebuilt = self.sched.ull_precompute(rq, list);
+        // Tear down and rebuild into the same buffers — maintenance on a
+        // busy queue stays allocation-free too.
+        let (list, bufs) = plan.into_list_recycling(self.sched.arena());
+        let rebuilt = self.sched.ull_precompute_in(rq, list, bufs);
         let cost =
             (rebuilt.a_len() + rebuilt.b_len()) as f64 * self.cost.plan_precompute_per_elem_ns;
         let sb = self.sandboxes.get_mut(&sid.as_u64()).expect("registered");
