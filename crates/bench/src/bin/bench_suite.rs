@@ -38,7 +38,13 @@
 //! * `bench_suite --throughput --threads 1,4 --gate-speedup 2` — fail
 //!   unless the best multi-threaded run clears `2×` the
 //!   single-threaded invocations/sec (the CI smoke gate; meaningless
-//!   on a single-core machine, so it is opt-in).
+//!   on a single-core machine, so it is opt-in);
+//! * `bench_suite --wall-clock-resume` — also measure *real* resume
+//!   latency (real splice-worker threads, emulated per-vCPU wake cost)
+//!   at 1–144 vCPUs and emit `BENCH_wallclock.json`, gating that the
+//!   parallel splice's 1→144 growth stays sub-linear while vanilla's is
+//!   ~linear; `--serial-splice` forces the pool inline, which MUST trip
+//!   that gate (CI's negative self-test).
 
 use std::collections::BTreeMap;
 use std::process::Command;
@@ -49,11 +55,11 @@ use std::time::Instant;
 use horse_bench::{paper_sched_config, policy_for};
 use horse_faas::{Cluster, DispatchPolicy, FaasError, HostId, PlatformConfig, StartStrategy};
 use horse_metrics::export::write_chrome_trace;
-use horse_metrics::{Histogram, TailAttribution};
+use horse_metrics::{Histogram, RobustSummary, TailAttribution};
 use horse_telemetry::forensics::{chrome_trace_with_flows, ForensicIndex, SpanTree};
 use horse_telemetry::json::{self, JsonValue};
 use horse_telemetry::{Recorder, TraceSnapshot};
-use horse_vmm::{CostModel, ResumeMode, ResumeStep, SandboxConfig, Vmm};
+use horse_vmm::{CostModel, ResumeMode, ResumeStep, SandboxConfig, SplicePool, Vmm};
 use horse_workloads::Category;
 
 const SCHEMA_RESUME: &str = "horse-bench/resume/1";
@@ -62,6 +68,7 @@ const SCHEMA_E2E_FORENSICS: &str = "horse-bench/e2e-forensics/1";
 /// Slowest stitched trees kept in the e2e postmortem artifact.
 const WORST_TREES: usize = 16;
 const SCHEMA_THROUGHPUT: &str = "horse-bench/throughput/1";
+const SCHEMA_WALLCLOCK: &str = "horse-bench/wallclock/1";
 const SCHEMA_BASELINE: &str = "horse-bench/baseline/1";
 
 /// Relative drift tolerated per `*_ns` leaf by `--against`. The model is
@@ -102,12 +109,15 @@ struct Options {
     gate_speedup: Option<f64>,
     gate_min_ips: Option<f64>,
     disable_batching: bool,
+    wall_clock_resume: bool,
+    serial_splice: bool,
 }
 
 const USAGE: &str = "usage: bench_suite [--seed <u64>] [--out <dir>] \
      [--against <baseline.json>] [--write-baseline] [--slowdown-splice <f64>] \
      [--throughput] [--threads <n,n,...>] [--invocations <u64>] \
-     [--gate-speedup <f64>] [--gate-min-ips <f64>] [--disable-batching]";
+     [--gate-speedup <f64>] [--gate-min-ips <f64>] [--disable-batching] \
+     [--wall-clock-resume] [--serial-splice]";
 
 impl Options {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
@@ -123,6 +133,8 @@ impl Options {
             gate_speedup: None,
             gate_min_ips: None,
             disable_batching: false,
+            wall_clock_resume: false,
+            serial_splice: false,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -197,8 +209,15 @@ impl Options {
                     opts.gate_min_ips = Some(g);
                 }
                 "--disable-batching" => opts.disable_batching = true,
+                "--wall-clock-resume" => opts.wall_clock_resume = true,
+                "--serial-splice" => opts.serial_splice = true,
                 other => return Err(format!("unknown flag {other}; {USAGE}")),
             }
+        }
+        if opts.serial_splice && !opts.wall_clock_resume {
+            return Err(format!(
+                "--serial-splice requires --wall-clock-resume; {USAGE}"
+            ));
         }
         if opts.gate_min_ips.is_some() {
             if !opts.throughput {
@@ -256,8 +275,14 @@ fn num(v: f64) -> JsonValue {
 }
 
 /// One deterministic pause/resume cycle under `cost`.
+///
+/// The splice pool is parallel here *on purpose*: the virtual `*_ns`
+/// leaves this feeds are gated against the committed baseline, so every
+/// gated run re-proves that real splice-worker threads leave the virtual
+/// cost accounting bit-identical to the sequential path.
 fn one_resume(cost: &CostModel, vcpus: u32, mode: ResumeMode) -> horse_vmm::ResumeBreakdown {
     let mut vmm = Vmm::new(paper_sched_config(), *cost);
+    vmm.set_splice_pool(SplicePool::parallel(4));
     let cfg = SandboxConfig::builder()
         .vcpus(vcpus)
         .memory_mb(512)
@@ -312,6 +337,127 @@ fn micro_sections(cost: &CostModel) -> (JsonValue, JsonValue, JsonValue) {
         JsonValue::Object(merge),
         JsonValue::Object(coalesce),
     )
+}
+
+/// vCPU points of the wall-clock resume sweep — past the paper's 36-vCPU
+/// range, out to 2× the r650 core count, where linear growth is
+/// unmistakable.
+const WALL_VCPUS: [u32; 5] = [1, 8, 36, 72, 144];
+/// Measured repetitions per wall-clock point (one warm-up cycle runs
+/// first and is discarded).
+const WALL_REPS: usize = 7;
+/// Splice-pool width of the parallel points. Fixed — the whole claim is
+/// that dispatch cost does not grow with the vCPU count.
+const WALL_WORKERS: usize = 8;
+/// Emulated per-vCPU wake cost. Stands in for the IPI + context-switch
+/// work a real kernel does per woken vCPU; drives only real
+/// `thread::sleep`s, never the virtual cost axis, so the deterministic
+/// baseline gate is untouched.
+const WALL_WAKE_NANOS: u64 = 20_000;
+/// Growth bound for the 1→144 sweep. Vanilla resume wakes all 144 vCPUs
+/// from the resuming thread, so its wall-clock grows ~144× (timer slack
+/// scales with it); the parallel splice spreads the same wakes over
+/// [`WALL_WORKERS`] workers, growing ≤ ~18×. 36 sits between the two
+/// with ≥ 2× margin each way.
+const WALL_SUBLINEAR_BOUND: f64 = 36.0;
+
+/// One wall-clock point of `(vcpus, mode)`: real resume latencies in
+/// nanoseconds over [`WALL_REPS`] warm pause/resume cycles.
+///
+/// The host carries a background uLL sandbox on even credits and the
+/// measured sandbox on odd credits, so each resume splices one distinct
+/// point per vCPU into a populated queue — the adversarial shape for
+/// 𝒫²𝒮ℳ (maximum splice points) and the fair one for vanilla (same
+/// per-vCPU insert count).
+fn wall_resume_samples(
+    cost: &CostModel,
+    vcpus: u32,
+    mode: ResumeMode,
+    serial_splice: bool,
+) -> Vec<f64> {
+    let mut vmm = Vmm::new(paper_sched_config(), *cost);
+    if mode.uses_ppsm() {
+        let mut pool = SplicePool::parallel(WALL_WORKERS);
+        pool.set_serial(serial_splice);
+        vmm.set_splice_pool(pool);
+    }
+    vmm.set_wake_emulation_nanos(WALL_WAKE_NANOS);
+
+    let config = || {
+        SandboxConfig::builder()
+            .vcpus(vcpus)
+            .memory_mb(512)
+            .ull(true)
+            .build()
+            .expect("static config is valid")
+    };
+    let background = vmm.create(config());
+    let evens: Vec<i64> = (0..i64::from(vcpus)).map(|i| 2 * i + 2).collect();
+    vmm.start_with_credits(background, &evens)
+        .expect("background sandbox starts");
+    let measured = vmm.create(config());
+    let odds: Vec<i64> = (0..i64::from(vcpus)).map(|i| 2 * i + 1).collect();
+    vmm.start_with_credits(measured, &odds)
+        .expect("measured sandbox starts");
+
+    let policy = policy_for(mode);
+    let mut samples = Vec::with_capacity(WALL_REPS);
+    for rep in 0..=WALL_REPS {
+        vmm.pause(measured, policy).expect("running sandbox pauses");
+        let t0 = Instant::now();
+        vmm.resume(measured, mode).expect("paused sandbox resumes");
+        if rep > 0 {
+            samples.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+    samples
+}
+
+/// One summarised point of the wall-clock sweep.
+struct WallPoint {
+    vcpus: u32,
+    summary: RobustSummary,
+}
+
+/// Measures the full [`WALL_VCPUS`] sweep for one mode.
+fn wall_sweep(cost: &CostModel, mode: ResumeMode, serial_splice: bool) -> Vec<WallPoint> {
+    WALL_VCPUS
+        .iter()
+        .map(|&vcpus| WallPoint {
+            vcpus,
+            summary: RobustSummary::of(&wall_resume_samples(cost, vcpus, mode, serial_splice)),
+        })
+        .collect()
+}
+
+/// Wall-clock growth of the sweep: last point over first point, on the
+/// outlier-robust means.
+fn wall_growth(points: &[WallPoint]) -> f64 {
+    let first = points.first().expect("sweep is non-empty").summary.mean;
+    let last = points.last().expect("sweep is non-empty").summary.mean;
+    last / first.max(f64::MIN_POSITIVE)
+}
+
+/// JSON section of one mode's sweep. Keys use `_nanos` (never `_ns`):
+/// wall-clock numbers are machine-dependent and must stay invisible to
+/// the deterministic baseline gate's leaf scan.
+fn wall_mode_json(points: &[WallPoint]) -> JsonValue {
+    let mut map = BTreeMap::new();
+    for p in points {
+        map.insert(
+            format!("v{}", p.vcpus),
+            obj(vec![
+                ("resume_mean_nanos".into(), num(p.summary.mean)),
+                ("resume_median_nanos".into(), num(p.summary.median)),
+                ("resume_min_nanos".into(), num(p.summary.min)),
+                ("resume_max_nanos".into(), num(p.summary.max)),
+                ("samples_kept".into(), num(p.summary.kept as f64)),
+                ("samples_rejected".into(), num(p.summary.rejected as f64)),
+            ]),
+        );
+    }
+    map.insert("growth_144_over_1".to_string(), num(wall_growth(points)));
+    JsonValue::Object(map)
 }
 
 /// Seeded cluster soak: warm (vanilla resume) and horse invocations on a
@@ -1035,6 +1181,78 @@ fn main() {
         section_entries.push(("throughput_doc".to_string(), throughput_doc));
     }
 
+    // Wall-clock resume sweep: real threads, real sleeps, robust stats.
+    // Deliberately NOT part of `sections` — nothing here is
+    // deterministic, so nothing here may join the baseline gate.
+    let mut wall_failures: Vec<String> = Vec::new();
+    if opts.wall_clock_resume {
+        let horse = wall_sweep(&cost, ResumeMode::Horse, opts.serial_splice);
+        let vanil = wall_sweep(&cost, ResumeMode::Vanilla, false);
+        for (label, points) in [("horse", &horse), ("vanil", &vanil)] {
+            for p in points {
+                println!(
+                    "wallclock: {label} v{:>3} -> mean {:>12.0} ns \
+                     (median {:.0}, min {:.0}, max {:.0}, {} kept / {} rejected)",
+                    p.vcpus,
+                    p.summary.mean,
+                    p.summary.median,
+                    p.summary.min,
+                    p.summary.max,
+                    p.summary.kept,
+                    p.summary.rejected
+                );
+            }
+        }
+        let horse_growth = wall_growth(&horse);
+        let vanil_growth = wall_growth(&vanil);
+        if horse_growth < WALL_SUBLINEAR_BOUND {
+            println!(
+                "wallclock gate: parallel-splice growth 1→144 is {horse_growth:.1}x \
+                 (sub-linear, < {WALL_SUBLINEAR_BOUND}x)"
+            );
+        } else {
+            wall_failures.push(format!(
+                "parallel-splice wall-clock growth 1→144 is {horse_growth:.1}x, \
+                 not sub-linear (gate: < {WALL_SUBLINEAR_BOUND}x)"
+            ));
+        }
+        if vanil_growth >= WALL_SUBLINEAR_BOUND {
+            println!(
+                "wallclock gate: vanilla growth 1→144 is {vanil_growth:.1}x \
+                 (~linear, >= {WALL_SUBLINEAR_BOUND}x) — the comparison is live"
+            );
+        } else {
+            wall_failures.push(format!(
+                "vanilla wall-clock growth 1→144 is only {vanil_growth:.1}x \
+                 (gate: >= {WALL_SUBLINEAR_BOUND}x) — the wake emulation is not \
+                 exercising the linear path, so the sub-linear claim proves nothing"
+            ));
+        }
+
+        let wall_doc = obj(vec![
+            ("schema".into(), JsonValue::String(SCHEMA_WALLCLOCK.into())),
+            ("git_sha".into(), JsonValue::String(sha.clone())),
+            ("seed".into(), num(opts.seed as f64)),
+            ("splice_workers".into(), num(WALL_WORKERS as f64)),
+            ("wake_emulation_nanos".into(), num(WALL_WAKE_NANOS as f64)),
+            ("repetitions".into(), num(WALL_REPS as f64)),
+            ("serial_splice".into(), JsonValue::Bool(opts.serial_splice)),
+            ("sublinear_bound".into(), num(WALL_SUBLINEAR_BOUND)),
+            (
+                "available_parallelism".into(),
+                num(std::thread::available_parallelism().map_or(0, |n| n.get()) as f64),
+            ),
+            ("horse".into(), wall_mode_json(&horse)),
+            ("vanil".into(), wall_mode_json(&vanil)),
+        ]);
+        let wall_path = format!("{}/BENCH_wallclock.json", opts.out);
+        write_json(&wall_path, &wall_doc);
+        println!(
+            "{wall_path}: {SCHEMA_WALLCLOCK} (horse {horse_growth:.1}x, \
+             vanil {vanil_growth:.1}x over 1→144 vCPUs)"
+        );
+    }
+
     let sections = obj(section_entries);
 
     if opts.write_baseline {
@@ -1116,6 +1334,14 @@ fn main() {
             throughput_failures.len()
         );
         for f in &throughput_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+
+    if !wall_failures.is_empty() {
+        eprintln!("wall-clock gate FAILED: {} problem(s)", wall_failures.len());
+        for f in &wall_failures {
             eprintln!("  {f}");
         }
         std::process::exit(1);

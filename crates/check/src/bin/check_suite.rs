@@ -11,9 +11,10 @@
 //! CI asserts this for every mutation — the harness's negative control.
 
 use horse_check::{
-    check_linearizable_bounded, coalesce_oracle_case, explore, explore_ring, merge_oracle_case,
-    run_pool_trajectory, vmm_differential_case, Event, ExploreConfig, History, LinearizeError,
-    Mutation, PoolOp, PoolResult, RingExploreConfig, SchedulePolicy, TickSource,
+    check_linearizable_bounded, coalesce_oracle_case, explore, explore_ring, explore_splice,
+    merge_oracle_case, run_pool_trajectory, vmm_differential_case, Event, ExploreConfig, History,
+    LinearizeError, Mutation, PoolOp, PoolResult, RingExploreConfig, SchedulePolicy,
+    SpliceExploreConfig, TickSource,
 };
 use horse_faas::{KeepAlive, ShardedWarmPool};
 use horse_sched::SandboxId;
@@ -35,7 +36,7 @@ OPTIONS:
     --cases N      Cases per randomized section (default 64).
     --mutate NAME  Plant a known bug; the run must fail. Names:
                    splice-misorder, stale-plan, coalesce-off-by-one,
-                   nonlinearizable-pool.
+                   nonlinearizable-pool, splice-worker-misorder.
     --help         Show this help.";
 
 struct Suite {
@@ -297,6 +298,37 @@ fn main() {
                 if let Some(v) = r.violation {
                     s.fail(
                         "ring-explore",
+                        format!(
+                            "policy {policy} seed {esee}: {v}\n  schedule decisions: {:?}",
+                            r.decisions
+                        ),
+                    );
+                }
+            }
+        }
+    });
+
+    // 4c. Deterministic interleaving exploration of the real 𝒫²𝒮ℳ
+    //    splice workers: one splice per granted step, merged queue
+    //    compared against the sequential merge-walk oracle (multiset AND
+    //    FIFO order). `--mutate splice-worker-misorder` plants a worker
+    //    that links its anchor to the sub-list tail.
+    suite.section("splice-explore", |s| {
+        let cfg = SpliceExploreConfig {
+            plant_misorder: mutation == Some(Mutation::SpliceWorkerMisorder),
+            ..SpliceExploreConfig::default()
+        };
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::Random,
+            SchedulePolicy::Pct { depth: 3 },
+        ] {
+            for i in 0..3u64 {
+                let esee = s.seed.wrapping_add(i);
+                let r = explore_splice(&cfg, policy, esee);
+                if let Some(v) = r.violation {
+                    s.fail(
+                        "splice-explore",
                         format!(
                             "policy {policy} seed {esee}: {v}\n  schedule decisions: {:?}",
                             r.decisions

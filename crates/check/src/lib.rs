@@ -22,7 +22,12 @@
 //!   caller must balance the plane's own conservation books line by
 //!   line, so hedged or retried invocations can never double-apply.
 //!
-//! The harness distrusts itself too: [`mutate`] defines four known bugs
+//! * [`splice_explore`] — the same seeded schedules driving real
+//!   𝒫²𝒮ℳ splice-worker threads one splice at a time, with the merged
+//!   queue compared against the sequential merge-walk oracle in both
+//!   multiset and FIFO order;
+//!
+//! The harness distrusts itself too: [`mutate`] defines five known bugs
 //! (`check_suite --mutate <name>`) that are planted into the system
 //! under test, and CI asserts each one is caught — a checker that can't
 //! fail its own negative control proves nothing.
@@ -41,6 +46,7 @@ pub mod mutate;
 pub mod reliability_oracle;
 pub mod ring_explore;
 pub mod spec;
+pub mod splice_explore;
 
 pub use differential::{
     coalesce_oracle_case, merge_oracle_case, run_pool_trajectory, vmm_differential_case,
@@ -56,3 +62,6 @@ pub use reliability_oracle::{
 };
 pub use ring_explore::{explore_ring, RingExploration, RingExploreConfig};
 pub use spec::{spec_expired, SpecLoad, SpecPool, SpecRunQueue};
+pub use splice_explore::{
+    explore_splice, SpliceExploration, SpliceExploreConfig, SpliceStepRecord,
+};

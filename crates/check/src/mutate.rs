@@ -31,15 +31,22 @@ pub enum Mutation {
     /// completed takes return the same sandbox with no intervening
     /// put). Caught by the Wing–Gong linearizability checker.
     NonLinearizablePool,
+    /// One real splice-worker thread links its anchor to the sub-list
+    /// *tail* instead of the head, silently dropping the interior nodes
+    /// of a length-≥ 2 splice. Caught by the stepped splice-worker
+    /// explorer (merged queue diverges from the sequential merge-walk
+    /// oracle, or the list invariants break).
+    SpliceWorkerMisorder,
 }
 
 impl Mutation {
     /// Every mutation, in a fixed order.
-    pub const ALL: [Mutation; 4] = [
+    pub const ALL: [Mutation; 5] = [
         Mutation::SpliceMisorder,
         Mutation::StaleMergePlan,
         Mutation::CoalesceOffByOne,
         Mutation::NonLinearizablePool,
+        Mutation::SpliceWorkerMisorder,
     ];
 
     /// The CLI name (`check_suite --mutate <name>`).
@@ -49,6 +56,7 @@ impl Mutation {
             Mutation::StaleMergePlan => "stale-plan",
             Mutation::CoalesceOffByOne => "coalesce-off-by-one",
             Mutation::NonLinearizablePool => "nonlinearizable-pool",
+            Mutation::SpliceWorkerMisorder => "splice-worker-misorder",
         }
     }
 

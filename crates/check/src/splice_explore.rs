@@ -1,0 +1,363 @@
+//! Seeded deterministic interleaving exploration of the **parallel
+//! 𝒫²𝒮ℳ splice workers**.
+//!
+//! The staged splice protocol (`MergePlan::stage` → per-worker
+//! `SpliceBlock`s → `finish_staged`) claims that splice points are
+//! disjoint, so *any* interleaving of the workers' pointer writes yields
+//! the same queue. This module tests exactly that claim the way
+//! [`crate::explore`] tests the warm pool: each splice worker is a real
+//! OS thread holding its own block, but it executes **one splice per
+//! granted step**, and which worker steps next is decided by the seeded
+//! [`SchedulePolicy`] (round-robin / random / PCT). After the last step
+//! the merge is finished on the driving thread and the queue's full
+//! `(credit, payload)` sequence is compared against the sequential
+//! [`merge_walk`](horse_core::SortedList::merge_walk) oracle — multiset
+//! *and* FIFO order must match, and the list invariants must hold.
+//!
+//! The generator always plants at least one sub-list of length ≥ 2 (two
+//! equal credits in *A*), so the planted misorder mutation
+//! ([`Mutation::SpliceWorkerMisorder`](crate::Mutation)) — a worker that
+//! links its anchor to the sub-list *tail*, dropping the interior — is
+//! always expressible and must always be caught: the harness's negative
+//! control for this checker.
+
+use crate::explore::{SchedulePolicy, Scheduler};
+use horse_core::{Arena, MergePlan, SortedList};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::mpsc;
+
+/// Payload bases marking provenance in the order oracle.
+const B_BASE: u64 = 1_000_000;
+const A_BASE: u64 = 2_000_000;
+
+/// Exploration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SpliceExploreConfig {
+    /// Real splice-worker threads (blocks are partitioned across them).
+    pub workers: usize,
+    /// Destination run-queue length (≥ 2; credits are strictly spaced so
+    /// every inter-key gap can host a sub-list).
+    pub b_len: usize,
+    /// Merged-list length *before* the guaranteed duplicate pair.
+    pub a_len: usize,
+    /// Plant the misorder bug into one seeded worker
+    /// (`--mutate splice-worker-misorder`): its first length-≥ 2 splice
+    /// links the anchor to the sub-list tail. The run must then fail.
+    pub plant_misorder: bool,
+}
+
+impl Default for SpliceExploreConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            b_len: 24,
+            a_len: 16,
+            plant_misorder: false,
+        }
+    }
+}
+
+/// One granted step: a worker executed one splice of its block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpliceStepRecord {
+    /// Worker index granted the step.
+    pub worker: usize,
+    /// Splice index *within the worker's block*.
+    pub splice: usize,
+    /// vCPUs in the spliced sub-list.
+    pub sub_len: usize,
+}
+
+/// Outcome of one splice exploration.
+#[derive(Debug)]
+pub struct SpliceExploration {
+    /// Worker index granted each step, in order — replaying with the
+    /// same seed/policy/config reproduces the identical interleaving.
+    pub decisions: Vec<usize>,
+    /// Every executed step, in execution order.
+    pub steps: Vec<SpliceStepRecord>,
+    /// Error description if the oracle rejected the run.
+    pub violation: Option<String>,
+}
+
+enum Cmd {
+    /// Execute the worker's next splice.
+    Step,
+    Stop,
+}
+
+struct WorkerReply {
+    splice: usize,
+    sub_len: usize,
+}
+
+/// Generates the seeded scenario: strictly spaced *B* credits, random
+/// *A* credits landing in the gaps, plus one guaranteed duplicate pair
+/// (same credit twice → one sub-list of length ≥ 2 at a non-head
+/// anchor).
+fn generate_case(cfg: &SpliceExploreConfig, seed: u64) -> (Vec<i64>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a09_e667_f3bc_c908);
+    let b_len = cfg.b_len.max(2);
+    let b_keys: Vec<i64> = (0..b_len as i64).map(|i| i * 10).collect();
+    let hi = (b_len as i64 - 1) * 10 + 9;
+    let mut a_keys: Vec<i64> = (0..cfg.a_len).map(|_| rng.gen_range(0..=hi)).collect();
+    // The guaranteed duplicate pair: a credit equal to some B key `j·10`
+    // anchors both nodes after B[j] (anchor ≥ 0, never the head splice).
+    let dup = rng.gen_range(0..b_len as i64) * 10;
+    a_keys.push(dup);
+    a_keys.push(dup);
+    (b_keys, a_keys)
+}
+
+fn build(arena: &mut Arena<u64>, keys: &[i64], payload_base: u64) -> SortedList {
+    let mut l = SortedList::new();
+    for (i, &k) in keys.iter().enumerate() {
+        l.insert_sorted(arena, k, payload_base + i as u64);
+    }
+    l
+}
+
+fn contents(arena: &Arena<u64>, l: &SortedList) -> Vec<(i64, u64)> {
+    l.iter(arena).map(|(_, k, p)| (k, *p)).collect()
+}
+
+/// Runs one seeded exploration of the parallel splice workers and
+/// validates the merged queue against the sequential oracle. The
+/// returned [`SpliceExploration`] carries the full decision sequence;
+/// `violation` is `None` on success (and **must** be `Some` when
+/// `plant_misorder` is set — the caller asserts the inversion).
+pub fn explore_splice(
+    cfg: &SpliceExploreConfig,
+    policy: SchedulePolicy,
+    seed: u64,
+) -> SpliceExploration {
+    let (b_keys, a_keys) = generate_case(cfg, seed);
+
+    // Sequential oracle in its own arena.
+    let expected = {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &b_keys, B_BASE);
+        let a = build(&mut arena, &a_keys, A_BASE);
+        b.merge_walk(&arena, a);
+        contents(&arena, &b)
+    };
+
+    // System under test: the staged protocol on stepped real threads.
+    let mut arena = Arena::new();
+    let mut b = build(&mut arena, &b_keys, B_BASE);
+    let a = build(&mut arena, &a_keys, A_BASE);
+    let plan = MergePlan::precompute(&arena, &b, a);
+
+    let workers = cfg.workers.max(1);
+    let mut decisions = Vec::new();
+    let mut steps = Vec::new();
+    let mut stage_violation: Option<String> = None;
+    {
+        let staged = match plan.stage(&b) {
+            Ok(s) => s,
+            Err(e) => {
+                return SpliceExploration {
+                    decisions,
+                    steps,
+                    violation: Some(format!("stage rejected a fresh plan: {e}")),
+                }
+            }
+        };
+        let blocks: Vec<_> = (0..workers).map(|w| staged.block(w, workers)).collect();
+        let total_steps: usize = blocks.iter().map(|blk| blk.len()).sum();
+        if total_steps != staged.node_splice_count() {
+            stage_violation = Some(format!(
+                "blocks cover {total_steps} splices, staged has {}",
+                staged.node_splice_count()
+            ));
+        }
+
+        // The planted bug's seeded target: one worker mis-executes its
+        // first length-≥ 2 splice. The generator guarantees one exists.
+        let misorder_at: Option<(usize, usize)> = if cfg.plant_misorder {
+            let candidates: Vec<(usize, usize)> = blocks
+                .iter()
+                .enumerate()
+                .flat_map(|(w, blk)| (0..blk.len()).map(move |i| (w, i)))
+                .filter(|&(w, i)| blocks[w].sub_len(i) >= 2)
+                .collect();
+            assert!(
+                !candidates.is_empty(),
+                "generator must plant a length-≥2 sub-list"
+            );
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbb67_ae85_84ca_a73b);
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        } else {
+            None
+        };
+
+        let mut sched = Scheduler::new(policy, seed, workers, total_steps);
+        let arena_ref = &arena;
+        std::thread::scope(|scope| {
+            let mut cmd_txs = Vec::with_capacity(workers);
+            let mut reply_rxs = Vec::with_capacity(workers);
+            for (w, block) in blocks.iter().copied().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+                let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
+                let bad_splice = misorder_at.and_then(|(mw, i)| (mw == w).then_some(i));
+                scope.spawn(move || {
+                    let mut next = 0usize;
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::Stop => return,
+                            Cmd::Step => {
+                                let i = next;
+                                next += 1;
+                                if bad_splice == Some(i) {
+                                    block.execute_one_misordered(arena_ref, i);
+                                } else {
+                                    block.execute_one(arena_ref, i);
+                                }
+                                let _ = reply_tx.send(WorkerReply {
+                                    splice: i,
+                                    sub_len: block.sub_len(i),
+                                });
+                            }
+                        }
+                    }
+                });
+                cmd_txs.push(cmd_tx);
+                reply_rxs.push(reply_rx);
+            }
+
+            // Grant one splice at a time per the seeded schedule.
+            let mut remaining: Vec<usize> = blocks.iter().map(|blk| blk.len()).collect();
+            for step in 0..total_steps {
+                let runnable: Vec<usize> = (0..workers).filter(|&w| remaining[w] > 0).collect();
+                let chosen = sched.pick(&runnable, step);
+                remaining[chosen] -= 1;
+                decisions.push(chosen);
+                cmd_txs[chosen].send(Cmd::Step).expect("worker alive");
+                let reply = reply_rxs[chosen].recv().expect("worker replied");
+                steps.push(SpliceStepRecord {
+                    worker: chosen,
+                    splice: reply.splice,
+                    sub_len: reply.sub_len,
+                });
+            }
+            for tx in &cmd_txs {
+                tx.send(Cmd::Stop).expect("worker alive");
+            }
+        });
+    }
+
+    // Head splice + bookkeeping on the driving thread, like the VMM.
+    let (report, _buffers) = plan.finish_staged(&arena, &mut b);
+
+    let violation = stage_violation.or_else(|| {
+        if report.merged != a_keys.len() {
+            return Some(format!(
+                "report.merged = {}, expected {}",
+                report.merged,
+                a_keys.len()
+            ));
+        }
+        if let Err(e) = b.check_invariants(&arena) {
+            return Some(format!("post-splice invariants violated: {e}"));
+        }
+        let got = contents(&arena, &b);
+        if got != expected {
+            return Some(format!(
+                "merged queue diverges from sequential merge_walk oracle:\n  got      {got:?}\n  \
+                 expected {expected:?}"
+            ));
+        }
+        None
+    });
+
+    SpliceExploration {
+        decisions,
+        steps,
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICIES: [SchedulePolicy; 3] = [
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::Random,
+        SchedulePolicy::Pct { depth: 3 },
+    ];
+
+    #[test]
+    fn all_policies_pass_on_the_real_splice() {
+        let cfg = SpliceExploreConfig::default();
+        for policy in POLICIES {
+            for seed in [1u64, 42, 1337] {
+                let r = explore_splice(&cfg, policy, seed);
+                assert!(
+                    r.violation.is_none(),
+                    "policy {policy} seed {seed}: {:?}\ndecisions: {:?}",
+                    r.violation,
+                    r.decisions
+                );
+                assert_eq!(r.decisions.len(), r.steps.len());
+                // The guaranteed duplicate pair produces ≥ 1 stepped
+                // splice with a multi-node sub-list.
+                assert!(r.steps.iter().any(|s| s.sub_len >= 2));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_interleaving() {
+        let cfg = SpliceExploreConfig::default();
+        for policy in POLICIES {
+            let a = explore_splice(&cfg, policy, 7);
+            let b = explore_splice(&cfg, policy, 7);
+            assert_eq!(a.decisions, b.decisions, "policy {policy} must replay");
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    #[test]
+    fn planted_misorder_is_always_caught() {
+        let cfg = SpliceExploreConfig {
+            plant_misorder: true,
+            ..SpliceExploreConfig::default()
+        };
+        for policy in POLICIES {
+            for seed in [1u64, 42, 1337] {
+                let r = explore_splice(&cfg, policy, seed);
+                assert!(
+                    r.violation.is_some(),
+                    "policy {policy} seed {seed}: planted misorder escaped the oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let cfg = SpliceExploreConfig {
+            workers: 1,
+            ..SpliceExploreConfig::default()
+        };
+        let r = explore_splice(&cfg, SchedulePolicy::RoundRobin, 5);
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.decisions.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn worker_counts_beyond_splices_still_pass() {
+        let cfg = SpliceExploreConfig {
+            workers: 16,
+            b_len: 4,
+            a_len: 2,
+            ..SpliceExploreConfig::default()
+        };
+        for seed in [3u64, 11] {
+            let r = explore_splice(&cfg, SchedulePolicy::Random, seed);
+            assert!(r.violation.is_none(), "seed {seed}: {:?}", r.violation);
+        }
+    }
+}

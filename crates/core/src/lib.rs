@@ -58,4 +58,7 @@ mod p2sm;
 pub use arena::{Arena, ArenaStats, NodeRef};
 pub use coalesce::{CoalescedUpdate, InvalidCoefficientsError, LoadUpdate};
 pub use list::{Iter, SortedList};
-pub use p2sm::{MergePlan, MergeReport, PlanBuffers, PlanCorruption, SpliceMode, StalePlanError};
+pub use p2sm::{
+    MergePlan, MergeReport, PlanBuffers, PlanCorruption, SpliceBlock, SpliceMode, StagedMerge,
+    StalePlanError,
+};

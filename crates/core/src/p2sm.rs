@@ -329,6 +329,61 @@ impl MergePlan {
         b: &mut SortedList,
         mode: SpliceMode,
     ) -> Result<(MergeReport, PlanBuffers), StalePlanError> {
+        {
+            let staged = self.stage(b)?;
+            let n = staged.node_splice_count();
+            match mode {
+                SpliceMode::Sequential => staged.block(0, 1).execute(arena),
+                SpliceMode::Parallel => {
+                    crossbeam::scope(|scope| {
+                        for w in 0..n {
+                            let block = staged.block(w, n);
+                            scope.spawn(move |_| block.execute(arena));
+                        }
+                    })
+                    .expect("merge splice thread panicked");
+                }
+                SpliceMode::ParallelChunked { threads } => {
+                    let threads = threads.max(1).min(n.max(1));
+                    crossbeam::scope(|scope| {
+                        for w in 0..threads {
+                            let block = staged.block(w, threads);
+                            if block.is_empty() {
+                                continue;
+                            }
+                            scope.spawn(move |_| block.execute(arena));
+                        }
+                    })
+                    .expect("merge splice thread panicked");
+                }
+            }
+        }
+        Ok(self.finish_staged(arena, b))
+    }
+
+    /// Validates the plan against the current state of `b` and exposes
+    /// the node splices as [`Send`]-safe per-worker blocks.
+    ///
+    /// This is the first half of the merge, split out so a caller-owned
+    /// worker pool (the VMM's resume path, the check-plane explorer) can
+    /// execute the blocks on real threads it controls. The protocol is:
+    ///
+    /// 1. `let staged = plan.stage(&b)?;`
+    /// 2. hand each [`StagedMerge::block`] to a worker; every worker runs
+    ///    [`SpliceBlock::execute`] with no lock — blocks are disjoint;
+    /// 3. join the workers, drop `staged`;
+    /// 4. `plan.finish_staged(&arena, &mut b)` applies the head splice
+    ///    and handle fixes on the calling thread.
+    ///
+    /// [`Self::merge_recycling`] is exactly this protocol run on scoped
+    /// threads it spawns itself, so both paths produce byte-identical
+    /// reports and arena traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StalePlanError`] if `b` changed since the plan was
+    /// computed or last updated — same guard as [`Self::merge`].
+    pub fn stage(&self, b: &SortedList) -> Result<StagedMerge<'_>, StalePlanError> {
         if b.head() != self.b_head {
             return Err(StalePlanError {
                 reason: format!(
@@ -347,73 +402,41 @@ impl MergePlan {
                 ),
             });
         }
+        let (head_splice, node_splices) = self.split_head();
+        Ok(StagedMerge {
+            array_b: &self.array_b,
+            node_splices,
+            head_len: head_splice.map_or(0, |s| s.len),
+            a_len: self.a_len,
+        })
+    }
+
+    /// Second half of the staged merge (see [`Self::stage`]): applies the
+    /// head splice and the head/tail handle + length fixes on the calling
+    /// thread, consuming the plan and returning the same
+    /// [`MergeReport`] / recycled [`PlanBuffers`] pair as
+    /// [`Self::merge_recycling`].
+    ///
+    /// Must only be called after a successful [`Self::stage`] against the
+    /// same (unmutated) `b`, once every block's execution has been joined
+    /// — the staleness guard already ran in `stage`.
+    pub fn finish_staged<T>(
+        self,
+        arena: &Arena<T>,
+        b: &mut SortedList,
+    ) -> (MergeReport, PlanBuffers) {
         if self.a_len == 0 {
             let Self {
                 array_b, splices, ..
             } = self;
-            return Ok((MergeReport::default(), PlanBuffers { array_b, splices }));
+            return (MergeReport::default(), PlanBuffers { array_b, splices });
         }
 
-        let mut pointer_writes = 0usize;
+        let (head_splice, node_splices) = self.split_head();
+        let mut pointer_writes = node_splices.len() * 2;
 
         // Head splice (at most one, anchor == BEFORE_HEAD): handled by the
         // calling thread because it updates the list *handle*, not a node.
-        let mut head_splice: Option<SubList> = None;
-        let mut node_splices: &[Splice] = &self.splices;
-        if let Some(first) = self.splices.first() {
-            if first.anchor == BEFORE_HEAD {
-                head_splice = Some(first.sub);
-                node_splices = &self.splices[1..];
-            }
-        }
-
-        // Node splices: each one touches only `array_b[anchor].next` and
-        // `sub.tail.next`, which are disjoint across splices (anchors are
-        // unique and sub-lists are disjoint) — no locking needed.
-        match mode {
-            SpliceMode::Sequential => {
-                for s in node_splices {
-                    let anchor_node = self.array_b[s.anchor as usize];
-                    let tmp = arena.next(anchor_node);
-                    arena.set_next(anchor_node, Some(s.sub.head));
-                    arena.set_next(s.sub.tail, tmp);
-                }
-            }
-            SpliceMode::Parallel => {
-                crossbeam::scope(|scope| {
-                    for s in node_splices {
-                        let array_b = &self.array_b;
-                        scope.spawn(move |_| {
-                            let anchor_node = array_b[s.anchor as usize];
-                            let tmp = arena.next(anchor_node);
-                            arena.set_next(anchor_node, Some(s.sub.head));
-                            arena.set_next(s.sub.tail, tmp);
-                        });
-                    }
-                })
-                .expect("merge splice thread panicked");
-            }
-            SpliceMode::ParallelChunked { threads } => {
-                let threads = threads.max(1).min(node_splices.len().max(1));
-                let chunk = node_splices.len().div_ceil(threads);
-                crossbeam::scope(|scope| {
-                    for splices in node_splices.chunks(chunk.max(1)) {
-                        let array_b = &self.array_b;
-                        scope.spawn(move |_| {
-                            for s in splices {
-                                let anchor_node = array_b[s.anchor as usize];
-                                let tmp = arena.next(anchor_node);
-                                arena.set_next(anchor_node, Some(s.sub.head));
-                                arena.set_next(s.sub.tail, tmp);
-                            }
-                        });
-                    }
-                })
-                .expect("merge splice thread panicked");
-            }
-        }
-        pointer_writes += node_splices.len() * 2;
-
         if let Some(sub) = head_splice {
             let old_head = b.head();
             arena.set_next(sub.tail, old_head);
@@ -448,7 +471,20 @@ impl MergePlan {
         let Self {
             array_b, splices, ..
         } = self;
-        Ok((report, PlanBuffers { array_b, splices }))
+        (report, PlanBuffers { array_b, splices })
+    }
+
+    /// Splits the splice table into the (optional) head splice and the
+    /// node splices — the head splice mutates the list handle and must
+    /// run on the thread owning `&mut SortedList`, the node splices only
+    /// touch disjoint arena nodes.
+    fn split_head(&self) -> (Option<SubList>, &[Splice]) {
+        if let Some(first) = self.splices.first() {
+            if first.anchor == BEFORE_HEAD {
+                return (Some(first.sub), &self.splices[1..]);
+            }
+        }
+        (None, &self.splices)
     }
 
     /// Inserts a new element into *A* keeping the plan consistent
@@ -786,6 +822,125 @@ impl MergePlan {
     }
 }
 
+/// The validated, partitionable first half of a staged merge (see
+/// [`MergePlan::stage`]): an immutable borrow of the plan's node splices
+/// plus the positional index, sliceable into disjoint per-worker
+/// [`SpliceBlock`]s.
+///
+/// `StagedMerge` is `Send + Sync` (it only holds shared slices), so a
+/// worker pool can capture blocks across threads with no locking — the
+/// disjointness argument of the paper's Algorithm 1 applies per block
+/// exactly as it applies per splice.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedMerge<'p> {
+    array_b: &'p [NodeRef],
+    node_splices: &'p [Splice],
+    head_len: usize,
+    a_len: usize,
+}
+
+impl<'p> StagedMerge<'p> {
+    /// Number of node splices (the partitionable work; excludes the head
+    /// splice, which [`MergePlan::finish_staged`] applies inline).
+    pub fn node_splice_count(&self) -> usize {
+        self.node_splices.len()
+    }
+
+    /// Elements of *A* in the head splice (0 when there is none) — the
+    /// vCPUs the calling thread wakes itself during finish.
+    pub fn head_len(&self) -> usize {
+        self.head_len
+    }
+
+    /// Total elements of *A* the merge will move.
+    pub fn a_len(&self) -> usize {
+        self.a_len
+    }
+
+    /// Bounds `[start, end)` into the node-splice table of worker `w` of
+    /// `workers`: contiguous ⌈n/workers⌉-sized chunks, trailing workers
+    /// possibly empty. Every index lands in exactly one worker's block
+    /// (the partition-coverage property the proptest suite pins down).
+    pub fn block_bounds(&self, w: usize, workers: usize) -> (usize, usize) {
+        let n = self.node_splices.len();
+        let chunk = n.div_ceil(workers.max(1)).max(1);
+        let start = (w * chunk).min(n);
+        let end = ((w + 1) * chunk).min(n);
+        (start, end)
+    }
+
+    /// The block of worker `w` of `workers` (see [`Self::block_bounds`]).
+    pub fn block(&self, w: usize, workers: usize) -> SpliceBlock<'p> {
+        let (start, end) = self.block_bounds(w, workers);
+        SpliceBlock {
+            array_b: self.array_b,
+            splices: &self.node_splices[start..end],
+        }
+    }
+}
+
+/// One worker's disjoint share of a staged merge's node splices.
+///
+/// Executing a block is pure arena-node surgery — two atomic pointer
+/// writes per splice, no list-handle access — so blocks run concurrently
+/// with no mutual exclusion.
+#[derive(Debug, Clone, Copy)]
+pub struct SpliceBlock<'p> {
+    array_b: &'p [NodeRef],
+    splices: &'p [Splice],
+}
+
+impl SpliceBlock<'_> {
+    /// Number of splices in this block.
+    pub fn len(&self) -> usize {
+        self.splices.len()
+    }
+
+    /// Whether the block carries no splices (a trailing worker of an
+    /// over-partitioned merge).
+    pub fn is_empty(&self) -> bool {
+        self.splices.is_empty()
+    }
+
+    /// Elements of *A* merged by splice `i` of this block — the vCPUs
+    /// the executing worker wakes (drives the bench's wake emulation).
+    pub fn sub_len(&self, i: usize) -> usize {
+        self.splices[i].sub.len
+    }
+
+    /// Executes every splice in the block on the calling thread.
+    pub fn execute<T: Sync>(&self, arena: &Arena<T>) {
+        for i in 0..self.splices.len() {
+            self.execute_one(arena, i);
+        }
+    }
+
+    /// Executes splice `i` of the block: links `array_b[anchor] →
+    /// sub.head` and `sub.tail → old next` — the two pointer writes of
+    /// the paper's Algorithm 1. Exposed one-at-a-time so the check-plane
+    /// explorer can interleave workers at splice granularity.
+    pub fn execute_one<T: Sync>(&self, arena: &Arena<T>, i: usize) {
+        let s = &self.splices[i];
+        let anchor_node = self.array_b[s.anchor as usize];
+        let tmp = arena.next(anchor_node);
+        arena.set_next(anchor_node, Some(s.sub.head));
+        arena.set_next(s.sub.tail, tmp);
+    }
+
+    /// Deliberately buggy variant of [`Self::execute_one`] that links the
+    /// anchor to `sub.tail` instead of `sub.head`, silently dropping the
+    /// interior of any sub-list with ≥ 2 elements. Exists solely for the
+    /// check plane's seeded `--mutate` misorder bug (the concurrency
+    /// analogue of [`PlanCorruption`]) — never called by a real merge.
+    pub fn execute_one_misordered<T: Sync>(&self, arena: &Arena<T>, i: usize) {
+        let s = &self.splices[i];
+        let anchor_node = self.array_b[s.anchor as usize];
+        let tmp = arena.next(anchor_node);
+        arena.set_next(anchor_node, Some(s.sub.tail));
+        arena.set_next(s.sub.tail, tmp);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1066,6 +1221,119 @@ mod tests {
         assert!(plan.memory_bytes() > 0);
         assert_eq!(plan.b_len(), 3);
         assert_eq!(plan.a_len(), 1);
+    }
+
+    #[test]
+    fn staged_protocol_matches_merge() {
+        for workers in [1usize, 2, 3, 7, 16] {
+            let mut arena = Arena::new();
+            let mut b = build(&mut arena, &[10, 30, 50, 70]);
+            let a = build(&mut arena, &[5, 20, 21, 40, 60, 80]);
+            let plan = MergePlan::precompute(&arena, &b, a);
+            let expected_splices = plan.splice_count();
+            {
+                let staged = plan.stage(&b).unwrap();
+                assert_eq!(staged.a_len(), 6);
+                let arena_ref = &arena;
+                crossbeam::scope(|scope| {
+                    for w in 0..workers {
+                        let block = staged.block(w, workers);
+                        scope.spawn(move |_| block.execute(arena_ref));
+                    }
+                })
+                .unwrap();
+            }
+            let (report, _bufs) = plan.finish_staged(&arena, &mut b);
+            assert_eq!(report.splices, expected_splices);
+            assert_eq!(report.merged, 6);
+            b.check_invariants(&arena).unwrap();
+            assert_eq!(
+                b.keys(&arena),
+                expected(&[10, 30, 50, 70], &[5, 20, 21, 40, 60, 80]),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_report_is_identical_to_merge_recycling() {
+        let b_keys = [10, 30, 50];
+        let a_keys = [5, 20, 21, 60];
+        let via_merge = {
+            let mut arena = Arena::new();
+            let mut b = build(&mut arena, &b_keys);
+            let a = build(&mut arena, &a_keys);
+            let plan = MergePlan::precompute(&arena, &b, a);
+            plan.merge(&arena, &mut b, SpliceMode::Sequential).unwrap()
+        };
+        let via_staged = {
+            let mut arena = Arena::new();
+            let mut b = build(&mut arena, &b_keys);
+            let a = build(&mut arena, &a_keys);
+            let plan = MergePlan::precompute(&arena, &b, a);
+            {
+                let staged = plan.stage(&b).unwrap();
+                staged.block(0, 1).execute(&arena);
+            }
+            plan.finish_staged(&arena, &mut b).0
+        };
+        assert_eq!(via_merge, via_staged);
+    }
+
+    #[test]
+    fn stage_rejects_mutated_b() {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &[1, 2, 3]);
+        let a = build(&mut arena, &[10]);
+        let plan = MergePlan::precompute(&arena, &b, a);
+        b.pop_front(&mut arena);
+        assert!(plan.stage(&b).is_err());
+    }
+
+    #[test]
+    fn block_bounds_partition_all_indices() {
+        let mut arena = Arena::new();
+        let b = build(&mut arena, &[10, 20, 30, 40, 50]);
+        let a = build(&mut arena, &[11, 21, 31, 41, 51]);
+        let plan = MergePlan::precompute(&arena, &b, a);
+        let staged = plan.stage(&b).unwrap();
+        let n = staged.node_splice_count();
+        assert!(n >= 2);
+        for workers in 1..=8usize {
+            let mut covered = vec![0u32; n];
+            for w in 0..workers {
+                let (start, end) = staged.block_bounds(w, workers);
+                assert!(start <= end && end <= n);
+                for slot in &mut covered[start..end] {
+                    *slot += 1;
+                }
+                assert_eq!(staged.block(w, workers).len(), end - start);
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "workers={workers}: {covered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn misordered_splice_loses_interior_entries() {
+        let mut arena = Arena::new();
+        let mut b = build(&mut arena, &[10, 30]);
+        // One sub-list of length 3 between 10 and 30.
+        let a = build(&mut arena, &[20, 21, 22]);
+        let plan = MergePlan::precompute(&arena, &b, a);
+        {
+            let staged = plan.stage(&b).unwrap();
+            assert_eq!(staged.node_splice_count(), 1);
+            staged.block(0, 1).execute_one_misordered(&arena, 0);
+        }
+        let (report, _) = plan.finish_staged(&arena, &mut b);
+        assert_eq!(report.merged, 3, "accounting still claims the full merge");
+        // The list walk sees only the sub-list tail: 20 and 21 are lost,
+        // which is exactly what the check-plane oracle must catch.
+        assert_ne!(b.keys(&arena), expected(&[10, 30], &[20, 21, 22]));
+        assert!(b.check_invariants(&arena).is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod forensics;
 mod histogram;
 pub mod prometheus;
 pub mod report;
+mod robust;
 mod sketch;
 mod stats;
 mod timeseries;
@@ -55,6 +56,7 @@ pub use attribution::{TailAttribution, TailReport};
 pub use burnrate::{BurnAlert, BurnRateMonitor, Objective};
 pub use forensics::FlightRecorder;
 pub use histogram::Histogram;
+pub use robust::{iqr_filter, trimmed_mean, RobustSummary};
 pub use sketch::QuantileSketch;
 pub use stats::{ConfidenceInterval, RunningStats};
 pub use timeseries::{Sample, TimeSeries};

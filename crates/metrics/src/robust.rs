@@ -1,0 +1,195 @@
+//! Outlier-robust summary statistics for wall-clock measurements.
+//!
+//! Virtual-axis benches are deterministic, so a plain mean is exact; the
+//! wall-clock resume bench measures *real* threads on a shared machine,
+//! where a single descheduled worker or timer-slack spike can inflate a
+//! point by orders of magnitude. The crossover and sub-linearity gates
+//! therefore summarise repetitions robustly:
+//!
+//! * [`trimmed_mean`] — drop a symmetric fraction of the smallest and
+//!   largest samples, average the rest (the paper-adjacent default for
+//!   latency point estimates);
+//! * [`iqr_filter`] — Tukey's fences: keep samples within
+//!   `[Q1 − k·IQR, Q3 + k·IQR]`, rejecting stragglers without assuming
+//!   how many there are;
+//! * [`RobustSummary`] — both composed: IQR-reject, then trimmed mean,
+//!   plus the min/median/max of the surviving samples.
+
+/// Linear-interpolation quantile over a **sorted** slice, `q` in `[0, 1]`.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample set");
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Mean of the samples after dropping the `trim` fraction (of the total
+/// count, rounded down) from *each* tail of the sorted sample set.
+///
+/// `trim` is clamped so at least one sample always survives; `trim = 0`
+/// is the plain mean. A symmetric trim keeps the estimator unbiased for
+/// symmetric noise while bounding any single outlier's leverage.
+///
+/// # Panics
+///
+/// If `samples` is empty or `trim` is not finite in `[0, 0.5)`.
+pub fn trimmed_mean(samples: &[f64], trim: f64) -> f64 {
+    assert!(!samples.is_empty(), "trimmed mean of an empty sample set");
+    assert!(
+        trim.is_finite() && (0.0..0.5).contains(&trim),
+        "trim fraction must be in [0, 0.5), got {trim}"
+    );
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let drop_each = ((sorted.len() as f64) * trim).floor() as usize;
+    let kept = &sorted[drop_each..sorted.len() - drop_each];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Tukey IQR fences: returns the samples within
+/// `[Q1 − k·IQR, Q3 + k·IQR]`, preserving input order. `k = 1.5` is the
+/// conventional outlier fence; larger `k` is more permissive.
+///
+/// If the fences would reject everything (degenerate spreads cannot — a
+/// zero IQR keeps all equal samples), the original samples are returned
+/// unchanged: an all-outlier verdict means the fences are wrong, not the
+/// data.
+///
+/// # Panics
+///
+/// If `samples` is empty or `k` is negative/non-finite.
+pub fn iqr_filter(samples: &[f64], k: f64) -> Vec<f64> {
+    assert!(!samples.is_empty(), "IQR filter of an empty sample set");
+    assert!(k.is_finite() && k >= 0.0, "IQR multiplier must be ≥ 0");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q1 = quantile_sorted(&sorted, 0.25);
+    let q3 = quantile_sorted(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - k * iqr, q3 + k * iqr);
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|&s| s >= lo && s <= hi)
+        .collect();
+    if kept.is_empty() {
+        samples.to_vec()
+    } else {
+        kept
+    }
+}
+
+/// Outlier-robust summary of one measured point: IQR-outlier rejection
+/// ([`iqr_filter`]) followed by a trimmed mean ([`trimmed_mean`]) of the
+/// survivors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustSummary {
+    /// Trimmed mean of the IQR-surviving samples — the point estimate
+    /// gates compare.
+    pub mean: f64,
+    /// Median of the surviving samples.
+    pub median: f64,
+    /// Smallest surviving sample.
+    pub min: f64,
+    /// Largest surviving sample.
+    pub max: f64,
+    /// Samples the IQR fences rejected.
+    pub rejected: usize,
+    /// Samples that survived.
+    pub kept: usize,
+}
+
+impl RobustSummary {
+    /// Conventional defaults: Tukey fence `k = 1.5`, 10 % trim per tail.
+    pub fn of(samples: &[f64]) -> Self {
+        Self::with(samples, 1.5, 0.1)
+    }
+
+    /// Fully parameterised summary (see [`iqr_filter`] / [`trimmed_mean`]
+    /// for the parameter domains and panics).
+    pub fn with(samples: &[f64], iqr_k: f64, trim: f64) -> Self {
+        let kept = iqr_filter(samples, iqr_k);
+        let mut sorted = kept.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            mean: trimmed_mean(&kept, trim),
+            median: quantile_sorted(&sorted, 0.5),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty by construction"),
+            rejected: samples.len() - kept.len(),
+            kept: kept.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_drops_tails_symmetrically() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 100.0];
+        // 20 % of 5 = 1 sample off each end → mean of [2, 3, 4].
+        assert_eq!(trimmed_mean(&samples, 0.2), 3.0);
+        // trim = 0 is the plain mean.
+        assert_eq!(trimmed_mean(&samples, 0.0), 22.0);
+        // Order independence.
+        assert_eq!(trimmed_mean(&[100.0, 3.0, 1.0, 4.0, 2.0], 0.2), 3.0);
+    }
+
+    #[test]
+    fn trimmed_mean_always_keeps_at_least_one_sample() {
+        assert_eq!(trimmed_mean(&[7.0], 0.49), 7.0);
+        assert_eq!(trimmed_mean(&[1.0, 3.0], 0.49), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn trimmed_mean_rejects_half_trim() {
+        trimmed_mean(&[1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    fn iqr_filter_rejects_stragglers_only() {
+        // 9 tight samples and one descheduled-thread spike.
+        let mut samples = vec![10.0, 11.0, 9.6, 10.5, 10.2, 9.8, 10.1, 9.9, 10.3];
+        samples.push(5_000.0);
+        let kept = iqr_filter(&samples, 1.5);
+        assert_eq!(kept.len(), 9);
+        assert!(kept.iter().all(|&s| s < 12.0));
+        // Input order preserved.
+        assert_eq!(kept[0], 10.0);
+    }
+
+    #[test]
+    fn iqr_filter_keeps_equal_samples_and_tight_spreads() {
+        let equal = [42.0; 6];
+        assert_eq!(iqr_filter(&equal, 1.5), equal.to_vec());
+        // k = 0 still keeps the inner quartiles.
+        let kept = iqr_filter(&[1.0, 2.0, 3.0, 4.0], 0.0);
+        assert!(!kept.is_empty());
+    }
+
+    #[test]
+    fn robust_summary_composes_rejection_and_trim() {
+        let mut samples: Vec<f64> = (0..20).map(|i| 100.0 + f64::from(i)).collect();
+        samples.push(1.0e6); // straggler
+        let s = RobustSummary::of(&samples);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.kept, 20);
+        assert!(s.max < 120.0, "straggler must not survive");
+        assert!((s.mean - 109.5).abs() < 1.0);
+        assert!((s.median - 109.5).abs() < 1.0);
+        assert_eq!(s.min, 100.0);
+    }
+
+    #[test]
+    fn robust_summary_of_constant_samples_is_exact() {
+        let s = RobustSummary::of(&[250.0; 5]);
+        assert_eq!(s.mean, 250.0);
+        assert_eq!(s.median, 250.0);
+        assert_eq!(s.rejected, 0);
+    }
+}

@@ -372,6 +372,26 @@ impl HostScheduler {
         Ok((report, buffers))
     }
 
+    /// Completes a staged 𝒫²𝒮ℳ merge (see `MergePlan::stage`) whose node
+    /// splices were already executed by a caller-owned worker pool: runs
+    /// `MergePlan::finish_staged` against the queue and emits exactly the
+    /// telemetry of [`Self::ull_merge_recycling`] — same
+    /// [`EventKind::RunqueueMerge`] instant, same `Counter::Splices`
+    /// increment — so the two paths are indistinguishable on the virtual
+    /// axis.
+    ///
+    /// The caller must have obtained the staged view from this scheduler's
+    /// queue (`MergePlan::stage(self.queue_list(rq))`) and joined every
+    /// worker before calling.
+    pub fn ull_finish_staged(&mut self, rq: RqId, plan: MergePlan) -> (MergeReport, PlanBuffers) {
+        let q = &mut self.queues[rq.0];
+        let (report, buffers) = plan.finish_staged(&self.arena, &mut q.list);
+        self.recorder
+            .instant(EventKind::RunqueueMerge, 0, report.splices as u64);
+        self.recorder.count(Counter::Splices, report.splices as u64);
+        (report, buffers)
+    }
+
     /// Vanilla sorted merge of a standalone list into a queue — the
     /// degradation path taken when a 𝒫²𝒮ℳ plan fails verification at
     /// resume time (the list is then the plan's reconstructed *A*, see

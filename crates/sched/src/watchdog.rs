@@ -74,6 +74,27 @@ impl SpliceWatchdog {
     pub fn rescue_penalty_ns(&self, rescued_splices: usize, per_splice_ns: f64) -> u64 {
         self.budget_ns + (rescued_splices as f64 * per_splice_ns).round() as u64
     }
+
+    /// Supervises a *real-thread* merge after the fact: given each
+    /// worker's measured wall-clock duration and a wall budget, reports
+    /// how many workers overran as a [`RescuePlan`] (`rescued_splices`
+    /// counts overrunning workers; `healthy_threads` the rest, never 0).
+    ///
+    /// Purely observational — the workers already joined, their splices
+    /// already stand, and nothing here feeds the virtual cost axis or the
+    /// telemetry recorder. It exists so the wall-clock bench and the VMM's
+    /// pool stats can flag runners whose threads straggle for real, with
+    /// the same vocabulary the virtual-axis rescue uses.
+    pub fn supervise_wall(&self, per_worker_nanos: &[u64], wall_budget_nanos: u64) -> RescuePlan {
+        let overran = per_worker_nanos
+            .iter()
+            .filter(|&&d| d > wall_budget_nanos)
+            .count();
+        RescuePlan {
+            healthy_threads: (per_worker_nanos.len() - overran).max(1),
+            rescued_splices: overran,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +120,27 @@ mod tests {
         let w = SpliceWatchdog::with_budget(100);
         assert_eq!(w.rescue_penalty_ns(0, 4.0), 100);
         assert_eq!(w.rescue_penalty_ns(3, 4.0), 112);
+    }
+
+    #[test]
+    fn supervise_wall_counts_overruns() {
+        let w = SpliceWatchdog::default();
+        let plan = w.supervise_wall(&[100, 5_000, 200, 9_000], 1_000);
+        assert_eq!(plan.rescued_splices, 2);
+        assert_eq!(plan.healthy_threads, 2);
+        // Budget is inclusive: exactly-on-budget workers are healthy.
+        let at_budget = w.supervise_wall(&[1_000, 1_000], 1_000);
+        assert_eq!(at_budget.rescued_splices, 0);
+    }
+
+    #[test]
+    fn supervise_wall_all_overrun_keeps_one_healthy() {
+        let w = SpliceWatchdog::default();
+        let plan = w.supervise_wall(&[5, 6, 7], 1);
+        assert_eq!(plan.rescued_splices, 3);
+        assert_eq!(plan.healthy_threads, 1, "resuming thread survives");
+        let empty = w.supervise_wall(&[], 100);
+        assert_eq!(empty.rescued_splices, 0);
+        assert_eq!(empty.healthy_threads, 1);
     }
 }

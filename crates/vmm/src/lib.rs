@@ -28,6 +28,7 @@ mod pause;
 mod resume;
 mod sandbox;
 mod snapshot;
+mod splice_pool;
 mod vmm;
 
 pub use config::{InvalidConfigError, SandboxConfig, SandboxConfigBuilder, SandboxKind};
@@ -36,6 +37,7 @@ pub use pause::{PauseBreakdown, PauseStep};
 pub use resume::{ResumeBreakdown, ResumeMode, ResumeStep};
 pub use sandbox::{PausePolicy, Sandbox, SandboxState};
 pub use snapshot::{BootBreakdown, BootModel, BootStage, RestoreModel, SandboxSnapshot};
+pub use splice_pool::{SplicePool, SplicePoolStats, SpliceRun, DEFAULT_WALL_BUDGET_NANOS};
 pub use vmm::{
     PauseReport, QueueFailover, ResumeDegradation, ResumeOutcome, Vmm, VmmError, VmmStats,
 };

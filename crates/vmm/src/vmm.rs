@@ -19,6 +19,7 @@ use crate::pause::{PauseBreakdown, PauseStep};
 use crate::resume::{ResumeBreakdown, ResumeMode, ResumeStep};
 use crate::sandbox::{PausePolicy, PausedState, Sandbox, SandboxState, VcpuPlacement};
 use crate::snapshot::{RestoreModel, SandboxSnapshot};
+use crate::splice_pool::{SplicePool, SplicePoolStats};
 use horse_core::{
     MergeReport, PlanBuffers, PlanCorruption, SortedList, SpliceMode, StalePlanError,
 };
@@ -235,6 +236,18 @@ impl VmmStats {
 ///
 /// Pools are bounded by the number of concurrently paused sandboxes on
 /// the host; buffers are stored cleared.
+///
+/// # Sharing discipline
+///
+/// The pools are **per host**: `HotScratch` lives inside one [`Vmm`] and
+/// is only reached through `&mut Vmm`, so two hosts resuming concurrently
+/// on different threads can never hand each other a recycled buffer —
+/// each host's recycle loop is closed over its own pools (asserted by the
+/// `scratch_isolation` integration test via the global recycle counters).
+/// Within a host, the parallel splice workers never touch these pools
+/// either: their per-worker scratch is the [`SplicePool`]'s explicit
+/// slots, one slot per worker, so a dispatch cannot alias scratch across
+/// workers no matter how the threads interleave.
 #[derive(Debug, Default)]
 struct HotScratch {
     /// Free `(credit, vcpu)` save-buffers (pause fills, resume returns).
@@ -295,6 +308,14 @@ pub struct Vmm {
     injector: FaultInjector,
     /// Straggler budget for the parallel splice.
     watchdog: SpliceWatchdog,
+    /// Real-thread worker pool for the clean-path staged splice
+    /// (inline by default; see [`SplicePool`]).
+    pool: SplicePool,
+    /// Emulated wake-IPI cost per merged vCPU, in wall-clock nanoseconds.
+    /// 0 (the default) disables the emulation entirely; the wall-clock
+    /// bench sets it to make the resume's real latency scale with the
+    /// work a kernel would do. Never feeds the virtual cost axis.
+    wake_emulation_nanos: u64,
     /// Recycled hot-path buffers (see [`HotScratch`]).
     scratch: HotScratch,
 }
@@ -313,6 +334,8 @@ impl Vmm {
             recorder: Recorder::disabled(),
             injector: FaultInjector::disabled(),
             watchdog: SpliceWatchdog::default(),
+            pool: SplicePool::default(),
+            wake_emulation_nanos: 0,
             scratch: HotScratch::default(),
         }
     }
@@ -346,6 +369,33 @@ impl Vmm {
     /// [`horse_sched::DEFAULT_SPLICE_BUDGET_NS`]).
     pub fn set_watchdog(&mut self, watchdog: SpliceWatchdog) {
         self.watchdog = watchdog;
+    }
+
+    /// Replaces the splice worker pool (default: [`SplicePool::inline`],
+    /// which never spawns). Install a [`SplicePool::parallel`] pool to
+    /// execute the clean-path resume splice on real threads.
+    pub fn set_splice_pool(&mut self, pool: SplicePool) {
+        self.pool = pool;
+    }
+
+    /// The splice worker pool (mutable, e.g. to flip it serial).
+    pub fn splice_pool_mut(&mut self) -> &mut SplicePool {
+        &mut self.pool
+    }
+
+    /// Cumulative splice-pool counters.
+    pub fn splice_pool_stats(&self) -> SplicePoolStats {
+        self.pool.stats()
+    }
+
+    /// Sets the emulated wake-IPI cost per merged vCPU, in wall-clock
+    /// nanoseconds (default 0 = disabled). With a value set, resume
+    /// executions sleep that long per woken vCPU — HORSE's splice workers
+    /// in parallel, the vanilla per-vCPU path serially — so wall-clock
+    /// measurements see the scaling shape a kernel would. Purely a
+    /// wall-clock lever: virtual `*_ns` accounting is untouched.
+    pub fn set_wake_emulation_nanos(&mut self, nanos: u64) {
+        self.wake_emulation_nanos = nanos;
     }
 
     /// Creates a VMM with the default r650 topology and calibrated costs.
@@ -397,13 +447,47 @@ impl Vmm {
     ///
     /// [`VmmError::InvalidState`] unless the sandbox is `Configured`.
     pub fn start(&mut self, id: SandboxId) -> Result<(), VmmError> {
+        self.start_inner(id, None)
+    }
+
+    /// Starts a configured sandbox like [`Vmm::start`], but with an
+    /// explicit credit per vCPU instead of the uniform initial credit.
+    ///
+    /// Benches and tests use this to shape run-queue interleavings — e.g.
+    /// a background sandbox on even credits and a measured sandbox on odd
+    /// credits, so the measured sandbox's resume splice hits a distinct
+    /// splice point per vCPU instead of one contiguous head splice.
+    ///
+    /// # Panics
+    ///
+    /// If `credits.len()` differs from the sandbox's configured vCPU
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::InvalidState`] unless the sandbox is `Configured`.
+    pub fn start_with_credits(&mut self, id: SandboxId, credits: &[i64]) -> Result<(), VmmError> {
+        self.start_inner(id, Some(credits))
+    }
+
+    fn start_inner(&mut self, id: SandboxId, credits: Option<&[i64]>) -> Result<(), VmmError> {
         self.expect_state(id, SandboxState::Configured)?;
         let config = self.sandboxes[&id.as_u64()].config();
+        if let Some(credits) = credits {
+            assert_eq!(
+                credits.len(),
+                config.vcpus() as usize,
+                "one explicit credit per configured vCPU"
+            );
+        }
         let mut placements = Vec::with_capacity(config.vcpus() as usize);
-        for _ in 0..config.vcpus() {
+        for i in 0..config.vcpus() {
             let vcpu = Vcpu::new(VcpuId::new(self.next_vcpu), id);
             self.next_vcpu += 1;
-            let credit = self.initial_credit();
+            let credit = match credits {
+                Some(credits) => credits[i as usize],
+                None => self.initial_credit(),
+            };
             let (rq, node) = match self
                 .shortest_healthy_ull_queue()
                 .filter(|_| config.is_ull())
@@ -825,11 +909,10 @@ impl Vmm {
                 let straggler = self.injector.should_inject(FaultSite::SpliceStraggler);
                 let death = self.injector.should_inject(FaultSite::SpliceThreadDeath);
                 let lost = usize::from(straggler.is_some()) + usize::from(death.is_some());
-                let mut splice_mode = SpliceMode::Parallel;
                 let mut rescue_penalty = 0u64;
-                if lost > 0 {
+                let (report, bufs) = if lost > 0 {
                     let rescue = self.watchdog.plan_rescue(splices, lost);
-                    splice_mode = SpliceMode::ParallelChunked {
+                    let splice_mode = SpliceMode::ParallelChunked {
                         threads: rescue.healthy_threads,
                     };
                     // Rescued splices re-run sequentially: one unlink plus
@@ -865,8 +948,26 @@ impl Vmm {
                         0,
                         rescue.rescued_splices as u64,
                     );
-                }
-                let (report, bufs) = self.sched.ull_merge_recycling(rq, plan, splice_mode)?;
+                    self.sched.ull_merge_recycling(rq, plan, splice_mode)?
+                } else {
+                    // Clean path: stage the splice and execute it on the
+                    // VMM's worker pool — real scoped threads when the
+                    // pool is parallel, the calling thread by default.
+                    // `ull_finish_staged` emits the same telemetry and
+                    // report as `ull_merge_recycling`, so the two
+                    // execution strategies are indistinguishable on the
+                    // virtual axis.
+                    {
+                        let staged = plan.stage(self.sched.queue_list(rq))?;
+                        self.pool.run(
+                            self.sched.arena(),
+                            &staged,
+                            &self.watchdog,
+                            self.wake_emulation_nanos,
+                        );
+                    }
+                    self.sched.ull_finish_staged(rq, plan)
+                };
                 self.scratch.plans.push(bufs);
                 merge_report = Some(report);
                 self.cost.horse_merge_ns(splices, true) + rescue_penalty as f64
@@ -925,6 +1026,12 @@ impl Vmm {
                     }
                 };
                 placements.push(VcpuPlacement { rq, node, vcpu });
+                // Wake-IPI emulation (wall-clock only): vanilla wakes each
+                // vCPU on the resuming thread as it is re-inserted, so the
+                // real latency grows one sleep per vCPU.
+                if self.wake_emulation_nanos > 0 {
+                    std::thread::sleep(std::time::Duration::from_nanos(self.wake_emulation_nanos));
+                }
             }
             let ops = self.sched.take_arena_stats();
             self.cost.vanilla_merge_ns(ops)
